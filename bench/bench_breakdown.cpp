@@ -1,0 +1,77 @@
+// Section 4 headline reproduction: per-phase time breakdown, overall
+// efficiency (paper: ~27% at D=5, ~35% at D=14 equivalents) and
+// communication fraction (paper: 10-25% for large systems).
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "hfmm/core/solver.hpp"
+#include "hfmm/util/particles.hpp"
+
+using namespace hfmm;
+
+namespace {
+
+void run(const char* label, const anderson::Params& params, std::size_t n,
+         bool dp_mode) {
+  core::FmmConfig cfg;
+  cfg.params = params;
+  cfg.supernodes = true;
+  if (dp_mode) {
+    cfg.mode = core::ExecutionMode::kDataParallel;
+    cfg.machine = {2, 2, 2};
+  }
+  const ParticleSet p = make_uniform(n, Box3{}, 4242);
+  core::FmmSolver solver(cfg);
+  (void)solver.translations();
+  WallTimer t;
+  const core::FmmResult r = solver.solve(p);
+  const double total = t.seconds();
+
+  std::printf("\n%s  (N = %zu, K = %zu, depth %d, %s)\n", label, n, r.k,
+              r.depth, dp_mode ? "data-parallel" : "threads");
+  Table table({"phase", "time (s)", "share", "Gflop", "efficiency"});
+  for (const auto& [name, s] : r.breakdown.phases()) {
+    if (name == "comm") continue;
+    table.row({name, Table::num(s.seconds, 3),
+               Table::percent(s.seconds / total),
+               Table::num(static_cast<double>(s.flops) / 1e9, 3),
+               Table::percent(bench::efficiency(s.flops, s.seconds))});
+  }
+  table.print(std::cout);
+  std::printf("overall: %.3f s, %.2f Gflop, efficiency %.1f%%\n", total,
+              static_cast<double>(r.breakdown.total_flops()) / 1e9,
+              100.0 * bench::efficiency(r.breakdown.total_flops(), total));
+  if (dp_mode) {
+    const double comm = r.breakdown.phases().count("comm")
+                            ? r.breakdown.phases().at("comm").seconds
+                            : 0.0;
+    const double per_vu = total / static_cast<double>(cfg.machine.total_vus());
+    std::printf(
+        "modeled communication: %.3f s (%.1f%% of per-VU execution), "
+        "%.2f MB off-VU, %llu messages\n",
+        comm, 100.0 * comm / (per_vu + comm),
+        static_cast<double>(r.comm.off_vu_bytes) / 1e6,
+        static_cast<unsigned long long>(r.comm.messages));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const std::size_t n =
+      static_cast<std::size_t>(cli.get("n", std::int64_t{100000}));
+  bench::check_unused(cli);
+
+  bench::print_header("bench_breakdown",
+                      "Section 4 headlines — phase breakdown, overall "
+                      "efficiency (~27%/~35%), comm fraction (10-25%)");
+  std::printf("calibrated peak: %.2f Gflop/s\n", bench::peak_flops() / 1e9);
+
+  run("D=5 / K=12 configuration", anderson::params_d5_k12(), n, false);
+  run("K=72 configuration", anderson::params_d14_k72(), n / 4, false);
+  run("D=5 / K=12, simulated 8-VU machine", anderson::params_d5_k12(), n / 2,
+      true);
+  return 0;
+}

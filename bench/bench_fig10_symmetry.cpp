@@ -1,0 +1,71 @@
+// Figure 10 / Section 3.4 reproduction: Newton's-third-law symmetry in the
+// near-field direct evaluation.
+//
+// Exploiting the symmetry of the interaction halves the box-box work: 62
+// instead of 124 neighbor interactions per leaf box. The near field is
+// about half the total arithmetic at optimal depth, so this matters.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "hfmm/core/near_field.hpp"
+#include "hfmm/dp/sort.hpp"
+#include "hfmm/util/particles.hpp"
+
+using namespace hfmm;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const std::size_t n =
+      static_cast<std::size_t>(cli.get("n", std::int64_t{100000}));
+  const int depth = static_cast<int>(cli.get("depth", std::int64_t{4}));
+  bench::check_unused(cli);
+
+  bench::print_header("bench_fig10_symmetry",
+                      "Figure 10 — symmetric near-field evaluation (62 vs "
+                      "124 box-box interactions)");
+  std::printf("N = %zu, depth %d (avg %.1f particles/box)\n\n", n, depth,
+              static_cast<double>(n) / static_cast<double>(1ull << (3 * depth)));
+
+  const tree::Hierarchy hier(Box3{}, depth);
+  const ParticleSet p = make_uniform(n, Box3{}, 515);
+  const dp::BlockLayout layout(hier.boxes_per_side(depth), {1, 1, 1});
+  const dp::BoxedParticles boxed = dp::coordinate_sort(p, hier, layout);
+
+  Table table({"variant", "box-box interactions", "particle pairs", "Gflop",
+               "time (s)", "speedup"});
+  double base_time = 0.0;
+  std::vector<double> phi_plain, phi_symm;
+  for (const bool symmetric : {false, true}) {
+    std::vector<double> phi(n, 0.0);
+    WallTimer t;
+    const core::NearFieldResult r =
+        core::near_field(hier, boxed, 2, symmetric, phi, {},
+                         ThreadPool::global());
+    const double secs = t.seconds();
+    if (!symmetric) {
+      base_time = secs;
+      phi_plain = phi;
+    } else {
+      phi_symm = phi;
+    }
+    table.row({symmetric ? "symmetric (62 half-list)" : "plain (124 boxes)",
+               Table::num(r.box_interactions), Table::num(r.pair_interactions),
+               Table::num(static_cast<double>(r.flops) / 1e9, 3),
+               Table::num(secs, 3),
+               Table::num(symmetric ? base_time / secs : 1.0, 3)});
+  }
+  table.print(std::cout);
+
+  // Both variants must agree to rounding.
+  double max_diff = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    max_diff = std::max(max_diff, std::abs(phi_plain[i] - phi_symm[i]));
+  std::printf("\nmax |phi_plain - phi_symmetric| = %.3e (must be rounding)\n",
+              max_diff);
+  std::printf(
+      "paper shape to verify: the symmetric variant evaluates half the\n"
+      "particle pairs and approaches a 2x speedup (less the pair-buffer\n"
+      "bookkeeping overhead).\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Figure 7 reproduction: Multigrid-embed via the generic send vs. the
+// local-copy / two-step scheme.
+//
+// The paper measures embedding a level-sized temporary array into the
+// flattened hierarchy for temporary sizes 2K .. 16M boxes and finds the
+// aliasing-based scheme up to two orders of magnitude faster, because the
+// generic send pays per-element address computation over the WHOLE
+// destination array while the local copy touches only the section.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "hfmm/dp/multigrid.hpp"
+
+using namespace hfmm;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const int depth = static_cast<int>(cli.get("depth", std::int64_t{6}));
+  const std::int64_t k = cli.get("k", std::int64_t{12});
+  const std::int32_t vu =
+      static_cast<std::int32_t>(cli.get("vu", std::int64_t{2}));
+  bench::check_unused(cli);
+
+  bench::print_header(
+      "bench_fig7_embed",
+      "Figure 7 — Multigrid-embed: generic send vs local-copy/two-step");
+
+  const dp::MachineConfig mc{vu, vu, vu};
+  const dp::BlockLayout leaf(1 << depth, mc);
+  std::printf("leaf grid %d^3, %zu VUs, K = %lld\n\n", 1 << depth,
+              mc.total_vus(), static_cast<long long>(k));
+
+  dp::MultigridArray mg(leaf, depth, static_cast<std::size_t>(k));
+
+  Table table({"level", "boxes", "send time (s)", "local-copy time (s)",
+               "speedup", "send bytes off-VU", "copy bytes off-VU"});
+  for (int level = 1; level < depth; ++level) {
+    const dp::BlockLayout ll = dp::layout_for_level(leaf, level);
+    dp::DistGrid temp(ll, static_cast<std::size_t>(k));
+    for (std::size_t i = 0; i < temp.total_values(); ++i)
+      temp.vu_data(0);  // touch
+    double times[2];
+    std::uint64_t off[2];
+    int idx = 0;
+    for (const dp::EmbedMethod m :
+         {dp::EmbedMethod::kGeneralSend, dp::EmbedMethod::kLocalCopy}) {
+      dp::Machine machine(mc);
+      WallTimer t;
+      dp::multigrid_embed(machine, temp, level, mg, m);
+      times[idx] = t.seconds();
+      off[idx] = machine.stats().off_vu_bytes;
+      ++idx;
+    }
+    table.row({Table::num(std::uint64_t(level)),
+               Table::num(std::uint64_t(1) << (3 * level)),
+               Table::num(times[0], 4), Table::num(times[1], 4),
+               Table::num(times[0] / std::max(times[1], 1e-9), 3),
+               Table::num(off[0]), Table::num(off[1])});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\npaper shape to verify: the local-copy/two-step scheme wins by a\n"
+      "widening margin as the gap between the level size and the full array\n"
+      "size grows (up to two orders of magnitude in the paper); coarse\n"
+      "levels (fewer boxes than VUs) pay a small two-step communication but\n"
+      "still avoid the full-array address scan.\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Google-benchmark microbenchmarks of the hot kernels: the K x K
+// translation GEMMs at the paper's matrix sizes (K = 12 and K = 72), the
+// batched multiple-instance variant, the Poisson kernels, the near-field
+// pair kernel, and CSHIFT on the simulated machine.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "hfmm/anderson/kernels.hpp"
+#include "hfmm/anderson/leaf_ops.hpp"
+#include "hfmm/anderson/params.hpp"
+#include "hfmm/blas/blas.hpp"
+#include "hfmm/baseline/direct.hpp"
+#include "hfmm/dp/halo.hpp"
+#include "hfmm/util/rng.hpp"
+
+namespace {
+
+using namespace hfmm;
+
+void BM_GemmTranslation(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  const std::size_t boxes = static_cast<std::size_t>(state.range(1));
+  std::vector<double> a(boxes * k, 1.0), t(k * k, 0.5), c(boxes * k, 0.0);
+  for (auto _ : state) {
+    blas::gemm(a.data(), k, t.data(), k, c.data(), k, boxes, k, k, true);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * boxes);
+  state.counters["Gflops"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(blas::gemm_flops(boxes, k, k)) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmTranslation)
+    ->Args({12, 64})
+    ->Args({12, 1024})
+    ->Args({72, 64})
+    ->Args({72, 1024});
+
+void BM_GemvTranslation(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  std::vector<double> t(k * k, 0.5), x(k, 1.0), y(k, 0.0);
+  for (auto _ : state) {
+    blas::gemv(t.data(), k, x.data(), y.data(), k, k, true);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_GemvTranslation)->Arg(12)->Arg(72);
+
+void BM_GemmBatch(benchmark::State& state) {
+  const std::size_t k = 12, slab = 8, count = 128;
+  std::vector<double> a(count * slab * k, 1.0), t(k * k, 0.5),
+      c(count * slab * k, 0.0);
+  for (auto _ : state) {
+    blas::gemm_batch(a.data(), k, slab * k, t.data(), k, 0, c.data(), k,
+                     slab * k, slab, k, k, count, true);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_GemmBatch);
+
+void BM_OuterKernel(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const Vec3 s{0, 0, 1}, x{2.5, 0.3, -1.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(anderson::outer_kernel(m, 1.4, s, x));
+  }
+}
+BENCHMARK(BM_OuterKernel)->Arg(2)->Arg(7);
+
+void BM_NearFieldPair(benchmark::State& state) {
+  const std::size_t n = 64;
+  const ParticleSet p = make_uniform(2 * n, Box3{}, 99);
+  std::vector<double> phi(2 * n, 0.0);
+  for (auto _ : state) {
+    baseline::direct_ranges_symmetric(p, 0, n, n, 2 * n, phi.data(), nullptr);
+    benchmark::DoNotOptimize(phi.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_NearFieldPair);
+
+void BM_Cshift(benchmark::State& state) {
+  dp::Machine machine({2, 2, 2});
+  const dp::BlockLayout layout(16, machine.config());
+  dp::DistGrid src(layout, 12), dst(layout, 12);
+  for (auto _ : state) {
+    dp::cshift(machine, src, dst, 0, 1);
+    benchmark::DoNotOptimize(dst.vu_data(0).data());
+  }
+  state.SetBytesProcessed(state.iterations() * src.total_values() * 8);
+}
+BENCHMARK(BM_Cshift);
+
+void BM_P2mEvaluation(benchmark::State& state) {
+  const anderson::Params params = anderson::params_d5_k12();
+  const ParticleSet p = make_uniform(32, Box3{}, 7);
+  std::vector<double> g(params.k(), 0.0);
+  for (auto _ : state) {
+    anderson::p2m(params, 0.175, {0.5, 0.5, 0.5}, p.x(), p.y(), p.z(), p.q(),
+                  g);
+    benchmark::DoNotOptimize(g.data());
+  }
+}
+BENCHMARK(BM_P2mEvaluation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// Headline scaling reproduction (abstract / Section 4): "the speed of the
+// code scales linearly with the number of processors and number of
+// particles".
+//
+// Two sweeps on the simulated machine:
+//   (1) N sweep at the occupancy-based depth policy: time/particle and
+//       cycles/particle should be ~flat (linear in N);
+//   (2) VU sweep at fixed N: per-VU work should fall linearly while the
+//       communication fraction stays bounded (the paper: 10-25%).
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "hfmm/core/solver.hpp"
+#include "hfmm/util/particles.hpp"
+
+using namespace hfmm;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const std::size_t nmax =
+      static_cast<std::size_t>(cli.get("nmax", std::int64_t{256000}));
+  bench::check_unused(cli);
+
+  bench::print_header("bench_scaling",
+                      "Abstract/Section 4 — linear scaling in N and P; "
+                      "communication fraction 10-25%");
+
+  // ---- Sweep 1: N, shared-memory executor, supernodes on (the paper's
+  // production configuration).
+  std::printf("[1] particle-count sweep (threads executor, supernodes)\n\n");
+  Table t1({"N", "depth", "time (s)", "us/particle", "cycles/particle",
+            "Gflop", "efficiency"});
+  for (std::size_t n = nmax / 16; n <= nmax; n *= 4) {
+    core::FmmConfig cfg;
+    cfg.supernodes = true;
+    const ParticleSet p = make_uniform(n, Box3{}, 606);
+    core::FmmSolver solver(cfg);
+    (void)solver.translations();
+    WallTimer t;
+    const core::FmmResult r = solver.solve(p);
+    const double secs = t.seconds();
+    t1.row({Table::num(std::uint64_t(n)), Table::num(std::uint64_t(r.depth)),
+            Table::num(secs, 3),
+            Table::num(1e6 * secs / static_cast<double>(n), 3),
+            Table::num(bench::cycles_per_particle(secs, n), 4),
+            Table::num(static_cast<double>(r.breakdown.total_flops()) / 1e9,
+                       3),
+            Table::percent(bench::efficiency(r.breakdown.total_flops(),
+                                             r.breakdown.total_seconds()))});
+  }
+  t1.print(std::cout);
+
+  // ---- Sweep 2: VU count on the simulated data-parallel machine.
+  std::printf("\n[2] VU sweep (data-parallel executor, N fixed)\n\n");
+  const std::size_t n_dp =
+      static_cast<std::size_t>(cli.get("ndp", std::int64_t{32000}));
+  const ParticleSet p = make_uniform(n_dp, Box3{}, 607);
+  Table t2({"VUs", "depth", "est. compute/VU (s)", "est. comm (s)",
+            "comm fraction", "off-VU MB", "messages"});
+  for (const std::int32_t vu : {1, 2, 4}) {
+    core::FmmConfig cfg;
+    cfg.mode = core::ExecutionMode::kDataParallel;
+    cfg.machine = {vu, vu, vu};
+    cfg.depth = 4;
+    const std::size_t vus = cfg.machine.total_vus();
+    core::FmmSolver solver(cfg);
+    (void)solver.translations();
+    WallTimer t;
+    const core::FmmResult r = solver.solve(p);
+    const double secs = t.seconds();
+    // Estimated per-VU compute: total wall compute divided over VUs (the
+    // simulated VUs time-share the host), plus the modeled comm time.
+    const double comm = r.breakdown.phases().count("comm")
+                            ? r.breakdown.phases().at("comm").seconds
+                            : 0.0;
+    const double per_vu = secs / static_cast<double>(vus);
+    t2.row({Table::num(std::uint64_t(vus)),
+            Table::num(std::uint64_t(r.depth)), Table::num(per_vu, 3),
+            Table::num(comm, 3), Table::percent(comm / (per_vu + comm)),
+            Table::num(static_cast<double>(r.comm.off_vu_bytes) / 1e6, 3),
+            Table::num(r.comm.messages)});
+  }
+  t2.print(std::cout);
+  std::printf(
+      "\npaper shape to verify: us/particle and cycles/particle flat in N\n"
+      "(linear total time); per-VU time falls ~linearly with VUs while the\n"
+      "communication fraction stays bounded (paper: 10-25%%).\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Table 2 reproduction: parameter selections and error decay of Anderson's
+// outer/inner sphere approximations.
+//
+// The paper's Table 2 pairs integration orders D with point counts K,
+// truncations M (~D/2), sphere radii, and expected error decay rates; the
+// abstract promises ~4 digits at D = 5 and ~7 at D = 14. We sweep D, run the
+// full solver against direct summation, and report the measured error and
+// the per-order decay rate. K = 72 rows use the documented McLaren
+// substitution (6 x 12 product rule, degree 11).
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "hfmm/baseline/direct.hpp"
+#include "hfmm/core/solver.hpp"
+#include "hfmm/util/errors.hpp"
+
+using namespace hfmm;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const std::size_t n =
+      static_cast<std::size_t>(cli.get("n", std::int64_t{3000}));
+  const int depth = static_cast<int>(cli.get("depth", std::int64_t{3}));
+  bench::check_unused(cli);
+
+  bench::print_header(
+      "bench_table2_accuracy",
+      "Table 2 — integration order D vs K, M, and error decay; abstract's "
+      "4-digit (D=5) and 7-digit (D=14) accuracy");
+  std::printf("N = %zu uniform particles, depth %d, 2-separation\n\n", n,
+              depth);
+
+  const ParticleSet p = make_uniform(n, Box3{}, 2026);
+  const baseline::DirectResult ref = baseline::direct_all(p, false);
+
+  Table table({"order D", "K", "M", "radius/side", "max rel err",
+               "rms rel err", "digits", "decay/order"});
+  double prev_err = 0.0;
+  int prev_order = 0;
+  for (const int order : {3, 5, 7, 9, 11, 14}) {
+    core::FmmConfig cfg;
+    cfg.depth = depth;
+    cfg.params = anderson::params_for_order(order);
+    core::FmmSolver solver(cfg);
+    const core::FmmResult r = solver.solve(p);
+    const ErrorNorms e = compare_fields(r.phi, ref.phi);
+    std::string decay = "-";
+    if (prev_err > 0.0 && e.rms_rel > 0.0) {
+      // error ~ c^D  =>  c = (err/prev)^(1/(D - D_prev))
+      decay = Table::num(
+          std::pow(e.rms_rel / prev_err, 1.0 / (order - prev_order)), 3);
+    }
+    table.row({Table::num(std::uint64_t(order)),
+               Table::num(std::uint64_t(cfg.params.k())),
+               Table::num(std::uint64_t(cfg.params.truncation)),
+               Table::num(cfg.params.outer_ratio, 3), Table::num(e.max_rel, 3),
+               Table::num(e.rms_rel, 3), Table::num(digits(e.rms_rel), 3),
+               decay});
+    prev_err = e.rms_rel;
+    prev_order = order;
+  }
+  // The paper's K = 72 configuration via the documented substitution, plus
+  // an alternative K = 72 rule family (Fibonacci points with least-squares
+  // weights) to show the rule-quality sensitivity at fixed K.
+  {
+    core::FmmConfig cfg;
+    cfg.depth = depth;
+    cfg.params = anderson::params_d14_k72();
+    core::FmmSolver solver(cfg);
+    const core::FmmResult r = solver.solve(p);
+    const ErrorNorms e = compare_fields(r.phi, ref.phi);
+    table.row({"14*", "72", Table::num(std::uint64_t(cfg.params.truncation)),
+               Table::num(cfg.params.outer_ratio, 3), Table::num(e.max_rel, 3),
+               Table::num(e.rms_rel, 3), Table::num(digits(e.rms_rel), 3),
+               "-"});
+  }
+  {
+    core::FmmConfig cfg;
+    cfg.depth = depth;
+    cfg.params = anderson::params_d14_k72();
+    cfg.params.rule = quadrature::fibonacci_rule(72, 7);
+    cfg.params.truncation =
+        std::min(cfg.params.truncation, cfg.params.rule.degree / 2);
+    core::FmmSolver solver(cfg);
+    const core::FmmResult r = solver.solve(p);
+    const ErrorNorms e = compare_fields(r.phi, ref.phi);
+    table.row({"fib", "72", Table::num(std::uint64_t(cfg.params.truncation)),
+               Table::num(cfg.params.outer_ratio, 3), Table::num(e.max_rel, 3),
+               Table::num(e.rms_rel, 3), Table::num(digits(e.rms_rel), 3),
+               "-"});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\n(*) K = 72 row uses the 6x12 product rule (degree 11) standing in\n"
+      "for McLaren's degree-14 rule; the D = 14 row above (K = 120) shows\n"
+      "what the full degree-14 exactness delivers.\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+#pragma once
+// Particle-box interactions at the leaf level (paper Section 3.2).
+//
+// P2M: the outer approximation of a leaf box is the exact potential, due to
+// the particles inside the box, sampled at the K sphere points.
+// L2P: the local-field potential (inner approximation) of a leaf box is
+// evaluated at every particle inside it; the gradient variant adds forces.
+
+#include <span>
+
+#include "hfmm/anderson/params.hpp"
+#include "hfmm/util/vec3.hpp"
+
+namespace hfmm::anderson {
+
+/// Accumulates into `g` (size K) the potential at the sphere points
+/// (center + a * s_i) due to the given particles: g_i += sum_k q_k / dist.
+void p2m(const Params& params, double a, const Vec3& center,
+         std::span<const double> px, std::span<const double> py,
+         std::span<const double> pz, std::span<const double> pq,
+         std::span<double> g);
+
+/// Adds the inner approximation's potential to `phi` for each particle.
+void l2p(const Params& params, double a, const Vec3& center,
+         std::span<const double> g, std::span<const double> px,
+         std::span<const double> py, std::span<const double> pz,
+         std::span<double> phi);
+
+/// Adds potential AND field gradient (d phi / d x) per particle.
+void l2p_gradient(const Params& params, double a, const Vec3& center,
+                  std::span<const double> g, std::span<const double> px,
+                  std::span<const double> py, std::span<const double> pz,
+                  std::span<double> phi, std::span<Vec3> grad);
+
+/// Flop counts for the efficiency accounting (paper's metric).
+std::uint64_t p2m_flops(std::size_t k, std::size_t particles);
+std::uint64_t l2p_flops(std::size_t k, std::size_t particles, int truncation);
+
+}  // namespace hfmm::anderson

@@ -1,0 +1,44 @@
+#pragma once
+// Parameter selection for Anderson's method (paper Section 2.4, Table 2).
+//
+// An integration order D picks a sphere rule (K points); the kernel series
+// is truncated at M terms; outer/inner sphere radii are fractions of the box
+// side. Defaults follow Anderson's guidance (M about D/2, spheres near the
+// box circumscribing radius) calibrated so the paper's accuracy claims hold:
+// about 4 digits at D = 5 (K = 12) and 6-7 digits at D = 14.
+
+#include <stdexcept>
+
+#include "hfmm/quadrature/sphere_rule.hpp"
+
+namespace hfmm::anderson {
+
+struct Params {
+  int order = 5;          ///< integration order D
+  int truncation = 2;     ///< M — series truncated after n = M
+  double outer_ratio = 1.4;   ///< outer sphere radius / box side
+  double inner_ratio = 1.4;   ///< inner sphere radius / box side
+  quadrature::SphereRule rule;
+
+  std::size_t k() const { return rule.size(); }
+
+  void validate() const {
+    if (order < 0) throw std::invalid_argument("Params: order must be >= 0");
+    if (truncation < 0)
+      throw std::invalid_argument("Params: truncation must be >= 0");
+    if (outer_ratio <= 0.0 || inner_ratio <= 0.0)
+      throw std::invalid_argument("Params: sphere ratios must be positive");
+    if (rule.size() == 0)
+      throw std::invalid_argument("Params: empty integration rule");
+  }
+};
+
+/// Default parameters for integration order D: rule from the Table 2 pairing
+/// (with documented substitutions), M = floor(D/2), circumscribing spheres.
+Params params_for_order(int order);
+
+/// The paper's two headline configurations.
+Params params_d5_k12();   ///< D = 5,  K = 12 — ~4 digits
+Params params_d14_k72();  ///< D = 14, K = 72 — ~6-7 digits (see DESIGN.md)
+
+}  // namespace hfmm::anderson

@@ -1,0 +1,113 @@
+#pragma once
+// Translation operators as K x K matrices (paper Sections 2.4 and 3.3.3,
+// Figure 2).
+//
+// Every translation in Anderson's method evaluates a source-sphere
+// approximation at the K integration points of a destination sphere, so it
+// is a matrix-vector product g_dst (+)= T g_src where
+//   T[j][i] = w_i * kernel(s_i, (c_dst + a_dst s_j) - c_src).
+// T depends only on the displacement in units of the box side and on the
+// radius ratios — NOT on the level — so one set of matrices serves the whole
+// hierarchy:
+//   T1: 8 matrices (child outer -> parent outer), one per octant;
+//   T3: 8 matrices (parent inner -> child inner);
+//   T2: (4d+3)^3 = 1331 matrices (source outer -> target inner) indexed by
+//       the offset cube, built for ALL offsets for ease of indexing exactly
+//       as the paper does (Section 3.3.2); near-field entries are unused;
+//   supernode T2: per octant, matrices for parent-level sources standing in
+//       for complete sibling octets (paper Section 2.3).
+
+#include <cstddef>
+#include <vector>
+
+#include "hfmm/anderson/params.hpp"
+#include "hfmm/tree/interaction_lists.hpp"
+#include "hfmm/util/vec3.hpp"
+
+namespace hfmm::anderson {
+
+/// A dense K x K translation matrix, row-major: row j weights the source
+/// values that produce destination point j.
+struct TranslationMatrix {
+  std::size_t k = 0;
+  std::vector<double> m;  ///< k * k entries
+
+  const double* data() const { return m.data(); }
+  double* data() { return m.data(); }
+};
+
+/// Approximate flop count of constructing one K x K translation matrix
+/// (per entry: a Legendre recurrence of truncation+1 terms plus geometry).
+/// Used by the precompute-trade-off benches to model construction cost on
+/// the simulated machine.
+inline std::uint64_t translation_matrix_flops(const Params& params) {
+  const std::uint64_t k = params.k();
+  return k * k * (static_cast<std::uint64_t>(params.truncation + 1) * 9 + 14);
+}
+
+/// Builds T[j][i] = w_i * outer_kernel(s_i, dst_pt_j - src_center) where
+/// dst_pt_j = dst_center + a_dst * s_j. Positions in arbitrary (consistent)
+/// units. Used for T1 and T2.
+TranslationMatrix build_outer_to_points(const Params& params, double a_src,
+                                        double a_dst,
+                                        const Vec3& dst_center_minus_src);
+
+/// Same with the inner kernel (source is an inner approximation). Used for
+/// T3 (parent inner evaluated at child inner points).
+TranslationMatrix build_inner_to_points(const Params& params, double a_src,
+                                        double a_dst,
+                                        const Vec3& dst_center_minus_src);
+
+/// The full set of precomputed matrices for one parameter choice and
+/// near-field separation d. All geometry is expressed in units of the
+/// TARGET box side (= child side for T1/T3).
+class TranslationSet {
+ public:
+  /// `with_supernodes` controls whether the per-octant supernode matrices
+  /// are materialized (they add 8 x 98 x K^2 doubles; skip when the solver
+  /// runs without the supernode optimization).
+  TranslationSet(const Params& params, int separation,
+                 bool with_supernodes = true);
+
+  const Params& params() const { return params_; }
+  int separation() const { return separation_; }
+  std::size_t k() const { return params_.k(); }
+
+  /// T1: child (octant o) outer -> parent outer. Child side = 1, parent = 2.
+  const TranslationMatrix& t1(int octant) const { return t1_[octant]; }
+  /// T3: parent inner -> child (octant o) inner.
+  const TranslationMatrix& t3(int octant) const { return t3_[octant]; }
+  /// T2: source outer at `offset` (target-level box units) -> target inner.
+  const TranslationMatrix& t2(const tree::Offset& offset) const {
+    return t2_[tree::offset_cube_index(offset, separation_)];
+  }
+  /// Supernode T2 for entry `idx` of supernode_list(octant).
+  const TranslationMatrix& supernode_t2(int octant, std::size_t idx) const {
+    return supernode_[octant][idx];
+  }
+  const std::vector<tree::SupernodeEntry>& supernode_list(int octant) const {
+    return supernode_entries_[octant];
+  }
+
+  std::size_t t2_count() const { return t2_.size(); }
+
+  /// Total resident bytes of all matrices (the paper's memory discussion:
+  /// 1331 K^2 doubles is 1.53 MB at K = 12, 53.9 MB at K = 72).
+  std::size_t resident_bytes() const;
+
+  /// Builders used by the precompute benches (Figures 8 and 9): construct
+  /// matrix `i` of the respective family into `out` (size k*k).
+  void build_t1_into(int octant, std::span<double> out) const;
+  void build_t2_into(std::size_t cube_index, std::span<double> out) const;
+
+ private:
+  Params params_;
+  int separation_;
+  std::vector<TranslationMatrix> t1_;
+  std::vector<TranslationMatrix> t3_;
+  std::vector<TranslationMatrix> t2_;
+  std::vector<std::vector<tree::SupernodeEntry>> supernode_entries_;
+  std::vector<std::vector<TranslationMatrix>> supernode_;
+};
+
+}  // namespace hfmm::anderson

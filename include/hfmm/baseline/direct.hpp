@@ -1,0 +1,54 @@
+#pragma once
+// Direct O(N^2) summation: ground truth for accuracy experiments, the
+// near-field kernel of the FMM, and the classic baseline whose per-particle
+// cost the O(N) method must beat (paper Section 2.3's cost balance).
+
+#include <cstdint>
+#include <vector>
+
+#include "hfmm/util/particles.hpp"
+#include "hfmm/util/thread_pool.hpp"
+
+namespace hfmm::baseline {
+
+struct DirectResult {
+  std::vector<double> phi;   ///< potential per particle
+  std::vector<Vec3> grad;    ///< field gradient per particle (if requested)
+  std::uint64_t flops = 0;
+};
+
+/// All-pairs potential (and optionally gradient); particle self-interaction
+/// excluded. Parallel over targets (no write races). `softening` is the
+/// Plummer softening length: interactions use 1/sqrt(r^2 + eps^2).
+DirectResult direct_all(const ParticleSet& particles, bool with_gradient,
+                        ThreadPool* pool = &ThreadPool::global(),
+                        double softening = 0.0);
+
+/// Sequential all-pairs exploiting Newton's third law (each pair visited
+/// once) — half the flops of direct_all; used by the Figure 10 bench.
+DirectResult direct_all_symmetric(const ParticleSet& particles,
+                                  bool with_gradient, double softening = 0.0);
+
+/// Potential/gradient contribution of source range [sb, se) onto target
+/// range [tb, te), accumulated into phi/grad (indexed by target). The two
+/// ranges must be disjoint or identical (identical skips self-pairs).
+/// This is the box-box kernel the FMM near field is built from.
+void direct_ranges(const ParticleSet& particles, std::size_t tb, std::size_t te,
+                   std::size_t sb, std::size_t se, double* phi, Vec3* grad,
+                   double softening = 0.0);
+
+/// Symmetric box-box kernel: accumulates both directions in one pass
+/// (targets get sources' contribution and vice versa) — Newton's third law
+/// at box granularity, the paper's Figure 10 trick. Ranges must be disjoint.
+/// Output layout: phi/grad hold (te-tb) target entries followed by (se-sb)
+/// source entries.
+void direct_ranges_symmetric(const ParticleSet& particles, std::size_t tb,
+                             std::size_t te, std::size_t sb, std::size_t se,
+                             double* phi, Vec3* grad, double softening = 0.0);
+
+/// Flops per interacting (target, source) pair of the kernels above.
+constexpr std::uint64_t direct_pair_flops(bool with_gradient) {
+  return with_gradient ? 20 : 11;
+}
+
+}  // namespace hfmm::baseline

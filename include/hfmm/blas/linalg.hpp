@@ -1,0 +1,25 @@
+#pragma once
+// Small dense factorizations: enough linear algebra to design quadrature
+// weights and to test translation matrices. Not performance-critical.
+
+#include <cstddef>
+#include <vector>
+
+namespace hfmm::blas {
+
+/// In-place Cholesky of a symmetric positive-definite n x n row-major matrix
+/// (lower triangle). Returns false if the matrix is not numerically SPD.
+bool cholesky(double* a, std::size_t n);
+
+/// Solves A x = b for SPD A (A is destroyed). Returns false on failure.
+bool solve_spd(std::vector<double> a, std::size_t n, const double* b,
+               double* x);
+
+/// Minimum-norm solution of the underdetermined system M w = t where M is
+/// rows x cols with rows <= cols: w = M^T (M M^T + ridge I)^{-1} t.
+/// Used for least-squares quadrature weights. Returns false on failure.
+bool min_norm_solve(const std::vector<double>& m, std::size_t rows,
+                    std::size_t cols, const double* t, double* w,
+                    double ridge = 0.0);
+
+}  // namespace hfmm::blas

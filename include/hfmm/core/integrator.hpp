@@ -1,0 +1,68 @@
+#pragma once
+// Leapfrog (kick-drift-kick) time integration driven by the O(N) solver —
+// the dynamics loop of the N-body simulations the paper's introduction
+// motivates (celestial mechanics, plasma physics, molecular dynamics).
+//
+// Convention: charges are masses/charges q; the solver returns
+// phi_i = sum q_j / r_ij and its gradient. The equation of motion is
+//   a_i = sign * (q_i / m_i) * grad phi_i
+// with unit masses (m_i = |q_i|) assumed here:
+//   gravity  (all q > 0):  a = +grad phi  (attractive), sign = +1
+//   plasma   (mixed q):    a = -(q_i/|q_i|) grad phi    (like repels like)
+
+#include <functional>
+#include <vector>
+
+#include "hfmm/core/solver.hpp"
+#include "hfmm/util/particles.hpp"
+
+namespace hfmm::core {
+
+enum class ForceLaw {
+  kGravity,        ///< a = +grad phi; charges are masses (> 0)
+  kElectrostatic,  ///< a = -sign(q) grad phi; unit masses
+};
+
+struct SimulationState {
+  ParticleSet particles;
+  std::vector<Vec3> velocity;
+  std::vector<double> phi;  ///< potential from the last force evaluation
+  double time = 0.0;
+  std::uint64_t steps = 0;
+};
+
+struct EnergyReport {
+  double kinetic = 0.0;
+  double potential = 0.0;  ///< sign-correct: -1/2 sum q phi for gravity
+  double total() const { return kinetic + potential; }
+  Vec3 momentum;
+};
+
+class LeapfrogIntegrator {
+ public:
+  /// The solver must be configured with with_gradient = true.
+  LeapfrogIntegrator(FmmSolver& solver, ForceLaw law, double dt);
+
+  /// Initializes internal forces; call once before step().
+  void initialize(SimulationState& state);
+
+  /// Advances one kick-drift-kick step (second order, symplectic).
+  void step(SimulationState& state);
+
+  /// Advances `n` steps, invoking `on_step(state)` after each (if set).
+  void run(SimulationState& state, std::uint64_t n,
+           const std::function<void(const SimulationState&)>& on_step = {});
+
+  EnergyReport energy(const SimulationState& state) const;
+
+ private:
+  Vec3 acceleration(const SimulationState& s, std::size_t i) const;
+  void evaluate_forces(SimulationState& state);
+
+  FmmSolver& solver_;
+  ForceLaw law_;
+  double dt_;
+  std::vector<Vec3> grad_;
+};
+
+}  // namespace hfmm::core

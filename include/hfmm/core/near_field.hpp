@@ -1,0 +1,37 @@
+#pragma once
+// Near-field direct evaluation (paper Section 3.4, Figure 10).
+//
+// Each leaf box interacts with the (2d+1)^3 - 1 neighbors of its
+// d-separation near field plus its own particles. The symmetric variant
+// exploits Newton's third law at box granularity: a half-list H with
+// H u -H = all neighbors lets every box PAIR be evaluated once, writing
+// both directions — 62 instead of 124 box-box interactions for d = 2.
+
+#include <cstdint>
+#include <span>
+
+#include "hfmm/dp/sort.hpp"
+#include "hfmm/tree/hierarchy.hpp"
+#include "hfmm/util/thread_pool.hpp"
+
+namespace hfmm::core {
+
+struct NearFieldResult {
+  std::uint64_t flops = 0;
+  std::uint64_t pair_interactions = 0;  ///< particle pairs evaluated
+  std::uint64_t box_interactions = 0;   ///< box-box interactions evaluated
+};
+
+/// Accumulates near-field potential (and gradient if `grad` nonempty) into
+/// phi/grad, both indexed in SORTED particle order (boxed.sorted).
+/// `softening` is the Plummer softening length applied to the pairwise
+/// kernel (far-field contributions are unsoftened, which is the standard
+/// treecode convention when the softening length is well below the leaf box
+/// side).
+NearFieldResult near_field(const tree::Hierarchy& hier,
+                           const dp::BoxedParticles& boxed, int separation,
+                           bool symmetric, std::span<double> phi,
+                           std::span<Vec3> grad, ThreadPool& pool,
+                           double softening = 0.0);
+
+}  // namespace hfmm::core

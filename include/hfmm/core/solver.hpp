@@ -1,0 +1,71 @@
+#pragma once
+// FmmSolver — the public entry point of the library.
+//
+// Runs the five-step generic hierarchical method of the paper (Section 2.2):
+//   1. P2M: leaf outer approximations from particles,
+//   2. upward pass (T1),
+//   3. downward pass (T2 over interactive fields + T3 from parents),
+//   4. L2P: far-field potential at the particles,
+//   5. near field: direct evaluation over the d-separation neighborhood,
+// with Anderson's sphere elements and the paper's data-parallel execution
+// techniques. See FmmConfig for the execution/aggregation choices.
+//
+// Typical use:
+//   FmmConfig cfg;                      // D = 5, K = 12 defaults
+//   cfg.with_gradient = true;
+//   FmmSolver solver(cfg);
+//   FmmResult r = solver.solve(particles);
+//   // r.phi[i], r.grad[i] in the ORIGINAL particle order.
+
+#include <memory>
+#include <vector>
+
+#include "hfmm/anderson/translations.hpp"
+#include "hfmm/core/config.hpp"
+#include "hfmm/tree/hierarchy.hpp"
+#include "hfmm/util/particles.hpp"
+#include "hfmm/util/timer.hpp"
+
+namespace hfmm::core {
+
+struct FmmResult {
+  std::vector<double> phi;   ///< potential per particle (original order)
+  std::vector<Vec3> grad;    ///< field gradient (if config.with_gradient)
+  PhaseBreakdown breakdown;  ///< per-phase time / flops / comm
+  dp::CommStats comm;        ///< data-parallel mode communication counters
+  int depth = 0;             ///< hierarchy depth used
+  std::size_t k = 0;         ///< integration points per sphere
+  std::size_t leaf_boxes = 0;
+};
+
+class FmmSolver {
+ public:
+  explicit FmmSolver(FmmConfig config);
+  ~FmmSolver();
+  FmmSolver(const FmmSolver&) = delete;
+  FmmSolver& operator=(const FmmSolver&) = delete;
+
+  /// Computes the potential (and optionally gradient) induced at every
+  /// particle by all the others.
+  FmmResult solve(const ParticleSet& particles);
+
+  const FmmConfig& config() const { return config_; }
+
+  /// The precomputed translation matrices (shared across solve() calls);
+  /// built lazily on first use.
+  const anderson::TranslationSet& translations();
+
+  /// Depth that will be used for `n` particles under this configuration.
+  int depth_for(std::size_t n) const;
+
+  /// Internal state (precomputed matrices); defined in solver_internal.hpp.
+  struct Impl;
+
+ private:
+  FmmResult solve_dp_(const ParticleSet& particles,
+                      const tree::Hierarchy& hier, FmmResult result);
+  FmmConfig config_;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace hfmm::core

@@ -1,0 +1,32 @@
+#pragma once
+// Integration on the unit circle for the 2-D variant of Anderson's method
+// (paper Section 2.4: the 2-D and 3-D methods differ only in their
+// computational elements; this is the 2-D element's quadrature).
+//
+// K equally spaced points with equal weights 1/K integrate trigonometric
+// polynomials of degree <= K-1 exactly — the circle analogue of the sphere
+// rules, and already optimal (no McLaren-style search needed in 2-D).
+
+#include <cstddef>
+#include <vector>
+
+namespace hfmm::d2 {
+
+struct CirclePoint {
+  double x = 1.0;
+  double y = 0.0;
+  double theta = 0.0;
+};
+
+struct CircleRule {
+  std::vector<CirclePoint> points;
+  double weight = 0.0;  ///< uniform: 1/K (weights sum to 1)
+  int degree = 0;       ///< exact for trig polynomials of degree <= this
+
+  std::size_t size() const { return points.size(); }
+};
+
+/// K equispaced points starting at angle 0; exact through degree K-1.
+CircleRule circle_rule(std::size_t k);
+
+}  // namespace hfmm::d2

@@ -1,0 +1,86 @@
+#pragma once
+// The 2-D O(N) solver — Anderson's method on a quadtree with circle
+// elements. The paper (Section 2.4) stresses that "a code for three
+// dimensions is easily obtained from a code for two dimensions, or vice
+// versa"; this solver is that sibling code: the same five-step pipeline and
+// translation-matrix structure, with (K+1)-augmented vectors carrying the
+// 2-D logarithmic monopole (see kernels.hpp).
+//
+// Execution: sequential or shared-memory threads (the data-parallel
+// machine simulation is exercised by the 3-D solver; the communication
+// structure is dimension-independent).
+
+#include <cstdint>
+#include <vector>
+
+#include "hfmm/d2/tree.hpp"
+#include "hfmm/util/thread_pool.hpp"
+#include "hfmm/util/timer.hpp"
+
+namespace hfmm::d2 {
+
+/// A 2-D particle system: positions and charges (structure-of-arrays).
+struct ParticleSet2 {
+  std::vector<double> x, y, q;
+
+  std::size_t size() const { return x.size(); }
+  void resize(std::size_t n) {
+    x.resize(n);
+    y.resize(n);
+    q.resize(n);
+  }
+  Point2 position(std::size_t i) const { return {x[i], y[i]}; }
+};
+
+/// N particles uniform in [0,1]^2 with unit charges.
+ParticleSet2 make_uniform2(std::size_t n, std::uint64_t seed, double qlo = 1.0,
+                           double qhi = 1.0);
+/// Overall-neutral 2-D plasma (alternating +-1 charges).
+ParticleSet2 make_plasma2(std::size_t n, std::uint64_t seed);
+
+struct Fmm2Config {
+  std::size_t k = 16;        ///< circle points; exact to degree K-1
+  int truncation = 7;        ///< M <= (K-1)/2 to stay inside the exactness
+  double radius_ratio = 1.3; ///< circle radius / box side
+  int depth = -1;            ///< -1 = automatic occupancy rule
+  double particles_per_leaf = 0.0;  ///< 0 = derive from K
+  int separation = 2;
+  bool supernodes = false;
+  bool with_gradient = false;
+  bool threads = true;
+
+  void validate() const;
+};
+
+struct Fmm2Result {
+  std::vector<double> phi;   ///< sum_j q_j log(1/r_ij), original order
+  std::vector<Point2> grad;  ///< gradient of phi (if requested)
+  PhaseBreakdown breakdown;
+  int depth = 0;
+};
+
+class FmmSolver2 {
+ public:
+  explicit FmmSolver2(Fmm2Config config);
+  ~FmmSolver2();
+  FmmSolver2(const FmmSolver2&) = delete;
+  FmmSolver2& operator=(const FmmSolver2&) = delete;
+
+  Fmm2Result solve(const ParticleSet2& particles);
+  const Fmm2Config& config() const { return config_; }
+  int depth_for(std::size_t n) const;
+
+ private:
+  struct Impl;
+  Fmm2Config config_;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Direct O(N^2) 2-D summation (ground truth): phi_i = sum q_j log(1/r_ij).
+struct Direct2Result {
+  std::vector<double> phi;
+  std::vector<Point2> grad;
+};
+Direct2Result direct_all2(const ParticleSet2& particles, bool with_gradient);
+
+}  // namespace hfmm::d2

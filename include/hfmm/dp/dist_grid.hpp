@@ -1,0 +1,121 @@
+#pragma once
+// Distributed grids of potential vectors.
+//
+// DistGrid is the in-memory form of the paper's 4-D potential arrays: three
+// block-distributed spatial axes plus one serial axis of K values per box
+// (the potential vector — field values at the K sphere integration points).
+// Per-VU storage is contiguous with the serial axis fastest, so a potential
+// vector is one cache-friendly span and translation aggregation can treat a
+// subgrid slab as a K x (boxes) matrix.
+//
+// HaloGrid is a per-VU (S1+2g)(S2+2g)(S3+2g) buffer holding the subgrid plus
+// a ghost region g boxes deep on every face — the aliased-array fetch target
+// of Section 3.3.1.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "hfmm/dp/layout.hpp"
+
+namespace hfmm::dp {
+
+class DistGrid {
+ public:
+  DistGrid(const BlockLayout& layout, std::size_t k);
+
+  const BlockLayout& layout() const { return layout_; }
+  std::size_t k() const { return k_; }
+
+  /// Potential vector of a box addressed locally.
+  std::span<double> at(std::size_t vu, std::int32_t lx, std::int32_t ly,
+                       std::int32_t lz) {
+    return {data_.data() + offset(vu, lx, ly, lz), k_};
+  }
+  std::span<const double> at(std::size_t vu, std::int32_t lx, std::int32_t ly,
+                             std::int32_t lz) const {
+    return {data_.data() + offset(vu, lx, ly, lz), k_};
+  }
+
+  /// Potential vector of a box addressed globally.
+  std::span<double> at_global(const tree::BoxCoord& c);
+  std::span<const double> at_global(const tree::BoxCoord& c) const;
+
+  /// Whole buffer of one VU, local layout [lz][ly][lx][k].
+  std::span<double> vu_data(std::size_t vu) {
+    return {data_.data() + vu * vu_stride(), vu_stride()};
+  }
+  std::span<const double> vu_data(std::size_t vu) const {
+    return {data_.data() + vu * vu_stride(), vu_stride()};
+  }
+
+  std::size_t vu_stride() const { return layout_.boxes_per_vu() * k_; }
+  std::size_t total_values() const { return data_.size(); }
+
+  void fill(double v);
+
+ private:
+  std::size_t offset(std::size_t vu, std::int32_t lx, std::int32_t ly,
+                     std::int32_t lz) const {
+    return vu * vu_stride() + layout_.local_index(lx, ly, lz) * k_;
+  }
+
+  BlockLayout layout_;
+  std::size_t k_;
+  std::vector<double> data_;
+};
+
+/// Per-VU subgrid-plus-ghosts buffer. Local layout [gz][gy][gx][k] with
+/// gx in [0, S1+2g) etc.; the interior starts at (g, g, g).
+class HaloGrid {
+ public:
+  HaloGrid(const BlockLayout& layout, std::size_t k, std::int32_t ghost);
+
+  std::int32_t ghost() const { return g_; }
+  std::size_t k() const { return k_; }
+  std::int32_t ext_x() const { return ex_; }
+  std::int32_t ext_y() const { return ey_; }
+  std::int32_t ext_z() const { return ez_; }
+
+  /// Value span at halo-local coordinates (may address ghosts).
+  std::span<double> at(std::size_t vu, std::int32_t hx, std::int32_t hy,
+                       std::int32_t hz) {
+    return {data_.data() + offset(vu, hx, hy, hz), k_};
+  }
+  std::span<const double> at(std::size_t vu, std::int32_t hx, std::int32_t hy,
+                             std::int32_t hz) const {
+    return {data_.data() + offset(vu, hx, hy, hz), k_};
+  }
+
+  /// Interior box (subgrid coordinates): shifted by the ghost depth.
+  std::span<const double> interior(std::size_t vu, std::int32_t lx,
+                                   std::int32_t ly, std::int32_t lz) const {
+    return at(vu, lx + g_, ly + g_, lz + g_);
+  }
+
+  std::size_t vu_stride() const {
+    return static_cast<std::size_t>(ex_) * ey_ * ez_ * k_;
+  }
+  std::span<double> vu_data(std::size_t vu) {
+    return {data_.data() + vu * vu_stride(), vu_stride()};
+  }
+
+  const BlockLayout& layout() const { return layout_; }
+
+  void fill(double v);
+
+ private:
+  std::size_t offset(std::size_t vu, std::int32_t hx, std::int32_t hy,
+                     std::int32_t hz) const {
+    return vu * vu_stride() +
+           ((static_cast<std::size_t>(hz) * ey_ + hy) * ex_ + hx) * k_;
+  }
+
+  BlockLayout layout_;
+  std::size_t k_;
+  std::int32_t g_;
+  std::int32_t ex_, ey_, ez_;
+  std::vector<double> data_;
+};
+
+}  // namespace hfmm::dp

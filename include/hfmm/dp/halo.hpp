@@ -1,0 +1,54 @@
+#pragma once
+// CSHIFT and the four interactive-field fetch strategies of Table 4 /
+// Figure 6 of the paper.
+//
+// All four strategies produce the SAME result — a HaloGrid whose ghost
+// region holds the periodic neighbors of each VU's subgrid — but move very
+// different amounts of data to get there:
+//
+//   kDirectCshift     "Direct on unaliased arrays": one axis-decomposed
+//                     whole-grid CSHIFT sequence per ghost offset.
+//   kLinearizedCshift "Linearized unaliased arrays": a snake ordering over
+//                     the ghost-offset cube, moving the whole grid one unit
+//                     CSHIFT per step and depositing into the halo.
+//   kGhostSections    "Direct on aliased arrays": fetch exactly the 6 face,
+//                     12 edge and 8 corner ghost regions via array sections.
+//   kSubgridSnake     "Linearized aliased arrays": move whole subgrids along
+//                     a snake through the 3x3x3 VU neighborhood, then
+//                     section out the needed parts (fewer, larger messages).
+//
+// Boundary conditions are periodic (CSHIFT semantics). The FMM downward pass
+// masks out-of-domain boxes by zeroing their potential vectors, which makes
+// wrapped ghost reads contribute nothing — the same masking trick the
+// paper's Table 3 accounts for ("arithmetic incl. copy and masking").
+
+#include "hfmm/dp/dist_grid.hpp"
+#include "hfmm/dp/machine.hpp"
+
+namespace hfmm::dp {
+
+enum class HaloStrategy {
+  kDirectCshift,
+  kLinearizedCshift,
+  kGhostSections,
+  kSubgridSnake,
+};
+
+const char* to_string(HaloStrategy s);
+
+/// Circular shift of the whole grid by `offset` boxes along `axis` (0/1/2),
+/// writing into `dst` (same shape as `src`): dst(c) = src(c - offset e_axis).
+/// Counts off-VU bytes for elements crossing a VU boundary, local bytes for
+/// the rest, one message per communicating VU pair, one cshift_step.
+void cshift(Machine& machine, const DistGrid& src, DistGrid& dst, int axis,
+            std::int32_t offset);
+
+/// Fills `halo`'s interior from `grid` (a local copy) and its ghost region
+/// using the chosen strategy. `halo.ghost()` must be <= the subgrid extents
+/// (deeper halos would need multi-hop fetches; the FMM picks its layout so
+/// this holds, mirroring the paper's "subgrid extents of less than four
+/// require communication beyond nearest neighbor VUs" remark).
+void fill_halo(Machine& machine, const DistGrid& grid, HaloGrid& halo,
+               HaloStrategy strategy);
+
+}  // namespace hfmm::dp

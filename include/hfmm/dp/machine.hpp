@@ -1,0 +1,122 @@
+#pragma once
+// The simulated data-parallel machine (see DESIGN.md substitution table).
+//
+// The CM-5E of the paper is a grid of processing nodes, each with four vector
+// units (VUs) owning private memory; CM Fortran distributes array axes over
+// the VU grid in blocks. All of the paper's communication results are about
+// *which elements cross VU boundaries* and *how many primitive operations
+// (CSHIFT steps, sends, broadcasts) are issued*. We reproduce those with a
+// simulated VU grid: data for every VU lives in one process, "communication"
+// is a counted memcpy, and VU-local compute is dispatched onto a thread pool.
+//
+// A calibratable linear cost model (latency per message + time per off-VU
+// byte + time per local byte) converts the counters into estimated times so
+// the benches can print paper-style "relative time" columns in addition to
+// measured wall-clock.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "hfmm/util/thread_pool.hpp"
+
+namespace hfmm::dp {
+
+/// Shape of the simulated VU grid. Each extent must be a power of two
+/// (the Connection Machine constraint the paper's layouts rely on).
+struct MachineConfig {
+  std::int32_t vu_x = 2;
+  std::int32_t vu_y = 2;
+  std::int32_t vu_z = 2;
+
+  std::size_t total_vus() const {
+    return static_cast<std::size_t>(vu_x) * vu_y * vu_z;
+  }
+  bool valid() const;
+};
+
+/// Aggregate communication counters. Byte/message counts are summed over
+/// the whole machine; `modeled_seconds` is the CRITICAL-PATH time estimate:
+/// each primitive adds the time of its slowest VU (transfers between
+/// distinct VU pairs proceed in parallel, as on the CM-5E fat tree), so the
+/// total is what a real run of the same operation sequence would take.
+struct CommStats {
+  std::uint64_t off_vu_bytes = 0;   ///< bytes moved between VUs
+  std::uint64_t local_bytes = 0;    ///< bytes copied within a VU
+  std::uint64_t messages = 0;       ///< primitive transfers between VU pairs
+  std::uint64_t cshift_steps = 0;   ///< single-axis CSHIFT invocations
+  std::uint64_t sends = 0;          ///< general (gather/scatter) sends
+  std::uint64_t broadcasts = 0;     ///< one-to-all / spread operations
+  double modeled_seconds = 0.0;     ///< critical-path time under the model
+
+  CommStats& operator+=(const CommStats& o);
+  CommStats operator-(const CommStats& o) const;
+};
+
+/// Machine parameters for the time model. Two presets:
+///   cm5e_like()      — 1990s MPP ratios: ~20 us message overhead, ~100 MB/s
+///                      per-VU link, 32 Mflop/s per VU. These ratios are
+///                      what make the paper's trade-offs (redundant compute
+///                      over communication, fewer larger transfers) pay off.
+///   modern_cluster() — contemporary ratios: ~2 us latency, ~10 GB/s links,
+///                      per-VU compute set from the calibrated host peak.
+/// The paper itself notes "the relative merit of the techniques depend upon
+/// machine metrics"; the benches report both presets where it matters.
+struct CostModel {
+  double seconds_per_message = 20e-6;     ///< software + network latency
+  double seconds_per_off_vu_byte = 1e-8;  ///< ~100 MB/s per VU link
+  double seconds_per_local_byte = 2e-9;   ///< ~500 MB/s local copy
+  double seconds_per_address = 5e-7;      ///< general-send per-element setup
+  double vu_flops = 32e6;                 ///< per-VU compute rate
+
+  static CostModel cm5e_like() { return {}; }
+  static CostModel modern_cluster() {
+    return {2e-6, 1e-10, 5e-11, 5e-9, 0.0 /* set from host peak by caller */};
+  }
+};
+
+/// The machine: VU grid shape, counters, cost model, and the thread pool on
+/// which per-VU work runs. Counter updates are owned by the (single-threaded)
+/// communication phases, so they are plain fields; VU compute phases never
+/// touch them.
+class Machine {
+ public:
+  explicit Machine(const MachineConfig& config,
+                   ThreadPool* pool = &ThreadPool::global());
+
+  const MachineConfig& config() const { return config_; }
+  std::size_t vus() const { return config_.total_vus(); }
+
+  CommStats& stats() { return stats_; }
+  const CommStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+  CostModel& cost_model() { return cost_; }
+  const CostModel& cost_model() const { return cost_; }
+  double estimated_comm_seconds() const { return stats_.modeled_seconds; }
+
+  /// Charges a transfer that proceeds in parallel across all VUs (each VU
+  /// sending/receiving its share): counters get the totals, the model gets
+  /// the per-VU critical path.
+  void charge_parallel_transfer(std::uint64_t total_off_bytes,
+                                std::uint64_t total_messages,
+                                std::uint64_t total_local_bytes = 0);
+
+  /// Runs body(vu) for every VU rank on the thread pool.
+  void for_each_vu(const std::function<void(std::size_t)>& body);
+
+  /// VU rank from VU grid coordinates (x fastest, matching the address-bit
+  /// layout of the paper's Figure 4 where x uses the lowest-order VU bits).
+  std::size_t vu_rank(std::int32_t vx, std::int32_t vy, std::int32_t vz) const {
+    return (static_cast<std::size_t>(vz) * config_.vu_y + vy) * config_.vu_x +
+           vx;
+  }
+
+ private:
+  MachineConfig config_;
+  ThreadPool* pool_;
+  CommStats stats_;
+  CostModel cost_;
+};
+
+}  // namespace hfmm::dp

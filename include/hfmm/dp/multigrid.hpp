@@ -1,0 +1,79 @@
+#pragma once
+// The flattened hierarchy embedding and the Multigrid-{embed, extract}
+// operators (paper Sections 3.1 and 3.3.2, Figures 3 and 7).
+//
+// The far-field potentials of ALL levels live in two leaf-shaped layers:
+// layer 0 holds the leaf level; within layer 1, level (h - i) occupies the
+// strided section start 2^{i-1}, stride 2^i along each axis (i >= 1). The
+// embedding keeps every box on the same VU as its descendants whenever the
+// level still has at least one box per VU.
+//
+// Embed/extract move a level-sized temporary grid into/out of its section.
+// Two implementations are provided, matching Figure 7:
+//   kGeneralSend — the CMF compiler's general path: a send with per-element
+//                  address computation over the whole array (overhead linear
+//                  in array size);
+//   kLocalCopy   — array aliasing + sectioning: a strided local copy when
+//                  source and destination share a VU, and the two-step
+//                  scheme (stage through the finest level with >= 1 box per
+//                  VU) when they do not.
+
+#include "hfmm/dp/dist_grid.hpp"
+#include "hfmm/dp/machine.hpp"
+
+namespace hfmm::dp {
+
+enum class EmbedMethod { kGeneralSend, kLocalCopy };
+
+const char* to_string(EmbedMethod m);
+
+/// The two-layer flattened hierarchy of potential vectors.
+class MultigridArray {
+ public:
+  /// `leaf_layout`: layout of the leaf level (2^depth boxes per side).
+  MultigridArray(const BlockLayout& leaf_layout, int depth, std::size_t k);
+
+  int depth() const { return depth_; }
+  std::size_t k() const { return k_; }
+  const BlockLayout& leaf_layout() const { return leaf_; }
+
+  DistGrid& leaf_layer() { return layer0_; }
+  DistGrid& coarse_layer() { return layer1_; }
+  const DistGrid& leaf_layer() const { return layer0_; }
+  const DistGrid& coarse_layer() const { return layer1_; }
+
+  /// Stride and start of level `level`'s section in the leaf-shaped layers
+  /// (leaf: stride 1 start 0 in layer 0; level h-i: stride 2^i, start
+  /// 2^{i-1} in layer 1).
+  std::int32_t section_stride(int level) const;
+  std::int32_t section_start(int level) const;
+
+  /// Potential vector of box `c` at `level`, addressed through the embedding.
+  std::span<double> at(int level, const tree::BoxCoord& c);
+  std::span<const double> at(int level, const tree::BoxCoord& c) const;
+
+  void fill(double v);
+
+ private:
+  BlockLayout leaf_;
+  int depth_;
+  std::size_t k_;
+  DistGrid layer0_;
+  DistGrid layer1_;
+};
+
+/// A level-sized working grid: 2^level boxes per side distributed over the
+/// same machine. When the level has fewer boxes than VUs along an axis, the
+/// VU grid is folded (multiple VU ranks hold zero boxes); layout_for_level
+/// picks the largest power-of-two VU grid that still divides the extents.
+BlockLayout layout_for_level(const BlockLayout& leaf_layout, int level);
+
+/// temp (level-shaped) -> the level's section of the multigrid array.
+void multigrid_embed(Machine& machine, const DistGrid& temp, int level,
+                     MultigridArray& mg, EmbedMethod method);
+
+/// The level's section of the multigrid array -> temp (level-shaped).
+void multigrid_extract(Machine& machine, const MultigridArray& mg, int level,
+                       DistGrid& temp, EmbedMethod method);
+
+}  // namespace hfmm::dp

@@ -1,0 +1,70 @@
+#pragma once
+// Redundant-computation vs. replication trade-offs for precomputing
+// translation matrices (paper Section 3.3.4, Figures 8 and 9).
+//
+// A set of `count` matrices (each `bytes` large) must end up resident on
+// every VU. Strategies:
+//
+//   kComputeEverywhere — every VU computes all `count` matrices; no
+//                        communication, count x P matrix constructions.
+//   kComputeReplicate  — matrix i is computed once (on VU i mod P) and
+//                        broadcast to all VUs (spanning-tree one-to-all).
+//   kComputeReplicateGrouped — VUs are partitioned into groups of
+//                        min(count, P) VUs; each group computes the whole
+//                        set (one matrix per member) and broadcasts within
+//                        the group only — same compute load, log(group)
+//                        instead of log(P) broadcast depth.
+//
+// The `compute` callback builds matrix i into the given buffer; the
+// simulator invokes it the correct number of times (so measured wall time
+// reflects real construction cost) and counts broadcast traffic.
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "hfmm/dp/machine.hpp"
+
+namespace hfmm::dp {
+
+enum class ReplicateStrategy {
+  kComputeEverywhere,
+  kComputeReplicate,
+  kComputeReplicateGrouped,
+};
+
+const char* to_string(ReplicateStrategy s);
+
+struct ReplicateResult {
+  /// matrices[i] is the shared buffer for matrix i (identical on all VUs in
+  /// the real machine; stored once here, with the copies counted).
+  std::vector<std::vector<double>> matrices;
+  std::uint64_t compute_invocations = 0;  ///< total across the machine
+  std::size_t critical_path = 0;   ///< constructions on the busiest VU
+  double compute_seconds = 0.0;    ///< measured: critical path x host speed
+  double replicate_estimated_seconds = 0.0;  ///< from the machine cost model
+
+  /// Compute time in the machine model's units: the busiest VU's
+  /// constructions at the model's per-VU flop rate. Use this (not the
+  /// host-measured compute_seconds) when comparing against the modeled
+  /// replication time, so both sides use the same machine.
+  double modeled_compute_seconds(double flops_per_matrix,
+                                 double vu_flops) const {
+    return static_cast<double>(critical_path) * flops_per_matrix / vu_flops;
+  }
+};
+
+/// Materializes `count` matrices of `doubles_each` values on every VU using
+/// `strategy`. `compute(i, out)` fills matrix i.
+ReplicateResult replicate_matrices(
+    Machine& machine, std::size_t count, std::size_t doubles_each,
+    ReplicateStrategy strategy,
+    const std::function<void(std::size_t, std::span<double>)>& compute);
+
+/// Counters-only model of a spanning-tree one-to-all broadcast of `bytes`
+/// from one VU to all `vus` VUs: (vus - 1) messages over ceil(log2 vus)
+/// rounds. Exposed for tests and for the Figure 7/9 cost columns.
+void count_broadcast(Machine& machine, std::size_t bytes);
+
+}  // namespace hfmm::dp

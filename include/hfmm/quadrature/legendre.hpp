@@ -1,0 +1,47 @@
+#pragma once
+// Legendre polynomials, Gauss-Legendre nodes, and real spherical harmonics.
+//
+// P_n appears in Anderson's Poisson-formula kernels (paper eqs. (1)-(3));
+// Gauss-Legendre nodes build product integration rules on the sphere; real
+// spherical harmonics are used to verify rule exactness and to fit
+// least-squares quadrature weights.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "hfmm/util/vec3.hpp"
+
+namespace hfmm::quadrature {
+
+/// Fills p[0..nmax] with P_n(x) via the three-term recurrence.
+void legendre_all(int nmax, double x, std::span<double> p);
+
+/// Fills p[n] = P_n(x) and dp[n] = P_n'(x) for n = 0..nmax.
+void legendre_all_derivs(int nmax, double x, std::span<double> p,
+                         std::span<double> dp);
+
+/// Single value P_n(x).
+double legendre(int n, double x);
+
+struct GaussLegendre {
+  std::vector<double> nodes;    ///< in (-1, 1), ascending
+  std::vector<double> weights;  ///< sum to 2
+};
+
+/// n-point Gauss-Legendre rule on [-1, 1]; exact for degree 2n-1.
+GaussLegendre gauss_legendre(int n);
+
+/// Number of real spherical harmonics of degree <= lmax: (lmax+1)^2.
+constexpr std::size_t sh_count(int lmax) {
+  return static_cast<std::size_t>(lmax + 1) * static_cast<std::size_t>(lmax + 1);
+}
+
+/// Real spherical harmonics in the "4-pi" (geodesy) normalization:
+/// mean over the sphere of Y_lm^2 is 1 and Y_00 == 1, so a quadrature rule
+/// with weights summing to 1 must satisfy sum_i w_i Y_lm(s_i) = [lm == 00].
+/// Output order: (l, m) with m = -l..l, index l*(l+1)+m.
+/// `s` must be a unit vector.
+void real_sph_harmonics(int lmax, const Vec3& s, std::span<double> out);
+
+}  // namespace hfmm::quadrature

@@ -1,0 +1,34 @@
+#pragma once
+// Minimal command-line option parser shared by benches and examples.
+//
+// Supports `--name value` and `--flag`; anything unrecognized is an error so
+// typos in sweep scripts fail loudly.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hfmm {
+
+class Cli {
+ public:
+  /// Parses argv; throws std::invalid_argument on malformed input.
+  Cli(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& def) const;
+  std::int64_t get(const std::string& name, std::int64_t def) const;
+  double get(const std::string& name, double def) const;
+  bool flag(const std::string& name) const { return has(name); }
+
+  /// Names seen on the command line but never queried — used by benches to
+  /// reject typos after all get() calls are done.
+  std::vector<std::string> unused() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> queried_;
+};
+
+}  // namespace hfmm

@@ -1,0 +1,32 @@
+#pragma once
+// Error norms used by the accuracy experiments.
+//
+// The paper (and the literature it surveys, Table 1) reports error per
+// particle relative to the mean field magnitude of the system; we provide
+// both that and plain max/RMS relative error.
+
+#include <span>
+
+#include "hfmm/util/vec3.hpp"
+
+namespace hfmm {
+
+struct ErrorNorms {
+  double max_abs = 0.0;   ///< max_i |a_i - b_i|
+  double max_rel = 0.0;   ///< max_i |a_i - b_i| / |b_i|
+  double rms_rel = 0.0;   ///< sqrt(mean((a_i-b_i)^2)) / sqrt(mean(b_i^2))
+  double rel_to_mean = 0.0;  ///< max_i |a_i - b_i| / mean_j |b_j|
+};
+
+/// Compare scalar fields: `approx` against ground truth `exact`.
+ErrorNorms compare_fields(std::span<const double> approx,
+                          std::span<const double> exact);
+
+/// Compare vector fields (e.g. accelerations); norms over |Δv|.
+ErrorNorms compare_fields(std::span<const Vec3> approx,
+                          std::span<const Vec3> exact);
+
+/// Number of correct significant digits implied by a relative error.
+double digits(double rel_error);
+
+}  // namespace hfmm

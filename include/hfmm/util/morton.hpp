@@ -1,0 +1,52 @@
+#pragma once
+// 3-D bit interleaving (Morton / Z-order keys).
+//
+// The coordinate sort of Section 3.2 builds its keys from *segments* of the
+// box coordinates (VU-address bits above local-address bits); plain Morton
+// keys are the degenerate case with no VU/local split and are used by the
+// Barnes-Hut baseline and by tests.
+
+#include <cstdint>
+
+namespace hfmm {
+
+/// Spread the low 21 bits of v so that bit i lands at position 3i.
+constexpr std::uint64_t spread_bits3(std::uint64_t v) {
+  v &= 0x1fffffULL;                         // 21 bits -> 63-bit result
+  v = (v | (v << 32)) & 0x1f00000000ffffULL;
+  v = (v | (v << 16)) & 0x1f0000ff0000ffULL;
+  v = (v | (v << 8)) & 0x100f00f00f00f00fULL;
+  v = (v | (v << 4)) & 0x10c30c30c30c30c3ULL;
+  v = (v | (v << 2)) & 0x1249249249249249ULL;
+  return v;
+}
+
+/// Inverse of spread_bits3: compact every third bit into the low 21 bits.
+constexpr std::uint64_t compact_bits3(std::uint64_t v) {
+  v &= 0x1249249249249249ULL;
+  v = (v ^ (v >> 2)) & 0x10c30c30c30c30c3ULL;
+  v = (v ^ (v >> 4)) & 0x100f00f00f00f00fULL;
+  v = (v ^ (v >> 8)) & 0x1f0000ff0000ffULL;
+  v = (v ^ (v >> 16)) & 0x1f00000000ffffULL;
+  v = (v ^ (v >> 32)) & 0x1fffffULL;
+  return v;
+}
+
+/// Morton key: z bits most significant, matching the paper's key layout
+/// z..zy..yx..x (Figure 5 generalized to three dimensions).
+constexpr std::uint64_t morton_encode(std::uint32_t ix, std::uint32_t iy,
+                                      std::uint32_t iz) {
+  return spread_bits3(ix) | (spread_bits3(iy) << 1) | (spread_bits3(iz) << 2);
+}
+
+struct MortonCoords {
+  std::uint32_t ix, iy, iz;
+};
+
+constexpr MortonCoords morton_decode(std::uint64_t key) {
+  return {static_cast<std::uint32_t>(compact_bits3(key)),
+          static_cast<std::uint32_t>(compact_bits3(key >> 1)),
+          static_cast<std::uint32_t>(compact_bits3(key >> 2))};
+}
+
+}  // namespace hfmm

@@ -1,0 +1,33 @@
+#pragma once
+// Plain-text table printer for paper-style benchmark output.
+//
+// Every bench binary prints rows shaped like the table/figure it reproduces;
+// this keeps the formatting in one place.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hfmm {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision, integers plainly.
+  static std::string num(double v, int precision = 3);
+  static std::string num(std::uint64_t v);
+  static std::string percent(double fraction, int precision = 1);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Table& t);
+
+}  // namespace hfmm

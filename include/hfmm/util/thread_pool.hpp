@@ -1,0 +1,62 @@
+#pragma once
+// Fixed-size thread pool with a parallel_for primitive.
+//
+// Used by the shared-memory executor (threads over boxes) and by the
+// data-parallel machine simulator (threads over virtual units). Work is
+// partitioned statically into contiguous chunks — the paper's workloads are
+// uniform, so static partitioning matches its load-balance discussion
+// (Section 3.5) and keeps execution deterministic per chunk.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hfmm {
+
+class ThreadPool {
+ public:
+  /// `n_threads == 0` means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t n_threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size() + 1; }  // + calling thread
+
+  /// Runs body(i) for i in [begin, end), split into size() contiguous chunks.
+  /// The calling thread executes one chunk; blocks until all chunks finish.
+  /// Exceptions from body propagate (first one wins).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body);
+
+  /// Runs body(chunk_begin, chunk_end) per chunk — for kernels that carry
+  /// per-chunk state (accumulators, scratch buffers).
+  void parallel_chunks(std::size_t begin, std::size_t end,
+                       const std::function<void(std::size_t, std::size_t)>& body);
+
+  /// Process-wide pool sized by hardware_concurrency.
+  static ThreadPool& global();
+
+ private:
+  struct Task {
+    std::function<void(std::size_t, std::size_t)> body;
+    std::size_t begin = 0, end = 0, chunks = 0;
+  };
+  void worker_loop(std::size_t rank);
+  void run_task(const Task& task, std::size_t chunk_index);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  Task task_;
+  std::size_t generation_ = 0;
+  std::size_t pending_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace hfmm

@@ -1,0 +1,77 @@
+#pragma once
+// Wall-clock timing and a per-phase time/operation breakdown.
+//
+// The paper reports per-phase times (hierarchy traversal, near field, sort,
+// ...) and the communication fraction; PhaseBreakdown is the accumulator that
+// every executor writes into so benches can print the same rows.
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace hfmm {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  /// Seconds since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulated time, flop count, and off-processor traffic for one phase.
+struct PhaseStats {
+  double seconds = 0.0;
+  std::uint64_t flops = 0;
+  std::uint64_t comm_bytes = 0;
+
+  PhaseStats& operator+=(const PhaseStats& o) {
+    seconds += o.seconds;
+    flops += o.flops;
+    comm_bytes += o.comm_bytes;
+    return *this;
+  }
+};
+
+/// Named per-phase accumulator. Phase names used by the FMM pipeline:
+/// "sort", "p2m", "upward", "interactive", "downward", "l2p", "near",
+/// "precompute", and "comm" (communication-only time, also folded into the
+/// owning phase's seconds).
+class PhaseBreakdown {
+ public:
+  PhaseStats& operator[](const std::string& phase) { return phases_[phase]; }
+  const std::map<std::string, PhaseStats>& phases() const { return phases_; }
+
+  double total_seconds() const;
+  std::uint64_t total_flops() const;
+  std::uint64_t total_comm_bytes() const;
+  void clear() { phases_.clear(); }
+
+  /// Merge another breakdown into this one (phase-wise sum).
+  PhaseBreakdown& operator+=(const PhaseBreakdown& o);
+
+ private:
+  std::map<std::string, PhaseStats> phases_;
+};
+
+/// RAII helper: adds elapsed wall time to `stats.seconds` on destruction.
+class ScopedPhaseTimer {
+ public:
+  explicit ScopedPhaseTimer(PhaseStats& stats) : stats_(stats) {}
+  ~ScopedPhaseTimer() { stats_.seconds += timer_.seconds(); }
+  ScopedPhaseTimer(const ScopedPhaseTimer&) = delete;
+  ScopedPhaseTimer& operator=(const ScopedPhaseTimer&) = delete;
+
+ private:
+  PhaseStats& stats_;
+  WallTimer timer_;
+};
+
+}  // namespace hfmm

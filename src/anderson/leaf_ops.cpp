@@ -1,0 +1,61 @@
+#include "hfmm/anderson/leaf_ops.hpp"
+
+#include <cmath>
+
+#include "hfmm/anderson/kernels.hpp"
+
+namespace hfmm::anderson {
+
+void p2m(const Params& params, double a, const Vec3& center,
+         std::span<const double> px, std::span<const double> py,
+         std::span<const double> pz, std::span<const double> pq,
+         std::span<double> g) {
+  const auto& rule = params.rule;
+  for (std::size_t i = 0; i < rule.size(); ++i) {
+    const Vec3 sp = center + a * rule.points[i];
+    double acc = 0.0;
+    for (std::size_t k = 0; k < px.size(); ++k) {
+      const double dx = sp.x - px[k];
+      const double dy = sp.y - py[k];
+      const double dz = sp.z - pz[k];
+      acc += pq[k] / std::sqrt(dx * dx + dy * dy + dz * dz);
+    }
+    g[i] += acc;
+  }
+}
+
+void l2p(const Params& params, double a, const Vec3& center,
+         std::span<const double> g, std::span<const double> px,
+         std::span<const double> py, std::span<const double> pz,
+         std::span<double> phi) {
+  for (std::size_t k = 0; k < px.size(); ++k) {
+    phi[k] += evaluate_inner(params.rule, params.truncation, a, center, g,
+                             {px[k], py[k], pz[k]});
+  }
+}
+
+void l2p_gradient(const Params& params, double a, const Vec3& center,
+                  std::span<const double> g, std::span<const double> px,
+                  std::span<const double> py, std::span<const double> pz,
+                  std::span<double> phi, std::span<Vec3> grad) {
+  for (std::size_t k = 0; k < px.size(); ++k) {
+    const Vec3 x{px[k], py[k], pz[k]};
+    phi[k] += evaluate_inner(params.rule, params.truncation, a, center, g, x);
+    grad[k] += evaluate_inner_gradient(params.rule, params.truncation, a,
+                                       center, g, x);
+  }
+}
+
+std::uint64_t p2m_flops(std::size_t k, std::size_t particles) {
+  // Per (point, particle): 3 sub, 3 mul, 2 add, 1 sqrt, 1 div, 1 add ~ 11.
+  return 11ull * k * particles;
+}
+
+std::uint64_t l2p_flops(std::size_t k, std::size_t particles, int truncation) {
+  // Per (point, particle): Legendre recurrence (~5 flops/term), power and
+  // accumulate (~4), dot/norm (~9).
+  return (9ull + static_cast<std::uint64_t>(truncation + 1) * 9ull) * k *
+         particles;
+}
+
+}  // namespace hfmm::anderson

@@ -1,0 +1,40 @@
+#include "hfmm/anderson/params.hpp"
+
+namespace hfmm::anderson {
+
+Params params_for_order(int order) {
+  Params p;
+  p.order = order;
+  p.truncation = order / 2;
+  p.rule = quadrature::rule_for_order(order);
+  // Sphere radii of 1.4 box sides (~1.6x the circumscribing radius) put the
+  // integration points well away from the interior charges, which cuts the
+  // angular aliasing of the discretized Poisson integral; calibrated against
+  // direct summation (see EXPERIMENTS.md, Table 2 reproduction).
+  p.outer_ratio = 1.4;
+  p.inner_ratio = 1.4;
+  p.validate();
+  return p;
+}
+
+Params params_d5_k12() {
+  Params p = params_for_order(5);
+  p.rule = quadrature::rule_k12();
+  p.validate();
+  return p;
+}
+
+Params params_d14_k72() {
+  Params p;
+  p.order = 14;
+  p.rule = quadrature::rule_k72();
+  // The K = 72 product rule is exact through degree 11; M = 5 keeps the
+  // kernel-product degree within the rule's exactness (see DESIGN.md).
+  p.truncation = 5;
+  p.outer_ratio = 1.4;
+  p.inner_ratio = 1.4;
+  p.validate();
+  return p;
+}
+
+}  // namespace hfmm::anderson

@@ -1,0 +1,162 @@
+#include "hfmm/anderson/translations.hpp"
+
+#include <stdexcept>
+
+#include "hfmm/anderson/kernels.hpp"
+#include "hfmm/tree/hierarchy.hpp"
+
+namespace hfmm::anderson {
+
+namespace {
+
+void build_matrix(const Params& params, double a_src, double a_dst,
+                  const Vec3& dst_minus_src, bool src_is_outer,
+                  std::span<double> out) {
+  const auto& rule = params.rule;
+  const std::size_t k = rule.size();
+  if (out.size() != k * k)
+    throw std::invalid_argument("build_matrix: bad output size");
+  for (std::size_t j = 0; j < k; ++j) {
+    const Vec3 x_rel = dst_minus_src + a_dst * rule.points[j];
+    double* row = out.data() + j * k;
+    for (std::size_t i = 0; i < k; ++i) {
+      const double kv =
+          src_is_outer
+              ? outer_kernel(params.truncation, a_src, rule.points[i], x_rel)
+              : inner_kernel(params.truncation, a_src, rule.points[i], x_rel);
+      row[i] = kv * rule.weights[i];
+    }
+  }
+}
+
+}  // namespace
+
+TranslationMatrix build_outer_to_points(const Params& params, double a_src,
+                                        double a_dst,
+                                        const Vec3& dst_center_minus_src) {
+  TranslationMatrix t;
+  t.k = params.k();
+  t.m.resize(t.k * t.k);
+  build_matrix(params, a_src, a_dst, dst_center_minus_src, true, t.m);
+  return t;
+}
+
+TranslationMatrix build_inner_to_points(const Params& params, double a_src,
+                                        double a_dst,
+                                        const Vec3& dst_center_minus_src) {
+  TranslationMatrix t;
+  t.k = params.k();
+  t.m.resize(t.k * t.k);
+  build_matrix(params, a_src, a_dst, dst_center_minus_src, false, t.m);
+  return t;
+}
+
+TranslationSet::TranslationSet(const Params& params, int separation,
+                               bool with_supernodes)
+    : params_(params), separation_(separation) {
+  params_.validate();
+  if (separation < 1)
+    throw std::invalid_argument("TranslationSet: separation must be >= 1");
+
+  // Geometry in units of the CHILD (target-level) box side.
+  const double a_child_out = params_.outer_ratio;
+  const double a_child_in = params_.inner_ratio;
+  const double a_parent_out = 2.0 * params_.outer_ratio;
+  const double a_parent_in = 2.0 * params_.inner_ratio;
+
+  // T1: child outer (radius a_child_out, centred at octant offset from the
+  // parent centre) -> parent outer points (radius a_parent_out at origin).
+  // T3: parent inner (origin) -> child inner points (octant offset).
+  t1_.reserve(8);
+  t3_.reserve(8);
+  for (int o = 0; o < 8; ++o) {
+    const Vec3 child = tree::Hierarchy::octant_offset(o);
+    t1_.push_back(build_outer_to_points(params_, a_child_out, a_parent_out,
+                                        /*parent - child=*/-child));
+    t3_.push_back(build_inner_to_points(params_, a_parent_in, a_child_in,
+                                        /*child - parent=*/child));
+  }
+
+  // T2: source outer at integer offset -> target inner at origin, same
+  // level, offsets covering the whole (4d+3)^3 cube.
+  const std::size_t cube = tree::offset_cube_size(separation);
+  t2_.resize(cube);
+  const std::int32_t r = 2 * separation + 1;
+  for (std::int32_t dz = -r; dz <= r; ++dz)
+    for (std::int32_t dy = -r; dy <= r; ++dy)
+      for (std::int32_t dx = -r; dx <= r; ++dx) {
+        const tree::Offset off{dx, dy, dz};
+        const std::size_t idx = tree::offset_cube_index(off, separation);
+        if (dx == 0 && dy == 0 && dz == 0) {
+          // Self-offset is never used; leave a zero matrix.
+          t2_[idx].k = params_.k();
+          t2_[idx].m.assign(params_.k() * params_.k(), 0.0);
+          continue;
+        }
+        const Vec3 src{static_cast<double>(dx), static_cast<double>(dy),
+                       static_cast<double>(dz)};
+        t2_[idx] = build_outer_to_points(params_, a_child_out, a_child_in,
+                                         /*target - source=*/-src);
+      }
+
+  // Supernode T2: parent-level source outer sphere -> target child inner.
+  // Target child centre at origin; its parent centre at -octant_offset (in
+  // child units); source parent centre at parent_centre + 2 * D.
+  supernode_entries_.resize(8);
+  supernode_.resize(8);
+  for (int o = 0; o < 8; ++o) {
+    supernode_entries_[o] = tree::supernode_interactive(o, separation);
+    if (!with_supernodes) continue;
+    for (const auto& entry : supernode_entries_[o]) {
+      if (entry.source_level_up == 0) {
+        supernode_[o].emplace_back();  // placeholder; plain t2() is used
+        continue;
+      }
+      const Vec3 parent_centre = -tree::Hierarchy::octant_offset(o);
+      const Vec3 src = parent_centre + 2.0 * Vec3{static_cast<double>(entry.offset.dx),
+                                                  static_cast<double>(entry.offset.dy),
+                                                  static_cast<double>(entry.offset.dz)};
+      supernode_[o].push_back(build_outer_to_points(
+          params_, a_parent_out, a_child_in, /*target - source=*/-src));
+    }
+  }
+}
+
+std::size_t TranslationSet::resident_bytes() const {
+  std::size_t bytes = 0;
+  const auto add = [&](const TranslationMatrix& t) {
+    bytes += t.m.size() * sizeof(double);
+  };
+  for (const auto& t : t1_) add(t);
+  for (const auto& t : t3_) add(t);
+  for (const auto& t : t2_) add(t);
+  for (const auto& per_octant : supernode_)
+    for (const auto& t : per_octant) add(t);
+  return bytes;
+}
+
+void TranslationSet::build_t1_into(int octant, std::span<double> out) const {
+  const Vec3 child = tree::Hierarchy::octant_offset(octant);
+  build_matrix(params_, params_.outer_ratio, 2.0 * params_.outer_ratio, -child,
+               true, out);
+}
+
+void TranslationSet::build_t2_into(std::size_t cube_index,
+                                   std::span<double> out) const {
+  const std::int32_t r = 2 * separation_ + 1;
+  const std::int32_t n = 2 * r + 1;
+  const auto idx = static_cast<std::int32_t>(cube_index);
+  const std::int32_t dx = idx % n - r;
+  const std::int32_t dy = (idx / n) % n - r;
+  const std::int32_t dz = static_cast<std::int32_t>(idx / (n * n)) - r;
+  if (dx == 0 && dy == 0 && dz == 0) {
+    std::fill(out.begin(), out.end(), 0.0);
+    return;
+  }
+  const Vec3 src{static_cast<double>(dx), static_cast<double>(dy),
+                 static_cast<double>(dz)};
+  build_matrix(params_, params_.outer_ratio, params_.inner_ratio, -src, true,
+               out);
+}
+
+}  // namespace hfmm::anderson

@@ -1,0 +1,231 @@
+#include "hfmm/baseline/barnes_hut.hpp"
+
+#include "hfmm/baseline/direct.hpp"
+#include "hfmm/tree/hierarchy.hpp"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cmath>
+#include <numeric>
+
+namespace hfmm::baseline {
+
+BarnesHut::BarnesHut(const ParticleSet& particles, const BhConfig& config)
+    : config_(config), sorted_(particles) {
+  const std::size_t n = particles.size();
+  original_.resize(n);
+  std::iota(original_.begin(), original_.end(), 0u);
+
+  const Box3 cube = tree::cube_containing(particles.bounds());
+  Node root;
+  root.center = cube.center();
+  root.half = 0.5 * cube.max_side();
+  root.begin = 0;
+  root.end = static_cast<std::uint32_t>(n);
+  nodes_.push_back(root);
+  if (n > 0) build(0, 0);
+  for (std::size_t i = nodes_.size(); i-- > 0;) accumulate_moments(i);
+}
+
+void BarnesHut::build(std::size_t node, int depth) {
+  max_depth_ = std::max(max_depth_, depth);
+  Node& nd = nodes_[node];
+  const std::uint32_t count = nd.end - nd.begin;
+  if (count <= static_cast<std::uint32_t>(config_.leaf_size) || depth >= 40)
+    return;
+
+  // Partition the node's particle slice into the 8 octants (3-key
+  // counting sort done as three stable partitions: z, then y, then x would
+  // change octant numbering; do a single-pass bucket sort instead).
+  const Vec3 c = nodes_[node].center;
+  std::array<std::vector<std::uint32_t>, 8> buckets;
+  for (std::uint32_t i = nd.begin; i < nd.end; ++i) {
+    const Vec3 p = sorted_.position(i);
+    const int oct = (p.x >= c.x ? 1 : 0) | (p.y >= c.y ? 2 : 0) |
+                    (p.z >= c.z ? 4 : 0);
+    buckets[oct].push_back(i);
+  }
+  // Apply the permutation to the slice.
+  {
+    std::vector<std::uint32_t> perm;
+    perm.reserve(count);
+    for (const auto& b : buckets) perm.insert(perm.end(), b.begin(), b.end());
+    ParticleSet slice(count);
+    std::vector<std::uint32_t> orig(count);
+    for (std::uint32_t r = 0; r < count; ++r) {
+      const std::uint32_t src = perm[r];
+      slice.set(r, sorted_.position(src), sorted_.charge(src));
+      orig[r] = original_[src];
+    }
+    for (std::uint32_t r = 0; r < count; ++r) {
+      sorted_.set(nd.begin + r, slice.position(r), slice.charge(r));
+      original_[nd.begin + r] = orig[r];
+    }
+  }
+
+  const std::int32_t first = static_cast<std::int32_t>(nodes_.size());
+  nodes_[node].first_child = first;
+  std::uint32_t cursor = nodes_[node].begin;
+  const double h = 0.5 * nodes_[node].half;
+  for (int o = 0; o < 8; ++o) {
+    Node child;
+    child.center = {c.x + ((o & 1) ? h : -h), c.y + ((o & 2) ? h : -h),
+                    c.z + ((o & 4) ? h : -h)};
+    child.half = h;
+    child.begin = cursor;
+    cursor += static_cast<std::uint32_t>(buckets[o].size());
+    child.end = cursor;
+    nodes_.push_back(child);
+  }
+  for (int o = 0; o < 8; ++o) {
+    const std::size_t ci = static_cast<std::size_t>(first) + o;
+    if (nodes_[ci].end > nodes_[ci].begin) build(ci, depth + 1);
+  }
+}
+
+void BarnesHut::accumulate_moments(std::size_t node) {
+  Node& nd = nodes_[node];
+  nd.mass = 0.0;
+  nd.com = {0, 0, 0};
+  for (std::uint32_t i = nd.begin; i < nd.end; ++i) {
+    const double q = sorted_.charge(i);
+    nd.mass += q;
+    nd.com += q * sorted_.position(i);
+  }
+  // Expand about the charge centroid when the cell has a meaningful net
+  // charge (the dipole then vanishes); otherwise (near-neutral cells, e.g.
+  // plasmas) expand about the geometric centre and carry the dipole term.
+  double abs_q = 0.0;
+  for (std::uint32_t i = nd.begin; i < nd.end; ++i)
+    abs_q += std::abs(sorted_.charge(i));
+  // The centroid q-weighted mean is only a safe expansion centre when the
+  // net charge dominates (otherwise it can land far outside the cell).
+  if (std::abs(nd.mass) > 0.5 * abs_q) {
+    nd.com /= nd.mass;
+  } else {
+    nd.com = nd.center;
+  }
+  nd.dipole = {0, 0, 0};
+  for (std::uint32_t i = nd.begin; i < nd.end; ++i)
+    nd.dipole += sorted_.charge(i) * (sorted_.position(i) - nd.com);
+  if (config_.quadrupole) {
+    for (double& v : nd.quad) v = 0.0;
+    for (std::uint32_t i = nd.begin; i < nd.end; ++i) {
+      const double q = sorted_.charge(i);
+      const Vec3 d = sorted_.position(i) - nd.com;
+      const double d2 = d.norm2();
+      nd.quad[0] += q * (3.0 * d.x * d.x - d2);
+      nd.quad[1] += q * (3.0 * d.y * d.y - d2);
+      nd.quad[2] += q * (3.0 * d.z * d.z - d2);
+      nd.quad[3] += q * 3.0 * d.x * d.y;
+      nd.quad[4] += q * 3.0 * d.x * d.z;
+      nd.quad[5] += q * 3.0 * d.y * d.z;
+    }
+  }
+}
+
+void BarnesHut::evaluate_point(const Vec3& x, std::uint32_t self_index,
+                               double& phi, Vec3* grad, std::uint64_t& p2p,
+                               std::uint64_t& pc) const {
+  std::vector<std::size_t> stack;
+  stack.push_back(0);
+  while (!stack.empty()) {
+    const std::size_t ni = stack.back();
+    stack.pop_back();
+    const Node& nd = nodes_[ni];
+    if (nd.end == nd.begin) continue;
+    const Vec3 d = x - nd.com;
+    const double r2 = d.norm2();
+    const double size = 2.0 * nd.half;
+    const bool accept =
+        nd.first_child < 0
+            ? false
+            : size * size < config_.theta * config_.theta * r2;
+    if (nd.first_child >= 0 && !accept) {
+      for (int o = 0; o < 8; ++o)
+        stack.push_back(static_cast<std::size_t>(nd.first_child) + o);
+      continue;
+    }
+    if (nd.first_child < 0) {
+      // Leaf: direct particle sums.
+      for (std::uint32_t i = nd.begin; i < nd.end; ++i) {
+        if (original_[i] == self_index) continue;
+        const Vec3 dd = x - sorted_.position(i);
+        const double rr2 = dd.norm2();
+        const double inv_r = 1.0 / std::sqrt(rr2);
+        phi += sorted_.charge(i) * inv_r;
+        if (grad != nullptr)
+          *grad += (-sorted_.charge(i) * inv_r * inv_r * inv_r) * dd;
+        ++p2p;
+      }
+      continue;
+    }
+    // Accepted internal cell: monopole + dipole (+ quadrupole).
+    const double inv_r = 1.0 / std::sqrt(r2);
+    phi += nd.mass * inv_r;
+    if (grad != nullptr) *grad += (-nd.mass * inv_r * inv_r * inv_r) * d;
+    {
+      const double inv_r3 = inv_r * inv_r * inv_r;
+      const double dd = nd.dipole.dot(d);
+      phi += dd * inv_r3;
+      if (grad != nullptr)
+        *grad += inv_r3 * nd.dipole - (3.0 * dd * inv_r3 * inv_r * inv_r) * d;
+    }
+    if (config_.quadrupole) {
+      const double inv_r2 = inv_r * inv_r;
+      const double inv_r5 = inv_r2 * inv_r2 * inv_r;
+      const double qxx = nd.quad[0], qyy = nd.quad[1], qzz = nd.quad[2];
+      const double qxy = nd.quad[3], qxz = nd.quad[4], qyz = nd.quad[5];
+      const Vec3 qd{qxx * d.x + qxy * d.y + qxz * d.z,
+                    qxy * d.x + qyy * d.y + qyz * d.z,
+                    qxz * d.x + qyz * d.y + qzz * d.z};
+      const double dqd = d.dot(qd);
+      phi += 0.5 * dqd * inv_r5;
+      if (grad != nullptr)
+        *grad += inv_r5 * qd - (2.5 * dqd * inv_r5 * inv_r2) * d;
+    }
+    ++pc;
+  }
+}
+
+BhResult BarnesHut::evaluate_all(bool with_gradient, ThreadPool* pool) const {
+  const std::size_t n = sorted_.size();
+  BhResult out;
+  out.phi.assign(n, 0.0);
+  if (with_gradient) out.grad.assign(n, Vec3{});
+  std::vector<std::uint64_t> p2p_chunks(pool->size(), 0);
+  std::vector<std::uint64_t> pc_chunks(pool->size(), 0);
+  std::atomic<std::size_t> chunk_id{0};
+  pool->parallel_chunks(0, n, [&](std::size_t lo, std::size_t hi) {
+    const std::size_t me = chunk_id.fetch_add(1);
+    std::uint64_t p2p = 0, pc = 0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      double phi = 0.0;
+      Vec3 g{};
+      evaluate_point(sorted_.position(i), original_[i], phi,
+                     with_gradient ? &g : nullptr, p2p, pc);
+      // Results are reported in ORIGINAL particle order.
+      out.phi[original_[i]] = phi;
+      if (with_gradient) out.grad[original_[i]] = g;
+    }
+    p2p_chunks[me] += p2p;
+    pc_chunks[me] += pc;
+  });
+  for (std::size_t c = 0; c < pool->size(); ++c) {
+    out.p2p_interactions += p2p_chunks[c];
+    out.cell_interactions += pc_chunks[c];
+  }
+  out.flops = out.p2p_interactions * direct_pair_flops(with_gradient) +
+              out.cell_interactions * (config_.quadrupole ? 50u : 12u);
+  return out;
+}
+
+double BarnesHut::potential_at(const Vec3& x) const {
+  double phi = 0.0;
+  std::uint64_t p2p = 0, pc = 0;
+  evaluate_point(x, static_cast<std::uint32_t>(-1), phi, nullptr, p2p, pc);
+  return phi;
+}
+
+}  // namespace hfmm::baseline

@@ -1,0 +1,131 @@
+#include "hfmm/baseline/direct.hpp"
+
+#include <cmath>
+
+namespace hfmm::baseline {
+
+namespace {
+
+// One target against one source; returns (1/r, contribution already added).
+inline void accumulate_one(double tx, double ty, double tz, double sx,
+                           double sy, double sz, double q, double& phi,
+                           Vec3* grad, double soft2) {
+  const double dx = tx - sx, dy = ty - sy, dz = tz - sz;
+  const double r2 = dx * dx + dy * dy + dz * dz + soft2;
+  const double inv_r = 1.0 / std::sqrt(r2);
+  phi += q * inv_r;
+  if (grad != nullptr) {
+    // d/dt (q / |t - s|) = -q (t - s) / |t - s|^3
+    const double c = -q * inv_r * inv_r * inv_r;
+    grad->x += c * dx;
+    grad->y += c * dy;
+    grad->z += c * dz;
+  }
+}
+
+}  // namespace
+
+DirectResult direct_all(const ParticleSet& particles, bool with_gradient,
+                        ThreadPool* pool, double softening) {
+  const double soft2 = softening * softening;
+  const std::size_t n = particles.size();
+  DirectResult out;
+  out.phi.assign(n, 0.0);
+  if (with_gradient) out.grad.assign(n, Vec3{});
+  const auto x = particles.x(), y = particles.y(), z = particles.z(),
+             q = particles.q();
+  pool->parallel_for(0, n, [&](std::size_t i) {
+    double phi = 0.0;
+    Vec3 g{};
+    Vec3* gp = with_gradient ? &g : nullptr;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      accumulate_one(x[i], y[i], z[i], x[j], y[j], z[j], q[j], phi, gp,
+                     soft2);
+    }
+    out.phi[i] = phi;
+    if (with_gradient) out.grad[i] = g;
+  });
+  out.flops = static_cast<std::uint64_t>(n) * (n - 1) *
+              direct_pair_flops(with_gradient);
+  return out;
+}
+
+DirectResult direct_all_symmetric(const ParticleSet& particles,
+                                  bool with_gradient, double softening) {
+  const double soft2 = softening * softening;
+  const std::size_t n = particles.size();
+  DirectResult out;
+  out.phi.assign(n, 0.0);
+  if (with_gradient) out.grad.assign(n, Vec3{});
+  const auto x = particles.x(), y = particles.y(), z = particles.z(),
+             q = particles.q();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double dx = x[i] - x[j], dy = y[i] - y[j], dz = z[i] - z[j];
+      const double r2 = dx * dx + dy * dy + dz * dz + soft2;
+      const double inv_r = 1.0 / std::sqrt(r2);
+      out.phi[i] += q[j] * inv_r;
+      out.phi[j] += q[i] * inv_r;
+      if (with_gradient) {
+        const double inv_r3 = inv_r * inv_r * inv_r;
+        const Vec3 d{dx, dy, dz};
+        out.grad[i] += (-q[j] * inv_r3) * d;
+        out.grad[j] += (q[i] * inv_r3) * d;  // opposite direction
+      }
+    }
+  }
+  out.flops = static_cast<std::uint64_t>(n) * (n - 1) / 2 *
+              (direct_pair_flops(with_gradient) + 4);
+  return out;
+}
+
+void direct_ranges(const ParticleSet& particles, std::size_t tb,
+                   std::size_t te, std::size_t sb, std::size_t se, double* phi,
+                   Vec3* grad, double softening) {
+  const double soft2 = softening * softening;
+  const auto x = particles.x(), y = particles.y(), z = particles.z(),
+             q = particles.q();
+  for (std::size_t i = tb; i < te; ++i) {
+    double acc = 0.0;
+    Vec3 g{};
+    Vec3* gp = grad != nullptr ? &g : nullptr;
+    for (std::size_t j = sb; j < se; ++j) {
+      if (j == i) continue;  // only possible when ranges are identical
+      accumulate_one(x[i], y[i], z[i], x[j], y[j], z[j], q[j], acc, gp,
+                     soft2);
+    }
+    phi[i - tb] += acc;
+    if (grad != nullptr) grad[i - tb] += g;
+  }
+}
+
+void direct_ranges_symmetric(const ParticleSet& particles, std::size_t tb,
+                             std::size_t te, std::size_t sb, std::size_t se,
+                             double* phi, Vec3* grad, double softening) {
+  const double soft2 = softening * softening;
+  const auto x = particles.x(), y = particles.y(), z = particles.z(),
+             q = particles.q();
+  const std::size_t nt = te - tb;  // output layout: [targets..., sources...]
+  for (std::size_t i = tb; i < te; ++i) {
+    double acc = 0.0;
+    Vec3 g{};
+    for (std::size_t j = sb; j < se; ++j) {
+      const double dx = x[i] - x[j], dy = y[i] - y[j], dz = z[i] - z[j];
+      const double r2 = dx * dx + dy * dy + dz * dz + soft2;
+      const double inv_r = 1.0 / std::sqrt(r2);
+      acc += q[j] * inv_r;
+      phi[nt + (j - sb)] += q[i] * inv_r;
+      if (grad != nullptr) {
+        const double inv_r3 = inv_r * inv_r * inv_r;
+        const Vec3 d{dx, dy, dz};
+        g += (-q[j] * inv_r3) * d;
+        grad[nt + (j - sb)] += (q[i] * inv_r3) * d;
+      }
+    }
+    phi[i - tb] += acc;
+    if (grad != nullptr) grad[i - tb] += g;
+  }
+}
+
+}  // namespace hfmm::baseline

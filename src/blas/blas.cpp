@@ -1,0 +1,115 @@
+#include "hfmm/blas/blas.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "hfmm/util/timer.hpp"
+
+namespace hfmm::blas {
+
+void gemv(const double* a, std::size_t lda, const double* x, double* y,
+          std::size_t m, std::size_t n, bool accumulate) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* __restrict__ row = a + i * lda;
+    double acc = accumulate ? y[i] : 0.0;
+    for (std::size_t j = 0; j < n; ++j) acc += row[j] * x[j];
+    y[i] = acc;
+  }
+}
+
+namespace {
+
+// Register-blocked inner kernel: computes a 4 x n panel of C. The j-loop is
+// the vectorizable one (contiguous in B and C); unrolling i by 4 keeps four
+// accumulator rows live and reuses each loaded B element four times.
+template <bool Accumulate>
+void gemm_panel4(const double* a, std::size_t lda, const double* b,
+                 std::size_t ldb, double* c, std::size_t ldc, std::size_t n,
+                 std::size_t k) {
+  const double* __restrict__ a0 = a;
+  const double* __restrict__ a1 = a + lda;
+  const double* __restrict__ a2 = a + 2 * lda;
+  const double* __restrict__ a3 = a + 3 * lda;
+  double* __restrict__ c0 = c;
+  double* __restrict__ c1 = c + ldc;
+  double* __restrict__ c2 = c + 2 * ldc;
+  double* __restrict__ c3 = c + 3 * ldc;
+  if constexpr (!Accumulate) {
+    std::memset(c0, 0, n * sizeof(double));
+    std::memset(c1, 0, n * sizeof(double));
+    std::memset(c2, 0, n * sizeof(double));
+    std::memset(c3, 0, n * sizeof(double));
+  }
+  for (std::size_t p = 0; p < k; ++p) {
+    const double* __restrict__ brow = b + p * ldb;
+    const double v0 = a0[p], v1 = a1[p], v2 = a2[p], v3 = a3[p];
+    for (std::size_t j = 0; j < n; ++j) {
+      const double bj = brow[j];
+      c0[j] += v0 * bj;
+      c1[j] += v1 * bj;
+      c2[j] += v2 * bj;
+      c3[j] += v3 * bj;
+    }
+  }
+}
+
+template <bool Accumulate>
+void gemm_panel1(const double* a, const double* b, std::size_t ldb, double* c,
+                 std::size_t n, std::size_t k) {
+  double* __restrict__ crow = c;
+  if constexpr (!Accumulate) std::memset(crow, 0, n * sizeof(double));
+  for (std::size_t p = 0; p < k; ++p) {
+    const double* __restrict__ brow = b + p * ldb;
+    const double v = a[p];
+    for (std::size_t j = 0; j < n; ++j) crow[j] += v * brow[j];
+  }
+}
+
+}  // namespace
+
+void gemm(const double* a, std::size_t lda, const double* b, std::size_t ldb,
+          double* c, std::size_t ldc, std::size_t m, std::size_t n,
+          std::size_t k, bool accumulate) {
+  std::size_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    if (accumulate)
+      gemm_panel4<true>(a + i * lda, lda, b, ldb, c + i * ldc, ldc, n, k);
+    else
+      gemm_panel4<false>(a + i * lda, lda, b, ldb, c + i * ldc, ldc, n, k);
+  }
+  for (; i < m; ++i) {
+    if (accumulate)
+      gemm_panel1<true>(a + i * lda, b, ldb, c + i * ldc, n, k);
+    else
+      gemm_panel1<false>(a + i * lda, b, ldb, c + i * ldc, n, k);
+  }
+}
+
+void gemm_batch(const double* a, std::size_t lda, std::size_t stride_a,
+                const double* b, std::size_t ldb, std::size_t stride_b,
+                double* c, std::size_t ldc, std::size_t stride_c,
+                std::size_t m, std::size_t n, std::size_t k,
+                std::size_t count, bool accumulate) {
+  for (std::size_t inst = 0; inst < count; ++inst) {
+    gemm(a + inst * stride_a, lda, b + inst * stride_b, ldb,
+         c + inst * stride_c, ldc, m, n, k, accumulate);
+  }
+}
+
+double measure_peak_flops(std::size_t size, double min_seconds) {
+  const std::size_t s = size;
+  std::vector<double> a(s * s, 1.0), b(s * s, 1.0), c(s * s, 0.0);
+  // Warm up once, then time whole repetitions until min_seconds elapses.
+  gemm(a.data(), s, b.data(), s, c.data(), s, s, s, s, false);
+  WallTimer t;
+  std::uint64_t reps = 0;
+  do {
+    gemm(a.data(), s, b.data(), s, c.data(), s, s, s, s, false);
+    ++reps;
+  } while (t.seconds() < min_seconds);
+  const double secs = t.seconds();
+  return static_cast<double>(reps * gemm_flops(s, s, s)) / secs;
+}
+
+}  // namespace hfmm::blas

@@ -1,0 +1,65 @@
+#include "hfmm/blas/linalg.hpp"
+
+#include <cmath>
+
+namespace hfmm::blas {
+
+bool cholesky(double* a, std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = a[j * n + j];
+    for (std::size_t k = 0; k < j; ++k) d -= a[j * n + k] * a[j * n + k];
+    if (!(d > 0.0)) return false;
+    const double Ljj = std::sqrt(d);
+    a[j * n + j] = Ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a[i * n + j];
+      for (std::size_t k = 0; k < j; ++k) s -= a[i * n + k] * a[j * n + k];
+      a[i * n + j] = s / Ljj;
+    }
+  }
+  return true;
+}
+
+bool solve_spd(std::vector<double> a, std::size_t n, const double* b,
+               double* x) {
+  if (!cholesky(a.data(), n)) return false;
+  // Forward substitution L y = b.
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= a[i * n + k] * x[k];
+    x[i] = s / a[i * n + i];
+  }
+  // Back substitution L^T x = y.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = x[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= a[k * n + ii] * x[k];
+    x[ii] = s / a[ii * n + ii];
+  }
+  return true;
+}
+
+bool min_norm_solve(const std::vector<double>& m, std::size_t rows,
+                    std::size_t cols, const double* t, double* w,
+                    double ridge) {
+  // Gram matrix G = M M^T (rows x rows).
+  std::vector<double> g(rows * rows, 0.0);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < cols; ++k)
+        s += m[i * cols + k] * m[j * cols + k];
+      g[i * rows + j] = g[j * rows + i] = s;
+    }
+    g[i * rows + i] += ridge;
+  }
+  std::vector<double> lambda(rows);
+  if (!solve_spd(std::move(g), rows, t, lambda.data())) return false;
+  for (std::size_t k = 0; k < cols; ++k) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < rows; ++i) s += m[i * cols + k] * lambda[i];
+    w[k] = s;
+  }
+  return true;
+}
+
+}  // namespace hfmm::blas

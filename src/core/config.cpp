@@ -1,0 +1,42 @@
+#include "hfmm/core/config.hpp"
+
+#include <stdexcept>
+
+namespace hfmm::core {
+
+const char* to_string(ExecutionMode m) {
+  switch (m) {
+    case ExecutionMode::kSequential: return "seq";
+    case ExecutionMode::kThreads: return "threads";
+    case ExecutionMode::kDataParallel: return "dp";
+  }
+  return "?";
+}
+
+const char* to_string(AggregationMode m) {
+  switch (m) {
+    case AggregationMode::kGemv: return "gemv";
+    case AggregationMode::kGemm: return "gemm";
+    case AggregationMode::kGemmBatch: return "gemm-batch";
+  }
+  return "?";
+}
+
+void FmmConfig::validate() const {
+  params.validate();
+  if (separation < 1)
+    throw std::invalid_argument("FmmConfig: separation must be >= 1");
+  if (depth != -1 && depth < 2)
+    throw std::invalid_argument("FmmConfig: explicit depth must be >= 2");
+  if (particles_per_leaf < 0.0)
+    throw std::invalid_argument(
+        "FmmConfig: particles_per_leaf must be positive (or 0 = automatic)");
+  if (mode == ExecutionMode::kDataParallel && !machine.valid())
+    throw std::invalid_argument("FmmConfig: invalid VU grid");
+  if (supernodes && separation != 2)
+    throw std::invalid_argument(
+        "FmmConfig: supernodes are defined for separation 2 (paper "
+        "Section 2.3)");
+}
+
+}  // namespace hfmm::core

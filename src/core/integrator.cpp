@@ -1,0 +1,86 @@
+#include "hfmm/core/integrator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hfmm::core {
+
+LeapfrogIntegrator::LeapfrogIntegrator(FmmSolver& solver, ForceLaw law,
+                                       double dt)
+    : solver_(solver), law_(law), dt_(dt) {
+  if (!(dt > 0.0))
+    throw std::invalid_argument("LeapfrogIntegrator: dt must be positive");
+  if (!solver.config().with_gradient)
+    throw std::invalid_argument(
+        "LeapfrogIntegrator: solver must be configured with_gradient = true");
+}
+
+Vec3 LeapfrogIntegrator::acceleration(const SimulationState& s,
+                                      std::size_t i) const {
+  const double q = s.particles.charge(i);
+  switch (law_) {
+    case ForceLaw::kGravity:
+      // phi = sum m_j / r; gravitational potential is -phi, force -m grad(-phi).
+      return grad_[i];
+    case ForceLaw::kElectrostatic:
+      // Unit masses; F = -q grad phi.
+      return -q * grad_[i];
+  }
+  return {};
+}
+
+void LeapfrogIntegrator::evaluate_forces(SimulationState& state) {
+  const FmmResult r = solver_.solve(state.particles);
+  grad_ = r.grad;
+  state.phi = r.phi;
+}
+
+void LeapfrogIntegrator::initialize(SimulationState& state) {
+  if (state.velocity.size() != state.particles.size())
+    throw std::invalid_argument("LeapfrogIntegrator: velocity size mismatch");
+  evaluate_forces(state);
+}
+
+void LeapfrogIntegrator::step(SimulationState& state) {
+  ParticleSet& p = state.particles;
+  const std::size_t n = p.size();
+  if (grad_.size() != n)
+    throw std::logic_error("LeapfrogIntegrator: call initialize() first");
+  // Kick (half), drift, re-evaluate, kick (half).
+  for (std::size_t i = 0; i < n; ++i) {
+    state.velocity[i] += (0.5 * dt_) * acceleration(state, i);
+    p.set(i, p.position(i) + dt_ * state.velocity[i], p.charge(i));
+  }
+  evaluate_forces(state);
+  for (std::size_t i = 0; i < n; ++i)
+    state.velocity[i] += (0.5 * dt_) * acceleration(state, i);
+  state.time += dt_;
+  ++state.steps;
+}
+
+void LeapfrogIntegrator::run(
+    SimulationState& state, std::uint64_t n,
+    const std::function<void(const SimulationState&)>& on_step) {
+  for (std::uint64_t s = 0; s < n; ++s) {
+    step(state);
+    if (on_step) on_step(state);
+  }
+}
+
+EnergyReport LeapfrogIntegrator::energy(const SimulationState& state) const {
+  EnergyReport e;
+  const ParticleSet& p = state.particles;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const double q = p.charge(i);
+    const double m = law_ == ForceLaw::kGravity ? q : 1.0;
+    e.kinetic += 0.5 * m * state.velocity[i].norm2();
+    // Pair potential energy: gravity U = -1/2 sum m phi; electrostatics
+    // U = +1/2 sum q phi.
+    e.potential += (law_ == ForceLaw::kGravity ? -0.5 : 0.5) * q *
+                   state.phi[i];
+    e.momentum += m * state.velocity[i];
+  }
+  return e;
+}
+
+}  // namespace hfmm::core

@@ -1,0 +1,133 @@
+#include "hfmm/core/near_field.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+#include "hfmm/baseline/direct.hpp"
+#include "hfmm/tree/interaction_lists.hpp"
+
+namespace hfmm::core {
+
+namespace {
+
+struct BoxRange {
+  std::size_t begin = 0, end = 0;
+  std::size_t count() const { return end - begin; }
+};
+
+BoxRange range_of(const dp::BoxedParticles& boxed, std::size_t flat) {
+  const std::uint32_t rank = boxed.flat_to_rank[flat];
+  return {boxed.box_begin[rank], boxed.box_begin[rank + 1]};
+}
+
+}  // namespace
+
+NearFieldResult near_field(const tree::Hierarchy& hier,
+                           const dp::BoxedParticles& boxed, int separation,
+                           bool symmetric, std::span<double> phi,
+                           std::span<Vec3> grad, ThreadPool& pool,
+                           double softening) {
+  const int h = hier.depth();
+  const std::int32_t n = hier.boxes_per_side(h);
+  const std::size_t boxes = hier.boxes_at(h);
+  const bool with_gradient = !grad.empty();
+  const ParticleSet& p = boxed.sorted;
+
+  const auto offsets = symmetric
+                           ? tree::near_field_half_offsets(separation)
+                           : tree::near_field_offsets(separation);
+
+  const std::size_t chunks = pool.size();
+  // Per-chunk accumulation buffers make the symmetric variant race-free
+  // under threads: chunk-local writes, one reduction at the end.
+  std::vector<std::vector<double>> phi_buf(chunks);
+  std::vector<std::vector<Vec3>> grad_buf(chunks);
+  std::vector<NearFieldResult> partial(chunks);
+  std::atomic<std::size_t> chunk_id{0};
+
+  pool.parallel_chunks(0, boxes, [&](std::size_t lo, std::size_t hi) {
+    const std::size_t me = chunk_id.fetch_add(1);
+    auto& my_phi = phi_buf[me];
+    auto& my_grad = grad_buf[me];
+    my_phi.assign(p.size(), 0.0);
+    if (with_gradient) my_grad.assign(p.size(), Vec3{});
+    NearFieldResult& res = partial[me];
+
+    std::vector<double> pair_phi;
+    std::vector<Vec3> pair_grad;
+
+    for (std::size_t f = lo; f < hi; ++f) {
+      const tree::BoxCoord c = hier.coord_of(h, f);
+      const BoxRange tr = range_of(boxed, f);
+      if (tr.count() == 0 && !symmetric) continue;
+
+      // Intra-box interactions (always symmetric-safe: same box).
+      if (tr.count() > 1) {
+        baseline::direct_ranges(p, tr.begin, tr.end, tr.begin, tr.end,
+                                my_phi.data() + tr.begin,
+                                with_gradient ? my_grad.data() + tr.begin
+                                              : nullptr,
+                                softening);
+        res.pair_interactions += tr.count() * (tr.count() - 1);
+        ++res.box_interactions;
+      }
+
+      for (const tree::Offset& o : offsets) {
+        if (o == tree::Offset{0, 0, 0}) continue;
+        const tree::BoxCoord nb{c.ix + o.dx, c.iy + o.dy, c.iz + o.dz};
+        if (nb.ix < 0 || nb.ix >= n || nb.iy < 0 || nb.iy >= n || nb.iz < 0 ||
+            nb.iz >= n)
+          continue;
+        const BoxRange sr = range_of(boxed, hier.flat_index(h, nb));
+        if (sr.count() == 0 || tr.count() == 0) continue;
+        if (symmetric) {
+          // Both directions in one pass; the paper's Figure 10 trick.
+          pair_phi.assign(tr.count() + sr.count(), 0.0);
+          if (with_gradient) pair_grad.assign(tr.count() + sr.count(), Vec3{});
+          baseline::direct_ranges_symmetric(
+              p, tr.begin, tr.end, sr.begin, sr.end, pair_phi.data(),
+              with_gradient ? pair_grad.data() : nullptr, softening);
+          for (std::size_t i = 0; i < tr.count(); ++i)
+            my_phi[tr.begin + i] += pair_phi[i];
+          for (std::size_t j = 0; j < sr.count(); ++j)
+            my_phi[sr.begin + j] += pair_phi[tr.count() + j];
+          if (with_gradient) {
+            for (std::size_t i = 0; i < tr.count(); ++i)
+              my_grad[tr.begin + i] += pair_grad[i];
+            for (std::size_t j = 0; j < sr.count(); ++j)
+              my_grad[sr.begin + j] += pair_grad[tr.count() + j];
+          }
+          res.pair_interactions += tr.count() * sr.count();
+          ++res.box_interactions;
+        } else {
+          baseline::direct_ranges(p, tr.begin, tr.end, sr.begin, sr.end,
+                                  my_phi.data() + tr.begin,
+                                  with_gradient ? my_grad.data() + tr.begin
+                                                : nullptr,
+                                  softening);
+          res.pair_interactions += tr.count() * sr.count();
+          ++res.box_interactions;
+        }
+      }
+    }
+  });
+
+  // Reduce chunk buffers into the output.
+  NearFieldResult total;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    if (phi_buf[c].empty()) continue;
+    for (std::size_t i = 0; i < p.size(); ++i) phi[i] += phi_buf[c][i];
+    if (with_gradient)
+      for (std::size_t i = 0; i < p.size(); ++i) grad[i] += grad_buf[c][i];
+    total.flops += partial[c].flops;
+    total.pair_interactions += partial[c].pair_interactions;
+    total.box_interactions += partial[c].box_interactions;
+  }
+  const std::uint64_t per_pair =
+      baseline::direct_pair_flops(with_gradient) + (symmetric ? 4 : 0);
+  total.flops = total.pair_interactions * per_pair;
+  return total;
+}
+
+}  // namespace hfmm::core

@@ -1,0 +1,581 @@
+#include "hfmm/core/solver.hpp"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "hfmm/anderson/kernels.hpp"
+#include "hfmm/anderson/leaf_ops.hpp"
+#include "hfmm/blas/blas.hpp"
+#include "hfmm/core/near_field.hpp"
+#include "hfmm/dp/multigrid.hpp"
+#include "hfmm/dp/sort.hpp"
+#include "hfmm/tree/interaction_lists.hpp"
+#include "solver_internal.hpp"
+
+namespace hfmm::core {
+
+using internal::AppMatrix;
+using internal::UnionOffset;
+
+namespace internal {
+
+std::vector<UnionOffset> build_union_offsets(int d) {
+  std::vector<UnionOffset> out;
+  for (const tree::Offset& o : tree::sibling_union_offsets(d)) {
+    UnionOffset u;
+    u.o = o;
+    const std::int32_t comps[3] = {o.dx, o.dy, o.dz};
+    u.all_parities = true;
+    for (int axis = 0; axis < 3; ++axis) {
+      std::uint8_t mask = 0;
+      if (comps[axis] >= -2 * d && comps[axis] <= 2 * d + 1) mask |= 1;  // p=0
+      if (comps[axis] >= -2 * d - 1 && comps[axis] <= 2 * d) mask |= 2;  // p=1
+      u.valid_parity[axis] = mask;
+      if (mask != 3) u.all_parities = false;
+    }
+    out.push_back(u);
+  }
+  return out;
+}
+
+}  // namespace internal
+
+void FmmSolver::Impl::build(const FmmConfig& config) {
+  if (tset) return;
+  WallTimer t;
+  tset = std::make_unique<anderson::TranslationSet>(
+      config.params, config.separation, config.supernodes);
+  for (int o = 0; o < 8; ++o) {
+    t1[o].set(tset->t1(o));
+    t3[o].set(tset->t3(o));
+  }
+  union_offsets = internal::build_union_offsets(config.separation);
+  t2.resize(tree::offset_cube_size(config.separation));
+  for (const UnionOffset& u : union_offsets)
+    t2[tree::offset_cube_index(u.o, config.separation)].set(tset->t2(u.o));
+  if (config.supernodes) {
+    for (int o = 0; o < 8; ++o) {
+      const auto& entries = tset->supernode_list(o);
+      supernode[o].resize(entries.size());
+      for (std::size_t e = 0; e < entries.size(); ++e) {
+        if (entries[e].source_level_up == 1)
+          supernode[o][e].set(tset->supernode_t2(o, e));
+      }
+    }
+  }
+  precompute_seconds = t.seconds();
+}
+
+FmmSolver::FmmSolver(FmmConfig config)
+    : config_(std::move(config)), impl_(std::make_unique<Impl>()) {
+  config_.validate();
+}
+
+FmmSolver::~FmmSolver() = default;
+
+const anderson::TranslationSet& FmmSolver::translations() {
+  impl_->build(config_);
+  return *impl_->tset;
+}
+
+int FmmSolver::depth_for(std::size_t n) const {
+  if (config_.depth >= 0) return config_.depth;
+  double occupancy = config_.particles_per_leaf;
+  if (occupancy <= 0.0) {
+    // Balance near-field (~occupancy^2) against traversal (~K^2 per box,
+    // 4.6x less with supernodes); calibrated with bench_depth.
+    occupancy = 0.75 * static_cast<double>(config_.params.k());
+    if (config_.supernodes) occupancy *= 0.45;
+    occupancy = std::clamp(occupancy, 8.0, 128.0);
+  }
+  return std::max(2, tree::optimal_depth(n, occupancy));
+}
+
+namespace {
+
+// Box-major level storage: far/local field potential vectors for every box
+// of every level, [level][flat_box * K + i].
+struct LevelStore {
+  std::vector<std::vector<double>> far;
+  std::vector<std::vector<double>> local;
+
+  LevelStore(int depth, std::size_t k) {
+    far.resize(depth + 1);
+    local.resize(depth + 1);
+    for (int l = 0; l <= depth; ++l) {
+      const std::size_t boxes = std::size_t{1} << (3 * l);
+      far[l].assign(boxes * k, 0.0);
+      local[l].assign(boxes * k, 0.0);
+    }
+  }
+};
+
+}  // namespace
+
+namespace internal {
+
+void apply_rows(const AppMatrix& m, const double* src, double* dst,
+                std::size_t nb, AggregationMode mode, std::size_t batch_slab,
+                std::uint64_t& flops) {
+  const std::size_t k = m.k;
+  switch (mode) {
+    case AggregationMode::kGemv:
+      for (std::size_t b = 0; b < nb; ++b)
+        blas::gemv(m.t, k, src + b * k, dst + b * k, k, k, true);
+      break;
+    case AggregationMode::kGemm:
+      blas::gemm(src, k, m.tt.data(), k, dst, k, nb, k, k, true);
+      break;
+    case AggregationMode::kGemmBatch: {
+      const std::size_t slab = std::max<std::size_t>(1, batch_slab);
+      const std::size_t full = nb / slab;
+      if (full > 0)
+        blas::gemm_batch(src, k, slab * k, m.tt.data(), k, 0, dst, k,
+                         slab * k, slab, k, k, full, true);
+      const std::size_t rem = nb - full * slab;
+      if (rem > 0)
+        blas::gemm(src + full * slab * k, k, m.tt.data(), k,
+                   dst + full * slab * k, k, rem, k, k, true);
+      break;
+    }
+  }
+  flops += blas::gemm_flops(nb, k, k);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Shared-memory (seq / threads) execution.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct SharedContext {
+  const FmmConfig& config;
+  const FmmSolver::Impl* impl = nullptr;
+  const tree::Hierarchy& hier;
+  const dp::BoxedParticles& boxed;
+  LevelStore& store;
+  ThreadPool& pool;
+  PhaseBreakdown& breakdown;
+};
+
+void run_p2m(SharedContext& ctx) {
+  PhaseStats& ph = ctx.breakdown["p2m"];
+  ScopedPhaseTimer timer(ph);
+  const int h = ctx.hier.depth();
+  const std::size_t k = ctx.config.params.k();
+  const double a = ctx.config.params.outer_ratio * ctx.hier.side_at(h);
+  const ParticleSet& p = ctx.boxed.sorted;
+  std::atomic<std::uint64_t> flops{0};
+  ctx.pool.parallel_chunks(0, ctx.hier.boxes_at(h), [&](std::size_t lo,
+                                                        std::size_t hi) {
+    std::uint64_t local_flops = 0;
+    for (std::size_t f = lo; f < hi; ++f) {
+      const std::uint32_t rank = ctx.boxed.flat_to_rank[f];
+      const std::uint32_t b = ctx.boxed.box_begin[rank];
+      const std::uint32_t e = ctx.boxed.box_begin[rank + 1];
+      if (b == e) continue;
+      const tree::BoxCoord c = ctx.hier.coord_of(h, f);
+      anderson::p2m(ctx.config.params, a, ctx.hier.center(h, c),
+                    p.x().subspan(b, e - b), p.y().subspan(b, e - b),
+                    p.z().subspan(b, e - b), p.q().subspan(b, e - b),
+                    {ctx.store.far[h].data() + f * k, k});
+      local_flops += anderson::p2m_flops(k, e - b);
+    }
+    flops += local_flops;
+  });
+  ph.flops += flops.load();
+}
+
+void run_upward(SharedContext& ctx) {
+  PhaseStats& ph = ctx.breakdown["upward"];
+  ScopedPhaseTimer timer(ph);
+  const std::size_t k = ctx.config.params.k();
+  std::atomic<std::uint64_t> flops{0};
+  for (int l = ctx.hier.depth() - 1; l >= 1; --l) {
+    const std::int32_t np = ctx.hier.boxes_per_side(l);
+    const std::int32_t nc = 2 * np;
+    const double* child = ctx.store.far[l + 1].data();
+    double* parent = ctx.store.far[l].data();
+    // Parallel over parent (z, y) rows; each row gathers its 8 child rows.
+    ctx.pool.parallel_chunks(
+        0, static_cast<std::size_t>(np) * np, [&](std::size_t lo,
+                                                  std::size_t hi) {
+          std::vector<double> scratch(static_cast<std::size_t>(np) * k);
+          std::uint64_t local_flops = 0;
+          for (std::size_t zy = lo; zy < hi; ++zy) {
+            const std::int32_t pz = static_cast<std::int32_t>(zy / np);
+            const std::int32_t py = static_cast<std::int32_t>(zy % np);
+            double* prow =
+                parent + (static_cast<std::size_t>(pz) * np + py) * np * k;
+            for (int o = 0; o < 8; ++o) {
+              const std::int32_t cz = 2 * pz + ((o >> 2) & 1);
+              const std::int32_t cy = 2 * py + ((o >> 1) & 1);
+              const std::int32_t cx0 = o & 1;
+              // Gather the strided child row (stride 2 boxes) into scratch.
+              const double* crow =
+                  child + (static_cast<std::size_t>(cz) * nc + cy) * nc * k;
+              for (std::int32_t px = 0; px < np; ++px)
+                std::memcpy(scratch.data() + px * k,
+                            crow + (static_cast<std::size_t>(2 * px + cx0)) * k,
+                            k * sizeof(double));
+              apply_rows(ctx.impl->t1[o], scratch.data(), prow, np,
+                         ctx.config.aggregation, 8, local_flops);
+            }
+          }
+          flops += local_flops;
+        });
+  }
+  ph.flops += flops.load();
+}
+
+// T2 over the interactive fields of all boxes at level l, reading from a
+// zero-padded copy of the level's far field (padding radius 2d+1 masks the
+// domain boundary automatically).
+void run_interactive_level(SharedContext& ctx, int l) {
+  const std::size_t k = ctx.config.params.k();
+  const int d = ctx.config.separation;
+  const std::int32_t r = 2 * d + 1;
+  const std::int32_t n = ctx.hier.boxes_per_side(l);
+  const std::int32_t np = n + 2 * r;
+
+  // Build the padded source grid.
+  std::vector<double> pad(static_cast<std::size_t>(np) * np * np * k, 0.0);
+  const double* far = ctx.store.far[l].data();
+  ctx.pool.parallel_for(0, static_cast<std::size_t>(n), [&](std::size_t z) {
+    for (std::int32_t y = 0; y < n; ++y)
+      std::memcpy(pad.data() +
+                      ((static_cast<std::size_t>(z + r) * np + (y + r)) * np +
+                       r) *
+                          k,
+                  far + (static_cast<std::size_t>(z) * n + y) * n * k,
+                  static_cast<std::size_t>(n) * k * sizeof(double));
+  });
+
+  double* local = ctx.store.local[l].data();
+  std::atomic<std::uint64_t> flops{0};
+  std::atomic<std::uint64_t> copy_bytes{0};
+
+  // Parallel over target z slabs; every offset applied per slab.
+  ctx.pool.parallel_chunks(0, static_cast<std::size_t>(n), [&](std::size_t lo,
+                                                               std::size_t hi) {
+    std::vector<double> src_slab(static_cast<std::size_t>(n) * n * k);
+    std::vector<double> dst_strip(static_cast<std::size_t>(n) * k);
+    std::uint64_t local_flops = 0, local_copy = 0;
+    for (std::size_t z = lo; z < hi; ++z) {
+      for (const UnionOffset& u : ctx.impl->union_offsets) {
+        const AppMatrix& m =
+            ctx.impl->t2[tree::offset_cube_index(u.o, d)];
+        const std::size_t sz = z + r + u.o.dz;
+        if (u.all_parities) {
+          switch (ctx.config.aggregation) {
+            case AggregationMode::kGemm: {
+              // Copy the n x n source slab into contiguous scratch (the
+              // paper's copy cost, ~2/K of the multiply), then one GEMM of
+              // shape (n^2) x K x K.
+              for (std::int32_t y = 0; y < n; ++y)
+                std::memcpy(
+                    src_slab.data() + static_cast<std::size_t>(y) * n * k,
+                    pad.data() + ((sz * np + (y + r + u.o.dy)) * np + r +
+                                  u.o.dx) *
+                                     k,
+                    static_cast<std::size_t>(n) * k * sizeof(double));
+              local_copy += static_cast<std::size_t>(n) * n * k * 8;
+              apply_rows(m, src_slab.data(),
+                         local + static_cast<std::size_t>(z) * n * n * k,
+                         static_cast<std::size_t>(n) * n,
+                         AggregationMode::kGemm, 0, local_flops);
+              break;
+            }
+            case AggregationMode::kGemmBatch: {
+              // Each y row is one instance: strided A directly in the padded
+              // grid, no copies (the CMSSL multiple-instance trick).
+              blas::gemm_batch(
+                  pad.data() + ((sz * np + (r + u.o.dy)) * np + r + u.o.dx) * k,
+                  k, static_cast<std::size_t>(np) * k, m.tt.data(), k, 0,
+                  local + static_cast<std::size_t>(z) * n * n * k, k,
+                  static_cast<std::size_t>(n) * k, n, k, k, n, true);
+              local_flops += blas::gemm_flops(static_cast<std::size_t>(n) * n,
+                                              k, k);
+              break;
+            }
+            case AggregationMode::kGemv: {
+              for (std::int32_t y = 0; y < n; ++y)
+                for (std::int32_t x = 0; x < n; ++x)
+                  blas::gemv(m.t, k,
+                             pad.data() + ((sz * np + (y + r + u.o.dy)) * np +
+                                           (x + r + u.o.dx)) *
+                                              k,
+                             local + ((static_cast<std::size_t>(z) * n + y) *
+                                          n +
+                                      x) *
+                                         k,
+                             k, k, true);
+              local_flops += blas::gemm_flops(static_cast<std::size_t>(n) * n,
+                                              k, k);
+              break;
+            }
+          }
+        } else {
+          // Parity-restricted shell (a +-(2d+1) component): only boxes of
+          // the admissible parity are targets; apply per strided strip.
+          const std::int32_t pz_ok = u.valid_parity[2];
+          if (!(pz_ok & (1 << (z & 1)))) continue;
+          for (std::int32_t y = 0; y < n; ++y) {
+            if (!(u.valid_parity[1] & (1 << (y & 1)))) continue;
+            const std::int32_t x0 =
+                (u.valid_parity[0] == 3) ? 0 : ((u.valid_parity[0] == 1) ? 0 : 1);
+            const std::int32_t xstep = (u.valid_parity[0] == 3) ? 1 : 2;
+            std::size_t cnt = 0;
+            for (std::int32_t x = x0; x < n; x += xstep) {
+              std::memcpy(dst_strip.data() + cnt * k,
+                          pad.data() + ((sz * np + (y + r + u.o.dy)) * np +
+                                        (x + r + u.o.dx)) *
+                                           k,
+                          k * sizeof(double));
+              ++cnt;
+            }
+            local_copy += cnt * k * 8;
+            // Multiply into a scratch strip, then scatter-accumulate.
+            std::vector<double> out(cnt * k, 0.0);
+            blas::gemm(dst_strip.data(), k, m.tt.data(), k, out.data(), k,
+                       cnt, k, k, false);
+            local_flops += blas::gemm_flops(cnt, k, k);
+            std::size_t w = 0;
+            for (std::int32_t x = x0; x < n; x += xstep) {
+              double* dst = local + ((static_cast<std::size_t>(z) * n + y) *
+                                         n +
+                                     x) *
+                                        k;
+              for (std::size_t i = 0; i < k; ++i) dst[i] += out[w * k + i];
+              ++w;
+            }
+          }
+        }
+      }
+    }
+    flops += local_flops;
+    copy_bytes += local_copy;
+  });
+  ctx.breakdown["interactive"].flops += flops.load();
+  (void)copy_bytes;
+}
+
+// Supernode variant of the interactive field (paper Section 2.3): complete
+// sibling octets are replaced by one parent-level translation.
+void run_interactive_level_supernodes(SharedContext& ctx, int l) {
+  const std::size_t k = ctx.config.params.k();
+  const int d = ctx.config.separation;
+  const std::int32_t npar = ctx.hier.boxes_per_side(l - 1);
+  const double* far = ctx.store.far[l].data();
+  const double* far_parent = ctx.store.far[l - 1].data();
+  double* local = ctx.store.local[l].data();
+  std::atomic<std::uint64_t> flops{0};
+
+  ctx.pool.parallel_chunks(0, ctx.hier.boxes_at(l), [&](std::size_t lo,
+                                                        std::size_t hi) {
+    std::uint64_t local_flops = 0;
+    for (std::size_t f = lo; f < hi; ++f) {
+      const tree::BoxCoord c = ctx.hier.coord_of(l, f);
+      const int octant = tree::Hierarchy::octant_of(c);
+      const tree::BoxCoord pc = tree::Hierarchy::parent_of(c);
+      const auto& entries = ctx.impl->tset->supernode_list(octant);
+      double* dst = local + f * k;
+      for (std::size_t e = 0; e < entries.size(); ++e) {
+        const auto& entry = entries[e];
+        if (entry.source_level_up == 0) {
+          const tree::BoxCoord s{c.ix + entry.offset.dx,
+                                 c.iy + entry.offset.dy,
+                                 c.iz + entry.offset.dz};
+          if (!ctx.hier.in_bounds(l, s)) continue;
+          const AppMatrix& m =
+              ctx.impl->t2[tree::offset_cube_index(entry.offset, d)];
+          blas::gemv(m.t, k, far + ctx.hier.flat_index(l, s) * k, dst, k, k,
+                     true);
+        } else {
+          const tree::BoxCoord s{pc.ix + entry.offset.dx,
+                                 pc.iy + entry.offset.dy,
+                                 pc.iz + entry.offset.dz};
+          if (s.ix < 0 || s.ix >= npar || s.iy < 0 || s.iy >= npar ||
+              s.iz < 0 || s.iz >= npar)
+            continue;
+          const AppMatrix& m = ctx.impl->supernode[octant][e];
+          blas::gemv(m.t, k,
+                     far_parent + ctx.hier.flat_index(l - 1, s) * k, dst, k,
+                     k, true);
+        }
+        local_flops += blas::gemv_flops(k, k);
+      }
+    }
+    flops += local_flops;
+  });
+  ctx.breakdown["interactive"].flops += flops.load();
+}
+
+void run_downward(SharedContext& ctx) {
+  const std::size_t k = ctx.config.params.k();
+  for (int l = 2; l <= ctx.hier.depth(); ++l) {
+    // T3: parent local field shifted into the children.
+    if (l > 2) {
+      PhaseStats& ph = ctx.breakdown["downward"];
+      ScopedPhaseTimer timer(ph);
+      const std::int32_t np = ctx.hier.boxes_per_side(l - 1);
+      const std::int32_t nc = 2 * np;
+      const double* parent = ctx.store.local[l - 1].data();
+      double* child = ctx.store.local[l].data();
+      std::atomic<std::uint64_t> flops{0};
+      ctx.pool.parallel_chunks(
+          0, static_cast<std::size_t>(np) * np, [&](std::size_t lo,
+                                                    std::size_t hi) {
+            std::vector<double> scratch(static_cast<std::size_t>(np) * k);
+            std::uint64_t local_flops = 0;
+            for (std::size_t zy = lo; zy < hi; ++zy) {
+              const std::int32_t pz = static_cast<std::int32_t>(zy / np);
+              const std::int32_t py = static_cast<std::int32_t>(zy % np);
+              const double* prow =
+                  parent + (static_cast<std::size_t>(pz) * np + py) * np * k;
+              for (int o = 0; o < 8; ++o) {
+                const std::int32_t cz = 2 * pz + ((o >> 2) & 1);
+                const std::int32_t cy = 2 * py + ((o >> 1) & 1);
+                const std::int32_t cx0 = o & 1;
+                std::fill(scratch.begin(), scratch.end(), 0.0);
+                apply_rows(ctx.impl->t3[o], prow, scratch.data(), np,
+                           ctx.config.aggregation, 8, local_flops);
+                double* crow =
+                    child + (static_cast<std::size_t>(cz) * nc + cy) * nc * k;
+                for (std::int32_t px = 0; px < np; ++px) {
+                  double* dst =
+                      crow + static_cast<std::size_t>(2 * px + cx0) * k;
+                  const double* s = scratch.data() + px * k;
+                  for (std::size_t i = 0; i < k; ++i) dst[i] += s[i];
+                }
+              }
+            }
+            flops += local_flops;
+          });
+      ph.flops += flops.load();
+    }
+    // T2 over the interactive field.
+    {
+      PhaseStats& ph = ctx.breakdown["interactive"];
+      ScopedPhaseTimer timer(ph);
+      if (ctx.config.supernodes)
+        run_interactive_level_supernodes(ctx, l);
+      else
+        run_interactive_level(ctx, l);
+    }
+  }
+}
+
+void run_l2p(SharedContext& ctx, std::span<double> phi, std::span<Vec3> grad) {
+  PhaseStats& ph = ctx.breakdown["l2p"];
+  ScopedPhaseTimer timer(ph);
+  const int h = ctx.hier.depth();
+  const std::size_t k = ctx.config.params.k();
+  const double a = ctx.config.params.inner_ratio * ctx.hier.side_at(h);
+  const ParticleSet& p = ctx.boxed.sorted;
+  std::atomic<std::uint64_t> flops{0};
+  ctx.pool.parallel_chunks(0, ctx.hier.boxes_at(h), [&](std::size_t lo,
+                                                        std::size_t hi) {
+    std::uint64_t local_flops = 0;
+    for (std::size_t f = lo; f < hi; ++f) {
+      const std::uint32_t rank = ctx.boxed.flat_to_rank[f];
+      const std::uint32_t b = ctx.boxed.box_begin[rank];
+      const std::uint32_t e = ctx.boxed.box_begin[rank + 1];
+      if (b == e) continue;
+      const tree::BoxCoord c = ctx.hier.coord_of(h, f);
+      const std::span<const double> g{ctx.store.local[h].data() + f * k, k};
+      if (grad.empty()) {
+        anderson::l2p(ctx.config.params, a, ctx.hier.center(h, c), g,
+                      p.x().subspan(b, e - b), p.y().subspan(b, e - b),
+                      p.z().subspan(b, e - b), phi.subspan(b, e - b));
+      } else {
+        anderson::l2p_gradient(ctx.config.params, a, ctx.hier.center(h, c), g,
+                               p.x().subspan(b, e - b),
+                               p.y().subspan(b, e - b),
+                               p.z().subspan(b, e - b), phi.subspan(b, e - b),
+                               grad.subspan(b, e - b));
+      }
+      local_flops +=
+          anderson::l2p_flops(k, e - b, ctx.config.params.truncation);
+    }
+    flops += local_flops;
+  });
+  ph.flops += flops.load();
+}
+
+}  // namespace
+
+FmmResult FmmSolver::solve(const ParticleSet& particles) {
+  impl_->build(config_);
+  const std::size_t n = particles.size();
+  FmmResult result;
+  result.k = config_.params.k();
+  result.breakdown["precompute"].seconds = impl_->precompute_seconds;
+  impl_->precompute_seconds = 0.0;  // charged to the first solve only
+  if (n == 0) return result;
+
+  const int h = depth_for(n);
+  result.depth = h;
+  result.leaf_boxes = std::size_t{1} << (3 * h);
+  const tree::Hierarchy hier(tree::cube_containing(particles.bounds()), h);
+
+  // Thread pool selection: sequential mode uses a one-thread pool.
+  ThreadPool seq_pool(config_.mode == ExecutionMode::kSequential ? 1 : 0);
+  ThreadPool& pool = config_.mode == ExecutionMode::kSequential
+                         ? seq_pool
+                         : ThreadPool::global();
+
+  if (config_.mode == ExecutionMode::kDataParallel)
+    return solve_dp_(particles, hier, result);
+
+  // Layout with a single VU: the coordinate sort degenerates to grouping by
+  // flat box index.
+  const dp::MachineConfig one_vu{1, 1, 1};
+  const dp::BlockLayout layout(hier.boxes_per_side(h), one_vu);
+
+  dp::BoxedParticles boxed;
+  {
+    ScopedPhaseTimer timer(result.breakdown["sort"]);
+    boxed = dp::coordinate_sort(particles, hier, layout);
+  }
+
+  LevelStore store(h, config_.params.k());
+  SharedContext ctx{config_, impl_.get(), hier, boxed, store, pool,
+                    result.breakdown};
+
+  run_p2m(ctx);
+  run_upward(ctx);
+  run_downward(ctx);
+
+  std::vector<double> phi_sorted(n, 0.0);
+  std::vector<Vec3> grad_sorted;
+  if (config_.with_gradient) grad_sorted.assign(n, Vec3{});
+  run_l2p(ctx, phi_sorted, grad_sorted);
+
+  {
+    PhaseStats& ph = result.breakdown["near"];
+    ScopedPhaseTimer timer(ph);
+    const NearFieldResult nf =
+        near_field(hier, boxed, config_.separation, config_.near_symmetry,
+                   phi_sorted, grad_sorted, pool, config_.softening);
+    ph.flops += nf.flops;
+  }
+
+  // Un-sort to the original particle order.
+  result.phi.assign(n, 0.0);
+  if (config_.with_gradient) result.grad.assign(n, Vec3{});
+  for (std::size_t i = 0; i < n; ++i) {
+    result.phi[boxed.perm[i]] = phi_sorted[i];
+    if (config_.with_gradient) result.grad[boxed.perm[i]] = grad_sorted[i];
+  }
+  return result;
+}
+
+}  // namespace hfmm::core

@@ -1,0 +1,381 @@
+// Data-parallel execution of the FMM on the simulated CM-style machine
+// (paper Section 3). The numerics are identical to the shared-memory path;
+// what differs is the data layout (block-distributed grids, the flattened
+// multigrid embedding) and that every inter-VU data motion goes through the
+// counted dp primitives: coordinate sort, multigrid embed/extract, halo
+// fetches for the interactive field, and neighbor reads in the near field.
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "hfmm/anderson/leaf_ops.hpp"
+#include "hfmm/blas/blas.hpp"
+#include "hfmm/core/near_field.hpp"
+#include "hfmm/core/solver.hpp"
+#include "hfmm/dp/halo.hpp"
+#include "hfmm/dp/multigrid.hpp"
+#include "hfmm/dp/sort.hpp"
+#include "solver_internal.hpp"
+
+namespace hfmm::core {
+
+namespace {
+
+using internal::AppMatrix;
+
+// Machine VU rank holding a box of a (possibly folded) level layout.
+std::size_t machine_rank(const dp::Machine& m, const dp::BlockLayout& layout,
+                         const tree::BoxCoord& c) {
+  const std::int32_t vx = c.ix / layout.sub_x();
+  const std::int32_t vy = c.iy / layout.sub_y();
+  const std::int32_t vz = c.iz / layout.sub_z();
+  return m.vu_rank(vx % m.config().vu_x, vy % m.config().vu_y,
+                   vz % m.config().vu_z);
+}
+
+// Zeroes halo ghost cells whose (unwrapped) global coordinate falls outside
+// the domain — the masking step that turns the periodic CSHIFT semantics
+// into the FMM's open boundary (paper Table 3's "masking").
+void mask_halo(dp::Machine& machine, dp::HaloGrid& halo) {
+  const dp::BlockLayout& layout = halo.layout();
+  const std::int32_t g = halo.ghost();
+  const std::int32_t n = layout.boxes_per_side();
+  machine.for_each_vu([&](std::size_t vu) {
+    const tree::BoxCoord origin = layout.global_of({vu, 0, 0, 0});
+    for (std::int32_t hz = 0; hz < halo.ext_z(); ++hz)
+      for (std::int32_t hy = 0; hy < halo.ext_y(); ++hy)
+        for (std::int32_t hx = 0; hx < halo.ext_x(); ++hx) {
+          const std::int32_t gx = origin.ix + hx - g;
+          const std::int32_t gy = origin.iy + hy - g;
+          const std::int32_t gz = origin.iz + hz - g;
+          if (gx < 0 || gx >= n || gy < 0 || gy >= n || gz < 0 || gz >= n) {
+            auto cell = halo.at(vu, hx, hy, hz);
+            std::fill(cell.begin(), cell.end(), 0.0);
+          }
+        }
+  });
+}
+
+}  // namespace
+
+FmmResult FmmSolver::solve_dp_(const ParticleSet& particles,
+                               const tree::Hierarchy& hier, FmmResult result) {
+  impl_->build(config_);
+  const anderson::Params& params = config_.params;
+  const std::size_t k = params.k();
+  const std::size_t n = particles.size();
+  const int h = hier.depth();
+  const int d = config_.separation;
+
+  // Fold the requested VU grid so it never exceeds the leaf box grid.
+  const std::int32_t nside = hier.boxes_per_side(h);
+  dp::MachineConfig mc{std::min(config_.machine.vu_x, nside),
+                       std::min(config_.machine.vu_y, nside),
+                       std::min(config_.machine.vu_z, nside)};
+  dp::Machine machine(mc);
+  const dp::BlockLayout leaf_layout(nside, mc);
+
+  // --- Coordinate sort (Section 3.2). With >= 1 leaf box per VU the sorted
+  // 1-D order is already VU-aligned; any residual misplacement is counted.
+  dp::BoxedParticles boxed;
+  {
+    ScopedPhaseTimer timer(result.breakdown["sort"]);
+    boxed = dp::coordinate_sort(particles, hier, leaf_layout);
+    const dp::SortLocality loc = dp::measure_locality(boxed, hier, leaf_layout);
+    machine.stats().off_vu_bytes += loc.off_vu_bytes;
+    result.breakdown["sort"].comm_bytes += loc.off_vu_bytes;
+  }
+  const ParticleSet& p = boxed.sorted;
+
+  dp::MultigridArray mg_far(leaf_layout, h, k);
+  dp::MultigridArray mg_local(leaf_layout, h, k);
+
+  // --- P2M: particles are VU-aligned with their leaf boxes; no comm.
+  {
+    PhaseStats& ph = result.breakdown["p2m"];
+    ScopedPhaseTimer timer(ph);
+    const double a = params.outer_ratio * hier.side_at(h);
+    dp::DistGrid& leaf = mg_far.leaf_layer();
+    const std::size_t bpv = leaf_layout.boxes_per_vu();
+    machine.for_each_vu([&](std::size_t vu) {
+      for (std::int32_t lz = 0; lz < leaf_layout.sub_z(); ++lz)
+        for (std::int32_t ly = 0; ly < leaf_layout.sub_y(); ++ly)
+          for (std::int32_t lx = 0; lx < leaf_layout.sub_x(); ++lx) {
+            const std::size_t rank =
+                vu * bpv + leaf_layout.local_index(lx, ly, lz);
+            const std::uint32_t b = boxed.box_begin[rank];
+            const std::uint32_t e = boxed.box_begin[rank + 1];
+            if (b == e) continue;
+            const tree::BoxCoord c = leaf_layout.global_of({vu, lx, ly, lz});
+            anderson::p2m(params, a, hier.center(h, c),
+                          p.x().subspan(b, e - b), p.y().subspan(b, e - b),
+                          p.z().subspan(b, e - b), p.q().subspan(b, e - b),
+                          leaf.at(vu, lx, ly, lz));
+          }
+    });
+    ph.flops += anderson::p2m_flops(k, n);
+  }
+
+  // --- Upward pass: T1 with multigrid embed/extract (Sections 3.1, 3.3.2).
+  {
+    PhaseStats& ph = result.breakdown["upward"];
+    ScopedPhaseTimer timer(ph);
+    const dp::CommStats before = machine.stats();
+    dp::DistGrid temp_child(leaf_layout, k);
+    dp::multigrid_extract(machine, mg_far, h, temp_child, config_.embed);
+    for (int l = h - 1; l >= 1; --l) {
+      const dp::BlockLayout parent_layout =
+          dp::layout_for_level(leaf_layout, l);
+      const dp::BlockLayout child_layout = temp_child.layout();
+      dp::DistGrid temp_parent(parent_layout, k);
+      dp::Machine parent_machine(parent_layout.machine());
+      parent_machine.for_each_vu([&](std::size_t vu) {
+        for (std::int32_t lz = 0; lz < parent_layout.sub_z(); ++lz)
+          for (std::int32_t ly = 0; ly < parent_layout.sub_y(); ++ly)
+            for (std::int32_t lx = 0; lx < parent_layout.sub_x(); ++lx) {
+              const tree::BoxCoord pc =
+                  parent_layout.global_of({vu, lx, ly, lz});
+              double* dst = temp_parent.at(vu, lx, ly, lz).data();
+              for (int o = 0; o < 8; ++o) {
+                const tree::BoxCoord cc = tree::Hierarchy::child_of(pc, o);
+                blas::gemv(impl_->t1[o].t, k,
+                           temp_child.at_global(cc).data(), dst, k, k, true);
+              }
+            }
+      });
+      // Parent-child comm: children living on a different VU than their
+      // parent (only near the root, where levels fold onto fewer VUs).
+      for (std::size_t f = 0; f < hier.boxes_at(l); ++f) {
+        const tree::BoxCoord pc = hier.coord_of(l, f);
+        const std::size_t pr = machine_rank(machine, parent_layout, pc);
+        for (int o = 0; o < 8; ++o) {
+          const tree::BoxCoord cc = tree::Hierarchy::child_of(pc, o);
+          if (machine_rank(machine, child_layout, cc) != pr) {
+            machine.stats().off_vu_bytes += k * sizeof(double);
+            machine.stats().messages += 1;
+          }
+        }
+      }
+      ph.flops += 8ull * hier.boxes_at(l) * blas::gemv_flops(k, k);
+      dp::multigrid_embed(machine, temp_parent, l, mg_far, config_.embed);
+      temp_child = std::move(temp_parent);
+    }
+    ph.comm_bytes += (machine.stats() - before).off_vu_bytes;
+  }
+
+  // --- Downward pass: T2 via halo fetches, T3 from the parent level.
+  {
+    dp::DistGrid local_parent(dp::layout_for_level(leaf_layout, 1), k);
+    for (int l = 2; l <= h; ++l) {
+      const dp::BlockLayout level_layout = dp::layout_for_level(leaf_layout, l);
+      dp::Machine level_machine(level_layout.machine());
+      level_machine.cost_model() = machine.cost_model();
+      const std::int32_t nl = level_layout.boxes_per_side();
+      dp::DistGrid temp_far(level_layout, k);
+      dp::multigrid_extract(machine, mg_far, l, temp_far, config_.embed);
+      dp::DistGrid temp_local(level_layout, k);
+
+      // T3 first (l > 2): parent local field into the children.
+      if (l > 2) {
+        PhaseStats& ph = result.breakdown["downward"];
+        ScopedPhaseTimer timer(ph);
+        const dp::BlockLayout& pl = local_parent.layout();
+        level_machine.for_each_vu([&](std::size_t vu) {
+          for (std::int32_t lz = 0; lz < level_layout.sub_z(); ++lz)
+            for (std::int32_t ly = 0; ly < level_layout.sub_y(); ++ly)
+              for (std::int32_t lx = 0; lx < level_layout.sub_x(); ++lx) {
+                const tree::BoxCoord c =
+                    level_layout.global_of({vu, lx, ly, lz});
+                const int o = tree::Hierarchy::octant_of(c);
+                blas::gemv(
+                    impl_->t3[o].t, k,
+                    local_parent.at_global(tree::Hierarchy::parent_of(c))
+                        .data(),
+                    temp_local.at(vu, lx, ly, lz).data(), k, k, true);
+              }
+        });
+        for (std::size_t f = 0; f < hier.boxes_at(l); ++f) {
+          const tree::BoxCoord c = hier.coord_of(l, f);
+          if (machine_rank(machine, level_layout, c) !=
+              machine_rank(machine, pl, tree::Hierarchy::parent_of(c))) {
+            machine.stats().off_vu_bytes += k * sizeof(double);
+            machine.stats().messages += 1;
+          }
+        }
+        ph.flops += hier.boxes_at(l) * blas::gemv_flops(k, k);
+      }
+
+      // T2 over the interactive field.
+      {
+        PhaseStats& ph = result.breakdown["interactive"];
+        ScopedPhaseTimer timer(ph);
+        const dp::CommStats before = machine.stats();
+        const std::int32_t ghost = 2 * d;
+        const bool halo_ok = level_layout.sub_x() >= ghost &&
+                             level_layout.sub_y() >= ghost &&
+                             level_layout.sub_z() >= ghost;
+        if (halo_ok) {
+          dp::HaloGrid halo(level_layout, k, ghost);
+          fill_halo(level_machine, temp_far, halo, config_.halo);
+          mask_halo(level_machine, halo);
+          machine.stats() += level_machine.stats();
+          level_machine.reset_stats();
+          level_machine.for_each_vu([&](std::size_t vu) {
+            for (std::int32_t lz = 0; lz < level_layout.sub_z(); ++lz)
+              for (std::int32_t ly = 0; ly < level_layout.sub_y(); ++ly)
+                for (std::int32_t lx = 0; lx < level_layout.sub_x(); ++lx) {
+                  const tree::BoxCoord c =
+                      level_layout.global_of({vu, lx, ly, lz});
+                  const int oct = tree::Hierarchy::octant_of(c);
+                  double* dst = temp_local.at(vu, lx, ly, lz).data();
+                  for (const auto& off : tree::interactive_offsets(oct, d)) {
+                    const AppMatrix& m =
+                        impl_->t2[tree::offset_cube_index(off, d)];
+                    blas::gemv(m.t, k,
+                               halo.at(vu, lx + ghost + off.dx,
+                                       ly + ghost + off.dy,
+                                       lz + ghost + off.dz)
+                                   .data(),
+                               dst, k, k, true);
+                  }
+                }
+          });
+        } else {
+          // Small-level fallback: direct global reads with counted comm.
+          level_machine.for_each_vu([&](std::size_t vu) {
+            for (std::int32_t lz = 0; lz < level_layout.sub_z(); ++lz)
+              for (std::int32_t ly = 0; ly < level_layout.sub_y(); ++ly)
+                for (std::int32_t lx = 0; lx < level_layout.sub_x(); ++lx) {
+                  const tree::BoxCoord c =
+                      level_layout.global_of({vu, lx, ly, lz});
+                  const int oct = tree::Hierarchy::octant_of(c);
+                  double* dst = temp_local.at(vu, lx, ly, lz).data();
+                  for (const auto& off : tree::interactive_offsets(oct, d)) {
+                    const tree::BoxCoord s{c.ix + off.dx, c.iy + off.dy,
+                                           c.iz + off.dz};
+                    if (s.ix < 0 || s.ix >= nl || s.iy < 0 || s.iy >= nl ||
+                        s.iz < 0 || s.iz >= nl)
+                      continue;
+                    const AppMatrix& m =
+                        impl_->t2[tree::offset_cube_index(off, d)];
+                    blas::gemv(m.t, k, temp_far.at_global(s).data(), dst, k,
+                               k, true);
+                  }
+                }
+          });
+          for (std::size_t f = 0; f < hier.boxes_at(l); ++f) {
+            const tree::BoxCoord c = hier.coord_of(l, f);
+            const std::size_t cr = machine_rank(machine, level_layout, c);
+            const int oct = tree::Hierarchy::octant_of(c);
+            for (const auto& off : tree::interactive_offsets(oct, d)) {
+              const tree::BoxCoord s{c.ix + off.dx, c.iy + off.dy,
+                                     c.iz + off.dz};
+              if (s.ix < 0 || s.ix >= nl || s.iy < 0 || s.iy >= nl ||
+                  s.iz < 0 || s.iz >= nl)
+                continue;
+              if (machine_rank(machine, level_layout, s) != cr) {
+                machine.stats().off_vu_bytes += k * sizeof(double);
+                machine.stats().messages += 1;
+              }
+            }
+          }
+        }
+        machine.stats() += level_machine.stats();
+        const std::size_t n_int = tree::interactive_offsets(0, d).size();
+        ph.flops += hier.boxes_at(l) * n_int * blas::gemv_flops(k, k);
+        ph.comm_bytes += (machine.stats() - before).off_vu_bytes;
+      }
+
+      dp::multigrid_embed(machine, temp_local, l, mg_local, config_.embed);
+      local_parent = std::move(temp_local);
+    }
+  }
+
+  // --- L2P: leaf local field at the particles (VU-aligned, no comm).
+  std::vector<double> phi_sorted(n, 0.0);
+  std::vector<Vec3> grad_sorted;
+  if (config_.with_gradient) grad_sorted.assign(n, Vec3{});
+  {
+    PhaseStats& ph = result.breakdown["l2p"];
+    ScopedPhaseTimer timer(ph);
+    const double a = params.inner_ratio * hier.side_at(h);
+    const dp::DistGrid& leaf = mg_local.leaf_layer();
+    const std::size_t bpv = leaf_layout.boxes_per_vu();
+    machine.for_each_vu([&](std::size_t vu) {
+      for (std::int32_t lz = 0; lz < leaf_layout.sub_z(); ++lz)
+        for (std::int32_t ly = 0; ly < leaf_layout.sub_y(); ++ly)
+          for (std::int32_t lx = 0; lx < leaf_layout.sub_x(); ++lx) {
+            const std::size_t rank =
+                vu * bpv + leaf_layout.local_index(lx, ly, lz);
+            const std::uint32_t b = boxed.box_begin[rank];
+            const std::uint32_t e = boxed.box_begin[rank + 1];
+            if (b == e) continue;
+            const tree::BoxCoord c = leaf_layout.global_of({vu, lx, ly, lz});
+            if (config_.with_gradient) {
+              anderson::l2p_gradient(
+                  params, a, hier.center(h, c), leaf.at(vu, lx, ly, lz),
+                  p.x().subspan(b, e - b), p.y().subspan(b, e - b),
+                  p.z().subspan(b, e - b),
+                  std::span<double>(phi_sorted).subspan(b, e - b),
+                  std::span<Vec3>(grad_sorted).subspan(b, e - b));
+            } else {
+              anderson::l2p(params, a, hier.center(h, c),
+                            leaf.at(vu, lx, ly, lz), p.x().subspan(b, e - b),
+                            p.y().subspan(b, e - b), p.z().subspan(b, e - b),
+                            std::span<double>(phi_sorted).subspan(b, e - b));
+            }
+          }
+    });
+    ph.flops += anderson::l2p_flops(k, n, params.truncation);
+  }
+
+  // --- Near field: physics via the shared kernel, communication counted as
+  // the particle data of off-VU neighbor boxes (paper Section 3.4 fetches
+  // them with 62 single-step CSHIFTs; we count equivalent bytes).
+  {
+    PhaseStats& ph = result.breakdown["near"];
+    ScopedPhaseTimer timer(ph);
+    const NearFieldResult nf =
+        near_field(hier, boxed, d, config_.near_symmetry, phi_sorted,
+                   grad_sorted, ThreadPool::global(), config_.softening);
+    ph.flops += nf.flops;
+    const auto offsets = config_.near_symmetry
+                             ? tree::near_field_half_offsets(d)
+                             : tree::near_field_offsets(d);
+    std::uint64_t off_bytes = 0, msgs = 0;
+    for (std::size_t f = 0; f < hier.boxes_at(h); ++f) {
+      const tree::BoxCoord c = hier.coord_of(h, f);
+      const dp::BoxHome home = leaf_layout.home_of(c);
+      for (const auto& o : offsets) {
+        if (o == tree::Offset{0, 0, 0}) continue;
+        const tree::BoxCoord s{c.ix + o.dx, c.iy + o.dy, c.iz + o.dz};
+        if (!hier.in_bounds(h, s)) continue;
+        if (leaf_layout.home_of(s).vu != home.vu) {
+          const std::uint32_t rank = boxed.flat_to_rank[hier.flat_index(h, s)];
+          const std::uint32_t cnt =
+              boxed.box_begin[rank + 1] - boxed.box_begin[rank];
+          off_bytes += cnt * 4 * sizeof(double);
+          msgs += 1;
+        }
+      }
+    }
+    machine.stats().off_vu_bytes += off_bytes;
+    machine.stats().messages += msgs;
+    ph.comm_bytes += off_bytes;
+  }
+
+  result.comm = machine.stats();
+  result.breakdown["comm"].comm_bytes = machine.stats().off_vu_bytes;
+  result.breakdown["comm"].seconds = machine.estimated_comm_seconds();
+
+  result.phi.assign(n, 0.0);
+  if (config_.with_gradient) result.grad.assign(n, Vec3{});
+  for (std::size_t i = 0; i < n; ++i) {
+    result.phi[boxed.perm[i]] = phi_sorted[i];
+    if (config_.with_gradient) result.grad[boxed.perm[i]] = grad_sorted[i];
+  }
+  return result;
+}
+
+}  // namespace hfmm::core

@@ -1,0 +1,69 @@
+#pragma once
+// Internal machinery shared by the shared-memory executor (solver.cpp) and
+// the data-parallel executor (solver_dp.cpp). Not installed.
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hfmm/anderson/translations.hpp"
+#include "hfmm/blas/blas.hpp"
+#include "hfmm/core/solver.hpp"
+#include "hfmm/tree/interaction_lists.hpp"
+
+namespace hfmm::core::internal {
+
+// An application-ready translation matrix: `t` is the paper's T (row j
+// produces destination point j), `tt` its transpose. Aggregated application
+// treats box-major data G[nb x K] as C = G * T^T, so BLAS-3 paths use `tt`;
+// per-box BLAS-2 uses `t` directly.
+struct AppMatrix {
+  const double* t = nullptr;
+  std::vector<double> tt;
+  std::size_t k = 0;
+
+  void set(const anderson::TranslationMatrix& m) {
+    t = m.data();
+    k = m.k;
+    tt.resize(k * k);
+    for (std::size_t j = 0; j < k; ++j)
+      for (std::size_t i = 0; i < k; ++i) tt[i * k + j] = m.m[j * k + i];
+  }
+};
+
+// One union interactive-field offset plus its per-axis parity admissibility
+// (paper Section 3.3.2: sibling ranges [-2d-p, 2d+1-p] per axis).
+struct UnionOffset {
+  tree::Offset o;
+  std::array<std::uint8_t, 3> valid_parity;  // bit p: parity p admissible
+  bool all_parities = false;
+};
+
+std::vector<UnionOffset> build_union_offsets(int separation);
+
+// Applies dst[nb x K] (+)= src[nb x K] * m.tt under the chosen aggregation
+// mode. src/dst rows are contiguous box-major potential vectors.
+void apply_rows(const AppMatrix& m, const double* src, double* dst,
+                std::size_t nb, AggregationMode mode, std::size_t batch_slab,
+                std::uint64_t& flops);
+
+}  // namespace hfmm::core::internal
+
+namespace hfmm::core {
+
+struct FmmSolver::Impl {
+  std::unique_ptr<anderson::TranslationSet> tset;
+  std::array<internal::AppMatrix, 8> t1, t3;
+  // T2 application matrices by offset-cube index (built for union offsets).
+  std::vector<internal::AppMatrix> t2;
+  std::vector<internal::UnionOffset> union_offsets;
+  // Supernode application matrices per octant, aligned with
+  // tset->supernode_list(octant).
+  std::array<std::vector<internal::AppMatrix>, 8> supernode;
+  double precompute_seconds = 0.0;
+
+  void build(const FmmConfig& config);
+};
+
+}  // namespace hfmm::core

@@ -1,0 +1,23 @@
+#include "hfmm/d2/circle_rule.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace hfmm::d2 {
+
+CircleRule circle_rule(std::size_t k) {
+  if (k == 0) throw std::invalid_argument("circle_rule: k must be positive");
+  CircleRule rule;
+  rule.points.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const double theta =
+        2.0 * std::numbers::pi * static_cast<double>(i) / static_cast<double>(k);
+    rule.points.push_back({std::cos(theta), std::sin(theta), theta});
+  }
+  rule.weight = 1.0 / static_cast<double>(k);
+  rule.degree = static_cast<int>(k) - 1;
+  return rule;
+}
+
+}  // namespace hfmm::d2

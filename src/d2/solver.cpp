@@ -1,0 +1,451 @@
+#include "hfmm/d2/solver.hpp"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+
+#include "hfmm/blas/blas.hpp"
+#include "hfmm/util/rng.hpp"
+
+namespace hfmm::d2 {
+
+ParticleSet2 make_uniform2(std::size_t n, std::uint64_t seed, double qlo,
+                           double qhi) {
+  ParticleSet2 p;
+  p.resize(n);
+  Xoshiro256 rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    p.x[i] = rng.uniform();
+    p.y[i] = rng.uniform();
+    p.q[i] = rng.uniform(qlo, qhi);
+  }
+  return p;
+}
+
+ParticleSet2 make_plasma2(std::size_t n, std::uint64_t seed) {
+  ParticleSet2 p = make_uniform2(n, seed);
+  for (std::size_t i = 0; i < n; ++i) p.q[i] = (i % 2 == 0) ? 1.0 : -1.0;
+  return p;
+}
+
+void Fmm2Config::validate() const {
+  if (k < 4) throw std::invalid_argument("Fmm2Config: k must be >= 4");
+  if (truncation < 0 || 2 * truncation > static_cast<int>(k) - 1)
+    throw std::invalid_argument(
+        "Fmm2Config: truncation must satisfy 2M <= K-1 (rule exactness)");
+  if (radius_ratio <= 0.0)
+    throw std::invalid_argument("Fmm2Config: radius_ratio must be positive");
+  if (depth != -1 && depth < 2)
+    throw std::invalid_argument("Fmm2Config: explicit depth must be >= 2");
+  if (separation < 1)
+    throw std::invalid_argument("Fmm2Config: separation must be >= 1");
+  if (supernodes && separation != 2)
+    throw std::invalid_argument("Fmm2Config: supernodes need separation 2");
+}
+
+Direct2Result direct_all2(const ParticleSet2& p, bool with_gradient) {
+  const std::size_t n = p.size();
+  Direct2Result out;
+  out.phi.assign(n, 0.0);
+  if (with_gradient) out.grad.assign(n, Point2{});
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    Point2 g{};
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const double dx = p.x[i] - p.x[j], dy = p.y[i] - p.y[j];
+      const double r2 = dx * dx + dy * dy;
+      acc += -0.5 * p.q[j] * std::log(r2);  // q log(1/r)
+      if (with_gradient) {
+        g.x += -p.q[j] * dx / r2;
+        g.y += -p.q[j] * dy / r2;
+      }
+    }
+    out.phi[i] = acc;
+    if (with_gradient) out.grad[i] = g;
+  }
+  return out;
+}
+
+namespace {
+
+// Augmented translation matrices ((K+1) x (K+1), row-major): the last slot
+// of an element vector is the monopole Q (outer elements only).
+std::vector<double> build_outer_to_points2(const Fmm2Config& cfg,
+                                           const CircleRule& rule,
+                                           double a_src, double a_dst,
+                                           const Point2& dst_minus_src,
+                                           bool carry_monopole) {
+  const std::size_t k = rule.size();
+  const std::size_t kp = k + 1;
+  std::vector<double> t(kp * kp, 0.0);
+  for (std::size_t j = 0; j < k; ++j) {
+    const Point2 x_rel{dst_minus_src.x + a_dst * rule.points[j].x,
+                       dst_minus_src.y + a_dst * rule.points[j].y};
+    double* row = t.data() + j * kp;
+    for (std::size_t i = 0; i < k; ++i)
+      row[i] = rule.weight * outer_series_kernel(cfg.truncation, a_src,
+                                                 rule.points[i].theta, x_rel);
+    // The source's log term sampled at the destination point.
+    row[k] = std::log(a_src / x_rel.norm());
+  }
+  if (carry_monopole) t[k * kp + k] = 1.0;  // dst Q += src Q
+  return t;
+}
+
+std::vector<double> build_inner_to_points2(const Fmm2Config& cfg,
+                                           const CircleRule& rule,
+                                           double a_src, double a_dst,
+                                           const Point2& dst_minus_src) {
+  const std::size_t k = rule.size();
+  const std::size_t kp = k + 1;
+  std::vector<double> t(kp * kp, 0.0);
+  for (std::size_t j = 0; j < k; ++j) {
+    const Point2 x_rel{dst_minus_src.x + a_dst * rule.points[j].x,
+                       dst_minus_src.y + a_dst * rule.points[j].y};
+    double* row = t.data() + j * kp;
+    for (std::size_t i = 0; i < k; ++i)
+      row[i] = rule.weight * inner_series_kernel(cfg.truncation, a_src,
+                                                 rule.points[i].theta, x_rel);
+  }
+  return t;
+}
+
+struct Boxed2 {
+  std::vector<std::uint32_t> perm;       // sorted index -> original index
+  std::vector<std::uint32_t> box_begin;  // CSR by leaf flat index
+  ParticleSet2 sorted;
+};
+
+Boxed2 sort_particles(const ParticleSet2& p, const Quadtree& tree) {
+  const std::size_t n = p.size();
+  const std::size_t boxes = tree.boxes_at(tree.depth());
+  Boxed2 out;
+  std::vector<std::uint32_t> flat(n);
+  out.box_begin.assign(boxes + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    flat[i] = static_cast<std::uint32_t>(
+        tree.flat_index(tree.depth(), tree.leaf_of(p.position(i))));
+    out.box_begin[flat[i] + 1]++;
+  }
+  for (std::size_t b = 0; b < boxes; ++b)
+    out.box_begin[b + 1] += out.box_begin[b];
+  out.perm.resize(n);
+  std::vector<std::uint32_t> cursor(out.box_begin.begin(),
+                                    out.box_begin.end() - 1);
+  std::vector<std::uint32_t> inverse(n);
+  for (std::size_t i = 0; i < n; ++i) inverse[cursor[flat[i]]++] = i;
+  out.perm = std::move(inverse);
+  out.sorted.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.sorted.x[i] = p.x[out.perm[i]];
+    out.sorted.y[i] = p.y[out.perm[i]];
+    out.sorted.q[i] = p.q[out.perm[i]];
+  }
+  return out;
+}
+
+}  // namespace
+
+struct FmmSolver2::Impl {
+  CircleRule rule;
+  std::size_t kp = 0;
+  std::array<std::vector<double>, 4> t1, t3;
+  std::vector<std::vector<double>> t2;  // by offset_square_index
+  std::array<std::vector<SupernodeEntry2>, 4> sn_entries;
+  std::array<std::vector<std::vector<double>>, 4> sn_matrices;
+  std::array<std::vector<Offset2>, 4> interactive;
+  bool built = false;
+
+  void build(const Fmm2Config& cfg) {
+    if (built) return;
+    rule = circle_rule(cfg.k);
+    kp = cfg.k + 1;
+    const double a_child_out = cfg.radius_ratio;
+    const double a_child_in = cfg.radius_ratio;
+    const double a_parent_out = 2.0 * cfg.radius_ratio;
+    const double a_parent_in = 2.0 * cfg.radius_ratio;
+    for (int q = 0; q < 4; ++q) {
+      const Point2 child = Quadtree::quadrant_offset(q);
+      t1[q] = build_outer_to_points2(cfg, rule, a_child_out, a_parent_out,
+                                     {-child.x, -child.y}, true);
+      t3[q] = build_inner_to_points2(cfg, rule, a_parent_in, a_child_in,
+                                     child);
+      interactive[q] = interactive_offsets2(q, cfg.separation);
+    }
+    t2.resize(offset_square_size(cfg.separation));
+    for (const Offset2& o : sibling_union_offsets2(cfg.separation)) {
+      t2[offset_square_index(o, cfg.separation)] = build_outer_to_points2(
+          cfg, rule, a_child_out, a_child_in,
+          {-static_cast<double>(o.dx), -static_cast<double>(o.dy)}, false);
+    }
+    if (cfg.supernodes) {
+      for (int q = 0; q < 4; ++q) {
+        sn_entries[q] = supernode_interactive2(q, cfg.separation);
+        for (const auto& e : sn_entries[q]) {
+          if (e.source_level_up == 0) {
+            sn_matrices[q].emplace_back();
+            continue;
+          }
+          const Point2 parent_centre{-Quadtree::quadrant_offset(q).x,
+                                     -Quadtree::quadrant_offset(q).y};
+          const Point2 src{parent_centre.x + 2.0 * e.offset.dx,
+                           parent_centre.y + 2.0 * e.offset.dy};
+          sn_matrices[q].push_back(build_outer_to_points2(
+              cfg, rule, a_parent_out, a_child_in, {-src.x, -src.y}, false));
+        }
+      }
+    }
+    built = true;
+  }
+};
+
+FmmSolver2::FmmSolver2(Fmm2Config config)
+    : config_(config), impl_(std::make_unique<Impl>()) {
+  config_.validate();
+}
+
+FmmSolver2::~FmmSolver2() = default;
+
+int FmmSolver2::depth_for(std::size_t n) const {
+  if (config_.depth >= 0) return config_.depth;
+  double occupancy = config_.particles_per_leaf;
+  if (occupancy <= 0.0) {
+    occupancy = 0.5 * static_cast<double>(config_.k);
+    if (config_.supernodes) occupancy *= 0.6;
+    occupancy = std::clamp(occupancy, 4.0, 128.0);
+  }
+  return std::max(2, optimal_depth2(n, occupancy));
+}
+
+Fmm2Result FmmSolver2::solve(const ParticleSet2& particles) {
+  impl_->build(config_);
+  const std::size_t n = particles.size();
+  Fmm2Result result;
+  if (n == 0) return result;
+  const std::size_t k = config_.k;
+  const std::size_t kp = impl_->kp;
+  const int h = depth_for(n);
+  result.depth = h;
+
+  // Bounding square with a little padding.
+  double lox = particles.x[0], hix = lox, loy = particles.y[0], hiy = loy;
+  for (std::size_t i = 1; i < n; ++i) {
+    lox = std::min(lox, particles.x[i]);
+    hix = std::max(hix, particles.x[i]);
+    loy = std::min(loy, particles.y[i]);
+    hiy = std::max(hiy, particles.y[i]);
+  }
+  const double side = std::max(hix - lox, hiy - loy) * (1.0 + 1e-6) + 1e-12;
+  const Point2 centre{0.5 * (lox + hix), 0.5 * (loy + hiy)};
+  const Quadtree tree({centre.x - 0.5 * side, centre.y - 0.5 * side}, side, h);
+
+  ThreadPool local_pool(config_.threads ? 0 : 1);
+  ThreadPool& pool = config_.threads ? ThreadPool::global() : local_pool;
+
+  Boxed2 boxed;
+  {
+    ScopedPhaseTimer timer(result.breakdown["sort"]);
+    boxed = sort_particles(particles, tree);
+  }
+  const ParticleSet2& p = boxed.sorted;
+
+  // Level storage: augmented (K+1) vectors per box, Q in the last slot.
+  std::vector<std::vector<double>> far(h + 1), local(h + 1);
+  for (int l = 0; l <= h; ++l) {
+    far[l].assign(tree.boxes_at(l) * kp, 0.0);
+    local[l].assign(tree.boxes_at(l) * kp, 0.0);
+  }
+
+  // --- P2M.
+  {
+    ScopedPhaseTimer timer(result.breakdown["p2m"]);
+    const double a = config_.radius_ratio * tree.side_at(h);
+    pool.parallel_chunks(0, tree.boxes_at(h), [&](std::size_t lo,
+                                                  std::size_t hi) {
+      for (std::size_t f = lo; f < hi; ++f) {
+        const std::uint32_t b = boxed.box_begin[f];
+        const std::uint32_t e = boxed.box_begin[f + 1];
+        if (b == e) continue;
+        const Point2 c = tree.center(h, tree.coord_of(h, f));
+        double* g = far[h].data() + f * kp;
+        for (std::size_t i = 0; i < k; ++i) {
+          const Point2 pt{c.x + a * impl_->rule.points[i].x,
+                          c.y + a * impl_->rule.points[i].y};
+          double acc = 0.0;
+          for (std::uint32_t j = b; j < e; ++j) {
+            const double dx = pt.x - p.x[j], dy = pt.y - p.y[j];
+            acc += -0.5 * p.q[j] * std::log(dx * dx + dy * dy);
+          }
+          g[i] += acc;
+        }
+        for (std::uint32_t j = b; j < e; ++j) g[k] += p.q[j];
+      }
+    });
+  }
+
+  // --- Upward (T1).
+  {
+    ScopedPhaseTimer timer(result.breakdown["upward"]);
+    for (int l = h - 1; l >= 1; --l) {
+      pool.parallel_chunks(0, tree.boxes_at(l), [&](std::size_t lo,
+                                                    std::size_t hi) {
+        for (std::size_t f = lo; f < hi; ++f) {
+          const BoxCoord2 pc = tree.coord_of(l, f);
+          double* dst = far[l].data() + f * kp;
+          for (int q = 0; q < 4; ++q) {
+            const BoxCoord2 cc = Quadtree::child_of(pc, q);
+            blas::gemv(impl_->t1[q].data(), kp,
+                       far[l + 1].data() + tree.flat_index(l + 1, cc) * kp,
+                       dst, kp, kp, true);
+          }
+        }
+      });
+    }
+  }
+
+  // --- Downward (T3 + T2).
+  for (int l = 2; l <= h; ++l) {
+    if (l > 2) {
+      ScopedPhaseTimer timer(result.breakdown["downward"]);
+      pool.parallel_chunks(0, tree.boxes_at(l), [&](std::size_t lo,
+                                                    std::size_t hi) {
+        for (std::size_t f = lo; f < hi; ++f) {
+          const BoxCoord2 c = tree.coord_of(l, f);
+          blas::gemv(impl_->t3[Quadtree::quadrant_of(c)].data(), kp,
+                     local[l - 1].data() +
+                         tree.flat_index(l - 1, Quadtree::parent_of(c)) * kp,
+                     local[l].data() + f * kp, kp, kp, true);
+        }
+      });
+    }
+    {
+      ScopedPhaseTimer timer(result.breakdown["interactive"]);
+      const std::int32_t nl = tree.boxes_per_side(l);
+      const std::int32_t npar = tree.boxes_per_side(l - 1);
+      pool.parallel_chunks(0, tree.boxes_at(l), [&](std::size_t lo,
+                                                    std::size_t hi) {
+        for (std::size_t f = lo; f < hi; ++f) {
+          const BoxCoord2 c = tree.coord_of(l, f);
+          const int quad = Quadtree::quadrant_of(c);
+          double* dst = local[l].data() + f * kp;
+          if (!config_.supernodes) {
+            for (const Offset2& o : impl_->interactive[quad]) {
+              const BoxCoord2 s{c.ix + o.dx, c.iy + o.dy};
+              if (s.ix < 0 || s.ix >= nl || s.iy < 0 || s.iy >= nl) continue;
+              blas::gemv(
+                  impl_->t2[offset_square_index(o, config_.separation)].data(),
+                  kp, far[l].data() + tree.flat_index(l, s) * kp, dst, kp, kp,
+                  true);
+            }
+          } else {
+            const BoxCoord2 pc = Quadtree::parent_of(c);
+            const auto& entries = impl_->sn_entries[quad];
+            for (std::size_t e = 0; e < entries.size(); ++e) {
+              if (entries[e].source_level_up == 0) {
+                const BoxCoord2 s{c.ix + entries[e].offset.dx,
+                                  c.iy + entries[e].offset.dy};
+                if (s.ix < 0 || s.ix >= nl || s.iy < 0 || s.iy >= nl)
+                  continue;
+                blas::gemv(impl_->t2[offset_square_index(entries[e].offset,
+                                                         config_.separation)]
+                               .data(),
+                           kp, far[l].data() + tree.flat_index(l, s) * kp,
+                           dst, kp, kp, true);
+              } else {
+                const BoxCoord2 s{pc.ix + entries[e].offset.dx,
+                                  pc.iy + entries[e].offset.dy};
+                if (s.ix < 0 || s.ix >= npar || s.iy < 0 || s.iy >= npar)
+                  continue;
+                blas::gemv(impl_->sn_matrices[quad][e].data(), kp,
+                           far[l - 1].data() + tree.flat_index(l - 1, s) * kp,
+                           dst, kp, kp, true);
+              }
+            }
+          }
+        }
+      });
+    }
+  }
+
+  // --- L2P + near field (sorted order), then unsort.
+  std::vector<double> phi(n, 0.0);
+  std::vector<Point2> grad;
+  if (config_.with_gradient) grad.assign(n, Point2{});
+  {
+    ScopedPhaseTimer timer(result.breakdown["l2p"]);
+    const double a = config_.radius_ratio * tree.side_at(h);
+    pool.parallel_chunks(0, tree.boxes_at(h), [&](std::size_t lo,
+                                                  std::size_t hi) {
+      for (std::size_t f = lo; f < hi; ++f) {
+        const std::uint32_t b = boxed.box_begin[f];
+        const std::uint32_t e = boxed.box_begin[f + 1];
+        if (b == e) continue;
+        const Point2 c = tree.center(h, tree.coord_of(h, f));
+        const std::span<const double> g{local[h].data() + f * kp, k};
+        for (std::uint32_t j = b; j < e; ++j) {
+          const Point2 x{p.x[j], p.y[j]};
+          phi[j] += evaluate_inner(impl_->rule, config_.truncation, a, c, g, x);
+          if (config_.with_gradient) {
+            const Point2 gr = evaluate_inner_gradient(
+                impl_->rule, config_.truncation, a, c, g, x);
+            grad[j].x += gr.x;
+            grad[j].y += gr.y;
+          }
+        }
+      }
+    });
+  }
+  {
+    ScopedPhaseTimer timer(result.breakdown["near"]);
+    const auto offsets = near_offsets2(config_.separation);
+    const std::int32_t nl = tree.boxes_per_side(h);
+    pool.parallel_chunks(0, tree.boxes_at(h), [&](std::size_t lo,
+                                                  std::size_t hi) {
+      for (std::size_t f = lo; f < hi; ++f) {
+        const std::uint32_t tb = boxed.box_begin[f];
+        const std::uint32_t te = boxed.box_begin[f + 1];
+        if (tb == te) continue;
+        const BoxCoord2 c = tree.coord_of(h, f);
+        for (const Offset2& o : offsets) {
+          const BoxCoord2 nb{c.ix + o.dx, c.iy + o.dy};
+          if (nb.ix < 0 || nb.ix >= nl || nb.iy < 0 || nb.iy >= nl) continue;
+          const std::size_t sf = tree.flat_index(h, nb);
+          const std::uint32_t sb = boxed.box_begin[sf];
+          const std::uint32_t se = boxed.box_begin[sf + 1];
+          for (std::uint32_t i = tb; i < te; ++i) {
+            double acc = 0.0;
+            Point2 g{};
+            for (std::uint32_t j = sb; j < se; ++j) {
+              if (j == i) continue;
+              const double dx = p.x[i] - p.x[j], dy = p.y[i] - p.y[j];
+              const double r2 = dx * dx + dy * dy;
+              acc += -0.5 * p.q[j] * std::log(r2);
+              if (config_.with_gradient) {
+                g.x += -p.q[j] * dx / r2;
+                g.y += -p.q[j] * dy / r2;
+              }
+            }
+            phi[i] += acc;
+            if (config_.with_gradient) {
+              grad[i].x += g.x;
+              grad[i].y += g.y;
+            }
+          }
+        }
+      }
+    });
+  }
+
+  result.phi.assign(n, 0.0);
+  if (config_.with_gradient) result.grad.assign(n, Point2{});
+  for (std::size_t i = 0; i < n; ++i) {
+    result.phi[boxed.perm[i]] = phi[i];
+    if (config_.with_gradient) result.grad[boxed.perm[i]] = grad[i];
+  }
+  return result;
+}
+
+}  // namespace hfmm::d2

@@ -1,0 +1,38 @@
+#include "hfmm/dp/dist_grid.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hfmm::dp {
+
+DistGrid::DistGrid(const BlockLayout& layout, std::size_t k)
+    : layout_(layout), k_(k) {
+  if (k == 0) throw std::invalid_argument("DistGrid: k must be positive");
+  data_.assign(layout.machine().total_vus() * vu_stride(), 0.0);
+}
+
+std::span<double> DistGrid::at_global(const tree::BoxCoord& c) {
+  const BoxHome h = layout_.home_of(c);
+  return at(h.vu, h.lx, h.ly, h.lz);
+}
+
+std::span<const double> DistGrid::at_global(const tree::BoxCoord& c) const {
+  const BoxHome h = layout_.home_of(c);
+  return at(h.vu, h.lx, h.ly, h.lz);
+}
+
+void DistGrid::fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+HaloGrid::HaloGrid(const BlockLayout& layout, std::size_t k, std::int32_t ghost)
+    : layout_(layout), k_(k), g_(ghost) {
+  if (k == 0) throw std::invalid_argument("HaloGrid: k must be positive");
+  if (ghost < 0) throw std::invalid_argument("HaloGrid: ghost must be >= 0");
+  ex_ = layout.sub_x() + 2 * g_;
+  ey_ = layout.sub_y() + 2 * g_;
+  ez_ = layout.sub_z() + 2 * g_;
+  data_.assign(layout.machine().total_vus() * vu_stride(), 0.0);
+}
+
+void HaloGrid::fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+}  // namespace hfmm::dp

@@ -1,0 +1,402 @@
+#include "hfmm/dp/halo.hpp"
+
+#include <array>
+#include <cstring>
+#include <set>
+#include <stdexcept>
+
+namespace hfmm::dp {
+
+const char* to_string(HaloStrategy s) {
+  switch (s) {
+    case HaloStrategy::kDirectCshift: return "direct-cshift-unaliased";
+    case HaloStrategy::kLinearizedCshift: return "linearized-unaliased";
+    case HaloStrategy::kGhostSections: return "direct-aliased-sections";
+    case HaloStrategy::kSubgridSnake: return "linearized-aliased-subgrids";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr std::int32_t wrap(std::int32_t v, std::int32_t n) {
+  return ((v % n) + n) % n;
+}
+
+std::int32_t axis_component(const tree::BoxCoord& c, int axis) {
+  return axis == 0 ? c.ix : (axis == 1 ? c.iy : c.iz);
+}
+
+tree::BoxCoord with_axis(tree::BoxCoord c, int axis, std::int32_t v) {
+  (axis == 0 ? c.ix : (axis == 1 ? c.iy : c.iz)) = v;
+  return c;
+}
+
+std::int32_t sub_extent(const BlockLayout& l, int axis) {
+  return axis == 0 ? l.sub_x() : (axis == 1 ? l.sub_y() : l.sub_z());
+}
+
+std::int32_t vu_extent(const MachineConfig& m, int axis) {
+  return axis == 0 ? m.vu_x : (axis == 1 ? m.vu_y : m.vu_z);
+}
+
+}  // namespace
+
+void cshift(Machine& machine, const DistGrid& src, DistGrid& dst, int axis,
+            std::int32_t offset) {
+  const BlockLayout& layout = src.layout();
+  if (&src == &dst) throw std::invalid_argument("cshift: src == dst");
+  const std::int32_t n = layout.boxes_per_side();
+  const std::int32_t t = wrap(offset, n);
+  const std::size_t k = src.k();
+
+  // Data movement: dst(c) = src(c - t along axis), periodic.
+  machine.for_each_vu([&](std::size_t vu) {
+    const std::int32_t sx = layout.sub_x(), sy = layout.sub_y(),
+                       sz = layout.sub_z();
+    for (std::int32_t lz = 0; lz < sz; ++lz)
+      for (std::int32_t ly = 0; ly < sy; ++ly)
+        for (std::int32_t lx = 0; lx < sx; ++lx) {
+          const tree::BoxCoord c = layout.global_of({vu, lx, ly, lz});
+          const tree::BoxCoord s =
+              with_axis(c, axis, wrap(axis_component(c, axis) - t, n));
+          std::memcpy(dst.at(vu, lx, ly, lz).data(), src.at_global(s).data(),
+                      k * sizeof(double));
+        }
+  });
+
+  // Counters, computed analytically. For each destination index along the
+  // shifted axis, the source index is (i - t) mod n; it crosses a VU
+  // boundary iff the two indices live in different blocks.
+  const std::int32_t s_axis = sub_extent(layout, axis);
+  std::int32_t crossing = 0;
+  std::set<std::pair<std::int32_t, std::int32_t>> pairs;
+  for (std::int32_t i = 0; i < n; ++i) {
+    const std::int32_t j = wrap(i - t, n);
+    if (i / s_axis != j / s_axis) {
+      ++crossing;
+      pairs.insert({j / s_axis, i / s_axis});
+    }
+  }
+  const std::size_t perp =
+      layout.total_boxes() / static_cast<std::size_t>(n);  // boxes per slice
+  const std::size_t off_boxes = static_cast<std::size_t>(crossing) * perp;
+  const std::size_t local_boxes = layout.total_boxes() - off_boxes;
+  const std::size_t vu_perp =
+      machine.vus() / static_cast<std::size_t>(vu_extent(machine.config(), axis));
+
+  CommStats& st = machine.stats();
+  const std::uint64_t off_bytes = off_boxes * k * sizeof(double);
+  const std::uint64_t local_bytes = local_boxes * k * sizeof(double);
+  st.off_vu_bytes += off_bytes;
+  st.local_bytes += local_bytes;
+  st.messages += pairs.size() * vu_perp;
+  st.cshift_steps += 1;
+  // Critical path: every VU moves its share concurrently; a VU sends at
+  // most `pairs.size()` distinct messages along the shifted axis.
+  const CostModel& cm = machine.cost_model();
+  const double p = static_cast<double>(machine.vus());
+  st.modeled_seconds +=
+      cm.seconds_per_message * static_cast<double>(pairs.empty() ? 0 : 1) +
+      cm.seconds_per_off_vu_byte * static_cast<double>(off_bytes) / p +
+      cm.seconds_per_local_byte * static_cast<double>(local_bytes) / p;
+}
+
+namespace {
+
+// Copies each VU's own subgrid into the halo interior.
+void fill_interior(Machine& machine, const DistGrid& grid, HaloGrid& halo) {
+  const BlockLayout& layout = grid.layout();
+  const std::size_t k = grid.k();
+  const std::int32_t g = halo.ghost();
+  machine.for_each_vu([&](std::size_t vu) {
+    for (std::int32_t lz = 0; lz < layout.sub_z(); ++lz)
+      for (std::int32_t ly = 0; ly < layout.sub_y(); ++ly)
+        for (std::int32_t lx = 0; lx < layout.sub_x(); ++lx)
+          std::memcpy(halo.at(vu, lx + g, ly + g, lz + g).data(),
+                      grid.at(vu, lx, ly, lz).data(), k * sizeof(double));
+  });
+  const std::uint64_t bytes = grid.total_values() * sizeof(double);
+  machine.stats().local_bytes += bytes;
+  machine.stats().modeled_seconds +=
+      machine.cost_model().seconds_per_local_byte *
+      static_cast<double>(bytes) / static_cast<double>(machine.vus());
+}
+
+// True if halo-relative position q (component range [-g, S+g)) lies outside
+// the subgrid interior in at least one axis.
+bool is_ghost(const BlockLayout& l, std::int32_t qx, std::int32_t qy,
+              std::int32_t qz) {
+  return qx < 0 || qx >= l.sub_x() || qy < 0 || qy >= l.sub_y() || qz < 0 ||
+         qz >= l.sub_z();
+}
+
+// Deposits, from a working grid W satisfying W(c) = grid(c + o), every ghost
+// cell q = l + o (l in the subgrid) of every VU into the halo. Local copies.
+void deposit_offset(Machine& machine, const DistGrid& w, HaloGrid& halo,
+                    std::int32_t ox, std::int32_t oy, std::int32_t oz) {
+  const BlockLayout& layout = w.layout();
+  const std::size_t k = w.k();
+  const std::int32_t g = halo.ghost();
+  std::uint64_t copied = 0;
+  // Count once (all VUs are symmetric on the torus): cells of the subgrid
+  // whose o-translate is a ghost position.
+  for (std::int32_t lz = 0; lz < layout.sub_z(); ++lz)
+    for (std::int32_t ly = 0; ly < layout.sub_y(); ++ly)
+      for (std::int32_t lx = 0; lx < layout.sub_x(); ++lx)
+        if (is_ghost(layout, lx + ox, ly + oy, lz + oz)) ++copied;
+  machine.for_each_vu([&](std::size_t vu) {
+    for (std::int32_t lz = 0; lz < layout.sub_z(); ++lz)
+      for (std::int32_t ly = 0; ly < layout.sub_y(); ++ly)
+        for (std::int32_t lx = 0; lx < layout.sub_x(); ++lx) {
+          const std::int32_t qx = lx + ox, qy = ly + oy, qz = lz + oz;
+          if (!is_ghost(layout, qx, qy, qz)) continue;
+          std::memcpy(halo.at(vu, qx + g, qy + g, qz + g).data(),
+                      w.at(vu, lx, ly, lz).data(), k * sizeof(double));
+        }
+  });
+  machine.stats().local_bytes += copied * machine.vus() * k * sizeof(double);
+  machine.stats().modeled_seconds +=
+      machine.cost_model().seconds_per_local_byte *
+      static_cast<double>(copied * k * sizeof(double));
+}
+
+// Snake path over the cube [-r, r]^3: consecutive entries differ by one unit
+// along one axis. Starts at (-r, -r, -r).
+std::vector<std::array<std::int32_t, 3>> snake_path(std::int32_t r) {
+  std::vector<std::array<std::int32_t, 3>> path;
+  bool flip_y = false;
+  for (std::int32_t z = -r; z <= r; ++z) {
+    const auto ys = flip_y ? -1 : 1;
+    bool flip_x = false;
+    for (std::int32_t yi = 0; yi <= 2 * r; ++yi) {
+      const std::int32_t y = flip_y ? r - yi : -r + yi;
+      for (std::int32_t xi = 0; xi <= 2 * r; ++xi) {
+        const std::int32_t x = flip_x ? r - xi : -r + xi;
+        path.push_back({x, y, z});
+      }
+      flip_x = !flip_x;
+    }
+    flip_y = !flip_y;
+    (void)ys;
+  }
+  return path;
+}
+
+void halo_direct_cshift(Machine& machine, const DistGrid& grid,
+                        HaloGrid& halo) {
+  const std::int32_t g = halo.ghost();
+  DistGrid tmp_a(grid.layout(), grid.k());
+  DistGrid tmp_b(grid.layout(), grid.k());
+  for (std::int32_t oz = -g; oz <= g; ++oz)
+    for (std::int32_t oy = -g; oy <= g; ++oy)
+      for (std::int32_t ox = -g; ox <= g; ++ox) {
+        if (ox == 0 && oy == 0 && oz == 0) continue;
+        // Axis-decomposed whole-grid shift so every box holds the value of
+        // its neighbor at offset o: W(c) = grid(c + o) = shift by -o.
+        const DistGrid* cur = &grid;
+        DistGrid* next = &tmp_a;
+        const std::int32_t comps[3] = {ox, oy, oz};
+        for (int axis = 0; axis < 3; ++axis) {
+          if (comps[axis] == 0) continue;
+          cshift(machine, *cur, *next, axis, -comps[axis]);
+          cur = next;
+          next = (next == &tmp_a) ? &tmp_b : &tmp_a;
+        }
+        deposit_offset(machine, *cur, halo, ox, oy, oz);
+      }
+}
+
+void halo_linearized_cshift(Machine& machine, const DistGrid& grid,
+                            HaloGrid& halo) {
+  const std::int32_t g = halo.ghost();
+  const auto path = snake_path(g);
+  DistGrid work(grid.layout(), grid.k());
+  DistGrid tmp(grid.layout(), grid.k());
+  // Walk to the snake start with one multi-step shift per axis.
+  std::array<std::int32_t, 3> pos = path.front();
+  cshift(machine, grid, tmp, 0, -pos[0]);
+  cshift(machine, tmp, work, 1, -pos[1]);
+  cshift(machine, work, tmp, 2, -pos[2]);
+  std::swap(work, tmp);
+  if (!(pos[0] == 0 && pos[1] == 0 && pos[2] == 0))
+    deposit_offset(machine, work, halo, pos[0], pos[1], pos[2]);
+  for (std::size_t step = 1; step < path.size(); ++step) {
+    const auto& to = path[step];
+    for (int axis = 0; axis < 3; ++axis) {
+      const std::int32_t d = to[axis] - pos[axis];
+      if (d == 0) continue;
+      // Unit step: W currently equals grid shifted by -pos; advance it.
+      cshift(machine, work, tmp, axis, -d);
+      std::swap(work, tmp);
+    }
+    pos = to;
+    if (!(pos[0] == 0 && pos[1] == 0 && pos[2] == 0))
+      deposit_offset(machine, work, halo, pos[0], pos[1], pos[2]);
+  }
+}
+
+void halo_ghost_sections(Machine& machine, const DistGrid& grid,
+                         HaloGrid& halo) {
+  const BlockLayout& layout = grid.layout();
+  const std::size_t k = grid.k();
+  const std::int32_t g = halo.ghost();
+  const std::int32_t n = layout.boxes_per_side();
+
+  machine.for_each_vu([&](std::size_t vu) {
+    const tree::BoxCoord origin = layout.global_of({vu, 0, 0, 0});
+    for (std::int32_t hz = 0; hz < halo.ext_z(); ++hz)
+      for (std::int32_t hy = 0; hy < halo.ext_y(); ++hy)
+        for (std::int32_t hx = 0; hx < halo.ext_x(); ++hx) {
+          const std::int32_t qx = hx - g, qy = hy - g, qz = hz - g;
+          if (!is_ghost(layout, qx, qy, qz)) continue;
+          const tree::BoxCoord s{wrap(origin.ix + qx, n),
+                                 wrap(origin.iy + qy, n),
+                                 wrap(origin.iz + qz, n)};
+          std::memcpy(halo.at(vu, hx, hy, hz).data(),
+                      grid.at_global(s).data(), k * sizeof(double));
+        }
+  });
+
+  // Counters from VU 0 (torus symmetry): every ghost cell is fetched
+  // exactly once; off-VU when its source lives on another VU. Messages: one
+  // per (sign-region, distinct source VU) pair per VU.
+  const tree::BoxCoord origin = layout.global_of({0, 0, 0, 0});
+  std::uint64_t off_cells = 0, local_cells = 0;
+  std::set<std::pair<int, std::size_t>> region_sources;
+  for (std::int32_t hz = 0; hz < halo.ext_z(); ++hz)
+    for (std::int32_t hy = 0; hy < halo.ext_y(); ++hy)
+      for (std::int32_t hx = 0; hx < halo.ext_x(); ++hx) {
+        const std::int32_t qx = hx - g, qy = hy - g, qz = hz - g;
+        if (!is_ghost(layout, qx, qy, qz)) continue;
+        const tree::BoxCoord s{wrap(origin.ix + qx, n),
+                               wrap(origin.iy + qy, n),
+                               wrap(origin.iz + qz, n)};
+        const BoxHome h = layout.home_of(s);
+        if (h.vu == 0) {
+          ++local_cells;
+        } else {
+          ++off_cells;
+          const int region =
+              (qx < 0 ? 0 : (qx >= layout.sub_x() ? 2 : 1)) +
+              3 * (qy < 0 ? 0 : (qy >= layout.sub_y() ? 2 : 1)) +
+              9 * (qz < 0 ? 0 : (qz >= layout.sub_z() ? 2 : 1));
+          region_sources.insert({region, h.vu});
+        }
+      }
+  CommStats& st = machine.stats();
+  const std::size_t vus = machine.vus();
+  st.off_vu_bytes += off_cells * vus * k * sizeof(double);
+  st.local_bytes += local_cells * vus * k * sizeof(double);
+  st.messages += region_sources.size() * vus;
+  st.sends += region_sources.size() * vus;
+  // Per-VU critical path: each VU issues its region fetches itself.
+  const CostModel& cm = machine.cost_model();
+  st.modeled_seconds +=
+      cm.seconds_per_message * static_cast<double>(region_sources.size()) +
+      cm.seconds_per_off_vu_byte *
+          static_cast<double>(off_cells * k * sizeof(double)) +
+      cm.seconds_per_local_byte *
+          static_cast<double>(local_cells * k * sizeof(double));
+}
+
+void halo_subgrid_snake(Machine& machine, const DistGrid& grid,
+                        HaloGrid& halo) {
+  const BlockLayout& layout = grid.layout();
+  const std::int32_t g = halo.ghost();
+  const std::int32_t sub[3] = {layout.sub_x(), layout.sub_y(), layout.sub_z()};
+  // One whole-subgrid step per unit of VU offset; ghosts only ever come from
+  // the 26 adjacent VUs because fill_halo enforces g <= min subgrid extent.
+  const auto path = snake_path(1);
+  DistGrid work(layout, grid.k());
+  DistGrid tmp(layout, grid.k());
+
+  std::array<std::int32_t, 3> pos = path.front();  // (-1, -1, -1)
+  cshift(machine, grid, tmp, 0, -pos[0] * sub[0]);
+  cshift(machine, tmp, work, 1, -pos[1] * sub[1]);
+  cshift(machine, work, tmp, 2, -pos[2] * sub[2]);
+  std::swap(work, tmp);
+
+  const auto deposit_sections = [&](const std::array<std::int32_t, 3>& v) {
+    // W(c) = grid(c + v .* sub): VU-local cell l holds the value of the
+    // neighbor VU at offset v's cell l. Ghost cells q with floor-division
+    // block v are sectioned out of the parked subgrid.
+    const std::size_t k = grid.k();
+    std::uint64_t copied = 0;
+    for (std::int32_t qz = -g; qz < sub[2] + g; ++qz)
+      for (std::int32_t qy = -g; qy < sub[1] + g; ++qy)
+        for (std::int32_t qx = -g; qx < sub[0] + g; ++qx) {
+          if (!is_ghost(layout, qx, qy, qz)) continue;
+          const std::int32_t bx = qx < 0 ? -1 : (qx >= sub[0] ? 1 : 0);
+          const std::int32_t by = qy < 0 ? -1 : (qy >= sub[1] ? 1 : 0);
+          const std::int32_t bz = qz < 0 ? -1 : (qz >= sub[2] ? 1 : 0);
+          if (bx != v[0] || by != v[1] || bz != v[2]) continue;
+          ++copied;
+        }
+    machine.for_each_vu([&](std::size_t vu) {
+      for (std::int32_t qz = -g; qz < sub[2] + g; ++qz)
+        for (std::int32_t qy = -g; qy < sub[1] + g; ++qy)
+          for (std::int32_t qx = -g; qx < sub[0] + g; ++qx) {
+            if (!is_ghost(layout, qx, qy, qz)) continue;
+            const std::int32_t bx = qx < 0 ? -1 : (qx >= sub[0] ? 1 : 0);
+            const std::int32_t by = qy < 0 ? -1 : (qy >= sub[1] ? 1 : 0);
+            const std::int32_t bz = qz < 0 ? -1 : (qz >= sub[2] ? 1 : 0);
+            if (bx != v[0] || by != v[1] || bz != v[2]) continue;
+            std::memcpy(
+                halo.at(vu, qx + g, qy + g, qz + g).data(),
+                work.at(vu, qx - bx * sub[0], qy - by * sub[1],
+                        qz - bz * sub[2])
+                    .data(),
+                k * sizeof(double));
+          }
+    });
+    machine.stats().local_bytes += copied * machine.vus() * k * sizeof(double);
+    machine.stats().modeled_seconds +=
+        machine.cost_model().seconds_per_local_byte *
+        static_cast<double>(copied * k * sizeof(double));
+  };
+
+  if (!(pos[0] == 0 && pos[1] == 0 && pos[2] == 0)) deposit_sections(pos);
+  for (std::size_t step = 1; step < path.size(); ++step) {
+    const auto& to = path[step];
+    for (int axis = 0; axis < 3; ++axis) {
+      const std::int32_t d = to[axis] - pos[axis];
+      if (d == 0) continue;
+      cshift(machine, work, tmp, axis, -d * sub[axis]);
+      std::swap(work, tmp);
+    }
+    pos = to;
+    if (!(pos[0] == 0 && pos[1] == 0 && pos[2] == 0)) deposit_sections(pos);
+  }
+}
+
+}  // namespace
+
+void fill_halo(Machine& machine, const DistGrid& grid, HaloGrid& halo,
+               HaloStrategy strategy) {
+  const BlockLayout& layout = grid.layout();
+  if (halo.k() != grid.k())
+    throw std::invalid_argument("fill_halo: k mismatch");
+  const std::int32_t g = halo.ghost();
+  if (g > layout.sub_x() || g > layout.sub_y() || g > layout.sub_z())
+    throw std::invalid_argument(
+        "fill_halo: ghost depth exceeds subgrid extent (the paper's "
+        "nearest-neighbor-only restriction, Section 3.3.1)");
+  fill_interior(machine, grid, halo);
+  switch (strategy) {
+    case HaloStrategy::kDirectCshift:
+      halo_direct_cshift(machine, grid, halo);
+      break;
+    case HaloStrategy::kLinearizedCshift:
+      halo_linearized_cshift(machine, grid, halo);
+      break;
+    case HaloStrategy::kGhostSections:
+      halo_ghost_sections(machine, grid, halo);
+      break;
+    case HaloStrategy::kSubgridSnake:
+      halo_subgrid_snake(machine, grid, halo);
+      break;
+  }
+}
+
+}  // namespace hfmm::dp

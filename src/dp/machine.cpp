@@ -1,0 +1,67 @@
+#include "hfmm/dp/machine.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hfmm::dp {
+
+namespace {
+constexpr bool is_pow2(std::int64_t v) { return v > 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+bool MachineConfig::valid() const {
+  return is_pow2(vu_x) && is_pow2(vu_y) && is_pow2(vu_z);
+}
+
+CommStats& CommStats::operator+=(const CommStats& o) {
+  off_vu_bytes += o.off_vu_bytes;
+  local_bytes += o.local_bytes;
+  messages += o.messages;
+  cshift_steps += o.cshift_steps;
+  sends += o.sends;
+  broadcasts += o.broadcasts;
+  modeled_seconds += o.modeled_seconds;
+  return *this;
+}
+
+CommStats CommStats::operator-(const CommStats& o) const {
+  CommStats r = *this;
+  r.off_vu_bytes -= o.off_vu_bytes;
+  r.local_bytes -= o.local_bytes;
+  r.messages -= o.messages;
+  r.cshift_steps -= o.cshift_steps;
+  r.sends -= o.sends;
+  r.broadcasts -= o.broadcasts;
+  r.modeled_seconds -= o.modeled_seconds;
+  return r;
+}
+
+Machine::Machine(const MachineConfig& config, ThreadPool* pool)
+    : config_(config), pool_(pool) {
+  if (!config.valid())
+    throw std::invalid_argument("Machine: VU grid extents must be powers of 2");
+  if (pool_ == nullptr)
+    throw std::invalid_argument("Machine: thread pool required");
+}
+
+void Machine::for_each_vu(const std::function<void(std::size_t)>& body) {
+  pool_->parallel_for(0, vus(), body);
+}
+
+void Machine::charge_parallel_transfer(std::uint64_t total_off_bytes,
+                                       std::uint64_t total_messages,
+                                       std::uint64_t total_local_bytes) {
+  const double p = static_cast<double>(vus());
+  stats_.off_vu_bytes += total_off_bytes;
+  stats_.messages += total_messages;
+  stats_.local_bytes += total_local_bytes;
+  stats_.modeled_seconds +=
+      cost_.seconds_per_message *
+          std::ceil(static_cast<double>(total_messages) / p) +
+      cost_.seconds_per_off_vu_byte * static_cast<double>(total_off_bytes) /
+          p +
+      cost_.seconds_per_local_byte * static_cast<double>(total_local_bytes) /
+          p;
+}
+
+}  // namespace hfmm::dp

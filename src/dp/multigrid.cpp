@@ -1,0 +1,324 @@
+#include "hfmm/dp/multigrid.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace hfmm::dp {
+
+const char* to_string(EmbedMethod m) {
+  switch (m) {
+    case EmbedMethod::kGeneralSend: return "general-send";
+    case EmbedMethod::kLocalCopy: return "local-copy/two-step";
+  }
+  return "?";
+}
+
+MultigridArray::MultigridArray(const BlockLayout& leaf_layout, int depth,
+                               std::size_t k)
+    : leaf_(leaf_layout),
+      depth_(depth),
+      k_(k),
+      layer0_(leaf_layout, k),
+      layer1_(leaf_layout, k) {
+  if (depth < 0) throw std::invalid_argument("MultigridArray: depth >= 0");
+  if (leaf_layout.boxes_per_side() != (std::int32_t{1} << depth))
+    throw std::invalid_argument(
+        "MultigridArray: leaf layout extent must be 2^depth");
+}
+
+std::int32_t MultigridArray::section_stride(int level) const {
+  if (level < 0 || level > depth_)
+    throw std::out_of_range("MultigridArray: bad level");
+  return std::int32_t{1} << (depth_ - level);
+}
+
+std::int32_t MultigridArray::section_start(int level) const {
+  if (level == depth_) return 0;
+  return section_stride(level) >> 1;
+}
+
+std::span<double> MultigridArray::at(int level, const tree::BoxCoord& c) {
+  const std::int32_t stride = section_stride(level);
+  const std::int32_t start = section_start(level);
+  DistGrid& layer = (level == depth_) ? layer0_ : layer1_;
+  return layer.at_global(
+      {start + stride * c.ix, start + stride * c.iy, start + stride * c.iz});
+}
+
+std::span<const double> MultigridArray::at(int level,
+                                           const tree::BoxCoord& c) const {
+  return const_cast<MultigridArray*>(this)->at(level, c);
+}
+
+void MultigridArray::fill(double v) {
+  layer0_.fill(v);
+  layer1_.fill(v);
+}
+
+BlockLayout layout_for_level(const BlockLayout& leaf_layout, int level) {
+  const std::int32_t n = std::int32_t{1} << level;
+  const MachineConfig& m = leaf_layout.machine();
+  const MachineConfig folded{std::min(m.vu_x, n), std::min(m.vu_y, n),
+                             std::min(m.vu_z, n)};
+  return BlockLayout(n, folded);
+}
+
+namespace {
+
+// Maps a folded-layout VU rank to the machine VU rank that actually holds
+// the data. When the level grid is coarser than the VU grid the folded grid
+// uses only the low-coordinate VUs of the machine.
+std::size_t machine_rank_of(const Machine& machine, const BlockLayout& folded,
+                            std::size_t folded_vu) {
+  const tree::BoxCoord origin = folded.global_of({folded_vu, 0, 0, 0});
+  const std::int32_t vx = origin.ix / folded.sub_x();
+  const std::int32_t vy = origin.iy / folded.sub_y();
+  const std::int32_t vz = origin.iz / folded.sub_z();
+  return machine.vu_rank(vx % machine.config().vu_x,
+                         vy % machine.config().vu_y,
+                         vz % machine.config().vu_z);
+}
+
+struct SectionMap {
+  std::int32_t stride = 1;
+  std::int32_t start = 0;
+};
+
+// Core data move: temp(level box c) <-> layer(section position of c).
+// `to_layer` selects direction. Returns (off_vu_boxes, local_boxes).
+std::pair<std::uint64_t, std::uint64_t> move_section(
+    Machine& machine, DistGrid& temp, DistGrid& layer, const SectionMap& map,
+    bool to_layer) {
+  const BlockLayout& tl = temp.layout();
+  const BlockLayout& ll = layer.layout();
+  const std::size_t k = temp.k();
+  std::uint64_t off = 0, local = 0;
+  const std::int32_t n = tl.boxes_per_side();
+  for (std::int32_t iz = 0; iz < n; ++iz)
+    for (std::int32_t iy = 0; iy < n; ++iy)
+      for (std::int32_t ix = 0; ix < n; ++ix) {
+        const tree::BoxCoord ct{ix, iy, iz};
+        const tree::BoxCoord cl{map.start + map.stride * ix,
+                                map.start + map.stride * iy,
+                                map.start + map.stride * iz};
+        const std::size_t vu_t =
+            machine_rank_of(machine, tl, tl.home_of(ct).vu);
+        const std::size_t vu_l = ll.home_of(cl).vu;
+        if (vu_t == vu_l)
+          ++local;
+        else
+          ++off;
+        if (to_layer)
+          std::memcpy(layer.at_global(cl).data(), temp.at_global(ct).data(),
+                      k * sizeof(double));
+        else
+          std::memcpy(temp.at_global(ct).data(), layer.at_global(cl).data(),
+                      k * sizeof(double));
+      }
+  return {off, local};
+}
+
+// The CMF compiler's general path: the run-time system computes a send
+// address for EVERY element of the larger array involved, even though only
+// the section's elements move. We reproduce that overhead by scanning the
+// whole destination layer and testing membership per element — this is what
+// makes Figure 7's "use send in CMF" curve flat and high.
+void general_send(Machine& machine, DistGrid& temp, DistGrid& layer,
+                  const SectionMap& map, bool to_layer) {
+  const BlockLayout& ll = layer.layout();
+  const std::int32_t n = ll.boxes_per_side();
+  std::uint64_t address_work = 0;
+  std::uint64_t scanned = 0;
+  for (std::int32_t iz = 0; iz < n; ++iz)
+    for (std::int32_t iy = 0; iy < n; ++iy)
+      for (std::int32_t ix = 0; ix < n; ++ix) {
+        // Per-element send-address computation.
+        const BoxHome h = ll.home_of({ix, iy, iz});
+        address_work += h.vu + static_cast<std::size_t>(h.lx) +
+                        static_cast<std::size_t>(h.ly) +
+                        static_cast<std::size_t>(h.lz);
+        ++scanned;
+      }
+  // Defeat dead-code elimination of the address computation.
+  volatile std::uint64_t sink = address_work;
+  (void)sink;
+  const auto [off, local] = move_section(machine, temp, layer, map, to_layer);
+  CommStats& st = machine.stats();
+  // The general send pessimistically routes everything through the network
+  // AND pays per-element address computation over the whole array.
+  const std::uint64_t bytes = (off + local) * temp.k() * sizeof(double);
+  st.off_vu_bytes += bytes;
+  st.messages += off + local;
+  st.sends += 1;
+  const CostModel& cm = machine.cost_model();
+  const double p = static_cast<double>(machine.vus());
+  st.modeled_seconds +=
+      cm.seconds_per_message +
+      cm.seconds_per_address * static_cast<double>(scanned) / p +
+      cm.seconds_per_off_vu_byte * static_cast<double>(bytes) / p;
+}
+
+void local_copy_or_two_step(Machine& machine, DistGrid& temp, DistGrid& layer,
+                            const MultigridArray& mg, int level,
+                            const SectionMap& map, bool to_layer) {
+  const BlockLayout level_layout = layout_for_level(mg.leaf_layout(), level);
+  const bool aligned =
+      level_layout.machine().total_vus() == machine.vus();
+  if (aligned) {
+    // At least one box per VU at this level: embedding is a strided local
+    // copy (Section 3.3.2).
+    const auto [off, local] = move_section(machine, temp, layer, map, to_layer);
+    CommStats& st = machine.stats();
+    const std::uint64_t lbytes = local * temp.k() * sizeof(double);
+    const std::uint64_t obytes = off * temp.k() * sizeof(double);  // 0 aligned
+    st.local_bytes += lbytes;
+    st.off_vu_bytes += obytes;
+    const CostModel& cm = machine.cost_model();
+    const double p = static_cast<double>(machine.vus());
+    st.modeled_seconds +=
+        cm.seconds_per_local_byte * static_cast<double>(lbytes) / p +
+        cm.seconds_per_off_vu_byte * static_cast<double>(obytes) / p;
+    return;
+  }
+  // Two-step scheme: stage through the finest level that still has at least
+  // one box per VU, then do the aligned local copy from there.
+  int stage_level = level;
+  while (layout_for_level(mg.leaf_layout(), stage_level).machine().total_vus() !=
+         machine.vus())
+    ++stage_level;
+  const BlockLayout stage_layout = layout_for_level(mg.leaf_layout(), stage_level);
+  DistGrid stage(stage_layout, temp.k());
+  // The level's boxes occupy a strided section of the stage grid with the
+  // same relative geometry as in the leaf layers.
+  SectionMap to_stage;
+  to_stage.stride = std::int32_t{1} << (stage_level - level);
+  to_stage.start = level == mg.depth() ? 0 : to_stage.stride >> 1;
+  // Composite map stage -> layer: stage position s corresponds to leaf
+  // position start_l + stride_l * s where stride_l = leaf/stage ratio.
+  SectionMap stage_to_layer;
+  stage_to_layer.stride = std::int32_t{1} << (mg.depth() - stage_level);
+  stage_to_layer.start = 0;
+  // Compose: leaf position of level box i = map.start + map.stride * i must
+  // equal stage_to_layer of (to_stage of i):
+  //   stage_to_layer.start + stage_to_layer.stride*(to_stage.start + to_stage.stride*i)
+  // Solve for stage_to_layer.start:
+  stage_to_layer.start = map.start - stage_to_layer.stride * to_stage.start;
+
+  CommStats& st = machine.stats();
+  if (to_layer) {
+    // Step 1 (communication): temp -> stage section.
+    const auto [off1, local1] =
+        move_section(machine, temp, stage, to_stage, true);
+    {
+      const std::uint64_t b1 = (off1 + local1) * temp.k() * sizeof(double);
+      st.off_vu_bytes += b1;
+      st.messages += off1 + local1;
+      st.sends += 1;
+      st.modeled_seconds += machine.cost_model().seconds_per_message +
+                            machine.cost_model().seconds_per_off_vu_byte *
+                                static_cast<double>(b1);
+    }
+    // Step 2 (aligned local copy): stage -> layer.
+    const std::int32_t ns = stage_layout.boxes_per_side();
+    std::uint64_t moved = 0;
+    for (std::int32_t iz = 0; iz < ns; ++iz)
+      for (std::int32_t iy = 0; iy < ns; ++iy)
+        for (std::int32_t ix = 0; ix < ns; ++ix) {
+          // Only positions carrying level data are copied on.
+          if ((ix - to_stage.start) % to_stage.stride != 0 ||
+              (iy - to_stage.start) % to_stage.stride != 0 ||
+              (iz - to_stage.start) % to_stage.stride != 0)
+            continue;
+          if (ix < to_stage.start || iy < to_stage.start || iz < to_stage.start)
+            continue;
+          const tree::BoxCoord cs{ix, iy, iz};
+          const tree::BoxCoord cl{
+              stage_to_layer.start + stage_to_layer.stride * ix,
+              stage_to_layer.start + stage_to_layer.stride * iy,
+              stage_to_layer.start + stage_to_layer.stride * iz};
+          std::memcpy(layer.at_global(cl).data(), stage.at_global(cs).data(),
+                      temp.k() * sizeof(double));
+          ++moved;
+        }
+    st.local_bytes += moved * temp.k() * sizeof(double);
+    st.modeled_seconds += machine.cost_model().seconds_per_local_byte *
+                          static_cast<double>(moved * temp.k() * 8) /
+                          static_cast<double>(machine.vus());
+  } else {
+    // Extraction reverses the two steps.
+    const std::int32_t ns = stage_layout.boxes_per_side();
+    std::uint64_t moved = 0;
+    for (std::int32_t iz = 0; iz < ns; ++iz)
+      for (std::int32_t iy = 0; iy < ns; ++iy)
+        for (std::int32_t ix = 0; ix < ns; ++ix) {
+          if ((ix - to_stage.start) % to_stage.stride != 0 ||
+              (iy - to_stage.start) % to_stage.stride != 0 ||
+              (iz - to_stage.start) % to_stage.stride != 0)
+            continue;
+          if (ix < to_stage.start || iy < to_stage.start || iz < to_stage.start)
+            continue;
+          const tree::BoxCoord cs{ix, iy, iz};
+          const tree::BoxCoord cl{
+              stage_to_layer.start + stage_to_layer.stride * ix,
+              stage_to_layer.start + stage_to_layer.stride * iy,
+              stage_to_layer.start + stage_to_layer.stride * iz};
+          std::memcpy(stage.at_global(cs).data(), layer.at_global(cl).data(),
+                      temp.k() * sizeof(double));
+          ++moved;
+        }
+    st.local_bytes += moved * temp.k() * sizeof(double);
+    st.modeled_seconds += machine.cost_model().seconds_per_local_byte *
+                          static_cast<double>(moved * temp.k() * 8) /
+                          static_cast<double>(machine.vus());
+    const auto [off1, local1] =
+        move_section(machine, temp, stage, to_stage, false);
+    const std::uint64_t b1 = (off1 + local1) * temp.k() * sizeof(double);
+    st.off_vu_bytes += b1;
+    st.messages += off1 + local1;
+    st.sends += 1;
+    st.modeled_seconds += machine.cost_model().seconds_per_message +
+                          machine.cost_model().seconds_per_off_vu_byte *
+                              static_cast<double>(b1);
+  }
+}
+
+void check_level_temp(const MultigridArray& mg, const DistGrid& temp,
+                      int level) {
+  if (temp.layout().boxes_per_side() != (std::int32_t{1} << level))
+    throw std::invalid_argument("multigrid embed/extract: temp has wrong size");
+  if (temp.k() != mg.k())
+    throw std::invalid_argument("multigrid embed/extract: k mismatch");
+}
+
+}  // namespace
+
+void multigrid_embed(Machine& machine, const DistGrid& temp, int level,
+                     MultigridArray& mg, EmbedMethod method) {
+  check_level_temp(mg, temp, level);
+  SectionMap map{mg.section_stride(level), mg.section_start(level)};
+  DistGrid& layer =
+      (level == mg.depth()) ? mg.leaf_layer() : mg.coarse_layer();
+  auto& temp_mut = const_cast<DistGrid&>(temp);
+  if (method == EmbedMethod::kGeneralSend)
+    general_send(machine, temp_mut, layer, map, /*to_layer=*/true);
+  else
+    local_copy_or_two_step(machine, temp_mut, layer, mg, level, map,
+                           /*to_layer=*/true);
+}
+
+void multigrid_extract(Machine& machine, const MultigridArray& mg, int level,
+                       DistGrid& temp, EmbedMethod method) {
+  check_level_temp(mg, temp, level);
+  SectionMap map{mg.section_stride(level), mg.section_start(level)};
+  auto& mg_mut = const_cast<MultigridArray&>(mg);
+  DistGrid& layer =
+      (level == mg.depth()) ? mg_mut.leaf_layer() : mg_mut.coarse_layer();
+  if (method == EmbedMethod::kGeneralSend)
+    general_send(machine, temp, layer, map, /*to_layer=*/false);
+  else
+    local_copy_or_two_step(machine, temp, layer, mg, level, map,
+                           /*to_layer=*/false);
+}
+
+}  // namespace hfmm::dp

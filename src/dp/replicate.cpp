@@ -1,0 +1,110 @@
+#include "hfmm/dp/replicate.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "hfmm/util/timer.hpp"
+
+namespace hfmm::dp {
+
+const char* to_string(ReplicateStrategy s) {
+  switch (s) {
+    case ReplicateStrategy::kComputeEverywhere: return "compute-everywhere";
+    case ReplicateStrategy::kComputeReplicate: return "compute+replicate";
+    case ReplicateStrategy::kComputeReplicateGrouped:
+      return "compute+replicate-grouped";
+  }
+  return "?";
+}
+
+void count_broadcast(Machine& machine, std::size_t bytes) {
+  const std::size_t p = machine.vus();
+  CommStats& st = machine.stats();
+  st.messages += p - 1;
+  st.off_vu_bytes += bytes * (p - 1);
+  st.broadcasts += 1;
+  // Spanning-tree broadcast: ceil(log2 P) rounds on the critical path.
+  const double rounds = p > 1 ? std::ceil(std::log2(static_cast<double>(p))) : 0.0;
+  const CostModel& cm = machine.cost_model();
+  st.modeled_seconds += rounds * (cm.seconds_per_message +
+                                  cm.seconds_per_off_vu_byte *
+                                      static_cast<double>(bytes));
+}
+
+namespace {
+
+void count_group_broadcast(Machine& machine, std::size_t bytes,
+                           std::size_t group) {
+  const std::size_t p = machine.vus();
+  const std::size_t groups = std::max<std::size_t>(1, p / group);
+  CommStats& st = machine.stats();
+  st.messages += (group - 1) * groups;
+  st.off_vu_bytes += bytes * (group - 1) * groups;
+  st.broadcasts += groups;
+  // Groups broadcast concurrently: critical path is one group's tree.
+  const double rounds =
+      group > 1 ? std::ceil(std::log2(static_cast<double>(group))) : 0.0;
+  const CostModel& cm = machine.cost_model();
+  st.modeled_seconds += rounds * (cm.seconds_per_message +
+                                  cm.seconds_per_off_vu_byte *
+                                      static_cast<double>(bytes));
+}
+
+}  // namespace
+
+ReplicateResult replicate_matrices(
+    Machine& machine, std::size_t count, std::size_t doubles_each,
+    ReplicateStrategy strategy,
+    const std::function<void(std::size_t, std::span<double>)>& compute) {
+  ReplicateResult result;
+  result.matrices.assign(count, std::vector<double>(doubles_each));
+  const std::size_t p = machine.vus();
+  const std::size_t bytes = doubles_each * sizeof(double);
+  const CommStats before = machine.stats();
+
+  // Construct each matrix exactly once for the returned data and measure the
+  // mean construction time; VUs on the real machine work concurrently, so
+  // each strategy's compute time is its per-VU critical path (the largest
+  // number of constructions any single VU performs) times the mean.
+  WallTimer t;
+  for (std::size_t i = 0; i < count; ++i) compute(i, result.matrices[i]);
+  const double per_matrix = count > 0 ? t.seconds() / static_cast<double>(count)
+                                      : 0.0;
+
+  std::size_t critical_path = 0;
+  switch (strategy) {
+    case ReplicateStrategy::kComputeEverywhere:
+      // Every VU computes every matrix; no communication.
+      result.compute_invocations = count * p;
+      critical_path = count;
+      break;
+    case ReplicateStrategy::kComputeReplicate: {
+      // Matrix i is computed on VU (i mod P) only, then broadcast to all.
+      result.compute_invocations = count;
+      critical_path = (count + p - 1) / p;
+      for (std::size_t i = 0; i < count; ++i) count_broadcast(machine, bytes);
+      break;
+    }
+    case ReplicateStrategy::kComputeReplicateGrouped: {
+      // Groups of `group` VUs each hold the whole set, one or more matrices
+      // per member; broadcasts stay within a group (shorter span, same
+      // per-VU compute as ungrouped when count <= P).
+      const std::size_t group =
+          std::min<std::size_t>(p, std::bit_ceil(std::max<std::size_t>(1, count)));
+      const std::size_t groups = std::max<std::size_t>(1, p / group);
+      result.compute_invocations = count * groups;
+      critical_path = (count + group - 1) / group;
+      for (std::size_t i = 0; i < count; ++i)
+        count_group_broadcast(machine, bytes, group);
+      break;
+    }
+  }
+  result.critical_path = critical_path;
+  result.compute_seconds = per_matrix * static_cast<double>(critical_path);
+  result.replicate_estimated_seconds =
+      (machine.stats() - before).modeled_seconds;
+  return result;
+}
+
+}  // namespace hfmm::dp

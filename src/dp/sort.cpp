@@ -1,0 +1,133 @@
+#include "hfmm/dp/sort.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "hfmm/util/morton.hpp"
+
+namespace hfmm::dp {
+
+namespace {
+
+// Shared grouping machinery: given a rank (position in the box enumeration
+// order implied by the sort keys) per particle, produce the CSR structure
+// via a stable counting sort.
+BoxedParticles group_by_rank(const ParticleSet& particles,
+                             std::vector<std::uint32_t> rank_of_particle,
+                             std::vector<std::uint32_t> flat_of_particle,
+                             std::vector<std::uint32_t> rank_to_flat) {
+  const std::size_t n = particles.size();
+  const std::size_t boxes = rank_to_flat.size();
+
+  BoxedParticles out;
+  out.box_begin.assign(boxes + 1, 0);
+  for (const std::uint32_t r : rank_of_particle) out.box_begin[r + 1]++;
+  for (std::size_t b = 0; b < boxes; ++b)
+    out.box_begin[b + 1] += out.box_begin[b];
+
+  std::vector<std::uint32_t> perm(n);
+  std::vector<std::uint32_t> cursor(out.box_begin.begin(),
+                                    out.box_begin.end() - 1);
+  for (std::size_t i = 0; i < n; ++i)
+    perm[cursor[rank_of_particle[i]]++] = static_cast<std::uint32_t>(i);
+
+  out.sorted = particles;
+  out.sorted.permute(perm);
+  out.box_of.resize(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out.box_of[i] = flat_of_particle[perm[i]];
+  out.perm = std::move(perm);
+
+  out.rank_to_flat = std::move(rank_to_flat);
+  out.flat_to_rank.assign(boxes, 0);
+  for (std::size_t r = 0; r < boxes; ++r)
+    out.flat_to_rank[out.rank_to_flat[r]] = static_cast<std::uint32_t>(r);
+  return out;
+}
+
+}  // namespace
+
+BoxedParticles coordinate_sort(const ParticleSet& particles,
+                               const tree::Hierarchy& hier,
+                               const BlockLayout& layout) {
+  if (layout.boxes_per_side() != hier.boxes_per_side(hier.depth()))
+    throw std::invalid_argument("coordinate_sort: layout/hierarchy mismatch");
+  const std::size_t n = particles.size();
+  const std::size_t boxes = layout.total_boxes();
+
+  // The coordinate-sort key of a box IS its enumeration rank: VU-address
+  // bits above local-address bits yields a dense [0, boxes) integer.
+  std::vector<std::uint32_t> rank_of(n), flat_of(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const tree::BoxCoord c = hier.leaf_of(particles.position(i));
+    rank_of[i] = static_cast<std::uint32_t>(layout.sort_key(c));
+    flat_of[i] = static_cast<std::uint32_t>(hier.flat_index(hier.depth(), c));
+  }
+  std::vector<std::uint32_t> rank_to_flat(boxes);
+  for (std::size_t f = 0; f < boxes; ++f) {
+    const tree::BoxCoord c = hier.coord_of(hier.depth(), f);
+    rank_to_flat[layout.sort_key(c)] = static_cast<std::uint32_t>(f);
+  }
+  return group_by_rank(particles, std::move(rank_of), std::move(flat_of),
+                       std::move(rank_to_flat));
+}
+
+BoxedParticles morton_sort(const ParticleSet& particles,
+                           const tree::Hierarchy& hier) {
+  const std::size_t n = particles.size();
+  const int depth = hier.depth();
+  const std::size_t boxes = hier.boxes_at(depth);
+
+  std::vector<std::uint32_t> rank_of(n), flat_of(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const tree::BoxCoord c = hier.leaf_of(particles.position(i));
+    rank_of[i] = static_cast<std::uint32_t>(
+        morton_encode(c.ix, c.iy, c.iz));
+    flat_of[i] = static_cast<std::uint32_t>(hier.flat_index(depth, c));
+  }
+  std::vector<std::uint32_t> rank_to_flat(boxes);
+  for (std::size_t f = 0; f < boxes; ++f) {
+    const tree::BoxCoord c = hier.coord_of(depth, f);
+    rank_to_flat[morton_encode(c.ix, c.iy, c.iz)] =
+        static_cast<std::uint32_t>(f);
+  }
+  return group_by_rank(particles, std::move(rank_of), std::move(flat_of),
+                       std::move(rank_to_flat));
+}
+
+SortLocality measure_locality(const BoxedParticles& boxed,
+                              const tree::Hierarchy& hier,
+                              const BlockLayout& layout) {
+  const std::size_t n = boxed.sorted.size();
+  SortLocality loc;
+  if (n == 0) return loc;
+  const std::size_t p = layout.machine().total_vus();
+  std::size_t home = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Block partition of the sorted 1-D arrays over the VUs.
+    const std::size_t vu_1d = i * p / n;
+    const tree::BoxCoord c = hier.coord_of(hier.depth(), boxed.box_of[i]);
+    if (layout.home_of(c).vu == vu_1d)
+      ++home;
+    else
+      loc.off_vu_bytes += 4 * sizeof(double);  // x, y, z, q move off-VU
+  }
+  loc.home_fraction = static_cast<double>(home) / static_cast<double>(n);
+  return loc;
+}
+
+void segmented_scan_add(std::span<const double> in,
+                        std::span<const std::uint32_t> offsets,
+                        std::span<double> out) {
+  if (in.size() != out.size())
+    throw std::invalid_argument("segmented_scan_add: size mismatch");
+  for (std::size_t s = 0; s + 1 < offsets.size(); ++s) {
+    double acc = 0.0;
+    for (std::uint32_t i = offsets[s]; i < offsets[s + 1]; ++i) {
+      acc += in[i];
+      out[i] = acc;
+    }
+  }
+}
+
+}  // namespace hfmm::dp

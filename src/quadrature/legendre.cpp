@@ -1,0 +1,121 @@
+#include "hfmm/quadrature/legendre.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace hfmm::quadrature {
+
+void legendre_all(int nmax, double x, std::span<double> p) {
+  assert(p.size() >= static_cast<std::size_t>(nmax) + 1);
+  p[0] = 1.0;
+  if (nmax == 0) return;
+  p[1] = x;
+  for (int n = 1; n < nmax; ++n) {
+    // (n+1) P_{n+1} = (2n+1) x P_n - n P_{n-1}
+    p[n + 1] = ((2 * n + 1) * x * p[n] - n * p[n - 1]) / (n + 1);
+  }
+}
+
+void legendre_all_derivs(int nmax, double x, std::span<double> p,
+                         std::span<double> dp) {
+  legendre_all(nmax, x, p);
+  assert(dp.size() >= static_cast<std::size_t>(nmax) + 1);
+  dp[0] = 0.0;
+  if (nmax == 0) return;
+  dp[1] = 1.0;
+  for (int n = 1; n < nmax; ++n) {
+    // P'_{n+1} = P'_{n-1} + (2n+1) P_n
+    dp[n + 1] = dp[n - 1] + (2 * n + 1) * p[n];
+  }
+}
+
+double legendre(int n, double x) {
+  std::vector<double> p(n + 1);
+  legendre_all(n, x, p);
+  return p[n];
+}
+
+GaussLegendre gauss_legendre(int n) {
+  if (n < 1) throw std::invalid_argument("gauss_legendre: n must be >= 1");
+  GaussLegendre gl;
+  gl.nodes.resize(n);
+  gl.weights.resize(n);
+  std::vector<double> p(n + 1), dp(n + 1);
+  // Roots come in +/- pairs; Newton from the Chebyshev-like initial guess.
+  for (int j = 0; j < (n + 1) / 2; ++j) {
+    double x = std::cos(std::numbers::pi * (j + 0.75) / (n + 0.5));
+    for (int it = 0; it < 100; ++it) {
+      legendre_all_derivs(n, x, p, dp);
+      const double dx = -p[n] / dp[n];
+      x += dx;
+      if (std::abs(dx) < 1e-15) break;
+    }
+    legendre_all_derivs(n, x, p, dp);
+    const double w = 2.0 / ((1.0 - x * x) * dp[n] * dp[n]);
+    gl.nodes[j] = -x;           // ascending order
+    gl.nodes[n - 1 - j] = x;
+    gl.weights[j] = w;
+    gl.weights[n - 1 - j] = w;
+  }
+  if (n % 2 == 1) {
+    legendre_all_derivs(n, 0.0, p, dp);
+    gl.nodes[n / 2] = 0.0;
+    gl.weights[n / 2] = 2.0 / (dp[n] * dp[n]);
+  }
+  return gl;
+}
+
+void real_sph_harmonics(int lmax, const Vec3& s, std::span<double> out) {
+  assert(out.size() >= sh_count(lmax));
+  const double ct = s.z;                       // cos(theta)
+  const double st = std::hypot(s.x, s.y);      // sin(theta) >= 0
+  double cphi = 1.0, sphi = 0.0;
+  if (st > 0.0) {
+    cphi = s.x / st;
+    sphi = s.y / st;
+  }
+
+  // Fully normalized (geodesy/4-pi) associated Legendre values Pbar_lm,
+  // computed per order m along increasing l. cos/sin(m phi) by recurrence.
+  double cm = 1.0, sm = 0.0;   // cos(m phi), sin(m phi)
+  double pmm = 1.0;            // Pbar_mm
+  for (int m = 0; m <= lmax; ++m) {
+    if (m > 0) {
+      // Pbar_mm = sqrt((2m+1)/(2m)) * sin(theta) * Pbar_{m-1,m-1}
+      pmm *= std::sqrt((2.0 * m + 1.0) / (2.0 * m)) * st;
+      const double cnew = cm * cphi - sm * sphi;
+      sm = sm * cphi + cm * sphi;
+      cm = cnew;
+    }
+    double plm2 = 0.0;       // Pbar_{l-2, m}
+    double plm1 = pmm;       // Pbar_{l-1, m}, starting at l = m
+    for (int l = m; l <= lmax; ++l) {
+      double plm;
+      if (l == m) {
+        plm = pmm;
+      } else if (l == m + 1) {
+        plm = std::sqrt(2.0 * m + 3.0) * ct * pmm;
+      } else {
+        const double a = std::sqrt((4.0 * l * l - 1.0) /
+                                   (static_cast<double>(l) * l - m * m));
+        const double b = std::sqrt(
+            ((l - 1.0) * (l - 1.0) - m * m) / (4.0 * (l - 1.0) * (l - 1.0) - 1.0));
+        plm = a * (ct * plm1 - b * plm2);
+      }
+      plm2 = plm1;
+      plm1 = plm;
+      const std::size_t base = static_cast<std::size_t>(l) * (l + 1);
+      if (m == 0) {
+        out[base] = plm;
+      } else {
+        const double f = std::numbers::sqrt2 * plm;
+        out[base + m] = f * cm;                      // m > 0: cosine harmonic
+        out[base - m] = f * sm;                      // m < 0: sine harmonic
+      }
+    }
+  }
+}
+
+}  // namespace hfmm::quadrature

@@ -1,0 +1,58 @@
+#include "hfmm/util/cli.hpp"
+
+#include <stdexcept>
+#include <string_view>
+
+namespace hfmm {
+
+Cli::Cli(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (!arg.starts_with("--"))
+      throw std::invalid_argument("Cli: expected --option, got '" +
+                                  std::string(arg) + "'");
+    std::string name(arg.substr(2));
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      values_[name.substr(0, eq)] = name.substr(eq + 1);
+      continue;
+    }
+    // `--name value` unless the next token is another option or missing.
+    if (i + 1 < argc && std::string_view(argv[i + 1]).substr(0, 2) != "--") {
+      values_[name] = argv[++i];
+    } else {
+      values_[name] = "";  // boolean flag
+    }
+  }
+}
+
+bool Cli::has(const std::string& name) const {
+  queried_[name] = true;
+  return values_.count(name) != 0;
+}
+
+std::string Cli::get(const std::string& name, const std::string& def) const {
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+std::int64_t Cli::get(const std::string& name, std::int64_t def) const {
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  return it == values_.end() ? def : std::stoll(it->second);
+}
+
+double Cli::get(const std::string& name, double def) const {
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  return it == values_.end() ? def : std::stod(it->second);
+}
+
+std::vector<std::string> Cli::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : values_)
+    if (!queried_.count(name)) out.push_back(name);
+  return out;
+}
+
+}  // namespace hfmm

@@ -1,0 +1,56 @@
+#include "hfmm/util/errors.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hfmm {
+
+namespace {
+
+// Shared accumulation over |a_i|, |b_i|, |a_i - b_i| magnitudes.
+ErrorNorms accumulate(std::size_t n, const auto& diff_mag, const auto& ref_mag) {
+  ErrorNorms e;
+  if (n == 0) return e;
+  double sum_d2 = 0.0, sum_b2 = 0.0, sum_abs_b = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = diff_mag(i);
+    const double b = ref_mag(i);
+    e.max_abs = std::max(e.max_abs, d);
+    if (b > 0.0) e.max_rel = std::max(e.max_rel, d / b);
+    sum_d2 += d * d;
+    sum_b2 += b * b;
+    sum_abs_b += b;
+  }
+  if (sum_b2 > 0.0) e.rms_rel = std::sqrt(sum_d2 / sum_b2);
+  if (sum_abs_b > 0.0)
+    e.rel_to_mean = e.max_abs * static_cast<double>(n) / sum_abs_b;
+  return e;
+}
+
+}  // namespace
+
+ErrorNorms compare_fields(std::span<const double> approx,
+                          std::span<const double> exact) {
+  if (approx.size() != exact.size())
+    throw std::invalid_argument("compare_fields: size mismatch");
+  return accumulate(
+      exact.size(), [&](std::size_t i) { return std::abs(approx[i] - exact[i]); },
+      [&](std::size_t i) { return std::abs(exact[i]); });
+}
+
+ErrorNorms compare_fields(std::span<const Vec3> approx,
+                          std::span<const Vec3> exact) {
+  if (approx.size() != exact.size())
+    throw std::invalid_argument("compare_fields: size mismatch");
+  return accumulate(
+      exact.size(), [&](std::size_t i) { return (approx[i] - exact[i]).norm(); },
+      [&](std::size_t i) { return exact[i].norm(); });
+}
+
+double digits(double rel_error) {
+  if (rel_error <= 0.0) return 16.0;  // at or below double precision
+  return std::min(16.0, -std::log10(rel_error));
+}
+
+}  // namespace hfmm

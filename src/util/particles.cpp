@@ -1,0 +1,133 @@
+#include "hfmm/util/particles.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <numeric>
+#include <stdexcept>
+
+#include "hfmm/util/rng.hpp"
+
+namespace hfmm {
+
+double Box3::max_side() const {
+  const Vec3 e = extent();
+  return std::max({e.x, e.y, e.z});
+}
+
+bool Box3::contains(const Vec3& p) const {
+  return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y &&
+         p.z >= lo.z && p.z <= hi.z;
+}
+
+void ParticleSet::resize(std::size_t n) {
+  x_.resize(n);
+  y_.resize(n);
+  z_.resize(n);
+  q_.resize(n);
+}
+
+Box3 ParticleSet::bounds() const {
+  Box3 b;
+  if (empty()) return b;
+  b.lo = b.hi = position(0);
+  for (std::size_t i = 1; i < size(); ++i) {
+    b.lo.x = std::min(b.lo.x, x_[i]);
+    b.lo.y = std::min(b.lo.y, y_[i]);
+    b.lo.z = std::min(b.lo.z, z_[i]);
+    b.hi.x = std::max(b.hi.x, x_[i]);
+    b.hi.y = std::max(b.hi.y, y_[i]);
+    b.hi.z = std::max(b.hi.z, z_[i]);
+  }
+  return b;
+}
+
+void ParticleSet::permute(std::span<const std::uint32_t> perm) {
+  if (perm.size() != size())
+    throw std::invalid_argument("ParticleSet::permute: size mismatch");
+  const auto apply = [&](std::vector<double>& a) {
+    std::vector<double> out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[perm[i]];
+    a.swap(out);
+  };
+  apply(x_);
+  apply(y_);
+  apply(z_);
+  apply(q_);
+}
+
+double ParticleSet::total_charge() const {
+  return std::accumulate(q_.begin(), q_.end(), 0.0);
+}
+
+ParticleSet make_uniform(std::size_t n, const Box3& box, std::uint64_t seed,
+                         double qlo, double qhi) {
+  ParticleSet p(n);
+  Xoshiro256 rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    p.set(i,
+          {rng.uniform(box.lo.x, box.hi.x), rng.uniform(box.lo.y, box.hi.y),
+           rng.uniform(box.lo.z, box.hi.z)},
+          rng.uniform(qlo, qhi));
+  }
+  return p;
+}
+
+namespace {
+
+// One Plummer-model draw centred at the origin with scale radius `a`,
+// truncated to radius `rmax` so the set fits in a finite box.
+Vec3 plummer_position(Xoshiro256& rng, double a, double rmax) {
+  for (;;) {
+    // Inverse-CDF sampling of the Plummer cumulative mass profile.
+    double m = rng.uniform();
+    while (m <= 0.0 || m >= 1.0) m = rng.uniform();
+    const double r = a / std::sqrt(std::pow(m, -2.0 / 3.0) - 1.0);
+    if (r > rmax) continue;
+    const double cos_t = rng.uniform(-1.0, 1.0);
+    const double sin_t = std::sqrt(std::max(0.0, 1.0 - cos_t * cos_t));
+    const double phi = rng.uniform(0.0, 2.0 * std::numbers::pi);
+    return {r * sin_t * std::cos(phi), r * sin_t * std::sin(phi), r * cos_t};
+  }
+}
+
+}  // namespace
+
+ParticleSet make_plummer(std::size_t n, const Box3& box, std::uint64_t seed,
+                         double mass) {
+  ParticleSet p(n);
+  Xoshiro256 rng(seed);
+  const Vec3 c = box.center();
+  const double half = 0.5 * box.max_side();
+  const double a = 0.1 * half;  // scale radius well inside the box
+  const double per = n > 0 ? mass / static_cast<double>(n) : 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    p.set(i, c + plummer_position(rng, a, 0.95 * half), per);
+  return p;
+}
+
+ParticleSet make_two_clusters(std::size_t n, const Box3& box,
+                              std::uint64_t seed) {
+  ParticleSet p(n);
+  Xoshiro256 rng(seed);
+  const Vec3 c = box.center();
+  const double half = 0.5 * box.max_side();
+  const double a = 0.06 * half;
+  const Vec3 off{0.45 * half, 0.1 * half, 0.0};
+  const double per = n > 0 ? 1.0 / static_cast<double>(n) : 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec3 centre = (i % 2 == 0) ? c + off : c - off;
+    p.set(i, centre + plummer_position(rng, a, 0.4 * half), per);
+  }
+  return p;
+}
+
+ParticleSet make_plasma(std::size_t n, const Box3& box, std::uint64_t seed) {
+  ParticleSet p = make_uniform(n, box, seed);
+  auto q = p.q();
+  for (std::size_t i = 0; i < n; ++i) q[i] = (i % 2 == 0) ? 1.0 : -1.0;
+  return p;
+}
+
+}  // namespace hfmm

@@ -1,0 +1,18 @@
+#include "hfmm/util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace hfmm {
+
+double Xoshiro256::normal() {
+  // Box–Muller; the second variate is discarded for simplicity — particle
+  // generation is not a hot path.
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+}  // namespace hfmm

@@ -1,0 +1,109 @@
+#include "hfmm/util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace hfmm {
+
+ThreadPool::ThreadPool(std::size_t n_threads) {
+  if (n_threads == 0)
+    n_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  workers_.reserve(n_threads - 1);
+  for (std::size_t r = 1; r < n_threads; ++r)
+    workers_.emplace_back([this, r] { worker_loop(r); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::run_task(const Task& task, std::size_t chunk_index) {
+  const std::size_t n = task.end - task.begin;
+  const std::size_t chunk = (n + task.chunks - 1) / task.chunks;
+  const std::size_t lo = task.begin + chunk_index * chunk;
+  const std::size_t hi = std::min(task.end, lo + chunk);
+  if (lo >= hi) return;
+  task.body(lo, hi);
+}
+
+void ThreadPool::worker_loop(std::size_t rank) {
+  std::size_t seen = 0;
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_start_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      task = task_;
+    }
+    try {
+      run_task(task, rank);
+    } catch (...) {
+      std::lock_guard lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard lock(mutex_);
+      --pending_;
+    }
+    cv_done_.notify_one();
+  }
+}
+
+void ThreadPool::parallel_chunks(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (begin >= end) return;
+  const std::size_t chunks = std::min(size(), end - begin);
+  if (chunks == 1 || workers_.empty()) {
+    body(begin, end);
+    return;
+  }
+  Task task{body, begin, end, chunks};
+  {
+    std::lock_guard lock(mutex_);
+    task_ = task;
+    pending_ = workers_.size();
+    first_error_ = nullptr;
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  // The calling thread takes chunk 0.
+  std::exception_ptr local_error;
+  try {
+    run_task(task, 0);
+  } catch (...) {
+    local_error = std::current_exception();
+  }
+  {
+    std::unique_lock lock(mutex_);
+    cv_done_.wait(lock, [&] { return pending_ == 0; });
+    if (!first_error_ && local_error) first_error_ = local_error;
+    if (first_error_) {
+      auto err = first_error_;
+      first_error_ = nullptr;
+      lock.unlock();
+      std::rethrow_exception(err);
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body) {
+  parallel_chunks(begin, end, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) body(i);
+  });
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace hfmm

@@ -1,0 +1,11 @@
+#include "hfmm/util/vec3.hpp"
+
+#include <ostream>
+
+namespace hfmm {
+
+std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+  return os << '(' << v.x << ", " << v.y << ", " << v.z << ')';
+}
+
+}  // namespace hfmm

@@ -1,0 +1,195 @@
+// Tests for the baselines: direct O(N^2) summation (plain, symmetric, range
+// kernels) and the Barnes-Hut treecode.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hfmm/baseline/barnes_hut.hpp"
+#include "hfmm/baseline/direct.hpp"
+#include "hfmm/util/errors.hpp"
+
+namespace hfmm::baseline {
+namespace {
+
+TEST(DirectTest, TwoBodyPotential) {
+  ParticleSet p(2);
+  p.set(0, {0, 0, 0}, 2.0);
+  p.set(1, {3, 4, 0}, 5.0);  // distance 5
+  const DirectResult r = direct_all(p, true);
+  EXPECT_NEAR(r.phi[0], 5.0 / 5.0, 1e-14);
+  EXPECT_NEAR(r.phi[1], 2.0 / 5.0, 1e-14);
+  // Gradient of q/|x - s| at particle 0: -q (x0 - s)/r^3.
+  EXPECT_NEAR(r.grad[0].x, -5.0 * (-3.0) / 125.0, 1e-14);
+  EXPECT_NEAR(r.grad[0].y, -5.0 * (-4.0) / 125.0, 1e-14);
+}
+
+TEST(DirectTest, SymmetricMatchesPlain) {
+  const ParticleSet p = make_uniform(200, Box3{}, 41);
+  const DirectResult a = direct_all(p, true);
+  const DirectResult b = direct_all_symmetric(p, true);
+  const ErrorNorms e = compare_fields(b.phi, a.phi);
+  EXPECT_LT(e.max_rel, 1e-12);
+  const ErrorNorms eg = compare_fields(b.grad, a.grad);
+  EXPECT_LT(eg.max_abs, 1e-10);
+}
+
+TEST(DirectTest, SymmetricCountsHalfThePairs) {
+  const ParticleSet p = make_uniform(100, Box3{}, 43);
+  const DirectResult a = direct_all(p, false);
+  const DirectResult b = direct_all_symmetric(p, false);
+  EXPECT_GT(a.flops, b.flops);  // Newton's 3rd law saves work (Figure 10)
+}
+
+TEST(DirectTest, RangeKernelMatchesBrute) {
+  const ParticleSet p = make_uniform(60, Box3{}, 44);
+  // Targets [0,20), sources [20,60).
+  std::vector<double> phi(20, 0.0);
+  std::vector<Vec3> grad(20, Vec3{});
+  direct_ranges(p, 0, 20, 20, 60, phi.data(), grad.data());
+  for (std::size_t i = 0; i < 20; ++i) {
+    double expect = 0;
+    for (std::size_t j = 20; j < 60; ++j)
+      expect += p.charge(j) / (p.position(i) - p.position(j)).norm();
+    EXPECT_NEAR(phi[i], expect, 1e-12);
+  }
+}
+
+TEST(DirectTest, SymmetricRangeKernelBothDirections) {
+  const ParticleSet p = make_uniform(30, Box3{}, 45);
+  std::vector<double> phi(30, 0.0);
+  direct_ranges_symmetric(p, 0, 10, 10, 30, phi.data(), nullptr);
+  // Targets part.
+  for (std::size_t i = 0; i < 10; ++i) {
+    double expect = 0;
+    for (std::size_t j = 10; j < 30; ++j)
+      expect += p.charge(j) / (p.position(i) - p.position(j)).norm();
+    EXPECT_NEAR(phi[i], expect, 1e-12);
+  }
+  // Sources part (appended after the 10 target slots).
+  for (std::size_t j = 10; j < 30; ++j) {
+    double expect = 0;
+    for (std::size_t i = 0; i < 10; ++i)
+      expect += p.charge(i) / (p.position(i) - p.position(j)).norm();
+    EXPECT_NEAR(phi[10 + (j - 10)], expect, 1e-12);
+  }
+}
+
+TEST(DirectTest, SelfRangeSkipsSelfInteraction) {
+  const ParticleSet p = make_uniform(10, Box3{}, 46);
+  std::vector<double> phi(10, 0.0);
+  direct_ranges(p, 0, 10, 0, 10, phi.data(), nullptr);
+  const DirectResult ref = direct_all(p, false);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_NEAR(phi[i], ref.phi[i], 1e-12);
+}
+
+class BarnesHutTheta : public ::testing::TestWithParam<double> {};
+
+TEST_P(BarnesHutTheta, AccuracyImprovesWithSmallerTheta) {
+  const double theta = GetParam();
+  const ParticleSet p = make_plummer(800, Box3{}, 47);
+  BhConfig cfg;
+  cfg.theta = theta;
+  const BarnesHut bh(p, cfg);
+  const BhResult r = bh.evaluate_all(false);
+  const DirectResult ref = direct_all(p, false);
+  const ErrorNorms e = compare_fields(r.phi, ref.phi);
+  // Loose per-theta bounds; the monotone trend is checked separately.
+  EXPECT_LT(e.rms_rel, theta * theta * 0.5 + 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, BarnesHutTheta,
+                         ::testing::Values(0.3, 0.5, 0.8));
+
+TEST(BarnesHutTest, MonotoneInTheta) {
+  const ParticleSet p = make_uniform(600, Box3{}, 48);
+  const DirectResult ref = direct_all(p, false);
+  double prev = 1e9;
+  for (double theta : {1.0, 0.6, 0.3}) {
+    BhConfig cfg;
+    cfg.theta = theta;
+    const BhResult r = BarnesHut(p, cfg).evaluate_all(false);
+    const ErrorNorms e = compare_fields(r.phi, ref.phi);
+    EXPECT_LT(e.rms_rel, prev * 1.5);  // allow noise, require overall decline
+    prev = e.rms_rel;
+  }
+  EXPECT_LT(prev, 2e-4);
+}
+
+TEST(BarnesHutTest, QuadrupoleBeatsMonopole) {
+  const ParticleSet p = make_uniform(500, Box3{}, 49);
+  const DirectResult ref = direct_all(p, false);
+  BhConfig mono;
+  mono.quadrupole = false;
+  mono.theta = 0.6;
+  BhConfig quad;
+  quad.quadrupole = true;
+  quad.theta = 0.6;
+  const ErrorNorms em =
+      compare_fields(BarnesHut(p, mono).evaluate_all(false).phi, ref.phi);
+  const ErrorNorms eq =
+      compare_fields(BarnesHut(p, quad).evaluate_all(false).phi, ref.phi);
+  EXPECT_LT(eq.rms_rel, em.rms_rel);
+}
+
+TEST(BarnesHutTest, GradientMatchesDirect) {
+  const ParticleSet p = make_plummer(400, Box3{}, 50);
+  BhConfig cfg;
+  cfg.theta = 0.4;
+  const BhResult r = BarnesHut(p, cfg).evaluate_all(true);
+  const DirectResult ref = direct_all(p, true);
+  const ErrorNorms e = compare_fields(r.grad, ref.grad);
+  EXPECT_LT(e.rms_rel, 5e-3);
+}
+
+TEST(BarnesHutTest, HandlesNeutralPlasma) {
+  const ParticleSet p = make_plasma(400, Box3{}, 51);
+  BhConfig cfg;
+  cfg.theta = 0.3;
+  const BhResult r = BarnesHut(p, cfg).evaluate_all(false);
+  const DirectResult ref = direct_all(p, false);
+  // Neutral cells have vanishing monopoles, so pointwise relative error is
+  // meaningless where phi ~ 0; compare against the mean field magnitude
+  // (the paper's Table 1 error metric).
+  const ErrorNorms e = compare_fields(r.phi, ref.phi);
+  EXPECT_LT(e.rel_to_mean, 0.5);
+  for (double v : r.phi) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(BarnesHutTest, FewerInteractionsThanDirect) {
+  const ParticleSet p = make_uniform(2000, Box3{}, 52);
+  BhConfig cfg;
+  cfg.theta = 0.7;
+  const BhResult r = BarnesHut(p, cfg).evaluate_all(false);
+  EXPECT_LT(r.p2p_interactions + r.cell_interactions, 2000u * 1999u / 4);
+  EXPECT_GT(r.cell_interactions, 0u);
+}
+
+TEST(BarnesHutTest, PotentialAtExternalPoint) {
+  ParticleSet p(1);
+  p.set(0, {0.5, 0.5, 0.5}, 3.0);
+  BhConfig cfg;
+  const BarnesHut bh(p, cfg);
+  EXPECT_NEAR(bh.potential_at({2.5, 0.5, 0.5}), 3.0 / 2.0, 1e-12);
+}
+
+TEST(BarnesHutTest, CoincidentParticlesDepthCapped) {
+  // Many particles at the same spot must not recurse forever.
+  ParticleSet p(40);
+  for (std::size_t i = 0; i < 40; ++i) p.set(i, {0.5, 0.5, 0.5}, 1.0);
+  BhConfig cfg;
+  cfg.leaf_size = 4;
+  const BarnesHut bh(p, cfg);
+  EXPECT_LE(bh.max_depth_reached(), 40);
+}
+
+TEST(BarnesHutTest, EmptySet) {
+  const ParticleSet p;
+  BhConfig cfg;
+  const BarnesHut bh(p, cfg);
+  const BhResult r = bh.evaluate_all(false);
+  EXPECT_TRUE(r.phi.empty());
+}
+
+}  // namespace
+}  // namespace hfmm::baseline

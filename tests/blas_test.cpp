@@ -1,0 +1,160 @@
+// Unit tests for the dense kernels: gemv/gemm against a naive reference,
+// the multiple-instance batch, and the small factorizations.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "hfmm/blas/blas.hpp"
+#include "hfmm/blas/linalg.hpp"
+#include "hfmm/util/rng.hpp"
+
+namespace hfmm::blas {
+namespace {
+
+std::vector<double> random_matrix(std::size_t rows, std::size_t cols,
+                                  std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<double> m(rows * cols);
+  for (double& v : m) v = rng.uniform(-1.0, 1.0);
+  return m;
+}
+
+void naive_gemm(const double* a, const double* b, double* c, std::size_t m,
+                std::size_t n, std::size_t k) {
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = 0;
+      for (std::size_t p = 0; p < k; ++p) s += a[i * k + p] * b[p * n + j];
+      c[i * n + j] += s;
+    }
+}
+
+using Shape = std::tuple<std::size_t, std::size_t, std::size_t>;
+
+class GemmShapes : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(GemmShapes, MatchesNaive) {
+  const auto [m, n, k] = GetParam();
+  const auto a = random_matrix(m, k, 1);
+  const auto b = random_matrix(k, n, 2);
+  std::vector<double> c(m * n, 0.0), ref(m * n, 0.0);
+  gemm(a.data(), k, b.data(), n, c.data(), n, m, n, k, false);
+  naive_gemm(a.data(), b.data(), ref.data(), m, n, k);
+  for (std::size_t i = 0; i < m * n; ++i) EXPECT_NEAR(c[i], ref[i], 1e-12);
+}
+
+TEST_P(GemmShapes, AccumulateAddsToExisting) {
+  const auto [m, n, k] = GetParam();
+  const auto a = random_matrix(m, k, 3);
+  const auto b = random_matrix(k, n, 4);
+  std::vector<double> c(m * n, 1.0), ref(m * n, 1.0);
+  gemm(a.data(), k, b.data(), n, c.data(), n, m, n, k, true);
+  naive_gemm(a.data(), b.data(), ref.data(), m, n, k);
+  for (std::size_t i = 0; i < m * n; ++i) EXPECT_NEAR(c[i], ref[i], 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmShapes,
+    ::testing::Values(Shape{1, 1, 1}, Shape{3, 5, 2}, Shape{4, 4, 4},
+                      Shape{12, 12, 12}, Shape{13, 12, 12}, Shape{72, 72, 72},
+                      Shape{100, 12, 12}, Shape{5, 7, 11}, Shape{64, 12, 72}));
+
+TEST(GemvTest, MatchesNaive) {
+  const std::size_t m = 12, n = 12;
+  const auto a = random_matrix(m, n, 5);
+  const auto x = random_matrix(n, 1, 6);
+  std::vector<double> y(m, 0.5), ref(m, 0.5);
+  gemv(a.data(), n, x.data(), y.data(), m, n, true);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) ref[i] += a[i * n + j] * x[j];
+  for (std::size_t i = 0; i < m; ++i) EXPECT_NEAR(y[i], ref[i], 1e-13);
+}
+
+TEST(GemvTest, OverwriteMode) {
+  const auto a = random_matrix(4, 4, 7);
+  const auto x = random_matrix(4, 1, 8);
+  std::vector<double> y(4, 99.0);
+  gemv(a.data(), 4, x.data(), y.data(), 4, 4, false);
+  for (std::size_t i = 0; i < 4; ++i) {
+    double s = 0;
+    for (std::size_t j = 0; j < 4; ++j) s += a[i * 4 + j] * x[j];
+    EXPECT_NEAR(y[i], s, 1e-13);
+  }
+}
+
+TEST(GemmBatchTest, EqualsLoopOfGemms) {
+  const std::size_t m = 6, n = 12, k = 12, count = 5;
+  const auto a = random_matrix(count * m, k, 9);
+  const auto b = random_matrix(k, n, 10);
+  std::vector<double> c(count * m * n, 0.0), ref(count * m * n, 0.0);
+  gemm_batch(a.data(), k, m * k, b.data(), n, 0, c.data(), n, m * n, m, n, k,
+             count, false);
+  for (std::size_t inst = 0; inst < count; ++inst)
+    gemm(a.data() + inst * m * k, k, b.data(), n, ref.data() + inst * m * n,
+         n, m, n, k, false);
+  for (std::size_t i = 0; i < c.size(); ++i) EXPECT_NEAR(c[i], ref[i], 1e-12);
+}
+
+TEST(GemmBatchTest, StridedInstancesWithSharedB) {
+  // stride_b = 0 shares one matrix across instances (the translation case).
+  const std::size_t m = 4, n = 3, k = 3, count = 2;
+  const auto a = random_matrix(count * m, k, 11);
+  const auto b = random_matrix(k, n, 12);
+  std::vector<double> c(count * m * n, 0.0);
+  gemm_batch(a.data(), k, m * k, b.data(), n, 0, c.data(), n, m * n, m, n, k,
+             count, false);
+  // Second instance must use the same B as the first.
+  std::vector<double> ref(m * n, 0.0);
+  gemm(a.data() + m * k, k, b.data(), n, ref.data(), n, m, n, k, false);
+  for (std::size_t i = 0; i < m * n; ++i)
+    EXPECT_NEAR(c[m * n + i], ref[i], 1e-12);
+}
+
+TEST(FlopCountTest, Formulas) {
+  EXPECT_EQ(gemv_flops(3, 4), 24u);
+  EXPECT_EQ(gemm_flops(2, 3, 4), 48u);
+}
+
+TEST(PeakTest, MeasuresPositiveRate) {
+  const double peak = measure_peak_flops(48, 0.01);
+  EXPECT_GT(peak, 1e7);  // any machine manages 10 Mflop/s
+}
+
+TEST(CholeskyTest, FactorsSpdMatrix) {
+  // A = L L^T for a known L.
+  std::vector<double> a{4, 2, 2, 2, 5, 3, 2, 3, 6};
+  ASSERT_TRUE(cholesky(a.data(), 3));
+  EXPECT_NEAR(a[0], 2.0, 1e-12);       // L00 = sqrt(4)
+  EXPECT_NEAR(a[3], 1.0, 1e-12);       // L10 = 2/2
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  std::vector<double> a{1, 2, 2, 1};  // eigenvalues 3, -1
+  EXPECT_FALSE(cholesky(a.data(), 2));
+}
+
+TEST(SolveSpdTest, SolvesKnownSystem) {
+  const std::vector<double> a{4, 2, 2, 3};
+  const std::vector<double> b{10, 8};
+  std::vector<double> x(2);
+  ASSERT_TRUE(solve_spd(a, 2, b.data(), x.data()));
+  EXPECT_NEAR(4 * x[0] + 2 * x[1], 10.0, 1e-12);
+  EXPECT_NEAR(2 * x[0] + 3 * x[1], 8.0, 1e-12);
+}
+
+TEST(MinNormTest, SatisfiesConstraints) {
+  // One constraint, three unknowns: w0 + w1 + w2 = 1.
+  const std::vector<double> m{1, 1, 1};
+  const double t = 1.0;
+  std::vector<double> w(3);
+  ASSERT_TRUE(min_norm_solve(m, 1, 3, &t, w.data()));
+  EXPECT_NEAR(w[0] + w[1] + w[2], 1.0, 1e-12);
+  // Minimum-norm solution is uniform.
+  EXPECT_NEAR(w[0], 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(w[1], 1.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace hfmm::blas

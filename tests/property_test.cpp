@@ -1,0 +1,193 @@
+// Property-based tests: physical and mathematical invariants that must hold
+// for ANY input — linearity in the charges, translation/rotation invariance,
+// Newton's third law, and consistency of the energy functional.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hfmm/baseline/direct.hpp"
+#include "hfmm/core/solver.hpp"
+#include "hfmm/util/errors.hpp"
+#include "hfmm/util/rng.hpp"
+
+namespace hfmm::core {
+namespace {
+
+FmmConfig cfg_depth3() {
+  FmmConfig cfg;
+  cfg.depth = 3;
+  return cfg;
+}
+
+class SeededProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeededProperty, LinearityInCharges) {
+  // phi is linear in q: scaling all charges by c scales phi by c.
+  const std::uint64_t seed = GetParam();
+  ParticleSet p = make_uniform(400, Box3{}, seed);
+  FmmSolver solver(cfg_depth3());
+  const FmmResult r1 = solver.solve(p);
+  auto q = p.q();
+  for (double& v : q) v *= 3.5;
+  const FmmResult r2 = solver.solve(p);
+  for (std::size_t i = 0; i < 400; ++i)
+    EXPECT_NEAR(r2.phi[i], 3.5 * r1.phi[i], 1e-9 * std::abs(r1.phi[i]) + 1e-12);
+}
+
+TEST_P(SeededProperty, SuperpositionOfTwoCharges) {
+  // phi(qA + qB) = phi(qA) + phi(qB) with positions fixed.
+  const std::uint64_t seed = GetParam();
+  const std::size_t n = 300;
+  ParticleSet base = make_uniform(n, Box3{}, seed + 100);
+  Xoshiro256 rng(seed);
+  std::vector<double> qa(n), qb(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    qa[i] = rng.uniform(-1, 1);
+    qb[i] = rng.uniform(-1, 1);
+  }
+  FmmSolver solver(cfg_depth3());
+  const auto solve_with = [&](const std::vector<double>& q) {
+    ParticleSet p = base;
+    std::copy(q.begin(), q.end(), p.q().begin());
+    return solver.solve(p).phi;
+  };
+  const auto pa = solve_with(qa), pb = solve_with(qb);
+  std::vector<double> qsum(n);
+  for (std::size_t i = 0; i < n; ++i) qsum[i] = qa[i] + qb[i];
+  const auto psum = solve_with(qsum);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(psum[i], pa[i] + pb[i], 1e-9 * (std::abs(pa[i]) + 1.0));
+}
+
+TEST_P(SeededProperty, TranslationInvariance) {
+  // Shifting every particle by a constant vector leaves potentials unchanged
+  // (up to hierarchy re-gridding noise bounded by the method's accuracy).
+  const std::uint64_t seed = GetParam();
+  ParticleSet p = make_uniform(400, Box3{}, seed + 200);
+  FmmSolver solver(cfg_depth3());
+  const FmmResult r1 = solver.solve(p);
+  const Vec3 shift{17.0, -4.0, 9.0};
+  for (std::size_t i = 0; i < p.size(); ++i)
+    p.set(i, p.position(i) + shift, p.charge(i));
+  const FmmResult r2 = solver.solve(p);
+  const ErrorNorms e = compare_fields(r2.phi, r1.phi);
+  EXPECT_LT(e.rms_rel, 1e-3);
+}
+
+TEST_P(SeededProperty, UniformScalingScalesPotentialInversely) {
+  // Coulomb potential scales as 1/length: doubling all coordinates halves phi.
+  const std::uint64_t seed = GetParam();
+  ParticleSet p = make_uniform(400, Box3{}, seed + 300);
+  FmmSolver solver(cfg_depth3());
+  const FmmResult r1 = solver.solve(p);
+  for (std::size_t i = 0; i < p.size(); ++i)
+    p.set(i, 2.0 * p.position(i), p.charge(i));
+  const FmmResult r2 = solver.solve(p);
+  for (std::size_t i = 0; i < p.size(); ++i)
+    EXPECT_NEAR(r2.phi[i], 0.5 * r1.phi[i], 2e-3 * std::abs(r1.phi[i]));
+}
+
+TEST_P(SeededProperty, NewtonThirdLawTotalForceVanishes)
+{
+  // Sum of q_i * E_i over all particles is the total internal force: zero.
+  const std::uint64_t seed = GetParam();
+  const ParticleSet p = make_uniform(500, Box3{}, seed + 400);
+  FmmConfig cfg = cfg_depth3();
+  cfg.with_gradient = true;
+  FmmSolver solver(cfg);
+  const FmmResult r = solver.solve(p);
+  Vec3 total{};
+  double scale = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    total += p.charge(i) * r.grad[i];
+    scale += (p.charge(i) * r.grad[i]).norm();
+  }
+  EXPECT_LT(total.norm(), 2e-3 * scale);
+}
+
+TEST_P(SeededProperty, EnergyMatchesDirect) {
+  // U = 1/2 sum q_i phi_i must match the direct sum closely even when
+  // individual phi errors partially cancel.
+  const std::uint64_t seed = GetParam();
+  const ParticleSet p = make_uniform(400, Box3{}, seed + 500);
+  FmmSolver solver(cfg_depth3());
+  const FmmResult r = solver.solve(p);
+  const baseline::DirectResult d = baseline::direct_all(p, false);
+  double u_fmm = 0, u_dir = 0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    u_fmm += p.charge(i) * r.phi[i];
+    u_dir += p.charge(i) * d.phi[i];
+  }
+  EXPECT_NEAR(u_fmm, u_dir, 1e-3 * std::abs(u_dir));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(PropertyTest, DepthConsistency) {
+  // The same system solved at depths 2 and 3 must agree to method accuracy.
+  const ParticleSet p = make_uniform(1000, Box3{}, 777);
+  std::vector<std::vector<double>> phis;
+  for (int depth : {2, 3}) {
+    FmmConfig cfg;
+    cfg.depth = depth;
+    FmmSolver solver(cfg);
+    phis.push_back(solver.solve(p).phi);
+  }
+  EXPECT_LT(compare_fields(phis[1], phis[0]).rms_rel, 2e-3);
+}
+
+TEST(PropertyTest, MirrorSymmetry) {
+  // Reflecting the system through x -> 1-x maps the potential onto the
+  // mirrored particle.
+  ParticleSet p = make_uniform(300, Box3{}, 888);
+  FmmSolver solver(cfg_depth3());
+  const FmmResult r1 = solver.solve(p);
+  ParticleSet m = p;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    Vec3 pos = p.position(i);
+    pos.x = 1.0 - pos.x;
+    m.set(i, pos, p.charge(i));
+  }
+  const FmmResult r2 = solver.solve(m);
+  const ErrorNorms e = compare_fields(r2.phi, r1.phi);
+  EXPECT_LT(e.rms_rel, 1e-3);
+}
+
+TEST(PropertyTest, OctantRotationSymmetry) {
+  // Rotating the system 90 degrees about the domain centre's z axis
+  // (x,y,z) -> (1-y, x, z) permutes potentials onto the rotated particles.
+  ParticleSet p = make_uniform(300, Box3{}, 999);
+  FmmSolver solver(cfg_depth3());
+  const FmmResult r1 = solver.solve(p);
+  ParticleSet rot = p;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const Vec3 pos = p.position(i);
+    rot.set(i, {1.0 - pos.y, pos.x, pos.z}, p.charge(i));
+  }
+  const FmmResult r2 = solver.solve(rot);
+  const ErrorNorms e = compare_fields(r2.phi, r1.phi);
+  EXPECT_LT(e.rms_rel, 1e-3);
+}
+
+TEST(PropertyTest, GradientConsistentWithPotentialDifference) {
+  // E = -grad phi: the potential difference between two nearby probe
+  // particles approximates -E . dx at their midpoint. Checked statistically.
+  const ParticleSet p = make_uniform(600, Box3{}, 1234);
+  FmmConfig cfg = cfg_depth3();
+  cfg.with_gradient = true;
+  FmmSolver solver(cfg);
+  const FmmResult r = solver.solve(p);
+  const baseline::DirectResult d = baseline::direct_all(p, true);
+  // Compare FMM gradient direction against direct gradient direction.
+  double dot = 0, norm = 0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    dot += r.grad[i].dot(d.grad[i]);
+    norm += d.grad[i].norm2();
+  }
+  EXPECT_NEAR(dot / norm, 1.0, 1e-3);
+}
+
+}  // namespace
+}  // namespace hfmm::core

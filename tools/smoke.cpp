@@ -1,0 +1,57 @@
+// Scratch accuracy probe used during development; superseded by the test
+// suite and bench_table2_accuracy but kept as a quick manual check:
+//   ./build/tools/smoke --n 2000 --order 5 --depth 3
+#include <cstdio>
+
+#include "hfmm/baseline/direct.hpp"
+#include "hfmm/core/solver.hpp"
+#include "hfmm/util/cli.hpp"
+#include "hfmm/util/errors.hpp"
+
+using namespace hfmm;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const std::size_t n = cli.get("n", std::int64_t{2000});
+  const int order = static_cast<int>(cli.get("order", std::int64_t{5}));
+  const int depth = static_cast<int>(cli.get("depth", std::int64_t{3}));
+  const double outer = cli.get("outer", -1.0);
+  const double inner = cli.get("inner", -1.0);
+  const int trunc = static_cast<int>(cli.get("m", std::int64_t{-1}));
+  const std::string mode = cli.get("mode", std::string("threads"));
+
+  ParticleSet ps = make_uniform(n, Box3{}, 42);
+  core::FmmConfig cfg;
+  cfg.params = anderson::params_for_order(order);
+  if (outer > 0) cfg.params.outer_ratio = outer;
+  if (inner > 0) cfg.params.inner_ratio = inner;
+  if (trunc >= 0) cfg.params.truncation = trunc;
+  cfg.depth = depth;
+  cfg.with_gradient = cli.flag("grad");
+  cfg.supernodes = cli.flag("supernodes");
+  if (mode == "seq") cfg.mode = core::ExecutionMode::kSequential;
+  if (mode == "dp") cfg.mode = core::ExecutionMode::kDataParallel;
+
+  core::FmmSolver solver(cfg);
+  WallTimer t;
+  core::FmmResult r = solver.solve(ps);
+  const double fmm_time = t.seconds();
+
+  t.reset();
+  baseline::DirectResult d = baseline::direct_all(ps, cfg.with_gradient);
+  const double direct_time = t.seconds();
+
+  const ErrorNorms e = compare_fields(r.phi, d.phi);
+  std::printf("K=%zu M=%d depth=%d  max_rel=%.3e rms_rel=%.3e digits=%.2f\n",
+              r.k, cfg.params.truncation, r.depth, e.max_rel, e.rms_rel,
+              digits(e.rms_rel));
+  if (cfg.with_gradient) {
+    const ErrorNorms eg = compare_fields(r.grad, d.grad);
+    std::printf("grad: max_rel=%.3e rms_rel=%.3e\n", eg.max_rel, eg.rms_rel);
+  }
+  std::printf("fmm %.3fs direct %.3fs  phases:", fmm_time, direct_time);
+  for (const auto& [name, s] : r.breakdown.phases())
+    std::printf(" %s=%.3f", name.c_str(), s.seconds);
+  std::printf("\n");
+  return 0;
+}
