@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_depth.dir/bench_depth.cpp.o"
+  "CMakeFiles/bench_depth.dir/bench_depth.cpp.o.d"
+  "bench_depth"
+  "bench_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_sort.dir/bench_fig5_sort.cpp.o"
+  "CMakeFiles/bench_fig5_sort.dir/bench_fig5_sort.cpp.o.d"
+  "bench_fig5_sort"
+  "bench_fig5_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_embed.dir/bench_fig7_embed.cpp.o"
+  "CMakeFiles/bench_fig7_embed.dir/bench_fig7_embed.cpp.o.d"
+  "bench_fig7_embed"
+  "bench_fig7_embed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_embed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_precompute_t1t3.dir/bench_fig8_precompute_t1t3.cpp.o"
+  "CMakeFiles/bench_fig8_precompute_t1t3.dir/bench_fig8_precompute_t1t3.cpp.o.d"
+  "bench_fig8_precompute_t1t3"
+  "bench_fig8_precompute_t1t3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_precompute_t1t3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

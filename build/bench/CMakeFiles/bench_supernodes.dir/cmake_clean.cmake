@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_supernodes.dir/bench_supernodes.cpp.o"
+  "CMakeFiles/bench_supernodes.dir/bench_supernodes.cpp.o.d"
+  "bench_supernodes"
+  "bench_supernodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_supernodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

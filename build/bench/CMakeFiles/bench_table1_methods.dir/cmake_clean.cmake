@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_methods.dir/bench_table1_methods.cpp.o"
+  "CMakeFiles/bench_table1_methods.dir/bench_table1_methods.cpp.o.d"
+  "bench_table1_methods"
+  "bench_table1_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table4_datamotion.cpp" "bench/CMakeFiles/bench_table4_datamotion.dir/bench_table4_datamotion.cpp.o" "gcc" "bench/CMakeFiles/bench_table4_datamotion.dir/bench_table4_datamotion.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hfmm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/hfmm_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/anderson/CMakeFiles/hfmm_anderson.dir/DependInfo.cmake"
+  "/root/repo/build/src/quadrature/CMakeFiles/hfmm_quadrature.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas/CMakeFiles/hfmm_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/hfmm_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/hfmm_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hfmm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_datamotion.dir/bench_table4_datamotion.cpp.o"
+  "CMakeFiles/bench_table4_datamotion.dir/bench_table4_datamotion.cpp.o.d"
+  "bench_table4_datamotion"
+  "bench_table4_datamotion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_datamotion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

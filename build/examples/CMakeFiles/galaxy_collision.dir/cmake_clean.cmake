@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/galaxy_collision.dir/galaxy_collision.cpp.o"
+  "CMakeFiles/galaxy_collision.dir/galaxy_collision.cpp.o.d"
+  "galaxy_collision"
+  "galaxy_collision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/galaxy_collision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

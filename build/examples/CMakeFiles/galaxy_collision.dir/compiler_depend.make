@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for galaxy_collision.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plasma_electrostatics.dir/plasma_electrostatics.cpp.o"
+  "CMakeFiles/plasma_electrostatics.dir/plasma_electrostatics.cpp.o.d"
+  "plasma_electrostatics"
+  "plasma_electrostatics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plasma_electrostatics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

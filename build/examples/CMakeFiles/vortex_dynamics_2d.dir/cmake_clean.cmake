@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vortex_dynamics_2d.dir/vortex_dynamics_2d.cpp.o"
+  "CMakeFiles/vortex_dynamics_2d.dir/vortex_dynamics_2d.cpp.o.d"
+  "vortex_dynamics_2d"
+  "vortex_dynamics_2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vortex_dynamics_2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vortex_dynamics_2d.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for vortex_dynamics_2d.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/anderson/kernels.cpp" "src/anderson/CMakeFiles/hfmm_anderson.dir/kernels.cpp.o" "gcc" "src/anderson/CMakeFiles/hfmm_anderson.dir/kernels.cpp.o.d"
+  "/root/repo/src/anderson/leaf_ops.cpp" "src/anderson/CMakeFiles/hfmm_anderson.dir/leaf_ops.cpp.o" "gcc" "src/anderson/CMakeFiles/hfmm_anderson.dir/leaf_ops.cpp.o.d"
+  "/root/repo/src/anderson/params.cpp" "src/anderson/CMakeFiles/hfmm_anderson.dir/params.cpp.o" "gcc" "src/anderson/CMakeFiles/hfmm_anderson.dir/params.cpp.o.d"
+  "/root/repo/src/anderson/translations.cpp" "src/anderson/CMakeFiles/hfmm_anderson.dir/translations.cpp.o" "gcc" "src/anderson/CMakeFiles/hfmm_anderson.dir/translations.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hfmm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/quadrature/CMakeFiles/hfmm_quadrature.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/hfmm_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas/CMakeFiles/hfmm_blas.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

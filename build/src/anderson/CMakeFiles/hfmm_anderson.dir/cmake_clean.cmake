@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hfmm_anderson.dir/kernels.cpp.o"
+  "CMakeFiles/hfmm_anderson.dir/kernels.cpp.o.d"
+  "CMakeFiles/hfmm_anderson.dir/leaf_ops.cpp.o"
+  "CMakeFiles/hfmm_anderson.dir/leaf_ops.cpp.o.d"
+  "CMakeFiles/hfmm_anderson.dir/params.cpp.o"
+  "CMakeFiles/hfmm_anderson.dir/params.cpp.o.d"
+  "CMakeFiles/hfmm_anderson.dir/translations.cpp.o"
+  "CMakeFiles/hfmm_anderson.dir/translations.cpp.o.d"
+  "libhfmm_anderson.a"
+  "libhfmm_anderson.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hfmm_anderson.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/barnes_hut.cpp" "src/baseline/CMakeFiles/hfmm_baseline.dir/barnes_hut.cpp.o" "gcc" "src/baseline/CMakeFiles/hfmm_baseline.dir/barnes_hut.cpp.o.d"
+  "/root/repo/src/baseline/direct.cpp" "src/baseline/CMakeFiles/hfmm_baseline.dir/direct.cpp.o" "gcc" "src/baseline/CMakeFiles/hfmm_baseline.dir/direct.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hfmm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/hfmm_tree.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hfmm_baseline.dir/barnes_hut.cpp.o"
+  "CMakeFiles/hfmm_baseline.dir/barnes_hut.cpp.o.d"
+  "CMakeFiles/hfmm_baseline.dir/direct.cpp.o"
+  "CMakeFiles/hfmm_baseline.dir/direct.cpp.o.d"
+  "libhfmm_baseline.a"
+  "libhfmm_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hfmm_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blas/blas.cpp" "src/blas/CMakeFiles/hfmm_blas.dir/blas.cpp.o" "gcc" "src/blas/CMakeFiles/hfmm_blas.dir/blas.cpp.o.d"
+  "/root/repo/src/blas/linalg.cpp" "src/blas/CMakeFiles/hfmm_blas.dir/linalg.cpp.o" "gcc" "src/blas/CMakeFiles/hfmm_blas.dir/linalg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hfmm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hfmm_blas.dir/blas.cpp.o"
+  "CMakeFiles/hfmm_blas.dir/blas.cpp.o.d"
+  "CMakeFiles/hfmm_blas.dir/linalg.cpp.o"
+  "CMakeFiles/hfmm_blas.dir/linalg.cpp.o.d"
+  "libhfmm_blas.a"
+  "libhfmm_blas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hfmm_blas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

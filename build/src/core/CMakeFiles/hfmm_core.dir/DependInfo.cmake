@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/config.cpp" "src/core/CMakeFiles/hfmm_core.dir/config.cpp.o" "gcc" "src/core/CMakeFiles/hfmm_core.dir/config.cpp.o.d"
+  "/root/repo/src/core/integrator.cpp" "src/core/CMakeFiles/hfmm_core.dir/integrator.cpp.o" "gcc" "src/core/CMakeFiles/hfmm_core.dir/integrator.cpp.o.d"
+  "/root/repo/src/core/near_field.cpp" "src/core/CMakeFiles/hfmm_core.dir/near_field.cpp.o" "gcc" "src/core/CMakeFiles/hfmm_core.dir/near_field.cpp.o.d"
+  "/root/repo/src/core/solver.cpp" "src/core/CMakeFiles/hfmm_core.dir/solver.cpp.o" "gcc" "src/core/CMakeFiles/hfmm_core.dir/solver.cpp.o.d"
+  "/root/repo/src/core/solver_dp.cpp" "src/core/CMakeFiles/hfmm_core.dir/solver_dp.cpp.o" "gcc" "src/core/CMakeFiles/hfmm_core.dir/solver_dp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hfmm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas/CMakeFiles/hfmm_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/quadrature/CMakeFiles/hfmm_quadrature.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/hfmm_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/hfmm_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/anderson/CMakeFiles/hfmm_anderson.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/hfmm_baseline.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hfmm_core.dir/config.cpp.o"
+  "CMakeFiles/hfmm_core.dir/config.cpp.o.d"
+  "CMakeFiles/hfmm_core.dir/integrator.cpp.o"
+  "CMakeFiles/hfmm_core.dir/integrator.cpp.o.d"
+  "CMakeFiles/hfmm_core.dir/near_field.cpp.o"
+  "CMakeFiles/hfmm_core.dir/near_field.cpp.o.d"
+  "CMakeFiles/hfmm_core.dir/solver.cpp.o"
+  "CMakeFiles/hfmm_core.dir/solver.cpp.o.d"
+  "CMakeFiles/hfmm_core.dir/solver_dp.cpp.o"
+  "CMakeFiles/hfmm_core.dir/solver_dp.cpp.o.d"
+  "libhfmm_core.a"
+  "libhfmm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hfmm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

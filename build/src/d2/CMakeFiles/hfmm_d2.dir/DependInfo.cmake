@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/d2/circle_rule.cpp" "src/d2/CMakeFiles/hfmm_d2.dir/circle_rule.cpp.o" "gcc" "src/d2/CMakeFiles/hfmm_d2.dir/circle_rule.cpp.o.d"
+  "/root/repo/src/d2/kernels.cpp" "src/d2/CMakeFiles/hfmm_d2.dir/kernels.cpp.o" "gcc" "src/d2/CMakeFiles/hfmm_d2.dir/kernels.cpp.o.d"
+  "/root/repo/src/d2/solver.cpp" "src/d2/CMakeFiles/hfmm_d2.dir/solver.cpp.o" "gcc" "src/d2/CMakeFiles/hfmm_d2.dir/solver.cpp.o.d"
+  "/root/repo/src/d2/tree.cpp" "src/d2/CMakeFiles/hfmm_d2.dir/tree.cpp.o" "gcc" "src/d2/CMakeFiles/hfmm_d2.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hfmm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas/CMakeFiles/hfmm_blas.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hfmm_d2.dir/circle_rule.cpp.o"
+  "CMakeFiles/hfmm_d2.dir/circle_rule.cpp.o.d"
+  "CMakeFiles/hfmm_d2.dir/kernels.cpp.o"
+  "CMakeFiles/hfmm_d2.dir/kernels.cpp.o.d"
+  "CMakeFiles/hfmm_d2.dir/solver.cpp.o"
+  "CMakeFiles/hfmm_d2.dir/solver.cpp.o.d"
+  "CMakeFiles/hfmm_d2.dir/tree.cpp.o"
+  "CMakeFiles/hfmm_d2.dir/tree.cpp.o.d"
+  "libhfmm_d2.a"
+  "libhfmm_d2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hfmm_d2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

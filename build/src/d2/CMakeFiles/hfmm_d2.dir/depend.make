@@ -1,0 +1,2 @@
+# Empty dependencies file for hfmm_d2.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dp/dist_grid.cpp" "src/dp/CMakeFiles/hfmm_dp.dir/dist_grid.cpp.o" "gcc" "src/dp/CMakeFiles/hfmm_dp.dir/dist_grid.cpp.o.d"
+  "/root/repo/src/dp/halo.cpp" "src/dp/CMakeFiles/hfmm_dp.dir/halo.cpp.o" "gcc" "src/dp/CMakeFiles/hfmm_dp.dir/halo.cpp.o.d"
+  "/root/repo/src/dp/layout.cpp" "src/dp/CMakeFiles/hfmm_dp.dir/layout.cpp.o" "gcc" "src/dp/CMakeFiles/hfmm_dp.dir/layout.cpp.o.d"
+  "/root/repo/src/dp/machine.cpp" "src/dp/CMakeFiles/hfmm_dp.dir/machine.cpp.o" "gcc" "src/dp/CMakeFiles/hfmm_dp.dir/machine.cpp.o.d"
+  "/root/repo/src/dp/multigrid.cpp" "src/dp/CMakeFiles/hfmm_dp.dir/multigrid.cpp.o" "gcc" "src/dp/CMakeFiles/hfmm_dp.dir/multigrid.cpp.o.d"
+  "/root/repo/src/dp/replicate.cpp" "src/dp/CMakeFiles/hfmm_dp.dir/replicate.cpp.o" "gcc" "src/dp/CMakeFiles/hfmm_dp.dir/replicate.cpp.o.d"
+  "/root/repo/src/dp/sort.cpp" "src/dp/CMakeFiles/hfmm_dp.dir/sort.cpp.o" "gcc" "src/dp/CMakeFiles/hfmm_dp.dir/sort.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hfmm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/hfmm_tree.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

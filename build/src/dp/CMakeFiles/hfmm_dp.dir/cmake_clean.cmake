@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hfmm_dp.dir/dist_grid.cpp.o"
+  "CMakeFiles/hfmm_dp.dir/dist_grid.cpp.o.d"
+  "CMakeFiles/hfmm_dp.dir/halo.cpp.o"
+  "CMakeFiles/hfmm_dp.dir/halo.cpp.o.d"
+  "CMakeFiles/hfmm_dp.dir/layout.cpp.o"
+  "CMakeFiles/hfmm_dp.dir/layout.cpp.o.d"
+  "CMakeFiles/hfmm_dp.dir/machine.cpp.o"
+  "CMakeFiles/hfmm_dp.dir/machine.cpp.o.d"
+  "CMakeFiles/hfmm_dp.dir/multigrid.cpp.o"
+  "CMakeFiles/hfmm_dp.dir/multigrid.cpp.o.d"
+  "CMakeFiles/hfmm_dp.dir/replicate.cpp.o"
+  "CMakeFiles/hfmm_dp.dir/replicate.cpp.o.d"
+  "CMakeFiles/hfmm_dp.dir/sort.cpp.o"
+  "CMakeFiles/hfmm_dp.dir/sort.cpp.o.d"
+  "libhfmm_dp.a"
+  "libhfmm_dp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hfmm_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hfmm_dp.
+# This may be replaced when dependencies are built.

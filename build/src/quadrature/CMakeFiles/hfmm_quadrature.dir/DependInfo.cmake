@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quadrature/legendre.cpp" "src/quadrature/CMakeFiles/hfmm_quadrature.dir/legendre.cpp.o" "gcc" "src/quadrature/CMakeFiles/hfmm_quadrature.dir/legendre.cpp.o.d"
+  "/root/repo/src/quadrature/sphere_rule.cpp" "src/quadrature/CMakeFiles/hfmm_quadrature.dir/sphere_rule.cpp.o" "gcc" "src/quadrature/CMakeFiles/hfmm_quadrature.dir/sphere_rule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hfmm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas/CMakeFiles/hfmm_blas.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hfmm_quadrature.dir/legendre.cpp.o"
+  "CMakeFiles/hfmm_quadrature.dir/legendre.cpp.o.d"
+  "CMakeFiles/hfmm_quadrature.dir/sphere_rule.cpp.o"
+  "CMakeFiles/hfmm_quadrature.dir/sphere_rule.cpp.o.d"
+  "libhfmm_quadrature.a"
+  "libhfmm_quadrature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hfmm_quadrature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhfmm_quadrature.a"
+)

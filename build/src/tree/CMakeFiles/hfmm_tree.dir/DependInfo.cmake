@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tree/hierarchy.cpp" "src/tree/CMakeFiles/hfmm_tree.dir/hierarchy.cpp.o" "gcc" "src/tree/CMakeFiles/hfmm_tree.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/tree/interaction_lists.cpp" "src/tree/CMakeFiles/hfmm_tree.dir/interaction_lists.cpp.o" "gcc" "src/tree/CMakeFiles/hfmm_tree.dir/interaction_lists.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hfmm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hfmm_tree.dir/hierarchy.cpp.o"
+  "CMakeFiles/hfmm_tree.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/hfmm_tree.dir/interaction_lists.cpp.o"
+  "CMakeFiles/hfmm_tree.dir/interaction_lists.cpp.o.d"
+  "libhfmm_tree.a"
+  "libhfmm_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hfmm_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

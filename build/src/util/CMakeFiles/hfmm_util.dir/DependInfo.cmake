@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/cli.cpp" "src/util/CMakeFiles/hfmm_util.dir/cli.cpp.o" "gcc" "src/util/CMakeFiles/hfmm_util.dir/cli.cpp.o.d"
+  "/root/repo/src/util/errors.cpp" "src/util/CMakeFiles/hfmm_util.dir/errors.cpp.o" "gcc" "src/util/CMakeFiles/hfmm_util.dir/errors.cpp.o.d"
+  "/root/repo/src/util/particles.cpp" "src/util/CMakeFiles/hfmm_util.dir/particles.cpp.o" "gcc" "src/util/CMakeFiles/hfmm_util.dir/particles.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/util/CMakeFiles/hfmm_util.dir/rng.cpp.o" "gcc" "src/util/CMakeFiles/hfmm_util.dir/rng.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/util/CMakeFiles/hfmm_util.dir/table.cpp.o" "gcc" "src/util/CMakeFiles/hfmm_util.dir/table.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/util/CMakeFiles/hfmm_util.dir/thread_pool.cpp.o" "gcc" "src/util/CMakeFiles/hfmm_util.dir/thread_pool.cpp.o.d"
+  "/root/repo/src/util/timer.cpp" "src/util/CMakeFiles/hfmm_util.dir/timer.cpp.o" "gcc" "src/util/CMakeFiles/hfmm_util.dir/timer.cpp.o.d"
+  "/root/repo/src/util/vec3.cpp" "src/util/CMakeFiles/hfmm_util.dir/vec3.cpp.o" "gcc" "src/util/CMakeFiles/hfmm_util.dir/vec3.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

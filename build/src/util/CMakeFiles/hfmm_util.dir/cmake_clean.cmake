@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hfmm_util.dir/cli.cpp.o"
+  "CMakeFiles/hfmm_util.dir/cli.cpp.o.d"
+  "CMakeFiles/hfmm_util.dir/errors.cpp.o"
+  "CMakeFiles/hfmm_util.dir/errors.cpp.o.d"
+  "CMakeFiles/hfmm_util.dir/particles.cpp.o"
+  "CMakeFiles/hfmm_util.dir/particles.cpp.o.d"
+  "CMakeFiles/hfmm_util.dir/rng.cpp.o"
+  "CMakeFiles/hfmm_util.dir/rng.cpp.o.d"
+  "CMakeFiles/hfmm_util.dir/table.cpp.o"
+  "CMakeFiles/hfmm_util.dir/table.cpp.o.d"
+  "CMakeFiles/hfmm_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/hfmm_util.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/hfmm_util.dir/timer.cpp.o"
+  "CMakeFiles/hfmm_util.dir/timer.cpp.o.d"
+  "CMakeFiles/hfmm_util.dir/vec3.cpp.o"
+  "CMakeFiles/hfmm_util.dir/vec3.cpp.o.d"
+  "libhfmm_util.a"
+  "libhfmm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hfmm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anderson_test.dir/anderson_test.cpp.o"
+  "CMakeFiles/anderson_test.dir/anderson_test.cpp.o.d"
+  "anderson_test"
+  "anderson_test.pdb"
+  "anderson_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anderson_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blas_test.dir/blas_test.cpp.o"
+  "CMakeFiles/blas_test.dir/blas_test.cpp.o.d"
+  "blas_test"
+  "blas_test.pdb"
+  "blas_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blas_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/d2_test.dir/d2_test.cpp.o"
+  "CMakeFiles/d2_test.dir/d2_test.cpp.o.d"
+  "d2_test"
+  "d2_test.pdb"
+  "d2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/d2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

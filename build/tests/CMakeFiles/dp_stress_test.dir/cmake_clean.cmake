@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_stress_test.dir/dp_stress_test.cpp.o"
+  "CMakeFiles/dp_stress_test.dir/dp_stress_test.cpp.o.d"
+  "dp_stress_test"
+  "dp_stress_test.pdb"
+  "dp_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

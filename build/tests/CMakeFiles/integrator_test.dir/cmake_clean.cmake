@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integrator_test.dir/integrator_test.cpp.o"
+  "CMakeFiles/integrator_test.dir/integrator_test.cpp.o.d"
+  "integrator_test"
+  "integrator_test.pdb"
+  "integrator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integrator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

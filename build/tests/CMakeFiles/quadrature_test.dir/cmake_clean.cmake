@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quadrature_test.dir/quadrature_test.cpp.o"
+  "CMakeFiles/quadrature_test.dir/quadrature_test.cpp.o.d"
+  "quadrature_test"
+  "quadrature_test.pdb"
+  "quadrature_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quadrature_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

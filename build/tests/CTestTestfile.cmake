@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/blas_test[1]_include.cmake")
+include("/root/repo/build/tests/quadrature_test[1]_include.cmake")
+include("/root/repo/build/tests/tree_test[1]_include.cmake")
+include("/root/repo/build/tests/dp_test[1]_include.cmake")
+include("/root/repo/build/tests/anderson_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/integrator_test[1]_include.cmake")
+include("/root/repo/build/tests/dp_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/d2_test[1]_include.cmake")
