@@ -2,24 +2,57 @@
 // translation GEMMs at the paper's matrix sizes (K = 12 and K = 72), the
 // batched multiple-instance variant, the Poisson kernels, the near-field
 // pair kernel, and CSHIFT on the simulated machine.
+//
+// Before the google-benchmark suite runs, a per-kernel sweep measures
+// GFLOP/s of every dispatchable BLAS backend (portable, avx2) on the
+// translation shapes and writes the results to BENCH_kernels.json (override
+// the path with --json=FILE) so the performance trajectory is machine-
+// diffable across PRs. JSON shape:
+//   { "bench": "bench_kernels", "default_kernel": "avx2",
+//     "kernels": [ { "kernel": "avx2", "supported": true,
+//                    "gemm": [ {"m":..,"n":..,"k":..,"gflops":..}, ... ],
+//                    "gemm_batch": [ {"m":..,"k":..,"instances":..,
+//                                     "gflops":..}, ... ] }, ... ] }
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "hfmm/anderson/kernels.hpp"
 #include "hfmm/anderson/leaf_ops.hpp"
 #include "hfmm/anderson/params.hpp"
 #include "hfmm/blas/blas.hpp"
+#include "hfmm/blas/kernels.hpp"
 #include "hfmm/baseline/direct.hpp"
 #include "hfmm/dp/halo.hpp"
 #include "hfmm/util/rng.hpp"
+#include "hfmm/util/timer.hpp"
 
 namespace {
 
 using namespace hfmm;
 
+// range(2) selects the BLAS backend: 0 = portable, 1 = avx2.
+blas::KernelKind kind_of(benchmark::State& state, std::size_t idx) {
+  return static_cast<blas::KernelKind>(state.range(idx));
+}
+
+bool select_or_skip(benchmark::State& state, std::size_t idx) {
+  const blas::KernelKind kind = kind_of(state, idx);
+  if (!blas::kernel_supported(kind)) {
+    state.SkipWithError("kernel unsupported on this CPU");
+    return false;
+  }
+  blas::select_kernel(kind);
+  state.SetLabel(blas::to_string(kind));
+  return true;
+}
+
 void BM_GemmTranslation(benchmark::State& state) {
+  if (!select_or_skip(state, 2)) return;
   const std::size_t k = static_cast<std::size_t>(state.range(0));
   const std::size_t boxes = static_cast<std::size_t>(state.range(1));
   std::vector<double> a(boxes * k, 1.0), t(k * k, 0.5), c(boxes * k, 0.0);
@@ -34,10 +67,7 @@ void BM_GemmTranslation(benchmark::State& state) {
       benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_GemmTranslation)
-    ->Args({12, 64})
-    ->Args({12, 1024})
-    ->Args({72, 64})
-    ->Args({72, 1024});
+    ->ArgsProduct({{12, 72}, {64, 1024}, {0, 1}});
 
 void BM_GemvTranslation(benchmark::State& state) {
   const std::size_t k = static_cast<std::size_t>(state.range(0));
@@ -50,7 +80,9 @@ void BM_GemvTranslation(benchmark::State& state) {
 BENCHMARK(BM_GemvTranslation)->Arg(12)->Arg(72);
 
 void BM_GemmBatch(benchmark::State& state) {
-  const std::size_t k = 12, slab = 8, count = 128;
+  if (!select_or_skip(state, 1)) return;
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  const std::size_t slab = 8, count = 128;
   std::vector<double> a(count * slab * k, 1.0), t(k * k, 0.5),
       c(count * slab * k, 0.0);
   for (auto _ : state) {
@@ -58,8 +90,12 @@ void BM_GemmBatch(benchmark::State& state) {
                      slab * k, slab, k, k, count, true);
     benchmark::DoNotOptimize(c.data());
   }
+  state.counters["Gflops"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * count *
+          static_cast<double>(blas::gemm_flops(slab, k, k)) / 1e9,
+      benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_GemmBatch);
+BENCHMARK(BM_GemmBatch)->ArgsProduct({{12, 72}, {0, 1}});
 
 void BM_OuterKernel(benchmark::State& state) {
   const int m = static_cast<int>(state.range(0));
@@ -106,6 +142,112 @@ void BM_P2mEvaluation(benchmark::State& state) {
 }
 BENCHMARK(BM_P2mEvaluation);
 
+// ---------------------------------------------------------------------------
+// Per-kernel GFLOP/s sweep -> BENCH_kernels.json
+// ---------------------------------------------------------------------------
+
+double measure_batch_flops(std::size_t m, std::size_t k, std::size_t count,
+                           double min_seconds) {
+  std::vector<double> a(count * m * k, 1.0), b(k * k, 0.5),
+      c(count * m * k, 0.0);
+  blas::gemm_batch(a.data(), k, m * k, b.data(), k, 0, c.data(), k, m * k, m,
+                   k, k, count, true);
+  WallTimer t;
+  std::uint64_t reps = 0;
+  do {
+    blas::gemm_batch(a.data(), k, m * k, b.data(), k, 0, c.data(), k, m * k,
+                     m, k, k, count, true);
+    ++reps;
+  } while (t.seconds() < min_seconds);
+  return static_cast<double>(reps * count * blas::gemm_flops(m, k, k)) /
+         t.seconds();
+}
+
+void write_kernel_json(const char* path) {
+  // GEMM shapes: box-panel products at the paper's K (Anderson D=5 -> K=12,
+  // the M2 rule near D=14 -> K=72) plus the square peak calibration size.
+  struct GemmShape {
+    std::size_t m, n, k;
+  };
+  const GemmShape gemm_shapes[] = {
+      {4096, 12, 12}, {4096, 72, 72}, {72, 72, 72}, {96, 96, 96}};
+  struct BatchShape {
+    std::size_t m, k, count;
+  };
+  const BatchShape batch_shapes[] = {{8, 12, 512}, {8, 72, 512}};
+
+  const blas::KernelKind initial = blas::active_kernel_kind();
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_kernels: cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"bench_kernels\",\n");
+  std::fprintf(f, "  \"default_kernel\": \"%s\",\n",
+               blas::to_string(initial));
+  std::fprintf(f, "  \"kernels\": [\n");
+  const blas::KernelKind kinds[] = {blas::KernelKind::kPortable,
+                                    blas::KernelKind::kAvx2};
+  std::printf("per-kernel GFLOP/s (written to %s):\n", path);
+  for (std::size_t ki = 0; ki < 2; ++ki) {
+    const blas::KernelKind kind = kinds[ki];
+    const bool ok = blas::kernel_supported(kind);
+    std::fprintf(f, "    { \"kernel\": \"%s\", \"supported\": %s",
+                 blas::to_string(kind), ok ? "true" : "false");
+    if (ok) {
+      blas::select_kernel(kind);
+      std::fprintf(f, ",\n      \"gemm\": [");
+      for (std::size_t i = 0; i < std::size(gemm_shapes); ++i) {
+        const auto& s = gemm_shapes[i];
+        const double gf =
+            blas::measure_gemm_flops(s.m, s.n, s.k, 0.05) / 1e9;
+        std::printf("  %-8s gemm %5zu x %3zu x %3zu : %7.2f GF/s\n",
+                    blas::to_string(kind), s.m, s.n, s.k, gf);
+        std::fprintf(f,
+                     "%s\n        { \"m\": %zu, \"n\": %zu, \"k\": %zu, "
+                     "\"gflops\": %.3f }",
+                     i ? "," : "", s.m, s.n, s.k, gf);
+      }
+      std::fprintf(f, "\n      ],\n      \"gemm_batch\": [");
+      for (std::size_t i = 0; i < std::size(batch_shapes); ++i) {
+        const auto& s = batch_shapes[i];
+        const double gf = measure_batch_flops(s.m, s.k, s.count, 0.05) / 1e9;
+        std::printf(
+            "  %-8s gemm_batch m=%zu k=%zu x %zu inst : %7.2f GF/s\n",
+            blas::to_string(kind), s.m, s.k, s.count, gf);
+        std::fprintf(f,
+                     "%s\n        { \"m\": %zu, \"k\": %zu, \"instances\": "
+                     "%zu, \"gflops\": %.3f }",
+                     i ? "," : "", s.m, s.k, s.count, gf);
+      }
+      std::fprintf(f, "\n      ]");
+    }
+    std::fprintf(f, " }%s\n", ki + 1 < 2 ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  blas::select_kernel(initial);
+  std::printf("\n");
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const char* json_path = "BENCH_kernels.json";
+  // Peel off --json=... before google-benchmark sees the flags.
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0)
+      json_path = argv[i] + 7;
+    else
+      args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  write_kernel_json(json_path);
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

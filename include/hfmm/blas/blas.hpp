@@ -51,4 +51,10 @@ constexpr std::uint64_t gemm_flops(std::size_t m, std::size_t n,
 /// metric the paper proposes for cross-machine comparison.
 double measure_peak_flops(std::size_t size = 96, double min_seconds = 0.05);
 
+/// Measured flop rate (flops/s) of the ACTIVE kernel backend (see
+/// kernels.hpp) on a resident m x n x k gemm. bench_kernels pairs this with
+/// select_kernel() to report per-kernel GFLOP/s in BENCH_kernels.json.
+double measure_gemm_flops(std::size_t m, std::size_t n, std::size_t k,
+                          double min_seconds = 0.05);
+
 }  // namespace hfmm::blas

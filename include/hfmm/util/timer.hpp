@@ -26,16 +26,22 @@ class WallTimer {
   clock::time_point start_;
 };
 
-/// Accumulated time, flop count, and off-processor traffic for one phase.
+/// Accumulated time, flop count, and data traffic for one phase.
+/// `comm_bytes` counts off-processor traffic on the simulated machine;
+/// `bytes_moved` counts local data motion (gather/scatter copies feeding the
+/// aggregated GEMMs — the paper's Section 3.4 copy cost), measured where the
+/// copies happen so the data-motion benches read real numbers.
 struct PhaseStats {
   double seconds = 0.0;
   std::uint64_t flops = 0;
   std::uint64_t comm_bytes = 0;
+  std::uint64_t bytes_moved = 0;
 
   PhaseStats& operator+=(const PhaseStats& o) {
     seconds += o.seconds;
     flops += o.flops;
     comm_bytes += o.comm_bytes;
+    bytes_moved += o.bytes_moved;
     return *this;
   }
 };
@@ -52,6 +58,7 @@ class PhaseBreakdown {
   double total_seconds() const;
   std::uint64_t total_flops() const;
   std::uint64_t total_comm_bytes() const;
+  std::uint64_t total_bytes_moved() const;
   void clear() { phases_.clear(); }
 
   /// Merge another breakdown into this one (phase-wise sum).

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <vector>
 
+#include "hfmm/blas/kernels.hpp"
 #include "hfmm/util/timer.hpp"
 
 namespace hfmm::blas {
@@ -18,72 +19,10 @@ void gemv(const double* a, std::size_t lda, const double* x, double* y,
   }
 }
 
-namespace {
-
-// Register-blocked inner kernel: computes a 4 x n panel of C. The j-loop is
-// the vectorizable one (contiguous in B and C); unrolling i by 4 keeps four
-// accumulator rows live and reuses each loaded B element four times.
-template <bool Accumulate>
-void gemm_panel4(const double* a, std::size_t lda, const double* b,
-                 std::size_t ldb, double* c, std::size_t ldc, std::size_t n,
-                 std::size_t k) {
-  const double* __restrict__ a0 = a;
-  const double* __restrict__ a1 = a + lda;
-  const double* __restrict__ a2 = a + 2 * lda;
-  const double* __restrict__ a3 = a + 3 * lda;
-  double* __restrict__ c0 = c;
-  double* __restrict__ c1 = c + ldc;
-  double* __restrict__ c2 = c + 2 * ldc;
-  double* __restrict__ c3 = c + 3 * ldc;
-  if constexpr (!Accumulate) {
-    std::memset(c0, 0, n * sizeof(double));
-    std::memset(c1, 0, n * sizeof(double));
-    std::memset(c2, 0, n * sizeof(double));
-    std::memset(c3, 0, n * sizeof(double));
-  }
-  for (std::size_t p = 0; p < k; ++p) {
-    const double* __restrict__ brow = b + p * ldb;
-    const double v0 = a0[p], v1 = a1[p], v2 = a2[p], v3 = a3[p];
-    for (std::size_t j = 0; j < n; ++j) {
-      const double bj = brow[j];
-      c0[j] += v0 * bj;
-      c1[j] += v1 * bj;
-      c2[j] += v2 * bj;
-      c3[j] += v3 * bj;
-    }
-  }
-}
-
-template <bool Accumulate>
-void gemm_panel1(const double* a, const double* b, std::size_t ldb, double* c,
-                 std::size_t n, std::size_t k) {
-  double* __restrict__ crow = c;
-  if constexpr (!Accumulate) std::memset(crow, 0, n * sizeof(double));
-  for (std::size_t p = 0; p < k; ++p) {
-    const double* __restrict__ brow = b + p * ldb;
-    const double v = a[p];
-    for (std::size_t j = 0; j < n; ++j) crow[j] += v * brow[j];
-  }
-}
-
-}  // namespace
-
 void gemm(const double* a, std::size_t lda, const double* b, std::size_t ldb,
           double* c, std::size_t ldc, std::size_t m, std::size_t n,
           std::size_t k, bool accumulate) {
-  std::size_t i = 0;
-  for (; i + 4 <= m; i += 4) {
-    if (accumulate)
-      gemm_panel4<true>(a + i * lda, lda, b, ldb, c + i * ldc, ldc, n, k);
-    else
-      gemm_panel4<false>(a + i * lda, lda, b, ldb, c + i * ldc, ldc, n, k);
-  }
-  for (; i < m; ++i) {
-    if (accumulate)
-      gemm_panel1<true>(a + i * lda, b, ldb, c + i * ldc, n, k);
-    else
-      gemm_panel1<false>(a + i * lda, b, ldb, c + i * ldc, n, k);
-  }
+  active_kernel().gemm(a, lda, b, ldb, c, ldc, m, n, k, accumulate);
 }
 
 void gemm_batch(const double* a, std::size_t lda, std::size_t stride_a,
@@ -91,25 +30,25 @@ void gemm_batch(const double* a, std::size_t lda, std::size_t stride_a,
                 double* c, std::size_t ldc, std::size_t stride_c,
                 std::size_t m, std::size_t n, std::size_t k,
                 std::size_t count, bool accumulate) {
-  for (std::size_t inst = 0; inst < count; ++inst) {
-    gemm(a + inst * stride_a, lda, b + inst * stride_b, ldb,
-         c + inst * stride_c, ldc, m, n, k, accumulate);
-  }
+  active_kernel().gemm_batch(a, lda, stride_a, b, ldb, stride_b, c, ldc,
+                             stride_c, m, n, k, count, accumulate);
 }
 
-double measure_peak_flops(std::size_t size, double min_seconds) {
-  const std::size_t s = size;
-  std::vector<double> a(s * s, 1.0), b(s * s, 1.0), c(s * s, 0.0);
-  // Warm up once, then time whole repetitions until min_seconds elapses.
-  gemm(a.data(), s, b.data(), s, c.data(), s, s, s, s, false);
+double measure_gemm_flops(std::size_t m, std::size_t n, std::size_t k,
+                          double min_seconds) {
+  std::vector<double> a(m * k, 1.0), b(k * n, 1.0), c(m * n, 0.0);
+  gemm(a.data(), k, b.data(), n, c.data(), n, m, n, k, false);  // warm up
   WallTimer t;
   std::uint64_t reps = 0;
   do {
-    gemm(a.data(), s, b.data(), s, c.data(), s, s, s, s, false);
+    gemm(a.data(), k, b.data(), n, c.data(), n, m, n, k, false);
     ++reps;
   } while (t.seconds() < min_seconds);
-  const double secs = t.seconds();
-  return static_cast<double>(reps * gemm_flops(s, s, s)) / secs;
+  return static_cast<double>(reps * gemm_flops(m, n, k)) / t.seconds();
+}
+
+double measure_peak_flops(std::size_t size, double min_seconds) {
+  return measure_gemm_flops(size, size, size, min_seconds);
 }
 
 }  // namespace hfmm::blas

@@ -1,0 +1,159 @@
+#pragma once
+// Internal machinery shared by the kernel backends: aligned thread-local
+// packing scratch, B panel packing, edge handling, and the blocked gemm /
+// gemm_batch drivers templated on the 4x8 micro-kernel. Not installed.
+
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+
+namespace hfmm::blas::detail {
+
+inline constexpr std::size_t kMR = 4;  // rows of C per micro-kernel call
+inline constexpr std::size_t kNR = 8;  // columns of C per micro-kernel call
+
+/// 64-byte-aligned thread-local scratch, grown geometrically and reused
+/// across calls (the K x K translation matrices make packing buffers small
+/// and hot, so reuse matters more than footprint).
+inline double* packed_scratch(std::size_t doubles) {
+  struct AlignedBuf {
+    double* p = nullptr;
+    std::size_t cap = 0;
+    ~AlignedBuf() { std::free(p); }
+    double* ensure(std::size_t n) {
+      if (n > cap) {
+        std::free(p);
+        std::size_t bytes = (n * sizeof(double) + 63) & ~std::size_t{63};
+        p = static_cast<double*>(std::aligned_alloc(64, bytes));
+        cap = n;
+      }
+      return p;
+    }
+  };
+  thread_local AlignedBuf buf;
+  return buf.ensure(doubles);
+}
+
+inline std::size_t padded_n(std::size_t n) {
+  return (n + kNR - 1) / kNR * kNR;
+}
+
+/// Packs B[k x n] (leading dimension ldb) into kNR-wide column panels:
+/// panel jp holds k consecutive rows of kNR doubles, zero-padded past n, so
+/// the micro-kernel streams it with unit stride.
+inline void pack_b_panels(const double* b, std::size_t ldb, std::size_t k,
+                          std::size_t n, double* packed) {
+  for (std::size_t jp = 0; jp < n; jp += kNR) {
+    const std::size_t nr = (n - jp < kNR) ? (n - jp) : kNR;
+    double* dst = packed + jp * k;
+    const double* src = b + jp;
+    for (std::size_t p = 0; p < k; ++p, dst += kNR, src += ldb) {
+      std::memcpy(dst, src, nr * sizeof(double));
+      for (std::size_t j = nr; j < kNR; ++j) dst[j] = 0.0;
+    }
+  }
+}
+
+/// Edge fallback for partial tiles (mr < kMR or nr < kNR): scalar loop over
+/// the packed panel. O(m + n) of the work, so speed is irrelevant here.
+inline void gemm_edge(const double* a, std::size_t lda, const double* bp,
+                      double* c, std::size_t ldc, std::size_t mr,
+                      std::size_t nr, std::size_t k, bool accumulate) {
+  for (std::size_t i = 0; i < mr; ++i) {
+    const double* arow = a + i * lda;
+    double acc[kNR] = {0, 0, 0, 0, 0, 0, 0, 0};
+    for (std::size_t p = 0; p < k; ++p) {
+      const double v = arow[p];
+      const double* brow = bp + p * kNR;
+      for (std::size_t j = 0; j < kNR; ++j) acc[j] += v * brow[j];
+    }
+    double* crow = c + i * ldc;
+    if (accumulate)
+      for (std::size_t j = 0; j < nr; ++j) crow[j] += acc[j];
+    else
+      for (std::size_t j = 0; j < nr; ++j) crow[j] = acc[j];
+  }
+}
+
+/// Blocked multiply over an already-packed B. `Micro::run` computes one full
+/// kMR x kNR tile of C with accumulators held in registers for the whole k
+/// loop. Partial-width tiles still run the full micro-kernel (the panel is
+/// zero-padded) into an aligned staging tile, merged column-wise after; only
+/// the < kMR row tail drops to the scalar edge loop.
+template <class Micro>
+void gemm_packed(const double* a, std::size_t lda, const double* bp,
+                 double* c, std::size_t ldc, std::size_t m, std::size_t n,
+                 std::size_t k, bool accumulate) {
+  for (std::size_t jp = 0; jp < n; jp += kNR) {
+    const std::size_t nr = (n - jp < kNR) ? (n - jp) : kNR;
+    const double* panel = bp + jp * k;
+    std::size_t i = 0;
+    if (nr == kNR) {
+      for (; i + kMR <= m; i += kMR)
+        Micro::run(a + i * lda, lda, panel, c + i * ldc + jp, ldc, k,
+                   accumulate);
+    } else {
+      alignas(64) double tile[kMR * kNR];
+      for (; i + kMR <= m; i += kMR) {
+        Micro::run(a + i * lda, lda, panel, tile, kNR, k, false);
+        for (std::size_t r = 0; r < kMR; ++r) {
+          double* crow = c + (i + r) * ldc + jp;
+          const double* trow = tile + r * kNR;
+          if (accumulate)
+            for (std::size_t j = 0; j < nr; ++j) crow[j] += trow[j];
+          else
+            for (std::size_t j = 0; j < nr; ++j) crow[j] = trow[j];
+        }
+      }
+    }
+    if (i < m)
+      gemm_edge(a + i * lda, lda, panel, c + i * ldc + jp, ldc, m - i, nr, k,
+                accumulate);
+  }
+}
+
+template <class Micro>
+void gemm_driver(const double* a, std::size_t lda, const double* b,
+                 std::size_t ldb, double* c, std::size_t ldc, std::size_t m,
+                 std::size_t n, std::size_t k, bool accumulate) {
+  if (m == 0 || n == 0) return;
+  double* bp = packed_scratch(padded_n(n) * (k > 0 ? k : 1));
+  pack_b_panels(b, ldb, k, n, bp);
+  gemm_packed<Micro>(a, lda, bp, c, ldc, m, n, k, accumulate);
+}
+
+/// Multiple-instance driver: when every instance shares one B (stride_b ==
+/// 0, the translation-matrix case) the packing is done once and amortized
+/// over all `count` products instead of re-entering gemm per instance.
+template <class Micro>
+void gemm_batch_driver(const double* a, std::size_t lda, std::size_t stride_a,
+                       const double* b, std::size_t ldb, std::size_t stride_b,
+                       double* c, std::size_t ldc, std::size_t stride_c,
+                       std::size_t m, std::size_t n, std::size_t k,
+                       std::size_t count, bool accumulate) {
+  if (m == 0 || n == 0 || count == 0) return;
+  if (stride_b == 0) {
+    double* bp = packed_scratch(padded_n(n) * (k > 0 ? k : 1));
+    pack_b_panels(b, ldb, k, n, bp);
+    for (std::size_t inst = 0; inst < count; ++inst)
+      gemm_packed<Micro>(a + inst * stride_a, lda, bp, c + inst * stride_c,
+                         ldc, m, n, k, accumulate);
+  } else {
+    for (std::size_t inst = 0; inst < count; ++inst)
+      gemm_driver<Micro>(a + inst * stride_a, lda, b + inst * stride_b, ldb,
+                         c + inst * stride_c, ldc, m, n, k, accumulate);
+  }
+}
+
+}  // namespace hfmm::blas::detail
+
+namespace hfmm::blas {
+
+struct KernelBackend;
+
+// Backend tables defined in kernel_portable.cpp / kernel_avx2.cpp.
+const KernelBackend& portable_backend();
+const KernelBackend& avx2_backend();
+bool avx2_cpu_supported();
+
+}  // namespace hfmm::blas

@@ -40,18 +40,22 @@ NearFieldResult near_field(const tree::Hierarchy& hier,
 
   const std::size_t chunks = pool.size();
   // Per-chunk accumulation buffers make the symmetric variant race-free
-  // under threads: chunk-local writes, one reduction at the end.
+  // under threads: chunk-local writes, one parallel reduction at the end.
+  // Gradient buffers are only materialized when gradients are requested.
   std::vector<std::vector<double>> phi_buf(chunks);
-  std::vector<std::vector<Vec3>> grad_buf(chunks);
+  std::vector<std::vector<Vec3>> grad_buf(with_gradient ? chunks : 0);
   std::vector<NearFieldResult> partial(chunks);
   std::atomic<std::size_t> chunk_id{0};
 
   pool.parallel_chunks(0, boxes, [&](std::size_t lo, std::size_t hi) {
     const std::size_t me = chunk_id.fetch_add(1);
     auto& my_phi = phi_buf[me];
-    auto& my_grad = grad_buf[me];
     my_phi.assign(p.size(), 0.0);
-    if (with_gradient) my_grad.assign(p.size(), Vec3{});
+    Vec3* my_grad_data = nullptr;
+    if (with_gradient) {
+      grad_buf[me].assign(p.size(), Vec3{});
+      my_grad_data = grad_buf[me].data();
+    }
     NearFieldResult& res = partial[me];
 
     std::vector<double> pair_phi;
@@ -66,7 +70,7 @@ NearFieldResult near_field(const tree::Hierarchy& hier,
       if (tr.count() > 1) {
         baseline::direct_ranges(p, tr.begin, tr.end, tr.begin, tr.end,
                                 my_phi.data() + tr.begin,
-                                with_gradient ? my_grad.data() + tr.begin
+                                with_gradient ? my_grad_data + tr.begin
                                               : nullptr,
                                 softening);
         res.pair_interactions += tr.count() * (tr.count() - 1);
@@ -94,16 +98,16 @@ NearFieldResult near_field(const tree::Hierarchy& hier,
             my_phi[sr.begin + j] += pair_phi[tr.count() + j];
           if (with_gradient) {
             for (std::size_t i = 0; i < tr.count(); ++i)
-              my_grad[tr.begin + i] += pair_grad[i];
+              my_grad_data[tr.begin + i] += pair_grad[i];
             for (std::size_t j = 0; j < sr.count(); ++j)
-              my_grad[sr.begin + j] += pair_grad[tr.count() + j];
+              my_grad_data[sr.begin + j] += pair_grad[tr.count() + j];
           }
           res.pair_interactions += tr.count() * sr.count();
           ++res.box_interactions;
         } else {
           baseline::direct_ranges(p, tr.begin, tr.end, sr.begin, sr.end,
                                   my_phi.data() + tr.begin,
-                                  with_gradient ? my_grad.data() + tr.begin
+                                  with_gradient ? my_grad_data + tr.begin
                                                 : nullptr,
                                   softening);
           res.pair_interactions += tr.count() * sr.count();
@@ -113,13 +117,22 @@ NearFieldResult near_field(const tree::Hierarchy& hier,
     }
   });
 
-  // Reduce chunk buffers into the output.
+  // Reduce chunk buffers into the output, parallel over disjoint particle
+  // ranges (the serial reduction was O(threads * N) on one core and showed
+  // up at large N).
+  pool.parallel_chunks(0, p.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t c = 0; c < chunks; ++c) {
+      if (phi_buf[c].empty()) continue;
+      const double* src = phi_buf[c].data();
+      for (std::size_t i = lo; i < hi; ++i) phi[i] += src[i];
+      if (with_gradient) {
+        const Vec3* gsrc = grad_buf[c].data();
+        for (std::size_t i = lo; i < hi; ++i) grad[i] += gsrc[i];
+      }
+    }
+  });
   NearFieldResult total;
   for (std::size_t c = 0; c < chunks; ++c) {
-    if (phi_buf[c].empty()) continue;
-    for (std::size_t i = 0; i < p.size(); ++i) phi[i] += phi_buf[c][i];
-    if (with_gradient)
-      for (std::size_t i = 0; i < p.size(); ++i) grad[i] += grad_buf[c][i];
     total.flops += partial[c].flops;
     total.pair_interactions += partial[c].pair_interactions;
     total.box_interactions += partial[c].box_interactions;

@@ -147,6 +147,59 @@ void apply_rows(const AppMatrix& m, const double* src, double* dst,
   flops += blas::gemm_flops(nb, k, k);
 }
 
+namespace {
+
+// Floor/ceil division by 2 that stays correct for negative numerators (C++
+// integer division truncates toward zero, which would admit out-of-bounds
+// sources near the low domain boundary).
+constexpr std::int32_t floor_div2(std::int32_t a) {
+  return (a >= 0) ? a / 2 : -((-a + 1) / 2);
+}
+constexpr std::int32_t ceil_div2(std::int32_t a) { return floor_div2(a + 1); }
+
+}  // namespace
+
+SupernodeLevelPlan build_supernode_plan(const FmmSolver::Impl& impl,
+                                        int separation,
+                                        std::int32_t n_child) {
+  SupernodeLevelPlan plan;
+  const std::int32_t np = n_child / 2;
+  for (int octant = 0; octant < 8; ++octant) {
+    const std::int32_t ov[3] = {octant & 1, (octant >> 1) & 1,
+                                (octant >> 2) & 1};
+    const auto& entries = impl.tset->supernode_list(octant);
+    for (std::size_t e = 0; e < entries.size(); ++e) {
+      const tree::SupernodeEntry& entry = entries[e];
+      SupernodePlanEntry pe;
+      pe.offset = entry.offset;
+      pe.parent_source = entry.source_level_up == 1;
+      const std::int32_t off[3] = {entry.offset.dx, entry.offset.dy,
+                                   entry.offset.dz};
+      bool empty = false;
+      for (int axis = 0; axis < 3; ++axis) {
+        if (pe.parent_source) {
+          // Source p + off must lie in [0, np).
+          pe.lo[axis] = std::max(0, -off[axis]);
+          pe.hi[axis] = std::min(np, np - off[axis]);
+        } else {
+          // Source 2p + ov + off must lie in [0, n_child).
+          pe.lo[axis] = std::max(0, ceil_div2(-(ov[axis] + off[axis])));
+          pe.hi[axis] = std::min(
+              np, floor_div2(n_child - 1 - ov[axis] - off[axis]) + 1);
+        }
+        if (pe.lo[axis] >= pe.hi[axis]) empty = true;
+      }
+      if (empty) continue;
+      pe.matrix = pe.parent_source
+                      ? &impl.supernode[octant][e]
+                      : &impl.t2[tree::offset_cube_index(entry.offset,
+                                                         separation)];
+      plan.per_octant[octant].push_back(pe);
+    }
+  }
+  return plan;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -163,6 +216,9 @@ struct SharedContext {
   LevelStore& store;
   ThreadPool& pool;
   PhaseBreakdown& breakdown;
+  // Supernode gather plans indexed by level (built at solve setup when
+  // config.supernodes is on; levels < 2 unused).
+  const std::vector<internal::SupernodeLevelPlan>* supernode_plans = nullptr;
 };
 
 void run_p2m(SharedContext& ctx) {
@@ -364,58 +420,144 @@ void run_interactive_level(SharedContext& ctx, int l) {
     copy_bytes += local_copy;
   });
   ctx.breakdown["interactive"].flops += flops.load();
-  (void)copy_bytes;
+  ctx.breakdown["interactive"].bytes_moved += copy_bytes.load();
 }
 
 // Supernode variant of the interactive field (paper Section 2.3): complete
-// sibling octets are replaced by one parent-level translation.
+// sibling octets are replaced by one parent-level translation. Instead of
+// branching per box, the precomputed gather plan (one rectangle of parent
+// coordinates per octant x entry, see solver_internal.hpp) drives the
+// application, so the phase aggregates into the same BLAS-3 forms as the
+// non-supernode path: kGemm gathers each rectangle slice into a contiguous
+// slab and applies the supernode matrix as one GEMM; kGemmBatch expresses
+// the stride-2 child geometry directly as a multiple-instance GEMM (leading
+// dimension 2K, one instance per parent row) with zero copies; kGemv is the
+// per-box BLAS-2 reference.
 void run_interactive_level_supernodes(SharedContext& ctx, int l) {
   const std::size_t k = ctx.config.params.k();
-  const int d = ctx.config.separation;
-  const std::int32_t npar = ctx.hier.boxes_per_side(l - 1);
+  const std::int32_t n = ctx.hier.boxes_per_side(l);
+  const std::int32_t np = ctx.hier.boxes_per_side(l - 1);
+  const internal::SupernodeLevelPlan& plan = (*ctx.supernode_plans)[l];
   const double* far = ctx.store.far[l].data();
   const double* far_parent = ctx.store.far[l - 1].data();
   double* local = ctx.store.local[l].data();
+  const AggregationMode mode = ctx.config.aggregation;
   std::atomic<std::uint64_t> flops{0};
+  std::atomic<std::uint64_t> moved{0};
 
-  ctx.pool.parallel_chunks(0, ctx.hier.boxes_at(l), [&](std::size_t lo,
-                                                        std::size_t hi) {
-    std::uint64_t local_flops = 0;
-    for (std::size_t f = lo; f < hi; ++f) {
-      const tree::BoxCoord c = ctx.hier.coord_of(l, f);
-      const int octant = tree::Hierarchy::octant_of(c);
-      const tree::BoxCoord pc = tree::Hierarchy::parent_of(c);
-      const auto& entries = ctx.impl->tset->supernode_list(octant);
-      double* dst = local + f * k;
-      for (std::size_t e = 0; e < entries.size(); ++e) {
-        const auto& entry = entries[e];
-        if (entry.source_level_up == 0) {
-          const tree::BoxCoord s{c.ix + entry.offset.dx,
-                                 c.iy + entry.offset.dy,
-                                 c.iz + entry.offset.dz};
-          if (!ctx.hier.in_bounds(l, s)) continue;
-          const AppMatrix& m =
-              ctx.impl->t2[tree::offset_cube_index(entry.offset, d)];
-          blas::gemv(m.t, k, far + ctx.hier.flat_index(l, s) * k, dst, k, k,
-                     true);
-        } else {
-          const tree::BoxCoord s{pc.ix + entry.offset.dx,
-                                 pc.iy + entry.offset.dy,
-                                 pc.iz + entry.offset.dz};
-          if (s.ix < 0 || s.ix >= npar || s.iy < 0 || s.iy >= npar ||
-              s.iz < 0 || s.iz >= npar)
-            continue;
-          const AppMatrix& m = ctx.impl->supernode[octant][e];
-          blas::gemv(m.t, k,
-                     far_parent + ctx.hier.flat_index(l - 1, s) * k, dst, k,
-                     k, true);
+  // Work units are (octant, parent z slice): targets of distinct units are
+  // disjoint (octants differ in child parity, slices in child z), so chunks
+  // write race-free.
+  ctx.pool.parallel_chunks(
+      0, static_cast<std::size_t>(8) * np, [&](std::size_t ulo,
+                                               std::size_t uhi) {
+        std::vector<double> slab, out;
+        std::uint64_t local_flops = 0, local_moved = 0;
+        for (std::size_t u = ulo; u < uhi; ++u) {
+          const int octant = static_cast<int>(u / np);
+          const std::int32_t pz = static_cast<std::int32_t>(u % np);
+          const std::int32_t ox = octant & 1, oy = (octant >> 1) & 1,
+                             oz = (octant >> 2) & 1;
+          const std::int32_t cz = 2 * pz + oz;
+          for (const internal::SupernodePlanEntry& pe :
+               plan.per_octant[octant]) {
+            if (pz < pe.lo[2] || pz >= pe.hi[2]) continue;
+            const std::int32_t xlo = pe.lo[0], xlen = pe.hi[0] - pe.lo[0];
+            const std::int32_t ylo = pe.lo[1], ylen = pe.hi[1] - pe.lo[1];
+            const AppMatrix& m = *pe.matrix;
+            // Source base pointer for parent row py and its x stride.
+            const auto src_row = [&](std::int32_t py) -> const double* {
+              if (pe.parent_source) {
+                return far_parent +
+                       ((static_cast<std::size_t>(pz + pe.offset.dz) * np +
+                         (py + pe.offset.dy)) *
+                            np +
+                        (xlo + pe.offset.dx)) *
+                           k;
+              }
+              return far + ((static_cast<std::size_t>(2 * pz + oz +
+                                                      pe.offset.dz) *
+                                 n +
+                             (2 * py + oy + pe.offset.dy)) *
+                                n +
+                            (2 * xlo + ox + pe.offset.dx)) *
+                               k;
+            };
+            const std::size_t src_xstride = pe.parent_source ? k : 2 * k;
+            const auto dst_row = [&](std::int32_t py) -> double* {
+              return local + ((static_cast<std::size_t>(cz) * n +
+                               (2 * py + oy)) *
+                                  n +
+                              (2 * xlo + ox)) *
+                                 k;
+            };
+            switch (mode) {
+              case AggregationMode::kGemv: {
+                for (std::int32_t py = ylo; py < ylo + ylen; ++py) {
+                  const double* src = src_row(py);
+                  double* dst = dst_row(py);
+                  for (std::int32_t i = 0; i < xlen; ++i)
+                    blas::gemv(m.t, k, src + i * src_xstride,
+                               dst + i * 2 * k, k, k, true);
+                }
+                break;
+              }
+              case AggregationMode::kGemm: {
+                // Gather the whole rectangle slice into a contiguous slab,
+                // one GEMM, scatter-accumulate back (Section 3.4 copy cost).
+                const std::size_t rows =
+                    static_cast<std::size_t>(xlen) * ylen;
+                slab.resize(rows * k);
+                out.resize(rows * k);
+                double* w = slab.data();
+                for (std::int32_t py = ylo; py < ylo + ylen; ++py) {
+                  const double* src = src_row(py);
+                  if (src_xstride == k) {
+                    std::memcpy(w, src, static_cast<std::size_t>(xlen) * k *
+                                            sizeof(double));
+                    w += static_cast<std::size_t>(xlen) * k;
+                  } else {
+                    for (std::int32_t i = 0; i < xlen; ++i, w += k)
+                      std::memcpy(w, src + i * src_xstride,
+                                  k * sizeof(double));
+                  }
+                }
+                blas::gemm(slab.data(), k, m.tt.data(), k, out.data(), k,
+                           rows, k, k, false);
+                const double* r = out.data();
+                for (std::int32_t py = ylo; py < ylo + ylen; ++py) {
+                  double* dst = dst_row(py);
+                  for (std::int32_t i = 0; i < xlen; ++i, r += k) {
+                    double* d = dst + i * 2 * k;
+                    for (std::size_t j = 0; j < k; ++j) d[j] += r[j];
+                  }
+                }
+                local_moved += 2 * rows * k * sizeof(double);
+                break;
+              }
+              case AggregationMode::kGemmBatch: {
+                // Strided multiple-instance GEMM straight off the level
+                // grids: instance = parent row, lda expresses the stride-2
+                // child spacing — no copies at all (the CMSSL trick).
+                const std::size_t stride_a =
+                    pe.parent_source ? static_cast<std::size_t>(np) * k
+                                     : 2 * static_cast<std::size_t>(n) * k;
+                blas::gemm_batch(src_row(ylo), src_xstride, stride_a,
+                                 m.tt.data(), k, 0, dst_row(ylo), 2 * k,
+                                 2 * static_cast<std::size_t>(n) * k, xlen,
+                                 k, k, ylen, true);
+                break;
+              }
+            }
+            local_flops += blas::gemm_flops(
+                static_cast<std::size_t>(xlen) * ylen, k, k);
+          }
         }
-        local_flops += blas::gemv_flops(k, k);
-      }
-    }
-    flops += local_flops;
-  });
+        flops += local_flops;
+        moved += local_moved;
+      });
   ctx.breakdown["interactive"].flops += flops.load();
+  ctx.breakdown["interactive"].bytes_moved += moved.load();
 }
 
 void run_downward(SharedContext& ctx) {
@@ -547,8 +689,19 @@ FmmResult FmmSolver::solve(const ParticleSet& particles) {
   }
 
   LevelStore store(h, config_.params.k());
-  SharedContext ctx{config_, impl_.get(), hier, boxed, store, pool,
-                    result.breakdown};
+  // Supernode gather plans: per level, the in-bounds source rectangles for
+  // every octant x entry (translation-invariant geometry, so this replaces
+  // the per-box bounds branches of the interactive phase).
+  std::vector<internal::SupernodeLevelPlan> supernode_plans;
+  if (config_.supernodes) {
+    supernode_plans.resize(h + 1);
+    for (int l = 2; l <= h; ++l)
+      supernode_plans[l] = internal::build_supernode_plan(
+          *impl_, config_.separation, hier.boxes_per_side(l));
+  }
+  SharedContext ctx{config_, impl_.get(),      hier, boxed,
+                    store,   pool,             result.breakdown,
+                    &supernode_plans};
 
   run_p2m(ctx);
   run_upward(ctx);

@@ -48,6 +48,30 @@ void apply_rows(const AppMatrix& m, const double* src, double* dst,
                 std::size_t nb, AggregationMode mode, std::size_t batch_slab,
                 std::uint64_t& flops);
 
+// Gather plan for the supernode interactive phase (paper Section 2.3) at one
+// level. The geometry is translation-invariant, so for a fixed octant and
+// supernode entry the set of parent boxes whose child target AND source are
+// both in bounds is always an axis-aligned rectangle of parent coordinates —
+// [lo, hi) per axis below compresses the per-box in-bounds source index
+// lists the solver would otherwise rebuild (and branch on) per box. Entries
+// whose rectangle is empty at this level are dropped at build time.
+struct SupernodePlanEntry {
+  const AppMatrix* matrix = nullptr;  // T2 (same level) or supernode matrix
+  tree::Offset offset;                // source offset, source-level box units
+  bool parent_source = false;         // source lives at level l - 1
+  std::int32_t lo[3] = {0, 0, 0};     // parent-coord rect, [lo, hi) per axis
+  std::int32_t hi[3] = {0, 0, 0};
+};
+
+struct SupernodeLevelPlan {
+  std::array<std::vector<SupernodePlanEntry>, 8> per_octant;
+};
+
+// Builds the plan for a level with `n_child` boxes per side (>= 4).
+SupernodeLevelPlan build_supernode_plan(const FmmSolver::Impl& impl,
+                                        int separation,
+                                        std::int32_t n_child);
+
 }  // namespace hfmm::core::internal
 
 namespace hfmm::core {

@@ -22,6 +22,12 @@ std::uint64_t PhaseBreakdown::total_comm_bytes() const {
   return b;
 }
 
+std::uint64_t PhaseBreakdown::total_bytes_moved() const {
+  std::uint64_t b = 0;
+  for (const auto& [name, s] : phases_) b += s.bytes_moved;
+  return b;
+}
+
 PhaseBreakdown& PhaseBreakdown::operator+=(const PhaseBreakdown& o) {
   for (const auto& [name, s] : o.phases()) phases_[name] += s;
   return *this;

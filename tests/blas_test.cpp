@@ -3,10 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <tuple>
 #include <vector>
 
 #include "hfmm/blas/blas.hpp"
+#include "hfmm/blas/kernels.hpp"
 #include "hfmm/blas/linalg.hpp"
 #include "hfmm/util/rng.hpp"
 
@@ -110,6 +112,122 @@ TEST(GemmBatchTest, StridedInstancesWithSharedB) {
   gemm(a.data() + m * k, k, b.data(), n, ref.data(), n, m, n, k, false);
   for (std::size_t i = 0; i < m * n; ++i)
     EXPECT_NEAR(c[m * n + i], ref[i], 1e-12);
+}
+
+// Every m x n tail combination in 1..9 at a small and a large k: exercises
+// the micro-kernel full tiles, the partial-width staging path, and the
+// scalar row edge of the blocked driver in one sweep.
+TEST(GemmTailTest, AllSmallShapesMatchNaive) {
+  for (const std::size_t k : {1, 7, 12}) {
+    for (std::size_t m = 1; m <= 9; ++m) {
+      for (std::size_t n = 1; n <= 9; ++n) {
+        const auto a = random_matrix(m, k, 100 * m + 10 * n + k);
+        const auto b = random_matrix(k, n, 200 * m + 10 * n + k);
+        for (const bool accumulate : {false, true}) {
+          std::vector<double> c(m * n, 0.25), ref(m * n, 0.25);
+          if (!accumulate) {
+            std::fill(c.begin(), c.end(), -3.0);  // must be overwritten
+            std::fill(ref.begin(), ref.end(), 0.0);
+          }
+          gemm(a.data(), k, b.data(), n, c.data(), n, m, n, k, accumulate);
+          naive_gemm(a.data(), b.data(), ref.data(), m, n, k);
+          for (std::size_t i = 0; i < m * n; ++i)
+            ASSERT_NEAR(c[i], ref[i], 1e-12)
+                << "m=" << m << " n=" << n << " k=" << k
+                << " acc=" << accumulate;
+        }
+      }
+    }
+  }
+}
+
+TEST(GemmTest, RespectsLeadingDimensions) {
+  // Submatrix product inside larger row-major buffers.
+  const std::size_t m = 6, n = 10, k = 9, lda = 15, ldb = 17, ldc = 21;
+  const auto abuf = random_matrix(m, lda, 31);
+  const auto bbuf = random_matrix(k, ldb, 32);
+  std::vector<double> cbuf(m * ldc, 0.5), ref(m * ldc, 0.5);
+  gemm(abuf.data(), lda, bbuf.data(), ldb, cbuf.data(), ldc, m, n, k, true);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      for (std::size_t p = 0; p < k; ++p)
+        ref[i * ldc + j] += abuf[i * lda + p] * bbuf[p * ldb + j];
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      EXPECT_NEAR(cbuf[i * ldc + j], ref[i * ldc + j], 1e-12);
+  // Untouched tail columns beyond n stay as initialized.
+  EXPECT_EQ(cbuf[n], 0.5);
+}
+
+TEST(GemmBatchTest, StridedInstancesWithDistinctB) {
+  // stride_b != 0: per-instance B matrices (no packing reuse).
+  const std::size_t m = 5, n = 6, k = 4, count = 3;
+  const auto a = random_matrix(count * m, k, 41);
+  const auto b = random_matrix(count * k, n, 42);
+  std::vector<double> c(count * m * n, 0.0), ref(count * m * n, 0.0);
+  gemm_batch(a.data(), k, m * k, b.data(), n, k * n, c.data(), n, m * n, m, n,
+             k, count, false);
+  for (std::size_t inst = 0; inst < count; ++inst)
+    gemm(a.data() + inst * m * k, k, b.data() + inst * k * n, n,
+         ref.data() + inst * m * n, n, m, n, k, false);
+  for (std::size_t i = 0; i < c.size(); ++i) EXPECT_NEAR(c[i], ref[i], 1e-12);
+}
+
+TEST(GemmBatchTest, StridedLeadingDimensionInstances) {
+  // The solver's supernode kGemmBatch shape: A rows spaced lda = 2k apart
+  // (stride-2 child geometry), C rows spaced ldc = 2k, shared B.
+  const std::size_t m = 4, n = 3, k = 3, count = 2;
+  const std::size_t lda = 2 * k, ldc = 2 * k;
+  const auto a = random_matrix(count * m, lda, 43);
+  const auto b = random_matrix(k, n, 44);
+  std::vector<double> c(count * m * ldc, 1.0), ref(count * m * ldc, 1.0);
+  gemm_batch(a.data(), lda, m * lda, b.data(), n, 0, c.data(), ldc, m * ldc,
+             m, n, k, count, true);
+  for (std::size_t inst = 0; inst < count; ++inst)
+    for (std::size_t i = 0; i < m; ++i)
+      for (std::size_t j = 0; j < n; ++j)
+        for (std::size_t p = 0; p < k; ++p)
+          ref[(inst * m + i) * ldc + j] +=
+              a[(inst * m + i) * lda + p] * b[p * n + j];
+  for (std::size_t i = 0; i < c.size(); ++i) EXPECT_NEAR(c[i], ref[i], 1e-12);
+}
+
+// The portable and AVX2 backends must agree to rounding noise on every
+// shape; both use the same panel packing and summation order, so the
+// tolerance is ulp-scale, not truncation-scale.
+TEST(KernelDispatchTest, PortableAndAvx2Agree) {
+  if (!kernel_supported(KernelKind::kAvx2))
+    GTEST_SKIP() << "no AVX2/FMA on this CPU";
+  const KernelKind before = active_kernel_kind();
+  for (const auto& [m, n, k] :
+       {Shape{72, 72, 72}, Shape{100, 12, 12}, Shape{9, 9, 9},
+        Shape{33, 17, 5}}) {
+    const auto a = random_matrix(m, k, 51);
+    const auto b = random_matrix(k, n, 52);
+    std::vector<double> cp(m * n, 0.125), ca(m * n, 0.125);
+    ASSERT_TRUE(select_kernel(KernelKind::kPortable));
+    gemm(a.data(), k, b.data(), n, cp.data(), n, m, n, k, true);
+    ASSERT_TRUE(select_kernel(KernelKind::kAvx2));
+    gemm(a.data(), k, b.data(), n, ca.data(), n, m, n, k, true);
+    for (std::size_t i = 0; i < m * n; ++i) {
+      const double scale = std::max(1.0, std::abs(cp[i]));
+      ASSERT_NEAR(cp[i], ca[i], 1e-14 * scale);
+    }
+  }
+  select_kernel(before);
+}
+
+TEST(KernelDispatchTest, SelectionRoundTrips) {
+  const KernelKind before = active_kernel_kind();
+  EXPECT_TRUE(kernel_supported(KernelKind::kPortable));
+  EXPECT_TRUE(select_kernel(KernelKind::kPortable));
+  EXPECT_EQ(active_kernel_kind(), KernelKind::kPortable);
+  EXPECT_STREQ(active_kernel().name, "portable");
+  if (kernel_supported(KernelKind::kAvx2)) {
+    EXPECT_TRUE(select_kernel(KernelKind::kAvx2));
+    EXPECT_STREQ(active_kernel().name, "avx2");
+  }
+  select_kernel(before);
 }
 
 TEST(FlopCountTest, Formulas) {

@@ -122,6 +122,54 @@ TEST(FmmSolverTest, SupernodesSlightlyLessAccurateMuchCheaper) {
             rp.breakdown["interactive"].flops);
 }
 
+// Guards the supernode gather-plan rewrite: every aggregation mode must
+// produce the same supernode physics, and the supernode approximation must
+// stay within solver tolerance of the plain interactive field.
+class SupernodeAggregation : public ::testing::TestWithParam<AggregationMode> {
+};
+
+TEST_P(SupernodeAggregation, AgreesWithPlainSolverAndAcrossModes) {
+  const ParticleSet p = make_uniform(1100, Box3{}, 78);
+  FmmConfig super = base_config();
+  super.supernodes = true;
+  super.aggregation = GetParam();
+  FmmConfig plain = base_config();
+  plain.aggregation = GetParam();
+  FmmSolver ssol(super), psol(plain);
+  const FmmResult rs = ssol.solve(p);
+  const FmmResult rp = psol.solve(p);
+  // Supernodes change the approximation slightly (Section 2.3), not the
+  // physics: the two solvers agree to solver tolerance...
+  EXPECT_LT(compare_fields(rs.phi, rp.phi).rms_rel, 3e-3);
+  // ...and the mode only changes the BLAS shape, not the arithmetic result.
+  FmmConfig ref_cfg = super;
+  ref_cfg.aggregation = AggregationMode::kGemv;
+  FmmSolver ref_solver(ref_cfg);
+  const FmmResult ref = ref_solver.solve(p);
+  EXPECT_LT(compare_fields(rs.phi, ref.phi).max_rel, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, SupernodeAggregation,
+                         ::testing::Values(AggregationMode::kGemv,
+                                           AggregationMode::kGemm,
+                                           AggregationMode::kGemmBatch),
+                         [](const auto& info) {
+                           std::string s = to_string(info.param);
+                           for (char& c : s)
+                             if (c == '-') c = '_';
+                           return s;
+                         });
+
+TEST(FmmSolverTest, SupernodeDeepHierarchyStaysAccurate) {
+  // Depth 4 exercises gather-plan rectangles clipped on every face.
+  FmmConfig cfg;
+  cfg.depth = 4;
+  cfg.supernodes = true;
+  cfg.aggregation = AggregationMode::kGemmBatch;
+  const ParticleSet p = make_uniform(3000, Box3{}, 79);
+  EXPECT_LT(solve_and_compare(cfg, p), 3e-3);
+}
+
 TEST(FmmSolverTest, GradientMatchesDirect) {
   FmmConfig cfg = base_config();
   cfg.with_gradient = true;
