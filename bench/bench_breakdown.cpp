@@ -1,8 +1,19 @@
 // Section 4 headline reproduction: per-phase time breakdown, overall
 // efficiency (paper: ~27% at D=5, ~35% at D=14 equivalents) and
 // communication fraction (paper: 10-25% for large systems).
+//
+// Alongside the tables, the per-phase trajectory is written to
+// BENCH_breakdown.json (override with --json=FILE; same machine-diffable
+// shape as BENCH_kernels.json):
+//   { "bench": "bench_breakdown",
+//     "configs": [ { "label": "d5_k12", "n":.., "k":.., "depth":..,
+//       "mode": "threads", "total_seconds":.., "total_gflop":..,
+//       "phases": [ {"phase": "near", "seconds":.., "gflop":..}, ... ] },
+//       ... ] }
 
+#include <cstring>
 #include <iostream>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "hfmm/core/solver.hpp"
@@ -12,8 +23,8 @@ using namespace hfmm;
 
 namespace {
 
-void run(const char* label, const anderson::Params& params, std::size_t n,
-         bool dp_mode) {
+void run(const char* label, const char* slug, const anderson::Params& params,
+         std::size_t n, bool dp_mode, std::FILE* json, bool first) {
   core::FmmConfig cfg;
   cfg.params = params;
   cfg.supernodes = true;
@@ -54,12 +65,43 @@ void run(const char* label, const anderson::Params& params, std::size_t n,
         static_cast<double>(r.comm.off_vu_bytes) / 1e6,
         static_cast<unsigned long long>(r.comm.messages));
   }
+
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "%s\n    { \"label\": \"%s\", \"n\": %zu, \"k\": %zu, "
+                 "\"depth\": %d, \"mode\": \"%s\",\n"
+                 "      \"total_seconds\": %.6f, \"total_gflop\": %.3f,\n"
+                 "      \"phases\": [",
+                 first ? "" : ",", slug, n, r.k, r.depth,
+                 dp_mode ? "data_parallel" : "threads", total,
+                 static_cast<double>(r.breakdown.total_flops()) / 1e9);
+    bool first_phase = true;
+    for (const auto& [name, s] : r.breakdown.phases()) {
+      std::fprintf(json,
+                   "%s\n        { \"phase\": \"%s\", \"seconds\": %.6f, "
+                   "\"gflop\": %.3f }",
+                   first_phase ? "" : ",", name.c_str(), s.seconds,
+                   static_cast<double>(s.flops) / 1e9);
+      first_phase = false;
+    }
+    std::fprintf(json, "\n      ] }");
+  }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  Cli cli(argc, argv);
+  const char* json_path = "BENCH_breakdown.json";
+  // Peel off --json=... before the Cli parser sees the flags (same
+  // convention as bench_kernels).
+  std::vector<const char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0)
+      json_path = argv[i] + 7;
+    else
+      args.push_back(argv[i]);
+  }
+  Cli cli(static_cast<int>(args.size()), args.data());
   const std::size_t n =
       static_cast<std::size_t>(cli.get("n", std::int64_t{100000}));
   bench::check_unused(cli);
@@ -69,9 +111,23 @@ int main(int argc, char** argv) {
                       "efficiency (~27%/~35%), comm fraction (10-25%)");
   std::printf("calibrated peak: %.2f Gflop/s\n", bench::peak_flops() / 1e9);
 
-  run("D=5 / K=12 configuration", anderson::params_d5_k12(), n, false);
-  run("K=72 configuration", anderson::params_d14_k72(), n / 4, false);
-  run("D=5 / K=12, simulated 8-VU machine", anderson::params_d5_k12(), n / 2,
-      true);
+  std::FILE* json = std::fopen(json_path, "w");
+  if (json == nullptr)
+    std::fprintf(stderr, "bench_breakdown: cannot write %s\n", json_path);
+  else
+    std::fprintf(json, "{\n  \"bench\": \"bench_breakdown\",\n  \"configs\": [");
+
+  run("D=5 / K=12 configuration", "d5_k12", anderson::params_d5_k12(), n,
+      false, json, true);
+  run("K=72 configuration", "k72", anderson::params_d14_k72(), n / 4, false,
+      json, false);
+  run("D=5 / K=12, simulated 8-VU machine", "d5_k12_dp",
+      anderson::params_d5_k12(), n / 2, true, json, false);
+
+  if (json != nullptr) {
+    std::fprintf(json, "\n  ]\n}\n");
+    std::fclose(json);
+    std::printf("\nper-phase JSON written to %s\n", json_path);
+  }
   return 0;
 }

@@ -6,9 +6,14 @@
 // exploits Newton's third law at box granularity: a half-list H with
 // H u -H = all neighbors lets every box PAIR be evaluated once, writing
 // both directions — 62 instead of 124 box-box interactions for d = 2.
+//
+// The pairwise arithmetic runs on the dispatched pkern backend (see
+// hfmm/pkern/kernels.hpp); baseline::direct_ranges remains the scalar
+// reference the tests compare against.
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "hfmm/dp/sort.hpp"
 #include "hfmm/tree/hierarchy.hpp"
@@ -22,9 +27,24 @@ struct NearFieldResult {
   std::uint64_t box_interactions = 0;   ///< box-box interactions evaluated
 };
 
+/// Reusable workspace for near_field(). The per-chunk accumulation buffers
+/// are O(threads x N); owning them at the caller means an integrator
+/// stepping the same system pays the allocation once, not every step.
+/// Buffers grow on demand and are reset (not shrunk) per call.
+struct NearFieldScratch {
+  struct Chunk {
+    std::vector<double> phi;        ///< chunk-local potential, size N
+    std::vector<Vec3> grad;         ///< chunk-local gradient, size N
+    std::vector<double> pair_phi;   ///< symmetric pair buffer (targets+sources)
+    std::vector<double> pair_gx, pair_gy, pair_gz;  ///< SoA pair gradients
+  };
+  std::vector<Chunk> chunks;
+};
+
 /// Accumulates near-field potential (and gradient if `grad` nonempty) into
 /// phi/grad, both indexed in SORTED particle order (boxed.sorted).
-/// `softening` is the Plummer softening length applied to the pairwise
+/// `scratch` (when non-null) is reused across calls; pass null for one-shot
+/// use. `softening` is the Plummer softening length applied to the pairwise
 /// kernel (far-field contributions are unsoftened, which is the standard
 /// treecode convention when the softening length is well below the leaf box
 /// side).
@@ -32,6 +52,7 @@ NearFieldResult near_field(const tree::Hierarchy& hier,
                            const dp::BoxedParticles& boxed, int separation,
                            bool symmetric, std::span<double> phi,
                            std::span<Vec3> grad, ThreadPool& pool,
+                           NearFieldScratch* scratch = nullptr,
                            double softening = 0.0);
 
 }  // namespace hfmm::core

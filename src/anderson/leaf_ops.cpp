@@ -1,49 +1,89 @@
 #include "hfmm/anderson/leaf_ops.hpp"
 
-#include <cmath>
+#include <vector>
 
-#include "hfmm/anderson/kernels.hpp"
+#include "hfmm/pkern/kernels.hpp"
 
 namespace hfmm::anderson {
+
+namespace {
+
+// SoA staging for the sphere-point data the pkern kernels want. K is a few
+// dozen at most; thread_local keeps the leaf loops allocation-free while
+// staying safe under the solver's parallel_chunks.
+struct SphereScratch {
+  std::vector<double> x, y, z, w;
+  void resize(std::size_t k) {
+    x.resize(k);
+    y.resize(k);
+    z.resize(k);
+    w.resize(k);
+  }
+};
+
+SphereScratch& scratch() {
+  thread_local SphereScratch s;
+  return s;
+}
+
+}  // namespace
 
 void p2m(const Params& params, double a, const Vec3& center,
          std::span<const double> px, std::span<const double> py,
          std::span<const double> pz, std::span<const double> pq,
          std::span<double> g) {
   const auto& rule = params.rule;
-  for (std::size_t i = 0; i < rule.size(); ++i) {
-    const Vec3 sp = center + a * rule.points[i];
-    double acc = 0.0;
-    for (std::size_t k = 0; k < px.size(); ++k) {
-      const double dx = sp.x - px[k];
-      const double dy = sp.y - py[k];
-      const double dz = sp.z - pz[k];
-      acc += pq[k] / std::sqrt(dx * dx + dy * dy + dz * dz);
-    }
-    g[i] += acc;
+  const std::size_t k = rule.size();
+  SphereScratch& s = scratch();
+  s.resize(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    s.x[i] = center.x + a * rule.points[i].x;
+    s.y[i] = center.y + a * rule.points[i].y;
+    s.z[i] = center.z + a * rule.points[i].z;
   }
+  pkern::active_kernel().p2m(s.x.data(), s.y.data(), s.z.data(), k, px.data(),
+                             py.data(), pz.data(), pq.data(), px.size(),
+                             g.data());
 }
 
 void l2p(const Params& params, double a, const Vec3& center,
          std::span<const double> g, std::span<const double> px,
          std::span<const double> py, std::span<const double> pz,
          std::span<double> phi) {
-  for (std::size_t k = 0; k < px.size(); ++k) {
-    phi[k] += evaluate_inner(params.rule, params.truncation, a, center, g,
-                             {px[k], py[k], pz[k]});
+  const auto& rule = params.rule;
+  const std::size_t k = rule.size();
+  SphereScratch& s = scratch();
+  s.resize(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    s.x[i] = rule.points[i].x;
+    s.y[i] = rule.points[i].y;
+    s.z[i] = rule.points[i].z;
+    s.w[i] = g[i] * rule.weights[i];
   }
+  pkern::active_kernel().l2p(s.x.data(), s.y.data(), s.z.data(), s.w.data(),
+                             k, params.truncation, a, center.x, center.y,
+                             center.z, px.data(), py.data(), pz.data(),
+                             px.size(), phi.data(), nullptr);
 }
 
 void l2p_gradient(const Params& params, double a, const Vec3& center,
                   std::span<const double> g, std::span<const double> px,
                   std::span<const double> py, std::span<const double> pz,
                   std::span<double> phi, std::span<Vec3> grad) {
-  for (std::size_t k = 0; k < px.size(); ++k) {
-    const Vec3 x{px[k], py[k], pz[k]};
-    phi[k] += evaluate_inner(params.rule, params.truncation, a, center, g, x);
-    grad[k] += evaluate_inner_gradient(params.rule, params.truncation, a,
-                                       center, g, x);
+  const auto& rule = params.rule;
+  const std::size_t k = rule.size();
+  SphereScratch& s = scratch();
+  s.resize(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    s.x[i] = rule.points[i].x;
+    s.y[i] = rule.points[i].y;
+    s.z[i] = rule.points[i].z;
+    s.w[i] = g[i] * rule.weights[i];
   }
+  pkern::active_kernel().l2p(s.x.data(), s.y.data(), s.z.data(), s.w.data(),
+                             k, params.truncation, a, center.x, center.y,
+                             center.z, px.data(), py.data(), pz.data(),
+                             px.size(), phi.data(), grad.data());
 }
 
 std::uint64_t p2m_flops(std::size_t k, std::size_t particles) {

@@ -1,10 +1,10 @@
 #include "hfmm/core/near_field.hpp"
 
 #include <atomic>
-#include <cmath>
 #include <vector>
 
 #include "hfmm/baseline/direct.hpp"
+#include "hfmm/pkern/kernels.hpp"
 #include "hfmm/tree/interaction_lists.hpp"
 
 namespace hfmm::core {
@@ -27,12 +27,18 @@ NearFieldResult near_field(const tree::Hierarchy& hier,
                            const dp::BoxedParticles& boxed, int separation,
                            bool symmetric, std::span<double> phi,
                            std::span<Vec3> grad, ThreadPool& pool,
-                           double softening) {
+                           NearFieldScratch* scratch, double softening) {
   const int h = hier.depth();
   const std::int32_t n = hier.boxes_per_side(h);
   const std::size_t boxes = hier.boxes_at(h);
   const bool with_gradient = !grad.empty();
   const ParticleSet& p = boxed.sorted;
+  const double* X = p.x().data();
+  const double* Y = p.y().data();
+  const double* Z = p.z().data();
+  const double* Q = p.q().data();
+  const double soft2 = softening * softening;
+  const pkern::KernelBackend& kern = pkern::active_kernel();
 
   const auto offsets = symmetric
                            ? tree::near_field_half_offsets(separation)
@@ -41,25 +47,24 @@ NearFieldResult near_field(const tree::Hierarchy& hier,
   const std::size_t chunks = pool.size();
   // Per-chunk accumulation buffers make the symmetric variant race-free
   // under threads: chunk-local writes, one parallel reduction at the end.
-  // Gradient buffers are only materialized when gradients are requested.
-  std::vector<std::vector<double>> phi_buf(chunks);
-  std::vector<std::vector<Vec3>> grad_buf(with_gradient ? chunks : 0);
+  // The buffers live in caller-owned scratch (or a local fallback) so
+  // repeated calls — an integrator's timestep loop — reuse the capacity.
+  NearFieldScratch local;
+  NearFieldScratch& scr = scratch != nullptr ? *scratch : local;
+  scr.chunks.resize(chunks);
   std::vector<NearFieldResult> partial(chunks);
   std::atomic<std::size_t> chunk_id{0};
 
   pool.parallel_chunks(0, boxes, [&](std::size_t lo, std::size_t hi) {
     const std::size_t me = chunk_id.fetch_add(1);
-    auto& my_phi = phi_buf[me];
-    my_phi.assign(p.size(), 0.0);
-    Vec3* my_grad_data = nullptr;
+    NearFieldScratch::Chunk& ch = scr.chunks[me];
+    ch.phi.assign(p.size(), 0.0);
+    Vec3* my_grad = nullptr;
     if (with_gradient) {
-      grad_buf[me].assign(p.size(), Vec3{});
-      my_grad_data = grad_buf[me].data();
+      ch.grad.assign(p.size(), Vec3{});
+      my_grad = ch.grad.data();
     }
     NearFieldResult& res = partial[me];
-
-    std::vector<double> pair_phi;
-    std::vector<Vec3> pair_grad;
 
     for (std::size_t f = lo; f < hi; ++f) {
       const tree::BoxCoord c = hier.coord_of(h, f);
@@ -68,11 +73,9 @@ NearFieldResult near_field(const tree::Hierarchy& hier,
 
       // Intra-box interactions (always symmetric-safe: same box).
       if (tr.count() > 1) {
-        baseline::direct_ranges(p, tr.begin, tr.end, tr.begin, tr.end,
-                                my_phi.data() + tr.begin,
-                                with_gradient ? my_grad_data + tr.begin
-                                              : nullptr,
-                                softening);
+        kern.p2p(X, Y, Z, Q, tr.begin, tr.end, tr.begin, tr.end,
+                 ch.phi.data() + tr.begin,
+                 with_gradient ? my_grad + tr.begin : nullptr, soft2);
         res.pair_interactions += tr.count() * (tr.count() - 1);
         ++res.box_interactions;
       }
@@ -87,29 +90,38 @@ NearFieldResult near_field(const tree::Hierarchy& hier,
         if (sr.count() == 0 || tr.count() == 0) continue;
         if (symmetric) {
           // Both directions in one pass; the paper's Figure 10 trick.
-          pair_phi.assign(tr.count() + sr.count(), 0.0);
-          if (with_gradient) pair_grad.assign(tr.count() + sr.count(), Vec3{});
-          baseline::direct_ranges_symmetric(
-              p, tr.begin, tr.end, sr.begin, sr.end, pair_phi.data(),
-              with_gradient ? pair_grad.data() : nullptr, softening);
-          for (std::size_t i = 0; i < tr.count(); ++i)
-            my_phi[tr.begin + i] += pair_phi[i];
-          for (std::size_t j = 0; j < sr.count(); ++j)
-            my_phi[sr.begin + j] += pair_phi[tr.count() + j];
+          const std::size_t tot = tr.count() + sr.count();
+          ch.pair_phi.assign(tot, 0.0);
           if (with_gradient) {
-            for (std::size_t i = 0; i < tr.count(); ++i)
-              my_grad_data[tr.begin + i] += pair_grad[i];
-            for (std::size_t j = 0; j < sr.count(); ++j)
-              my_grad_data[sr.begin + j] += pair_grad[tr.count() + j];
+            ch.pair_gx.assign(tot, 0.0);
+            ch.pair_gy.assign(tot, 0.0);
+            ch.pair_gz.assign(tot, 0.0);
+          }
+          kern.p2p_symmetric(X, Y, Z, Q, tr.begin, tr.end, sr.begin, sr.end,
+                             ch.pair_phi.data(),
+                             with_gradient ? ch.pair_gx.data() : nullptr,
+                             ch.pair_gy.data(), ch.pair_gz.data(), soft2);
+          for (std::size_t i = 0; i < tr.count(); ++i)
+            ch.phi[tr.begin + i] += ch.pair_phi[i];
+          for (std::size_t j = 0; j < sr.count(); ++j)
+            ch.phi[sr.begin + j] += ch.pair_phi[tr.count() + j];
+          if (with_gradient) {
+            for (std::size_t i = 0; i < tr.count(); ++i) {
+              my_grad[tr.begin + i] +=
+                  Vec3{ch.pair_gx[i], ch.pair_gy[i], ch.pair_gz[i]};
+            }
+            for (std::size_t j = 0; j < sr.count(); ++j) {
+              const std::size_t s = tr.count() + j;
+              my_grad[sr.begin + j] +=
+                  Vec3{ch.pair_gx[s], ch.pair_gy[s], ch.pair_gz[s]};
+            }
           }
           res.pair_interactions += tr.count() * sr.count();
           ++res.box_interactions;
         } else {
-          baseline::direct_ranges(p, tr.begin, tr.end, sr.begin, sr.end,
-                                  my_phi.data() + tr.begin,
-                                  with_gradient ? my_grad_data + tr.begin
-                                                : nullptr,
-                                  softening);
+          kern.p2p(X, Y, Z, Q, tr.begin, tr.end, sr.begin, sr.end,
+                   ch.phi.data() + tr.begin,
+                   with_gradient ? my_grad + tr.begin : nullptr, soft2);
           res.pair_interactions += tr.count() * sr.count();
           ++res.box_interactions;
         }
@@ -117,26 +129,31 @@ NearFieldResult near_field(const tree::Hierarchy& hier,
     }
   });
 
+  // Only chunks [0, used) were (re)initialized this call; stale buffers from
+  // a previous reuse of the scratch must not enter the reduction.
+  const std::size_t used = chunk_id.load();
+
   // Reduce chunk buffers into the output, parallel over disjoint particle
   // ranges (the serial reduction was O(threads * N) on one core and showed
   // up at large N).
   pool.parallel_chunks(0, p.size(), [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t c = 0; c < chunks; ++c) {
-      if (phi_buf[c].empty()) continue;
-      const double* src = phi_buf[c].data();
+    for (std::size_t c = 0; c < used; ++c) {
+      const double* src = scr.chunks[c].phi.data();
       for (std::size_t i = lo; i < hi; ++i) phi[i] += src[i];
       if (with_gradient) {
-        const Vec3* gsrc = grad_buf[c].data();
+        const Vec3* gsrc = scr.chunks[c].grad.data();
         for (std::size_t i = lo; i < hi; ++i) grad[i] += gsrc[i];
       }
     }
   });
   NearFieldResult total;
-  for (std::size_t c = 0; c < chunks; ++c) {
-    total.flops += partial[c].flops;
+  for (std::size_t c = 0; c < used; ++c) {
     total.pair_interactions += partial[c].pair_interactions;
     total.box_interactions += partial[c].box_interactions;
   }
+  // Flop count is analytic (pairs x per-pair cost); the per-chunk flops
+  // fields stay zero and are not summed — summing them here used to be dead
+  // work that this assignment clobbered.
   const std::uint64_t per_pair =
       baseline::direct_pair_flops(with_gradient) + (symmetric ? 4 : 0);
   total.flops = total.pair_interactions * per_pair;

@@ -717,7 +717,8 @@ FmmResult FmmSolver::solve(const ParticleSet& particles) {
     ScopedPhaseTimer timer(ph);
     const NearFieldResult nf =
         near_field(hier, boxed, config_.separation, config_.near_symmetry,
-                   phi_sorted, grad_sorted, pool, config_.softening);
+                   phi_sorted, grad_sorted, pool, &impl_->near_scratch,
+                   config_.softening);
     ph.flops += nf.flops;
   }
 

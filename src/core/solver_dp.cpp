@@ -338,7 +338,8 @@ FmmResult FmmSolver::solve_dp_(const ParticleSet& particles,
     ScopedPhaseTimer timer(ph);
     const NearFieldResult nf =
         near_field(hier, boxed, d, config_.near_symmetry, phi_sorted,
-                   grad_sorted, ThreadPool::global(), config_.softening);
+                   grad_sorted, ThreadPool::global(), &impl_->near_scratch,
+                   config_.softening);
     ph.flops += nf.flops;
     const auto offsets = config_.near_symmetry
                              ? tree::near_field_half_offsets(d)

@@ -9,6 +9,7 @@
 
 #include "hfmm/anderson/translations.hpp"
 #include "hfmm/blas/blas.hpp"
+#include "hfmm/core/near_field.hpp"
 #include "hfmm/core/solver.hpp"
 #include "hfmm/tree/interaction_lists.hpp"
 
@@ -85,6 +86,8 @@ struct FmmSolver::Impl {
   // Supernode application matrices per octant, aligned with
   // tset->supernode_list(octant).
   std::array<std::vector<internal::AppMatrix>, 8> supernode;
+  // Near-field workspace, reused across solve() calls (integrator loops).
+  NearFieldScratch near_scratch;
   double precompute_seconds = 0.0;
 
   void build(const FmmConfig& config);

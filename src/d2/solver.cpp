@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "hfmm/blas/blas.hpp"
+#include "hfmm/pkern/kernels.hpp"
 #include "hfmm/util/rng.hpp"
 
 namespace hfmm::d2 {
@@ -271,16 +272,15 @@ Fmm2Result FmmSolver2::solve(const ParticleSet2& particles) {
         if (b == e) continue;
         const Point2 c = tree.center(h, tree.coord_of(h, f));
         double* g = far[h].data() + f * kp;
+        thread_local std::vector<double> spx, spy;
+        spx.resize(k);
+        spy.resize(k);
         for (std::size_t i = 0; i < k; ++i) {
-          const Point2 pt{c.x + a * impl_->rule.points[i].x,
-                          c.y + a * impl_->rule.points[i].y};
-          double acc = 0.0;
-          for (std::uint32_t j = b; j < e; ++j) {
-            const double dx = pt.x - p.x[j], dy = pt.y - p.y[j];
-            acc += -0.5 * p.q[j] * std::log(dx * dx + dy * dy);
-          }
-          g[i] += acc;
+          spx[i] = c.x + a * impl_->rule.points[i].x;
+          spy[i] = c.y + a * impl_->rule.points[i].y;
         }
+        pkern::active_kernel().p2m2(spx.data(), spy.data(), k, p.x.data() + b,
+                                    p.y.data() + b, p.q.data() + b, e - b, g);
         for (std::uint32_t j = b; j < e; ++j) g[k] += p.q[j];
       }
     });
@@ -415,25 +415,15 @@ Fmm2Result FmmSolver2::solve(const ParticleSet2& particles) {
           const std::size_t sf = tree.flat_index(h, nb);
           const std::uint32_t sb = boxed.box_begin[sf];
           const std::uint32_t se = boxed.box_begin[sf + 1];
-          for (std::uint32_t i = tb; i < te; ++i) {
-            double acc = 0.0;
-            Point2 g{};
-            for (std::uint32_t j = sb; j < se; ++j) {
-              if (j == i) continue;
-              const double dx = p.x[i] - p.x[j], dy = p.y[i] - p.y[j];
-              const double r2 = dx * dx + dy * dy;
-              acc += -0.5 * p.q[j] * std::log(r2);
-              if (config_.with_gradient) {
-                g.x += -p.q[j] * dx / r2;
-                g.y += -p.q[j] * dy / r2;
-              }
-            }
-            phi[i] += acc;
-            if (config_.with_gradient) {
-              grad[i].x += g.x;
-              grad[i].y += g.y;
-            }
-          }
+          if (sb == se) continue;
+          // Point2 is a plain {x, y} pair, so grad rows are exactly the
+          // interleaved layout the kernel's gxy output expects.
+          pkern::active_kernel().p2p2(
+              p.x.data(), p.y.data(), p.q.data(), tb, te, sb, se,
+              phi.data() + tb,
+              config_.with_gradient
+                  ? reinterpret_cast<double*>(grad.data() + tb)
+                  : nullptr);
         }
       }
     });

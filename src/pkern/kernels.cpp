@@ -1,0 +1,76 @@
+// Backend selection: cpuid-probed default, HFMM_PKERN_KERNEL override, and
+// the explicit select_kernel() hook the benchmarks and tests use for A/B
+// comparisons. Mirrors blas/kernels.cpp.
+
+#include "hfmm/pkern/kernels.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "kernel_util.hpp"
+
+namespace hfmm::pkern {
+
+const char* to_string(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::kPortable: return "portable";
+    case KernelKind::kAvx2: return "avx2";
+  }
+  return "?";
+}
+
+bool kernel_supported(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::kPortable: return true;
+    case KernelKind::kAvx2: return avx2_cpu_supported();
+  }
+  return false;
+}
+
+const KernelBackend& kernel_backend(KernelKind kind) {
+  return kind == KernelKind::kAvx2 ? avx2_backend() : portable_backend();
+}
+
+namespace {
+
+KernelKind initial_kind() {
+  const char* env = std::getenv("HFMM_PKERN_KERNEL");
+  if (env != nullptr && std::strcmp(env, "auto") != 0 && env[0] != '\0') {
+    if (std::strcmp(env, "portable") == 0) return KernelKind::kPortable;
+    if (std::strcmp(env, "avx2") == 0) {
+      if (kernel_supported(KernelKind::kAvx2)) return KernelKind::kAvx2;
+      std::fprintf(stderr,
+                   "hfmm: HFMM_PKERN_KERNEL=avx2 but this CPU lacks AVX2/FMA; "
+                   "using portable\n");
+      return KernelKind::kPortable;
+    }
+    std::fprintf(stderr,
+                 "hfmm: unknown HFMM_PKERN_KERNEL=\"%s\" (want auto, portable "
+                 "or avx2); using auto\n",
+                 env);
+  }
+  return kernel_supported(KernelKind::kAvx2) ? KernelKind::kAvx2
+                                             : KernelKind::kPortable;
+}
+
+KernelKind& active_kind_ref() {
+  static KernelKind kind = initial_kind();
+  return kind;
+}
+
+}  // namespace
+
+const KernelBackend& active_kernel() {
+  return kernel_backend(active_kind_ref());
+}
+
+KernelKind active_kernel_kind() { return active_kind_ref(); }
+
+bool select_kernel(KernelKind kind) {
+  if (!kernel_supported(kind)) return false;
+  active_kind_ref() = kind;
+  return true;
+}
+
+}  // namespace hfmm::pkern

@@ -1,0 +1,401 @@
+// Agreement and edge-case tests for the pkern particle-kernel backends.
+// Every dispatchable backend must reproduce the scalar references —
+// baseline::direct_ranges for P2P, anderson::evaluate_inner for L2P — to
+// within the rsqrt+Newton error budget (<= 1e-12 relative), including tail
+// lanes, self-pair skipping, softening, and the near-field driver's
+// symmetric/non-symmetric equivalence on degenerate box populations.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "hfmm/anderson/kernels.hpp"
+#include "hfmm/anderson/params.hpp"
+#include "hfmm/baseline/direct.hpp"
+#include "hfmm/core/near_field.hpp"
+#include "hfmm/dp/sort.hpp"
+#include "hfmm/pkern/kernels.hpp"
+#include "hfmm/util/particles.hpp"
+#include "hfmm/util/rng.hpp"
+
+namespace hfmm {
+namespace {
+
+constexpr double kTol = 1e-12;  // rsqrt + 2x Newton leaves ~6e-14, one-sided
+
+class PkernBackendTest : public ::testing::TestWithParam<pkern::KernelKind> {
+ protected:
+  void SetUp() override {
+    if (!pkern::kernel_supported(GetParam()))
+      GTEST_SKIP() << "backend unsupported on this CPU";
+    previous_ = pkern::active_kernel_kind();
+    ASSERT_TRUE(pkern::select_kernel(GetParam()));
+  }
+  void TearDown() override {
+    if (pkern::kernel_supported(GetParam()))
+      pkern::select_kernel(previous_);
+  }
+  const pkern::KernelBackend& kern() const {
+    return pkern::kernel_backend(GetParam());
+  }
+
+ private:
+  pkern::KernelKind previous_ = pkern::KernelKind::kPortable;
+};
+
+// Sizes straddle the 4-wide register: tails of 1..3, sub-register boxes.
+void expect_p2p_matches_scalar(const pkern::KernelBackend& kern,
+                               std::size_t nt, std::size_t ns,
+                               bool with_grad, double softening) {
+  const ParticleSet p = make_uniform(nt + ns, Box3{}, 1234 + nt * 31 + ns);
+  std::vector<double> phi(nt, 0.0), ref_phi(nt, 0.0);
+  std::vector<Vec3> grad(nt), ref_grad(nt);
+  baseline::direct_ranges(p, 0, nt, nt, nt + ns, ref_phi.data(),
+                          with_grad ? ref_grad.data() : nullptr, softening);
+  kern.p2p(p.x().data(), p.y().data(), p.z().data(), p.q().data(), 0, nt, nt,
+           nt + ns, phi.data(), with_grad ? grad.data() : nullptr,
+           softening * softening);
+  for (std::size_t i = 0; i < nt; ++i) {
+    EXPECT_NEAR(phi[i], ref_phi[i], kTol * std::abs(ref_phi[i]))
+        << "nt=" << nt << " ns=" << ns << " i=" << i;
+    if (with_grad) {
+      const double scale = ref_grad[i].norm() + 1.0;
+      EXPECT_NEAR(grad[i].x, ref_grad[i].x, kTol * scale);
+      EXPECT_NEAR(grad[i].y, ref_grad[i].y, kTol * scale);
+      EXPECT_NEAR(grad[i].z, ref_grad[i].z, kTol * scale);
+    }
+  }
+}
+
+TEST_P(PkernBackendTest, P2pMatchesScalarAcrossShapes) {
+  for (const std::size_t nt : {1u, 3u, 4u, 7u, 64u})
+    for (const std::size_t ns : {1u, 2u, 5u, 8u, 63u})
+      for (const bool grad : {false, true})
+        expect_p2p_matches_scalar(kern(), nt, ns, grad, 0.0);
+}
+
+TEST_P(PkernBackendTest, P2pHonorsSoftening) {
+  expect_p2p_matches_scalar(kern(), 33, 50, true, 0.01);
+}
+
+TEST_P(PkernBackendTest, P2pIdenticalRangeSkipsSelfPair) {
+  for (const std::size_t n : {1u, 2u, 5u, 17u, 64u}) {
+    const ParticleSet p = make_uniform(n, Box3{}, 77 + n);
+    std::vector<double> phi(n, 0.0), ref_phi(n, 0.0);
+    std::vector<Vec3> grad(n), ref_grad(n);
+    baseline::direct_ranges(p, 0, n, 0, n, ref_phi.data(), ref_grad.data());
+    kern().p2p(p.x().data(), p.y().data(), p.z().data(), p.q().data(), 0, n,
+               0, n, phi.data(), grad.data(), 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(phi[i], ref_phi[i], kTol * (std::abs(ref_phi[i]) + 1.0));
+      EXPECT_NEAR(grad[i].x, ref_grad[i].x,
+                  kTol * (ref_grad[i].norm() + 1.0));
+    }
+  }
+}
+
+TEST_P(PkernBackendTest, P2pSymmetricMatchesPlainWithGradients) {
+  for (const std::size_t nt : {1u, 5u, 32u, 65u}) {
+    const std::size_t ns = 2 * nt + 1;  // exercise unequal, tailed ranges
+    const ParticleSet p = make_uniform(nt + ns, Box3{}, 555 + nt);
+    // Reference: two one-directional evaluations.
+    std::vector<double> ref_phi(nt + ns, 0.0);
+    std::vector<Vec3> ref_grad(nt + ns);
+    baseline::direct_ranges(p, 0, nt, nt, nt + ns, ref_phi.data(),
+                            ref_grad.data());
+    baseline::direct_ranges(p, nt, nt + ns, 0, nt, ref_phi.data() + nt,
+                            ref_grad.data() + nt);
+    std::vector<double> phi(nt + ns, 0.0), gx(nt + ns, 0.0), gy(nt + ns, 0.0),
+        gz(nt + ns, 0.0);
+    kern().p2p_symmetric(p.x().data(), p.y().data(), p.z().data(),
+                         p.q().data(), 0, nt, nt, nt + ns, phi.data(),
+                         gx.data(), gy.data(), gz.data(), 0.0);
+    for (std::size_t i = 0; i < nt + ns; ++i) {
+      EXPECT_NEAR(phi[i], ref_phi[i], kTol * std::abs(ref_phi[i]));
+      const double scale = ref_grad[i].norm() + 1.0;
+      EXPECT_NEAR(gx[i], ref_grad[i].x, kTol * scale);
+      EXPECT_NEAR(gy[i], ref_grad[i].y, kTol * scale);
+      EXPECT_NEAR(gz[i], ref_grad[i].z, kTol * scale);
+    }
+  }
+}
+
+TEST_P(PkernBackendTest, P2pSymmetricPotentialOnly) {
+  const std::size_t nt = 19, ns = 42;
+  const ParticleSet p = make_uniform(nt + ns, Box3{}, 808);
+  std::vector<double> ref_phi(nt + ns, 0.0), phi(nt + ns, 0.0);
+  baseline::direct_ranges_symmetric(p, 0, nt, nt, nt + ns, ref_phi.data(),
+                                    nullptr);
+  kern().p2p_symmetric(p.x().data(), p.y().data(), p.z().data(), p.q().data(),
+                       0, nt, nt, nt + ns, phi.data(), nullptr, nullptr,
+                       nullptr, 0.0);
+  for (std::size_t i = 0; i < nt + ns; ++i)
+    EXPECT_NEAR(phi[i], ref_phi[i], kTol * std::abs(ref_phi[i]));
+}
+
+TEST_P(PkernBackendTest, P2mMatchesScalar) {
+  const anderson::Params params = anderson::params_d5_k12();
+  const std::size_t k = params.k();
+  const double a = 0.2;
+  const Vec3 c{0.4, 0.5, 0.6};
+  for (const std::size_t n : {1u, 3u, 4u, 29u, 64u}) {
+    const ParticleSet p = make_uniform(n, Box3{}, 99 + n);
+    std::vector<double> spx(k), spy(k), spz(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      spx[i] = c.x + a * params.rule.points[i].x;
+      spy[i] = c.y + a * params.rule.points[i].y;
+      spz[i] = c.z + a * params.rule.points[i].z;
+    }
+    std::vector<double> g(k, 0.0), ref(k, 0.0);
+    for (std::size_t i = 0; i < k; ++i)
+      for (std::size_t j = 0; j < n; ++j) {
+        const double dx = spx[i] - p.x()[j];
+        const double dy = spy[i] - p.y()[j];
+        const double dz = spz[i] - p.z()[j];
+        ref[i] += p.q()[j] / std::sqrt(dx * dx + dy * dy + dz * dz);
+      }
+    kern().p2m(spx.data(), spy.data(), spz.data(), k, p.x().data(),
+               p.y().data(), p.z().data(), p.q().data(), n, g.data());
+    for (std::size_t i = 0; i < k; ++i)
+      EXPECT_NEAR(g[i], ref[i], kTol * std::abs(ref[i])) << "n=" << n;
+  }
+}
+
+TEST_P(PkernBackendTest, L2pMatchesEvaluateInner) {
+  const anderson::Params params = anderson::params_d14_k72();
+  const std::size_t k = params.k();
+  const double a = 0.3;
+  const Vec3 c{0.5, 0.5, 0.5};
+  Xoshiro256 rng(31);
+  std::vector<double> sx(k), sy(k), sz(k), g(k), gw(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    sx[i] = params.rule.points[i].x;
+    sy[i] = params.rule.points[i].y;
+    sz[i] = params.rule.points[i].z;
+    g[i] = rng.uniform(-1.0, 1.0);
+    gw[i] = g[i] * params.rule.weights[i];
+  }
+  for (const std::size_t n : {1u, 3u, 4u, 6u, 31u}) {
+    const ParticleSet p =
+        make_uniform(n, Box3{{0.35, 0.35, 0.35}, {0.65, 0.65, 0.65}}, 7 + n);
+    std::vector<double> phi(n, 0.0);
+    std::vector<Vec3> grad(n);
+    kern().l2p(sx.data(), sy.data(), sz.data(), gw.data(), k,
+               params.truncation, a, c.x, c.y, c.z, p.x().data(),
+               p.y().data(), p.z().data(), n, phi.data(), grad.data());
+    for (std::size_t j = 0; j < n; ++j) {
+      const Vec3 x = p.position(j);
+      const double ref =
+          anderson::evaluate_inner(params.rule, params.truncation, a, c, g, x);
+      const Vec3 ref_g = anderson::evaluate_inner_gradient(
+          params.rule, params.truncation, a, c, g, x);
+      EXPECT_NEAR(phi[j], ref, kTol * (std::abs(ref) + 1.0)) << "n=" << n;
+      const double scale = ref_g.norm() + 1.0;
+      EXPECT_NEAR(grad[j].x, ref_g.x, kTol * scale);
+      EXPECT_NEAR(grad[j].y, ref_g.y, kTol * scale);
+      EXPECT_NEAR(grad[j].z, ref_g.z, kTol * scale);
+    }
+  }
+}
+
+TEST_P(PkernBackendTest, L2pNearCentreFallback) {
+  const anderson::Params params = anderson::params_d5_k12();
+  const std::size_t k = params.k();
+  const double a = 0.25;
+  const Vec3 c{0.5, 0.5, 0.5};
+  std::vector<double> sx(k), sy(k), sz(k), g(k, 1.0), gw(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    sx[i] = params.rule.points[i].x;
+    sy[i] = params.rule.points[i].y;
+    sz[i] = params.rule.points[i].z;
+    gw[i] = g[i] * params.rule.weights[i];
+  }
+  // A full register where one particle sits exactly at the sphere centre —
+  // the whole block must take the scalar limit path and stay finite.
+  ParticleSet p(4);
+  p.set(0, c + Vec3{0.05, 0.0, 0.0}, 1.0);
+  p.set(1, c, 1.0);  // exact centre
+  p.set(2, c + Vec3{0.0, 1e-15, 0.0}, 1.0);  // inside the tiny-radius guard
+  p.set(3, c + Vec3{0.0, 0.0, -0.1}, 1.0);
+  std::vector<double> phi(4, 0.0);
+  std::vector<Vec3> grad(4);
+  kern().l2p(sx.data(), sy.data(), sz.data(), gw.data(), k, params.truncation,
+             a, c.x, c.y, c.z, p.x().data(), p.y().data(), p.z().data(), 4,
+             phi.data(), grad.data());
+  for (std::size_t j = 0; j < 4; ++j) {
+    const Vec3 x = p.position(j);
+    const double ref =
+        anderson::evaluate_inner(params.rule, params.truncation, a, c, g, x);
+    EXPECT_NEAR(phi[j], ref, kTol * (std::abs(ref) + 1.0)) << "j=" << j;
+    EXPECT_TRUE(std::isfinite(grad[j].x));
+    EXPECT_TRUE(std::isfinite(grad[j].y));
+    EXPECT_TRUE(std::isfinite(grad[j].z));
+  }
+  // Constant boundary data: potential is the constant, gradient ~ 0 at the
+  // centre for the g == 1 monopole-like field (only n = 1 term contributes,
+  // and the icosahedral points sum to zero).
+  EXPECT_NEAR(phi[1], 1.0, 1e-12);
+}
+
+TEST_P(PkernBackendTest, P2p2MatchesScalar2d) {
+  Xoshiro256 rng(404);
+  for (const std::size_t n : {1u, 2u, 7u, 40u}) {
+    std::vector<double> x(2 * n), y(2 * n), q(2 * n);
+    for (std::size_t i = 0; i < 2 * n; ++i) {
+      x[i] = rng.uniform();
+      y[i] = rng.uniform();
+      q[i] = rng.uniform(-1.0, 1.0);
+    }
+    std::vector<double> phi(n, 0.0), gxy(2 * n, 0.0);
+    std::vector<double> ref_phi(n, 0.0), ref_gxy(2 * n, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = n; j < 2 * n; ++j) {
+        const double dx = x[i] - x[j], dy = y[i] - y[j];
+        const double r2 = dx * dx + dy * dy;
+        ref_phi[i] += -0.5 * q[j] * std::log(r2);
+        ref_gxy[2 * i] += -q[j] * dx / r2;
+        ref_gxy[2 * i + 1] += -q[j] * dy / r2;
+      }
+    kern().p2p2(x.data(), y.data(), q.data(), 0, n, n, 2 * n, phi.data(),
+                gxy.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(phi[i], ref_phi[i], kTol * (std::abs(ref_phi[i]) + 1.0));
+      EXPECT_NEAR(gxy[2 * i], ref_gxy[2 * i],
+                  kTol * (std::abs(ref_gxy[2 * i]) + 1.0));
+      EXPECT_NEAR(gxy[2 * i + 1], ref_gxy[2 * i + 1],
+                  kTol * (std::abs(ref_gxy[2 * i + 1]) + 1.0));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, PkernBackendTest,
+                         ::testing::Values(pkern::KernelKind::kPortable,
+                                           pkern::KernelKind::kAvx2),
+                         [](const auto& info) {
+                           return std::string(pkern::to_string(info.param));
+                         });
+
+TEST(PkernDispatchTest, PortableAlwaysSupported) {
+  EXPECT_TRUE(pkern::kernel_supported(pkern::KernelKind::kPortable));
+  EXPECT_STREQ(pkern::to_string(pkern::KernelKind::kPortable), "portable");
+  EXPECT_STREQ(pkern::to_string(pkern::KernelKind::kAvx2), "avx2");
+}
+
+TEST(PkernDispatchTest, SelectKernelRoundTrips) {
+  const pkern::KernelKind initial = pkern::active_kernel_kind();
+  ASSERT_TRUE(pkern::select_kernel(pkern::KernelKind::kPortable));
+  EXPECT_EQ(pkern::active_kernel_kind(), pkern::KernelKind::kPortable);
+  EXPECT_STREQ(pkern::active_kernel().name, "portable");
+  if (pkern::kernel_supported(pkern::KernelKind::kAvx2)) {
+    ASSERT_TRUE(pkern::select_kernel(pkern::KernelKind::kAvx2));
+    EXPECT_STREQ(pkern::active_kernel().name, "avx2");
+  }
+  pkern::select_kernel(initial);
+}
+
+// ---------------------------------------------------------------------------
+// Near-field driver edge cases, run under both backends.
+// ---------------------------------------------------------------------------
+
+class NearFieldEdgeTest : public PkernBackendTest {};
+
+// Runs near_field both ways and checks they agree; returns the plain result.
+void expect_symmetric_agrees(const ParticleSet& p, int depth, bool with_grad,
+                             double rel_tol = 1e-12) {
+  const tree::Hierarchy hier(Box3{}, depth);
+  const dp::BlockLayout layout(hier.boxes_per_side(depth), {1, 1, 1});
+  const dp::BoxedParticles boxed = dp::coordinate_sort(p, hier, layout);
+  const std::size_t n = p.size();
+  std::vector<double> phi_a(n, 0.0), phi_b(n, 0.0);
+  std::vector<Vec3> grad_a(with_grad ? n : 0), grad_b(with_grad ? n : 0);
+  core::NearFieldScratch scratch;
+  const auto ra =
+      core::near_field(hier, boxed, 2, false, phi_a, grad_a,
+                       ThreadPool::global(), &scratch);
+  const auto rb =
+      core::near_field(hier, boxed, 2, true, phi_b, grad_b,
+                       ThreadPool::global(), &scratch);
+  // The symmetric pass visits every cross-box pair once instead of twice.
+  EXPECT_LE(rb.pair_interactions, ra.pair_interactions);
+  EXPECT_LE(rb.box_interactions, ra.box_interactions);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(phi_a[i], phi_b[i], rel_tol * (std::abs(phi_a[i]) + 1.0));
+    if (with_grad) {
+      const double scale = grad_a[i].norm() + 1.0;
+      EXPECT_NEAR(grad_a[i].x, grad_b[i].x, rel_tol * scale);
+      EXPECT_NEAR(grad_a[i].y, grad_b[i].y, rel_tol * scale);
+      EXPECT_NEAR(grad_a[i].z, grad_b[i].z, rel_tol * scale);
+    }
+  }
+}
+
+TEST_P(NearFieldEdgeTest, SymmetricAgreesWithPlainGradients) {
+  expect_symmetric_agrees(make_uniform(2000, Box3{}, 2024), 3, true);
+}
+
+TEST_P(NearFieldEdgeTest, MostlyEmptyBoxes) {
+  // All particles in one corner octant: the vast majority of leaf boxes are
+  // empty, including whole neighbor stencils.
+  const ParticleSet p =
+      make_uniform(300, Box3{{0.0, 0.0, 0.0}, {0.12, 0.12, 0.12}}, 5);
+  expect_symmetric_agrees(p, 3, true);
+}
+
+TEST_P(NearFieldEdgeTest, SingleParticleBoxes) {
+  // Fewer particles than leaf boxes: occupied boxes mostly hold exactly one
+  // particle, so intra-box terms vanish and every contribution crosses
+  // boxes.
+  const ParticleSet p = make_uniform(40, Box3{}, 6);
+  expect_symmetric_agrees(p, 3, true);
+}
+
+TEST_P(NearFieldEdgeTest, BoundaryBoxesTruncatedStencils) {
+  // Particles pinned to faces, edges and corners of the domain, where the
+  // separation-2 stencil is maximally truncated by the boundary.
+  ParticleSet p(200);
+  Xoshiro256 rng(7);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    Vec3 v{rng.uniform(), rng.uniform(), rng.uniform()};
+    switch (i % 4) {
+      case 0: v.x = 0.001; break;           // face
+      case 1: v.x = 0.999; v.y = 0.001; break;  // edge
+      case 2:  // corner box (positions jittered — coincident points are UB)
+        v = {0.99 + 0.009 * rng.uniform(), 0.99 + 0.009 * rng.uniform(),
+             0.99 + 0.009 * rng.uniform()};
+        break;
+      default: break;                       // interior
+    }
+    p.set(i, v, rng.uniform(-1.0, 1.0));
+  }
+  expect_symmetric_agrees(p, 3, true);
+}
+
+TEST_P(NearFieldEdgeTest, ScratchReuseIsDeterministic) {
+  const ParticleSet p = make_uniform(500, Box3{}, 99);
+  const tree::Hierarchy hier(Box3{}, 2);
+  const dp::BlockLayout layout(hier.boxes_per_side(2), {1, 1, 1});
+  const dp::BoxedParticles boxed = dp::coordinate_sort(p, hier, layout);
+  core::NearFieldScratch scratch;
+  std::vector<double> first(p.size(), 0.0), second(p.size(), 0.0);
+  std::vector<Vec3> g1(p.size()), g2(p.size());
+  core::near_field(hier, boxed, 2, true, first, g1, ThreadPool::global(),
+                   &scratch);
+  // Second call reuses the (now dirty) scratch; results must be identical.
+  core::near_field(hier, boxed, 2, true, second, g2, ThreadPool::global(),
+                   &scratch);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_DOUBLE_EQ(first[i], second[i]);
+    EXPECT_DOUBLE_EQ(g1[i].x, g2[i].x);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, NearFieldEdgeTest,
+                         ::testing::Values(pkern::KernelKind::kPortable,
+                                           pkern::KernelKind::kAvx2),
+                         [](const auto& info) {
+                           return std::string(pkern::to_string(info.param));
+                         });
+
+}  // namespace
+}  // namespace hfmm
