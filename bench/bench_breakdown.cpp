@@ -7,15 +7,21 @@
 // shape as BENCH_kernels.json):
 //   { "bench": "bench_breakdown",
 //     "configs": [ { "label": "d5_k12", "n":.., "k":.., "depth":..,
-//       "mode": "threads", "total_seconds":.., "total_gflop":..,
+//       "mode": "threads", "total_seconds":.., "warm_seconds":..,
+//       "warm_allocs":.., "total_gflop":..,
 //       "phases": [ {"phase": "near", "seconds":.., "gflop":..}, ... ] },
-//       ... ] }
+//       ... ],
+//     "integrator": { "n":.., "steps":.., "first_eval_seconds":..,
+//       "warm_step_seconds":.. } }
+// total_seconds is the COLD solve (plan + workspace built); warm_seconds is
+// the best-of-3 warm solve on the reused plan/workspace.
 
 #include <cstring>
 #include <iostream>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "hfmm/core/integrator.hpp"
 #include "hfmm/core/solver.hpp"
 #include "hfmm/util/particles.hpp"
 
@@ -39,6 +45,18 @@ void run(const char* label, const char* slug, const anderson::Params& params,
   const core::FmmResult r = solver.solve(p);
   const double total = t.seconds();
 
+  // Warm solves reuse the plan and workspace; best-of-3 is the per-step
+  // cost an integrator loop pays.
+  double warm = 0.0;
+  std::uint64_t warm_allocs = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    t.reset();
+    const core::FmmResult w = solver.solve(p);
+    const double s = t.seconds();
+    if (rep == 0 || s < warm) warm = s;
+    warm_allocs = w.workspace_allocs;
+  }
+
   std::printf("\n%s  (N = %zu, K = %zu, depth %d, %s)\n", label, n, r.k,
               r.depth, dp_mode ? "data-parallel" : "threads");
   Table table({"phase", "time (s)", "share", "Gflop", "efficiency"});
@@ -53,6 +71,11 @@ void run(const char* label, const char* slug, const anderson::Params& params,
   std::printf("overall: %.3f s, %.2f Gflop, efficiency %.1f%%\n", total,
               static_cast<double>(r.breakdown.total_flops()) / 1e9,
               100.0 * bench::efficiency(r.breakdown.total_flops(), total));
+  std::printf(
+      "cold solve %.3f s -> warm solve %.3f s (%.2fx, plan+workspace "
+      "reused, %llu warm heap growths)\n",
+      total, warm, total / warm,
+      static_cast<unsigned long long>(warm_allocs));
   if (dp_mode) {
     const double comm = r.breakdown.phases().count("comm")
                             ? r.breakdown.phases().at("comm").seconds
@@ -70,10 +93,12 @@ void run(const char* label, const char* slug, const anderson::Params& params,
     std::fprintf(json,
                  "%s\n    { \"label\": \"%s\", \"n\": %zu, \"k\": %zu, "
                  "\"depth\": %d, \"mode\": \"%s\",\n"
-                 "      \"total_seconds\": %.6f, \"total_gflop\": %.3f,\n"
+                 "      \"total_seconds\": %.6f, \"warm_seconds\": %.6f, "
+                 "\"warm_allocs\": %llu, \"total_gflop\": %.3f,\n"
                  "      \"phases\": [",
                  first ? "" : ",", slug, n, r.k, r.depth,
-                 dp_mode ? "data_parallel" : "threads", total,
+                 dp_mode ? "data_parallel" : "threads", total, warm,
+                 static_cast<unsigned long long>(warm_allocs),
                  static_cast<double>(r.breakdown.total_flops()) / 1e9);
     bool first_phase = true;
     for (const auto& [name, s] : r.breakdown.phases()) {
@@ -124,10 +149,47 @@ int main(int argc, char** argv) {
   run("D=5 / K=12, simulated 8-VU machine", "d5_k12_dp",
       anderson::params_d5_k12(), n / 2, true, json, false);
 
-  if (json != nullptr) {
-    std::fprintf(json, "\n  ]\n}\n");
-    std::fclose(json);
-    std::printf("\nper-phase JSON written to %s\n", json_path);
+  // Timestep loop: after the first force evaluation builds the plan, every
+  // leapfrog step pays only the warm-solve cost.
+  {
+    core::FmmConfig cfg;
+    cfg.supernodes = true;
+    cfg.with_gradient = true;
+    // Plummer softening keeps close encounters from scattering particles
+    // out of the box mid-bench; the measurement targets solver cost.
+    cfg.softening = 1e-3;
+    const std::size_t n_int = n / 4;
+    core::FmmSolver solver(cfg);
+    core::LeapfrogIntegrator integ(solver, core::ForceLaw::kGravity, 1e-6);
+    core::SimulationState state;
+    state.particles = make_uniform(n_int, Box3{}, 99);
+    state.velocity.assign(n_int, Vec3{});
+    WallTimer t;
+    integ.initialize(state);
+    const double first_eval = t.seconds();
+    const std::uint64_t cold_allocs = integ.force_stats().workspace_allocs;
+    const int steps = 5;
+    t.reset();
+    integ.run(state, steps);
+    const double per_step = t.seconds() / steps;
+    const core::ForceStats& fs = integ.force_stats();
+    std::printf(
+        "\nintegrator (N = %zu): first force evaluation %.3f s (cold, %llu "
+        "heap growths), then %.3f s/step warm (%llu/%llu warm evaluations, "
+        "%llu warm heap growths)\n",
+        n_int, first_eval, static_cast<unsigned long long>(cold_allocs),
+        per_step, static_cast<unsigned long long>(fs.warm_evaluations),
+        static_cast<unsigned long long>(fs.evaluations),
+        static_cast<unsigned long long>(fs.workspace_allocs - cold_allocs));
+    if (json != nullptr) {
+      std::fprintf(json,
+                   "\n  ],\n  \"integrator\": { \"n\": %zu, \"steps\": %d, "
+                   "\"first_eval_seconds\": %.6f, "
+                   "\"warm_step_seconds\": %.6f }\n}\n",
+                   n_int, steps, first_eval, per_step);
+      std::fclose(json);
+      std::printf("\nper-phase JSON written to %s\n", json_path);
+    }
   }
   return 0;
 }

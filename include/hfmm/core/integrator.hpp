@@ -38,6 +38,17 @@ struct EnergyReport {
   Vec3 momentum;
 };
 
+/// Accumulated force-evaluation statistics over the integrator's lifetime.
+/// After the first evaluation builds the solver's plan, every later step is
+/// a warm solve (plan reused, ~zero workspace growth) — the per-step cost
+/// the paper's timestep loops care about.
+struct ForceStats {
+  std::uint64_t evaluations = 0;       ///< solver_.solve() calls issued
+  std::uint64_t warm_evaluations = 0;  ///< of those, plan-reusing (warm)
+  std::uint64_t workspace_allocs = 0;  ///< summed heap-growth events
+  double seconds = 0.0;                ///< summed solve wall time
+};
+
 class LeapfrogIntegrator {
  public:
   /// The solver must be configured with with_gradient = true.
@@ -55,6 +66,8 @@ class LeapfrogIntegrator {
 
   EnergyReport energy(const SimulationState& state) const;
 
+  const ForceStats& force_stats() const { return force_stats_; }
+
  private:
   Vec3 acceleration(const SimulationState& s, std::size_t i) const;
   void evaluate_forces(SimulationState& state);
@@ -63,6 +76,7 @@ class LeapfrogIntegrator {
   ForceLaw law_;
   double dt_;
   std::vector<Vec3> grad_;
+  ForceStats force_stats_;
 };
 
 }  // namespace hfmm::core

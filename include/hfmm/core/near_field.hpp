@@ -17,6 +17,7 @@
 
 #include "hfmm/dp/sort.hpp"
 #include "hfmm/tree/hierarchy.hpp"
+#include "hfmm/tree/interaction_lists.hpp"
 #include "hfmm/util/thread_pool.hpp"
 
 namespace hfmm::core {
@@ -37,6 +38,7 @@ struct NearFieldScratch {
     std::vector<Vec3> grad;         ///< chunk-local gradient, size N
     std::vector<double> pair_phi;   ///< symmetric pair buffer (targets+sources)
     std::vector<double> pair_gx, pair_gy, pair_gz;  ///< SoA pair gradients
+    std::size_t lo = 0;             ///< first box of the chunk's range
   };
   std::vector<Chunk> chunks;
 };
@@ -47,9 +49,21 @@ struct NearFieldScratch {
 /// use. `softening` is the Plummer softening length applied to the pairwise
 /// kernel (far-field contributions are unsoftened, which is the standard
 /// treecode convention when the softening length is well below the leaf box
-/// side).
+/// side). This overload rebuilds the interaction list per call.
 NearFieldResult near_field(const tree::Hierarchy& hier,
                            const dp::BoxedParticles& boxed, int separation,
+                           bool symmetric, std::span<double> phi,
+                           std::span<Vec3> grad, ThreadPool& pool,
+                           NearFieldScratch* scratch = nullptr,
+                           double softening = 0.0);
+
+/// Plan-driven overload: `offsets` is the precomputed interaction list —
+/// tree::near_field_half_offsets(d) when `symmetric`, else
+/// tree::near_field_offsets(d) — owned by the caller (the solver's FmmPlan),
+/// so repeated solves rebuild nothing.
+NearFieldResult near_field(const tree::Hierarchy& hier,
+                           const dp::BoxedParticles& boxed,
+                           std::span<const tree::Offset> offsets,
                            bool symmetric, std::span<double> phi,
                            std::span<Vec3> grad, ThreadPool& pool,
                            NearFieldScratch* scratch = nullptr,

@@ -17,6 +17,7 @@
 //   FmmResult r = solver.solve(particles);
 //   // r.phi[i], r.grad[i] in the ORIGINAL particle order.
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -36,6 +37,8 @@ struct FmmResult {
   int depth = 0;             ///< hierarchy depth used
   std::size_t k = 0;         ///< integration points per sphere
   std::size_t leaf_boxes = 0;
+  bool plan_reused = false;  ///< warm solve: no plan construction happened
+  std::uint64_t workspace_allocs = 0;  ///< heap-growth events this solve
 };
 
 class FmmSolver {
@@ -57,6 +60,10 @@ class FmmSolver {
 
   /// Depth that will be used for `n` particles under this configuration.
   int depth_for(std::size_t n) const;
+
+  /// True when a solve for `n` particles would reuse the cached plan (i.e.
+  /// a previous solve already built the plan for depth_for(n)).
+  bool plan_ready(std::size_t n) const;
 
   /// Internal state (precomputed matrices); defined in solver_internal.hpp.
   struct Impl;

@@ -39,6 +39,19 @@ BoxedParticles coordinate_sort(const ParticleSet& particles,
                                const tree::Hierarchy& hier,
                                const BlockLayout& layout);
 
+/// Reusable temporaries of the counting sort (key arrays and cursors); pass
+/// the same instance across calls to keep repeated sorts allocation-free.
+struct SortScratch {
+  std::vector<std::uint32_t> rank_of, flat_of, cursor;
+};
+
+/// In-place variant: writes into `out`, reusing its buffers (and
+/// `scratch`'s, when given) so an integrator's step loop pays the sort
+/// allocations once. Produces exactly the same result as the returning form.
+void coordinate_sort(const ParticleSet& particles, const tree::Hierarchy& hier,
+                     const BlockLayout& layout, BoxedParticles& out,
+                     SortScratch* scratch = nullptr);
+
 /// A plain Morton-order grouping (no VU/local bit split) — the "naive sort"
 /// baseline for the Figure 5 locality experiment.
 BoxedParticles morton_sort(const ParticleSet& particles,

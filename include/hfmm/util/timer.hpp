@@ -30,26 +30,33 @@ class WallTimer {
 /// `comm_bytes` counts off-processor traffic on the simulated machine;
 /// `bytes_moved` counts local data motion (gather/scatter copies feeding the
 /// aggregated GEMMs — the paper's Section 3.4 copy cost), measured where the
-/// copies happen so the data-motion benches read real numbers.
+/// copies happen so the data-motion benches read real numbers. `allocs`
+/// counts heap-growth events (buffer or plan (re)builds) charged to the
+/// phase — a warm solve on a reused plan/workspace should report ~0.
 struct PhaseStats {
   double seconds = 0.0;
   std::uint64_t flops = 0;
   std::uint64_t comm_bytes = 0;
   std::uint64_t bytes_moved = 0;
+  std::uint64_t allocs = 0;
 
   PhaseStats& operator+=(const PhaseStats& o) {
     seconds += o.seconds;
     flops += o.flops;
     comm_bytes += o.comm_bytes;
     bytes_moved += o.bytes_moved;
+    allocs += o.allocs;
     return *this;
   }
 };
 
 /// Named per-phase accumulator. Phase names used by the FMM pipeline:
 /// "sort", "p2m", "upward", "interactive", "downward", "l2p", "near",
-/// "precompute", and "comm" (communication-only time, also folded into the
-/// owning phase's seconds).
+/// "precompute", "plan" (per-depth solve-plan construction: supernode
+/// gather plans + near-field interaction lists; zero seconds/allocs on a
+/// warm solve), "workspace" (allocs = workspace buffer growth events this
+/// solve), and "comm" (communication-only time, also folded into the owning
+/// phase's seconds).
 class PhaseBreakdown {
  public:
   PhaseStats& operator[](const std::string& phase) { return phases_[phase]; }
@@ -59,6 +66,7 @@ class PhaseBreakdown {
   std::uint64_t total_flops() const;
   std::uint64_t total_comm_bytes() const;
   std::uint64_t total_bytes_moved() const;
+  std::uint64_t total_allocs() const;
   void clear() { phases_.clear(); }
 
   /// Merge another breakdown into this one (phase-wise sum).

@@ -30,9 +30,15 @@ Vec3 LeapfrogIntegrator::acceleration(const SimulationState& s,
 }
 
 void LeapfrogIntegrator::evaluate_forces(SimulationState& state) {
-  const FmmResult r = solver_.solve(state.particles);
-  grad_ = r.grad;
-  state.phi = r.phi;
+  FmmResult r = solver_.solve(state.particles);
+  // Move the buffers out — the solve path already reuses its own workspace,
+  // so a warm step performs no copies here either.
+  grad_ = std::move(r.grad);
+  state.phi = std::move(r.phi);
+  ++force_stats_.evaluations;
+  if (r.plan_reused) ++force_stats_.warm_evaluations;
+  force_stats_.workspace_allocs += r.workspace_allocs;
+  force_stats_.seconds += r.breakdown.total_seconds();
 }
 
 void LeapfrogIntegrator::initialize(SimulationState& state) {

@@ -1,5 +1,6 @@
 #include "hfmm/core/near_field.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <vector>
 
@@ -28,6 +29,19 @@ NearFieldResult near_field(const tree::Hierarchy& hier,
                            bool symmetric, std::span<double> phi,
                            std::span<Vec3> grad, ThreadPool& pool,
                            NearFieldScratch* scratch, double softening) {
+  const auto offsets = symmetric
+                           ? tree::near_field_half_offsets(separation)
+                           : tree::near_field_offsets(separation);
+  return near_field(hier, boxed, offsets, symmetric, phi, grad, pool, scratch,
+                    softening);
+}
+
+NearFieldResult near_field(const tree::Hierarchy& hier,
+                           const dp::BoxedParticles& boxed,
+                           std::span<const tree::Offset> offsets,
+                           bool symmetric, std::span<double> phi,
+                           std::span<Vec3> grad, ThreadPool& pool,
+                           NearFieldScratch* scratch, double softening) {
   const int h = hier.depth();
   const std::int32_t n = hier.boxes_per_side(h);
   const std::size_t boxes = hier.boxes_at(h);
@@ -39,10 +53,6 @@ NearFieldResult near_field(const tree::Hierarchy& hier,
   const double* Q = p.q().data();
   const double soft2 = softening * softening;
   const pkern::KernelBackend& kern = pkern::active_kernel();
-
-  const auto offsets = symmetric
-                           ? tree::near_field_half_offsets(separation)
-                           : tree::near_field_offsets(separation);
 
   const std::size_t chunks = pool.size();
   // Per-chunk accumulation buffers make the symmetric variant race-free
@@ -58,6 +68,7 @@ NearFieldResult near_field(const tree::Hierarchy& hier,
   pool.parallel_chunks(0, boxes, [&](std::size_t lo, std::size_t hi) {
     const std::size_t me = chunk_id.fetch_add(1);
     NearFieldScratch::Chunk& ch = scr.chunks[me];
+    ch.lo = lo;
     ch.phi.assign(p.size(), 0.0);
     Vec3* my_grad = nullptr;
     if (with_gradient) {
@@ -133,11 +144,21 @@ NearFieldResult near_field(const tree::Hierarchy& hier,
   // a previous reuse of the scratch must not enter the reduction.
   const std::size_t used = chunk_id.load();
 
+  // Reduce in box-range order, not ticket-arrival order: which thread claims
+  // which chunk slot varies run to run, and floating-point addition is not
+  // associative — sorting by each chunk's box range makes repeated solves
+  // bitwise-reproducible.
+  std::vector<std::size_t> order(used);
+  for (std::size_t c = 0; c < used; ++c) order[c] = c;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scr.chunks[a].lo < scr.chunks[b].lo;
+  });
+
   // Reduce chunk buffers into the output, parallel over disjoint particle
   // ranges (the serial reduction was O(threads * N) on one core and showed
   // up at large N).
   pool.parallel_chunks(0, p.size(), [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t c = 0; c < used; ++c) {
+    for (const std::size_t c : order) {
       const double* src = scr.chunks[c].phi.data();
       for (std::size_t i = lo; i < hi; ++i) phi[i] += src[i];
       if (with_gradient) {

@@ -20,6 +20,9 @@
 namespace hfmm::core {
 
 using internal::AppMatrix;
+using internal::FmmPlan;
+using internal::SolveWorkspace;
+using internal::TranslationData;
 using internal::UnionOffset;
 
 namespace internal {
@@ -43,44 +46,90 @@ std::vector<UnionOffset> build_union_offsets(int d) {
   return out;
 }
 
-}  // namespace internal
-
-void FmmSolver::Impl::build(const FmmConfig& config) {
-  if (tset) return;
+std::shared_ptr<const TranslationData> TranslationData::build(
+    const FmmConfig& config) {
   WallTimer t;
-  tset = std::make_unique<anderson::TranslationSet>(
+  auto trans = std::make_shared<TranslationData>();
+  trans->tset = std::make_unique<anderson::TranslationSet>(
       config.params, config.separation, config.supernodes);
   for (int o = 0; o < 8; ++o) {
-    t1[o].set(tset->t1(o));
-    t3[o].set(tset->t3(o));
+    trans->t1[o].set(trans->tset->t1(o));
+    trans->t3[o].set(trans->tset->t3(o));
   }
-  union_offsets = internal::build_union_offsets(config.separation);
-  t2.resize(tree::offset_cube_size(config.separation));
-  for (const UnionOffset& u : union_offsets)
-    t2[tree::offset_cube_index(u.o, config.separation)].set(tset->t2(u.o));
+  trans->union_offsets = build_union_offsets(config.separation);
+  trans->t2.resize(tree::offset_cube_size(config.separation));
+  for (const UnionOffset& u : trans->union_offsets)
+    trans->t2[tree::offset_cube_index(u.o, config.separation)].set(
+        trans->tset->t2(u.o));
   if (config.supernodes) {
     for (int o = 0; o < 8; ++o) {
-      const auto& entries = tset->supernode_list(o);
-      supernode[o].resize(entries.size());
+      const auto& entries = trans->tset->supernode_list(o);
+      trans->supernode[o].resize(entries.size());
       for (std::size_t e = 0; e < entries.size(); ++e) {
         if (entries[e].source_level_up == 1)
-          supernode[o][e].set(tset->supernode_t2(o, e));
+          trans->supernode[o][e].set(trans->tset->supernode_t2(o, e));
       }
     }
   }
-  precompute_seconds = t.seconds();
+  trans->build_seconds = t.seconds();
+  return trans;
+}
+
+std::shared_ptr<const FmmPlan> FmmPlan::build(
+    std::shared_ptr<const TranslationData> trans, const FmmConfig& config,
+    int depth) {
+  WallTimer t;
+  auto plan = std::make_shared<FmmPlan>();
+  plan->trans = std::move(trans);
+  plan->depth = depth;
+  plan->k = config.params.k();
+  if (config.supernodes) {
+    plan->supernode_plans.resize(depth + 1);
+    for (int l = 2; l <= depth; ++l)
+      plan->supernode_plans[l] = build_supernode_plan(
+          *plan->trans, config.separation, std::int32_t{1} << l);
+  }
+  plan->near_offsets = tree::near_field_offsets(config.separation);
+  plan->near_half_offsets = tree::near_field_half_offsets(config.separation);
+  plan->build_seconds = t.seconds();
+  return plan;
+}
+
+}  // namespace internal
+
+const TranslationData& FmmSolver::Impl::translation_data(
+    const FmmConfig& config) {
+  if (!trans) trans = TranslationData::build(config);
+  return *trans;
+}
+
+const FmmPlan& FmmSolver::Impl::plan_for(const FmmConfig& config, int depth,
+                                         PhaseBreakdown& breakdown) {
+  if (!plan || plan->depth != depth) {
+    ScopedPhaseTimer timer(breakdown["plan"]);
+    plan = FmmPlan::build(trans, config, depth);
+    breakdown["plan"].allocs += 1;
+  }
+  return *plan;
 }
 
 FmmSolver::FmmSolver(FmmConfig config)
     : config_(std::move(config)), impl_(std::make_unique<Impl>()) {
   config_.validate();
+  // Pool selection happens once here, not per solve: sequential mode owns a
+  // one-thread pool; the parallel modes share the process-global pool.
+  if (config_.mode == ExecutionMode::kSequential) {
+    impl_->seq_pool = std::make_unique<ThreadPool>(1);
+    impl_->pool = impl_->seq_pool.get();
+  } else {
+    impl_->pool = &ThreadPool::global();
+  }
 }
 
 FmmSolver::~FmmSolver() = default;
 
 const anderson::TranslationSet& FmmSolver::translations() {
-  impl_->build(config_);
-  return *impl_->tset;
+  return *impl_->translation_data(config_).tset;
 }
 
 int FmmSolver::depth_for(std::size_t n) const {
@@ -96,26 +145,9 @@ int FmmSolver::depth_for(std::size_t n) const {
   return std::max(2, tree::optimal_depth(n, occupancy));
 }
 
-namespace {
-
-// Box-major level storage: far/local field potential vectors for every box
-// of every level, [level][flat_box * K + i].
-struct LevelStore {
-  std::vector<std::vector<double>> far;
-  std::vector<std::vector<double>> local;
-
-  LevelStore(int depth, std::size_t k) {
-    far.resize(depth + 1);
-    local.resize(depth + 1);
-    for (int l = 0; l <= depth; ++l) {
-      const std::size_t boxes = std::size_t{1} << (3 * l);
-      far[l].assign(boxes * k, 0.0);
-      local[l].assign(boxes * k, 0.0);
-    }
-  }
-};
-
-}  // namespace
+bool FmmSolver::plan_ready(std::size_t n) const {
+  return impl_->plan != nullptr && impl_->plan->depth == depth_for(n);
+}
 
 namespace internal {
 
@@ -159,7 +191,7 @@ constexpr std::int32_t ceil_div2(std::int32_t a) { return floor_div2(a + 1); }
 
 }  // namespace
 
-SupernodeLevelPlan build_supernode_plan(const FmmSolver::Impl& impl,
+SupernodeLevelPlan build_supernode_plan(const TranslationData& trans,
                                         int separation,
                                         std::int32_t n_child) {
   SupernodeLevelPlan plan;
@@ -167,7 +199,7 @@ SupernodeLevelPlan build_supernode_plan(const FmmSolver::Impl& impl,
   for (int octant = 0; octant < 8; ++octant) {
     const std::int32_t ov[3] = {octant & 1, (octant >> 1) & 1,
                                 (octant >> 2) & 1};
-    const auto& entries = impl.tset->supernode_list(octant);
+    const auto& entries = trans.tset->supernode_list(octant);
     for (std::size_t e = 0; e < entries.size(); ++e) {
       const tree::SupernodeEntry& entry = entries[e];
       SupernodePlanEntry pe;
@@ -191,16 +223,16 @@ SupernodeLevelPlan build_supernode_plan(const FmmSolver::Impl& impl,
       }
       if (empty) continue;
       pe.matrix = pe.parent_source
-                      ? &impl.supernode[octant][e]
-                      : &impl.t2[tree::offset_cube_index(entry.offset,
-                                                         separation)];
+                      ? &trans.supernode[octant][e]
+                      : &trans.t2[tree::offset_cube_index(entry.offset,
+                                                          separation)];
       plan.per_octant[octant].push_back(pe);
     }
   }
   return plan;
 }
 
-}  // namespace
+}  // namespace internal
 
 // ---------------------------------------------------------------------------
 // Shared-memory (seq / threads) execution.
@@ -210,15 +242,14 @@ namespace {
 
 struct SharedContext {
   const FmmConfig& config;
-  const FmmSolver::Impl* impl = nullptr;
+  const FmmPlan& plan;
   const tree::Hierarchy& hier;
   const dp::BoxedParticles& boxed;
-  LevelStore& store;
+  SolveWorkspace& ws;
   ThreadPool& pool;
   PhaseBreakdown& breakdown;
-  // Supernode gather plans indexed by level (built at solve setup when
-  // config.supernodes is on; levels < 2 unused).
-  const std::vector<internal::SupernodeLevelPlan>* supernode_plans = nullptr;
+
+  const TranslationData& trans() const { return *plan.trans; }
 };
 
 void run_p2m(SharedContext& ctx) {
@@ -241,7 +272,7 @@ void run_p2m(SharedContext& ctx) {
       anderson::p2m(ctx.config.params, a, ctx.hier.center(h, c),
                     p.x().subspan(b, e - b), p.y().subspan(b, e - b),
                     p.z().subspan(b, e - b), p.q().subspan(b, e - b),
-                    {ctx.store.far[h].data() + f * k, k});
+                    {ctx.ws.far[h].data() + f * k, k});
       local_flops += anderson::p2m_flops(k, e - b);
     }
     flops += local_flops;
@@ -257,13 +288,17 @@ void run_upward(SharedContext& ctx) {
   for (int l = ctx.hier.depth() - 1; l >= 1; --l) {
     const std::int32_t np = ctx.hier.boxes_per_side(l);
     const std::int32_t nc = 2 * np;
-    const double* child = ctx.store.far[l + 1].data();
-    double* parent = ctx.store.far[l].data();
+    const double* child = ctx.ws.far[l + 1].data();
+    double* parent = ctx.ws.far[l].data();
     // Parallel over parent (z, y) rows; each row gathers its 8 child rows.
+    ctx.ws.arena.begin(ctx.pool.size(), ctx.ws.allocs);
     ctx.pool.parallel_chunks(
         0, static_cast<std::size_t>(np) * np, [&](std::size_t lo,
                                                   std::size_t hi) {
-          std::vector<double> scratch(static_cast<std::size_t>(np) * k);
+          internal::ChunkSlot& slot = ctx.ws.arena.claim();
+          internal::grow(slot.a, static_cast<std::size_t>(np) * k,
+                         ctx.ws.allocs);
+          double* scratch = slot.a.data();
           std::uint64_t local_flops = 0;
           for (std::size_t zy = lo; zy < hi; ++zy) {
             const std::int32_t pz = static_cast<std::int32_t>(zy / np);
@@ -278,11 +313,11 @@ void run_upward(SharedContext& ctx) {
               const double* crow =
                   child + (static_cast<std::size_t>(cz) * nc + cy) * nc * k;
               for (std::int32_t px = 0; px < np; ++px)
-                std::memcpy(scratch.data() + px * k,
+                std::memcpy(scratch + px * k,
                             crow + (static_cast<std::size_t>(2 * px + cx0)) * k,
                             k * sizeof(double));
-              apply_rows(ctx.impl->t1[o], scratch.data(), prow, np,
-                         ctx.config.aggregation, 8, local_flops);
+              internal::apply_rows(ctx.trans().t1[o], scratch, prow, np,
+                                   ctx.config.aggregation, 8, local_flops);
             }
           }
           flops += local_flops;
@@ -301,9 +336,12 @@ void run_interactive_level(SharedContext& ctx, int l) {
   const std::int32_t n = ctx.hier.boxes_per_side(l);
   const std::int32_t np = n + 2 * r;
 
-  // Build the padded source grid.
-  std::vector<double> pad(static_cast<std::size_t>(np) * np * np * k, 0.0);
-  const double* far = ctx.store.far[l].data();
+  // Build the padded source grid (workspace buffer, grown once).
+  internal::grow(ctx.ws.pad, static_cast<std::size_t>(np) * np * np * k,
+                 ctx.ws.allocs);
+  std::vector<double>& pad = ctx.ws.pad;
+  std::fill(pad.begin(), pad.end(), 0.0);
+  const double* far = ctx.ws.far[l].data();
   ctx.pool.parallel_for(0, static_cast<std::size_t>(n), [&](std::size_t z) {
     for (std::int32_t y = 0; y < n; ++y)
       std::memcpy(pad.data() +
@@ -314,20 +352,26 @@ void run_interactive_level(SharedContext& ctx, int l) {
                   static_cast<std::size_t>(n) * k * sizeof(double));
   });
 
-  double* local = ctx.store.local[l].data();
+  double* local = ctx.ws.local[l].data();
   std::atomic<std::uint64_t> flops{0};
   std::atomic<std::uint64_t> copy_bytes{0};
 
   // Parallel over target z slabs; every offset applied per slab.
+  ctx.ws.arena.begin(ctx.pool.size(), ctx.ws.allocs);
   ctx.pool.parallel_chunks(0, static_cast<std::size_t>(n), [&](std::size_t lo,
                                                                std::size_t hi) {
-    std::vector<double> src_slab(static_cast<std::size_t>(n) * n * k);
-    std::vector<double> dst_strip(static_cast<std::size_t>(n) * k);
+    internal::ChunkSlot& slot = ctx.ws.arena.claim();
+    internal::grow(slot.a, static_cast<std::size_t>(n) * n * k, ctx.ws.allocs);
+    internal::grow(slot.b, static_cast<std::size_t>(n) * k, ctx.ws.allocs);
+    internal::grow(slot.c, static_cast<std::size_t>(n) * k, ctx.ws.allocs);
+    double* src_slab = slot.a.data();
+    double* dst_strip = slot.b.data();
+    double* out_strip = slot.c.data();
     std::uint64_t local_flops = 0, local_copy = 0;
     for (std::size_t z = lo; z < hi; ++z) {
-      for (const UnionOffset& u : ctx.impl->union_offsets) {
+      for (const UnionOffset& u : ctx.trans().union_offsets) {
         const AppMatrix& m =
-            ctx.impl->t2[tree::offset_cube_index(u.o, d)];
+            ctx.trans().t2[tree::offset_cube_index(u.o, d)];
         const std::size_t sz = z + r + u.o.dz;
         if (u.all_parities) {
           switch (ctx.config.aggregation) {
@@ -337,16 +381,16 @@ void run_interactive_level(SharedContext& ctx, int l) {
               // shape (n^2) x K x K.
               for (std::int32_t y = 0; y < n; ++y)
                 std::memcpy(
-                    src_slab.data() + static_cast<std::size_t>(y) * n * k,
+                    src_slab + static_cast<std::size_t>(y) * n * k,
                     pad.data() + ((sz * np + (y + r + u.o.dy)) * np + r +
                                   u.o.dx) *
                                      k,
                     static_cast<std::size_t>(n) * k * sizeof(double));
               local_copy += static_cast<std::size_t>(n) * n * k * 8;
-              apply_rows(m, src_slab.data(),
-                         local + static_cast<std::size_t>(z) * n * n * k,
-                         static_cast<std::size_t>(n) * n,
-                         AggregationMode::kGemm, 0, local_flops);
+              internal::apply_rows(
+                  m, src_slab, local + static_cast<std::size_t>(z) * n * n * k,
+                  static_cast<std::size_t>(n) * n, AggregationMode::kGemm, 0,
+                  local_flops);
               break;
             }
             case AggregationMode::kGemmBatch: {
@@ -390,7 +434,7 @@ void run_interactive_level(SharedContext& ctx, int l) {
             const std::int32_t xstep = (u.valid_parity[0] == 3) ? 1 : 2;
             std::size_t cnt = 0;
             for (std::int32_t x = x0; x < n; x += xstep) {
-              std::memcpy(dst_strip.data() + cnt * k,
+              std::memcpy(dst_strip + cnt * k,
                           pad.data() + ((sz * np + (y + r + u.o.dy)) * np +
                                         (x + r + u.o.dx)) *
                                            k,
@@ -399,9 +443,9 @@ void run_interactive_level(SharedContext& ctx, int l) {
             }
             local_copy += cnt * k * 8;
             // Multiply into a scratch strip, then scatter-accumulate.
-            std::vector<double> out(cnt * k, 0.0);
-            blas::gemm(dst_strip.data(), k, m.tt.data(), k, out.data(), k,
-                       cnt, k, k, false);
+            std::fill(out_strip, out_strip + cnt * k, 0.0);
+            blas::gemm(dst_strip, k, m.tt.data(), k, out_strip, k, cnt, k, k,
+                       false);
             local_flops += blas::gemm_flops(cnt, k, k);
             std::size_t w = 0;
             for (std::int32_t x = x0; x < n; x += xstep) {
@@ -409,7 +453,7 @@ void run_interactive_level(SharedContext& ctx, int l) {
                                          n +
                                      x) *
                                         k;
-              for (std::size_t i = 0; i < k; ++i) dst[i] += out[w * k + i];
+              for (std::size_t i = 0; i < k; ++i) dst[i] += out_strip[w * k + i];
               ++w;
             }
           }
@@ -437,10 +481,10 @@ void run_interactive_level_supernodes(SharedContext& ctx, int l) {
   const std::size_t k = ctx.config.params.k();
   const std::int32_t n = ctx.hier.boxes_per_side(l);
   const std::int32_t np = ctx.hier.boxes_per_side(l - 1);
-  const internal::SupernodeLevelPlan& plan = (*ctx.supernode_plans)[l];
-  const double* far = ctx.store.far[l].data();
-  const double* far_parent = ctx.store.far[l - 1].data();
-  double* local = ctx.store.local[l].data();
+  const internal::SupernodeLevelPlan& plan = ctx.plan.supernode_plans[l];
+  const double* far = ctx.ws.far[l].data();
+  const double* far_parent = ctx.ws.far[l - 1].data();
+  double* local = ctx.ws.local[l].data();
   const AggregationMode mode = ctx.config.aggregation;
   std::atomic<std::uint64_t> flops{0};
   std::atomic<std::uint64_t> moved{0};
@@ -448,10 +492,11 @@ void run_interactive_level_supernodes(SharedContext& ctx, int l) {
   // Work units are (octant, parent z slice): targets of distinct units are
   // disjoint (octants differ in child parity, slices in child z), so chunks
   // write race-free.
+  ctx.ws.arena.begin(ctx.pool.size(), ctx.ws.allocs);
   ctx.pool.parallel_chunks(
       0, static_cast<std::size_t>(8) * np, [&](std::size_t ulo,
                                                std::size_t uhi) {
-        std::vector<double> slab, out;
+        internal::ChunkSlot& slot = ctx.ws.arena.claim();
         std::uint64_t local_flops = 0, local_moved = 0;
         for (std::size_t u = ulo; u < uhi; ++u) {
           const int octant = static_cast<int>(u / np);
@@ -507,9 +552,11 @@ void run_interactive_level_supernodes(SharedContext& ctx, int l) {
                 // one GEMM, scatter-accumulate back (Section 3.4 copy cost).
                 const std::size_t rows =
                     static_cast<std::size_t>(xlen) * ylen;
-                slab.resize(rows * k);
-                out.resize(rows * k);
-                double* w = slab.data();
+                internal::grow(slot.a, rows * k, ctx.ws.allocs);
+                internal::grow(slot.b, rows * k, ctx.ws.allocs);
+                double* slab = slot.a.data();
+                double* out = slot.b.data();
+                double* w = slab;
                 for (std::int32_t py = ylo; py < ylo + ylen; ++py) {
                   const double* src = src_row(py);
                   if (src_xstride == k) {
@@ -522,9 +569,10 @@ void run_interactive_level_supernodes(SharedContext& ctx, int l) {
                                   k * sizeof(double));
                   }
                 }
-                blas::gemm(slab.data(), k, m.tt.data(), k, out.data(), k,
-                           rows, k, k, false);
-                const double* r = out.data();
+                std::fill(out, out + rows * k, 0.0);
+                blas::gemm(slab, k, m.tt.data(), k, out, k, rows, k, k,
+                           false);
+                const double* r = out;
                 for (std::int32_t py = ylo; py < ylo + ylen; ++py) {
                   double* dst = dst_row(py);
                   for (std::int32_t i = 0; i < xlen; ++i, r += k) {
@@ -569,13 +617,17 @@ void run_downward(SharedContext& ctx) {
       ScopedPhaseTimer timer(ph);
       const std::int32_t np = ctx.hier.boxes_per_side(l - 1);
       const std::int32_t nc = 2 * np;
-      const double* parent = ctx.store.local[l - 1].data();
-      double* child = ctx.store.local[l].data();
+      const double* parent = ctx.ws.local[l - 1].data();
+      double* child = ctx.ws.local[l].data();
       std::atomic<std::uint64_t> flops{0};
+      ctx.ws.arena.begin(ctx.pool.size(), ctx.ws.allocs);
       ctx.pool.parallel_chunks(
           0, static_cast<std::size_t>(np) * np, [&](std::size_t lo,
                                                     std::size_t hi) {
-            std::vector<double> scratch(static_cast<std::size_t>(np) * k);
+            internal::ChunkSlot& slot = ctx.ws.arena.claim();
+            internal::grow(slot.a, static_cast<std::size_t>(np) * k,
+                           ctx.ws.allocs);
+            double* scratch = slot.a.data();
             std::uint64_t local_flops = 0;
             for (std::size_t zy = lo; zy < hi; ++zy) {
               const std::int32_t pz = static_cast<std::int32_t>(zy / np);
@@ -586,15 +638,16 @@ void run_downward(SharedContext& ctx) {
                 const std::int32_t cz = 2 * pz + ((o >> 2) & 1);
                 const std::int32_t cy = 2 * py + ((o >> 1) & 1);
                 const std::int32_t cx0 = o & 1;
-                std::fill(scratch.begin(), scratch.end(), 0.0);
-                apply_rows(ctx.impl->t3[o], prow, scratch.data(), np,
-                           ctx.config.aggregation, 8, local_flops);
+                std::fill(scratch, scratch + static_cast<std::size_t>(np) * k,
+                          0.0);
+                internal::apply_rows(ctx.trans().t3[o], prow, scratch, np,
+                                     ctx.config.aggregation, 8, local_flops);
                 double* crow =
                     child + (static_cast<std::size_t>(cz) * nc + cy) * nc * k;
                 for (std::int32_t px = 0; px < np; ++px) {
                   double* dst =
                       crow + static_cast<std::size_t>(2 * px + cx0) * k;
-                  const double* s = scratch.data() + px * k;
+                  const double* s = scratch + px * k;
                   for (std::size_t i = 0; i < k; ++i) dst[i] += s[i];
                 }
               }
@@ -632,7 +685,7 @@ void run_l2p(SharedContext& ctx, std::span<double> phi, std::span<Vec3> grad) {
       const std::uint32_t e = ctx.boxed.box_begin[rank + 1];
       if (b == e) continue;
       const tree::BoxCoord c = ctx.hier.coord_of(h, f);
-      const std::span<const double> g{ctx.store.local[h].data() + f * k, k};
+      const std::span<const double> g{ctx.ws.local[h].data() + f * k, k};
       if (grad.empty()) {
         anderson::l2p(ctx.config.params, a, ctx.hier.center(h, c), g,
                       p.x().subspan(b, e - b), p.y().subspan(b, e - b),
@@ -655,70 +708,71 @@ void run_l2p(SharedContext& ctx, std::span<double> phi, std::span<Vec3> grad) {
 }  // namespace
 
 FmmResult FmmSolver::solve(const ParticleSet& particles) {
-  impl_->build(config_);
   const std::size_t n = particles.size();
   FmmResult result;
   result.k = config_.params.k();
-  result.breakdown["precompute"].seconds = impl_->precompute_seconds;
-  impl_->precompute_seconds = 0.0;  // charged to the first solve only
+  // Cold-path construction, charged to the solve that triggers it: the
+  // translation set ("precompute", config-wide) and the per-depth plan
+  // ("plan"). Warm solves reuse both and report zero here.
+  {
+    const bool cold_trans = impl_->trans == nullptr;
+    impl_->translation_data(config_);
+    if (cold_trans) {
+      result.breakdown["precompute"].seconds = impl_->trans->build_seconds;
+      result.breakdown["precompute"].allocs += 1;
+    } else {
+      result.breakdown["precompute"];  // phase visible with zeros
+    }
+  }
   if (n == 0) return result;
 
   const int h = depth_for(n);
   result.depth = h;
   result.leaf_boxes = std::size_t{1} << (3 * h);
+  const FmmPlan& plan = impl_->plan_for(config_, h, result.breakdown);
+  result.breakdown["plan"];  // phase visible with zeros on warm solves
+  result.plan_reused = result.breakdown["plan"].allocs == 0;
+
+  // The hierarchy's root cube is the only per-solve geometry (particles
+  // move); it is an O(1) object and all plan structure is expressed in
+  // box-side units, so the plan stays valid across solves.
   const tree::Hierarchy hier(tree::cube_containing(particles.bounds()), h);
 
-  // Thread pool selection: sequential mode uses a one-thread pool.
-  ThreadPool seq_pool(config_.mode == ExecutionMode::kSequential ? 1 : 0);
-  ThreadPool& pool = config_.mode == ExecutionMode::kSequential
-                         ? seq_pool
-                         : ThreadPool::global();
+  SolveWorkspace& ws = impl_->ws;
+  ws.begin_solve();
+  ThreadPool& pool = *impl_->pool;
 
   if (config_.mode == ExecutionMode::kDataParallel)
-    return solve_dp_(particles, hier, result);
+    return solve_dp_(particles, hier, std::move(result));
 
   // Layout with a single VU: the coordinate sort degenerates to grouping by
   // flat box index.
   const dp::MachineConfig one_vu{1, 1, 1};
   const dp::BlockLayout layout(hier.boxes_per_side(h), one_vu);
 
-  dp::BoxedParticles boxed;
   {
     ScopedPhaseTimer timer(result.breakdown["sort"]);
-    boxed = dp::coordinate_sort(particles, hier, layout);
+    dp::coordinate_sort(particles, hier, layout, ws.boxed, &ws.sort_scratch);
   }
 
-  LevelStore store(h, config_.params.k());
-  // Supernode gather plans: per level, the in-bounds source rectangles for
-  // every octant x entry (translation-invariant geometry, so this replaces
-  // the per-box bounds branches of the interactive phase).
-  std::vector<internal::SupernodeLevelPlan> supernode_plans;
-  if (config_.supernodes) {
-    supernode_plans.resize(h + 1);
-    for (int l = 2; l <= h; ++l)
-      supernode_plans[l] = internal::build_supernode_plan(
-          *impl_, config_.separation, hier.boxes_per_side(l));
-  }
-  SharedContext ctx{config_, impl_.get(),      hier, boxed,
-                    store,   pool,             result.breakdown,
-                    &supernode_plans};
+  ws.prepare_levels(h, config_.params.k());
+  ws.prepare_outputs(n, config_.with_gradient);
+
+  SharedContext ctx{config_, plan, hier, ws.boxed, ws, pool,
+                    result.breakdown};
 
   run_p2m(ctx);
   run_upward(ctx);
   run_downward(ctx);
-
-  std::vector<double> phi_sorted(n, 0.0);
-  std::vector<Vec3> grad_sorted;
-  if (config_.with_gradient) grad_sorted.assign(n, Vec3{});
-  run_l2p(ctx, phi_sorted, grad_sorted);
+  run_l2p(ctx, ws.phi_sorted, ws.grad_sorted);
 
   {
     PhaseStats& ph = result.breakdown["near"];
     ScopedPhaseTimer timer(ph);
     const NearFieldResult nf =
-        near_field(hier, boxed, config_.separation, config_.near_symmetry,
-                   phi_sorted, grad_sorted, pool, &impl_->near_scratch,
-                   config_.softening);
+        near_field(hier, ws.boxed, plan.near_list(config_.near_symmetry),
+                   config_.near_symmetry, ws.phi_sorted, ws.grad_sorted, pool,
+                   &ws.near_scratch, config_.softening);
     ph.flops += nf.flops;
   }
 
@@ -726,9 +780,12 @@ FmmResult FmmSolver::solve(const ParticleSet& particles) {
   result.phi.assign(n, 0.0);
   if (config_.with_gradient) result.grad.assign(n, Vec3{});
   for (std::size_t i = 0; i < n; ++i) {
-    result.phi[boxed.perm[i]] = phi_sorted[i];
-    if (config_.with_gradient) result.grad[boxed.perm[i]] = grad_sorted[i];
+    result.phi[ws.boxed.perm[i]] = ws.phi_sorted[i];
+    if (config_.with_gradient) result.grad[ws.boxed.perm[i]] = ws.grad_sorted[i];
   }
+  result.breakdown["workspace"].allocs +=
+      ws.allocs.load(std::memory_order_relaxed);
+  result.workspace_allocs = result.breakdown["workspace"].allocs;
   return result;
 }
 

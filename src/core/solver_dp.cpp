@@ -61,7 +61,10 @@ void mask_halo(dp::Machine& machine, dp::HaloGrid& halo) {
 
 FmmResult FmmSolver::solve_dp_(const ParticleSet& particles,
                                const tree::Hierarchy& hier, FmmResult result) {
-  impl_->build(config_);
+  // solve() has already materialized the shared plan layers.
+  const internal::TranslationData& trans = *impl_->trans;
+  const internal::FmmPlan& plan = *impl_->plan;
+  internal::SolveWorkspace& ws = impl_->ws;
   const anderson::Params& params = config_.params;
   const std::size_t k = params.k();
   const std::size_t n = particles.size();
@@ -78,10 +81,11 @@ FmmResult FmmSolver::solve_dp_(const ParticleSet& particles,
 
   // --- Coordinate sort (Section 3.2). With >= 1 leaf box per VU the sorted
   // 1-D order is already VU-aligned; any residual misplacement is counted.
-  dp::BoxedParticles boxed;
+  dp::BoxedParticles& boxed = ws.boxed;
   {
     ScopedPhaseTimer timer(result.breakdown["sort"]);
-    boxed = dp::coordinate_sort(particles, hier, leaf_layout);
+    dp::coordinate_sort(particles, hier, leaf_layout, boxed,
+                        &ws.sort_scratch);
     const dp::SortLocality loc = dp::measure_locality(boxed, hier, leaf_layout);
     machine.stats().off_vu_bytes += loc.off_vu_bytes;
     result.breakdown["sort"].comm_bytes += loc.off_vu_bytes;
@@ -139,7 +143,7 @@ FmmResult FmmSolver::solve_dp_(const ParticleSet& particles,
               double* dst = temp_parent.at(vu, lx, ly, lz).data();
               for (int o = 0; o < 8; ++o) {
                 const tree::BoxCoord cc = tree::Hierarchy::child_of(pc, o);
-                blas::gemv(impl_->t1[o].t, k,
+                blas::gemv(trans.t1[o].t, k,
                            temp_child.at_global(cc).data(), dst, k, k, true);
               }
             }
@@ -189,7 +193,7 @@ FmmResult FmmSolver::solve_dp_(const ParticleSet& particles,
                     level_layout.global_of({vu, lx, ly, lz});
                 const int o = tree::Hierarchy::octant_of(c);
                 blas::gemv(
-                    impl_->t3[o].t, k,
+                    trans.t3[o].t, k,
                     local_parent.at_global(tree::Hierarchy::parent_of(c))
                         .data(),
                     temp_local.at(vu, lx, ly, lz).data(), k, k, true);
@@ -231,7 +235,7 @@ FmmResult FmmSolver::solve_dp_(const ParticleSet& particles,
                   double* dst = temp_local.at(vu, lx, ly, lz).data();
                   for (const auto& off : tree::interactive_offsets(oct, d)) {
                     const AppMatrix& m =
-                        impl_->t2[tree::offset_cube_index(off, d)];
+                        trans.t2[tree::offset_cube_index(off, d)];
                     blas::gemv(m.t, k,
                                halo.at(vu, lx + ghost + off.dx,
                                        ly + ghost + off.dy,
@@ -258,7 +262,7 @@ FmmResult FmmSolver::solve_dp_(const ParticleSet& particles,
                         s.iz < 0 || s.iz >= nl)
                       continue;
                     const AppMatrix& m =
-                        impl_->t2[tree::offset_cube_index(off, d)];
+                        trans.t2[tree::offset_cube_index(off, d)];
                     blas::gemv(m.t, k, temp_far.at_global(s).data(), dst, k,
                                k, true);
                   }
@@ -293,9 +297,9 @@ FmmResult FmmSolver::solve_dp_(const ParticleSet& particles,
   }
 
   // --- L2P: leaf local field at the particles (VU-aligned, no comm).
-  std::vector<double> phi_sorted(n, 0.0);
-  std::vector<Vec3> grad_sorted;
-  if (config_.with_gradient) grad_sorted.assign(n, Vec3{});
+  ws.prepare_outputs(n, config_.with_gradient);
+  std::vector<double>& phi_sorted = ws.phi_sorted;
+  std::vector<Vec3>& grad_sorted = ws.grad_sorted;
   {
     PhaseStats& ph = result.breakdown["l2p"];
     ScopedPhaseTimer timer(ph);
@@ -336,14 +340,12 @@ FmmResult FmmSolver::solve_dp_(const ParticleSet& particles,
   {
     PhaseStats& ph = result.breakdown["near"];
     ScopedPhaseTimer timer(ph);
-    const NearFieldResult nf =
-        near_field(hier, boxed, d, config_.near_symmetry, phi_sorted,
-                   grad_sorted, ThreadPool::global(), &impl_->near_scratch,
-                   config_.softening);
+    const NearFieldResult nf = near_field(
+        hier, boxed, plan.near_list(config_.near_symmetry),
+        config_.near_symmetry, phi_sorted, grad_sorted, *impl_->pool,
+        &ws.near_scratch, config_.softening);
     ph.flops += nf.flops;
-    const auto offsets = config_.near_symmetry
-                             ? tree::near_field_half_offsets(d)
-                             : tree::near_field_offsets(d);
+    const auto offsets = plan.near_list(config_.near_symmetry);
     std::uint64_t off_bytes = 0, msgs = 0;
     for (std::size_t f = 0; f < hier.boxes_at(h); ++f) {
       const tree::BoxCoord c = hier.coord_of(h, f);
@@ -376,6 +378,9 @@ FmmResult FmmSolver::solve_dp_(const ParticleSet& particles,
     result.phi[boxed.perm[i]] = phi_sorted[i];
     if (config_.with_gradient) result.grad[boxed.perm[i]] = grad_sorted[i];
   }
+  result.breakdown["workspace"].allocs +=
+      ws.allocs.load(std::memory_order_relaxed);
+  result.workspace_allocs = result.breakdown["workspace"].allocs;
   return result;
 }
 

@@ -1,16 +1,31 @@
 #pragma once
 // Internal machinery shared by the shared-memory executor (solver.cpp) and
 // the data-parallel executor (solver_dp.cpp). Not installed.
+//
+// The solve path is layered into (DESIGN.md Section 11):
+//   * TranslationData — translation matrices in application-ready form,
+//     position- and depth-independent, built once per config;
+//   * FmmPlan — the immutable per-(config, depth) solve plan: supernode
+//     gather plans per level, near-field interaction lists, level-store
+//     shapes. Shared by reference across all three execution modes and
+//     across solve() calls;
+//   * SolveWorkspace — every mutable buffer a solve touches (sorted
+//     particles, far/local level stores, per-chunk scratch arenas,
+//     near-field scratch), reused across solve() calls so a warm solve
+//     performs no plan construction and ~zero heap growth.
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "hfmm/anderson/translations.hpp"
 #include "hfmm/blas/blas.hpp"
 #include "hfmm/core/near_field.hpp"
 #include "hfmm/core/solver.hpp"
+#include "hfmm/dp/sort.hpp"
 #include "hfmm/tree/interaction_lists.hpp"
 
 namespace hfmm::core::internal {
@@ -49,6 +64,25 @@ void apply_rows(const AppMatrix& m, const double* src, double* dst,
                 std::size_t nb, AggregationMode mode, std::size_t batch_slab,
                 std::uint64_t& flops);
 
+// ---------------------------------------------------------------------------
+// TranslationData: the position-independent translation machinery — built
+// once per config, shared (by shared_ptr) by every FmmPlan depth.
+// ---------------------------------------------------------------------------
+
+struct TranslationData {
+  std::unique_ptr<anderson::TranslationSet> tset;
+  std::array<AppMatrix, 8> t1, t3;
+  // T2 application matrices by offset-cube index (built for union offsets).
+  std::vector<AppMatrix> t2;
+  std::vector<UnionOffset> union_offsets;
+  // Supernode application matrices per octant, aligned with
+  // tset->supernode_list(octant).
+  std::array<std::vector<AppMatrix>, 8> supernode;
+  double build_seconds = 0.0;
+
+  static std::shared_ptr<const TranslationData> build(const FmmConfig& config);
+};
+
 // Gather plan for the supernode interactive phase (paper Section 2.3) at one
 // level. The geometry is translation-invariant, so for a fixed octant and
 // supernode entry the set of parent boxes whose child target AND source are
@@ -69,28 +103,148 @@ struct SupernodeLevelPlan {
 };
 
 // Builds the plan for a level with `n_child` boxes per side (>= 4).
-SupernodeLevelPlan build_supernode_plan(const FmmSolver::Impl& impl,
-                                        int separation,
-                                        std::int32_t n_child);
+SupernodeLevelPlan build_supernode_plan(const TranslationData& trans,
+                                        int separation, std::int32_t n_child);
+
+// ---------------------------------------------------------------------------
+// FmmPlan: the immutable per-(config, depth) solve plan. Everything in here
+// is position-independent structure (paper Sections 2.3, 3.3.4): the
+// translation set, the per-level supernode gather plans, and the near-field
+// interaction lists. The hierarchy's root cube is the only geometry derived
+// per solve (particles move), and it is an O(1) object — translation
+// matrices are expressed in box-side units, so they are scale-invariant.
+// ---------------------------------------------------------------------------
+
+struct FmmPlan {
+  std::shared_ptr<const TranslationData> trans;
+  int depth = 0;
+  std::size_t k = 0;
+  // Supernode gather plans indexed by level (empty when supernodes are off;
+  // levels < 2 unused).
+  std::vector<SupernodeLevelPlan> supernode_plans;
+  // Near-field interaction lists (full and the Newton-3rd-law half list).
+  std::vector<tree::Offset> near_offsets;
+  std::vector<tree::Offset> near_half_offsets;
+  double build_seconds = 0.0;
+
+  std::span<const tree::Offset> near_list(bool symmetric) const {
+    return symmetric ? std::span<const tree::Offset>(near_half_offsets)
+                     : std::span<const tree::Offset>(near_offsets);
+  }
+
+  static std::shared_ptr<const FmmPlan> build(
+      std::shared_ptr<const TranslationData> trans, const FmmConfig& config,
+      int depth);
+};
+
+// ---------------------------------------------------------------------------
+// SolveWorkspace: every mutable buffer of a solve, reused across calls.
+// ---------------------------------------------------------------------------
+
+// Grows `v` to `n` elements, counting a heap-growth event when the current
+// capacity does not cover the request (the warm-solve allocation counter).
+template <typename T>
+void grow(std::vector<T>& v, std::size_t n,
+          std::atomic<std::uint64_t>& allocs) {
+  if (v.capacity() < n) allocs.fetch_add(1, std::memory_order_relaxed);
+  v.resize(n);
+}
+
+// Per-chunk scratch slots for parallel_chunks bodies: each chunk claims a
+// slot on entry (atomic ticket, same scheme as NearFieldScratch) and gets
+// stable vectors that persist across parallel regions and solve() calls —
+// this hoists the per-task `std::vector<double> scratch` heap allocations
+// out of the upward/downward/interactive lambdas.
+struct ChunkSlot {
+  std::vector<double> a, b, c;
+};
+
+class ChunkArena {
+ public:
+  // Call before each parallel region (never concurrently with claim()).
+  void begin(std::size_t chunks, std::atomic<std::uint64_t>& allocs) {
+    if (slots_.size() < chunks) {
+      allocs.fetch_add(1, std::memory_order_relaxed);
+      slots_.resize(chunks);
+    }
+    next_.store(0, std::memory_order_relaxed);
+  }
+  ChunkSlot& claim() { return slots_[next_.fetch_add(1)]; }
+
+ private:
+  std::vector<ChunkSlot> slots_;
+  std::atomic<std::size_t> next_{0};
+};
+
+struct SolveWorkspace {
+  // Box-major level stores: far/local potential vectors for every box of
+  // every level, [level][flat_box * K + i]. Grown once, zeroed per solve.
+  std::vector<std::vector<double>> far, local;
+  // Sorted particle buffers (coordinate-sort output, reused in place).
+  dp::BoxedParticles boxed;
+  dp::SortScratch sort_scratch;
+  // Per-particle results in sorted order.
+  std::vector<double> phi_sorted;
+  std::vector<Vec3> grad_sorted;
+  // Near-field per-chunk accumulation buffers.
+  NearFieldScratch near_scratch;
+  // Per-chunk scratch for the translation phases.
+  ChunkArena arena;
+  // Zero-padded far-field copy for the non-supernode interactive phase.
+  std::vector<double> pad;
+  // Heap-growth events since begin_solve() (reported as workspace allocs).
+  std::atomic<std::uint64_t> allocs{0};
+
+  void begin_solve() { allocs.store(0, std::memory_order_relaxed); }
+
+  // Grows the level stores to (depth, k) and zeroes levels 0..depth.
+  void prepare_levels(int depth, std::size_t k) {
+    if (far.size() < static_cast<std::size_t>(depth) + 1) {
+      allocs.fetch_add(1, std::memory_order_relaxed);
+      far.resize(depth + 1);
+      local.resize(depth + 1);
+    }
+    for (int l = 0; l <= depth; ++l) {
+      const std::size_t boxes = std::size_t{1} << (3 * l);
+      grow(far[l], boxes * k, allocs);
+      grow(local[l], boxes * k, allocs);
+      std::fill(far[l].begin(), far[l].end(), 0.0);
+      std::fill(local[l].begin(), local[l].end(), 0.0);
+    }
+  }
+
+  void prepare_outputs(std::size_t n, bool with_gradient) {
+    grow(phi_sorted, n, allocs);
+    std::fill(phi_sorted.begin(), phi_sorted.end(), 0.0);
+    if (with_gradient) {
+      grow(grad_sorted, n, allocs);
+      std::fill(grad_sorted.begin(), grad_sorted.end(), Vec3{});
+    } else {
+      grad_sorted.clear();
+    }
+  }
+};
 
 }  // namespace hfmm::core::internal
 
 namespace hfmm::core {
 
 struct FmmSolver::Impl {
-  std::unique_ptr<anderson::TranslationSet> tset;
-  std::array<internal::AppMatrix, 8> t1, t3;
-  // T2 application matrices by offset-cube index (built for union offsets).
-  std::vector<internal::AppMatrix> t2;
-  std::vector<internal::UnionOffset> union_offsets;
-  // Supernode application matrices per octant, aligned with
-  // tset->supernode_list(octant).
-  std::array<std::vector<internal::AppMatrix>, 8> supernode;
-  // Near-field workspace, reused across solve() calls (integrator loops).
-  NearFieldScratch near_scratch;
-  double precompute_seconds = 0.0;
+  std::shared_ptr<const internal::TranslationData> trans;
+  std::shared_ptr<const internal::FmmPlan> plan;
+  internal::SolveWorkspace ws;
+  // Sequential mode runs on a private one-thread pool owned by the solver
+  // (selected once at construction, not per solve); the other modes use the
+  // process-global pool.
+  std::unique_ptr<ThreadPool> seq_pool;
+  ThreadPool* pool = nullptr;
 
-  void build(const FmmConfig& config);
+  // Builds (or reuses) the translation data; charged to "precompute".
+  const internal::TranslationData& translation_data(const FmmConfig& config);
+  // Builds (or reuses) the plan for `depth`; build time lands in
+  // `result.breakdown["plan"]` of the solve that triggered it.
+  const internal::FmmPlan& plan_for(const FmmConfig& config, int depth,
+                                    PhaseBreakdown& breakdown);
 };
 
 }  // namespace hfmm::core

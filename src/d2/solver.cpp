@@ -120,11 +120,14 @@ struct Boxed2 {
   ParticleSet2 sorted;
 };
 
-Boxed2 sort_particles(const ParticleSet2& p, const Quadtree& tree) {
+// In-place counting sort into `out`, reusing its buffers (and the caller's
+// key/cursor scratch) so repeated solves pay the allocations once.
+void sort_particles(const ParticleSet2& p, const Quadtree& tree, Boxed2& out,
+                    std::vector<std::uint32_t>& flat,
+                    std::vector<std::uint32_t>& cursor) {
   const std::size_t n = p.size();
   const std::size_t boxes = tree.boxes_at(tree.depth());
-  Boxed2 out;
-  std::vector<std::uint32_t> flat(n);
+  flat.resize(n);
   out.box_begin.assign(boxes + 1, 0);
   for (std::size_t i = 0; i < n; ++i) {
     flat[i] = static_cast<std::uint32_t>(
@@ -134,18 +137,15 @@ Boxed2 sort_particles(const ParticleSet2& p, const Quadtree& tree) {
   for (std::size_t b = 0; b < boxes; ++b)
     out.box_begin[b + 1] += out.box_begin[b];
   out.perm.resize(n);
-  std::vector<std::uint32_t> cursor(out.box_begin.begin(),
-                                    out.box_begin.end() - 1);
-  std::vector<std::uint32_t> inverse(n);
-  for (std::size_t i = 0; i < n; ++i) inverse[cursor[flat[i]]++] = i;
-  out.perm = std::move(inverse);
+  cursor.assign(out.box_begin.begin(), out.box_begin.end() - 1);
+  for (std::size_t i = 0; i < n; ++i)
+    out.perm[cursor[flat[i]]++] = static_cast<std::uint32_t>(i);
   out.sorted.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     out.sorted.x[i] = p.x[out.perm[i]];
     out.sorted.y[i] = p.y[out.perm[i]];
     out.sorted.q[i] = p.q[out.perm[i]];
   }
-  return out;
 }
 
 }  // namespace
@@ -159,6 +159,19 @@ struct FmmSolver2::Impl {
   std::array<std::vector<std::vector<double>>, 4> sn_matrices;
   std::array<std::vector<Offset2>, 4> interactive;
   bool built = false;
+
+  // Pool selected once at construction (the old code built a throwaway
+  // hardware-sized pool inside every solve); sequential mode owns a
+  // one-thread pool, threaded mode shares the process-global one.
+  std::unique_ptr<ThreadPool> seq_pool;
+  ThreadPool* pool = nullptr;
+
+  // Per-solve workspace, reused across solve() calls.
+  Boxed2 boxed;
+  std::vector<std::uint32_t> flat_scratch, cursor_scratch;
+  std::vector<std::vector<double>> far, local;
+  std::vector<double> phi_sorted;
+  std::vector<Point2> grad_sorted;
 
   void build(const Fmm2Config& cfg) {
     if (built) return;
@@ -206,6 +219,12 @@ struct FmmSolver2::Impl {
 FmmSolver2::FmmSolver2(Fmm2Config config)
     : config_(config), impl_(std::make_unique<Impl>()) {
   config_.validate();
+  if (config_.threads) {
+    impl_->pool = &ThreadPool::global();
+  } else {
+    impl_->seq_pool = std::make_unique<ThreadPool>(1);
+    impl_->pool = impl_->seq_pool.get();
+  }
 }
 
 FmmSolver2::~FmmSolver2() = default;
@@ -243,18 +262,25 @@ Fmm2Result FmmSolver2::solve(const ParticleSet2& particles) {
   const Point2 centre{0.5 * (lox + hix), 0.5 * (loy + hiy)};
   const Quadtree tree({centre.x - 0.5 * side, centre.y - 0.5 * side}, side, h);
 
-  ThreadPool local_pool(config_.threads ? 0 : 1);
-  ThreadPool& pool = config_.threads ? ThreadPool::global() : local_pool;
+  ThreadPool& pool = *impl_->pool;
 
-  Boxed2 boxed;
+  Boxed2& boxed = impl_->boxed;
   {
     ScopedPhaseTimer timer(result.breakdown["sort"]);
-    boxed = sort_particles(particles, tree);
+    sort_particles(particles, tree, boxed, impl_->flat_scratch,
+                   impl_->cursor_scratch);
   }
   const ParticleSet2& p = boxed.sorted;
 
   // Level storage: augmented (K+1) vectors per box, Q in the last slot.
-  std::vector<std::vector<double>> far(h + 1), local(h + 1);
+  // Workspace-resident — assign() keeps capacity, so warm solves at the
+  // same depth perform no heap growth here.
+  std::vector<std::vector<double>>& far = impl_->far;
+  std::vector<std::vector<double>>& local = impl_->local;
+  if (far.size() < static_cast<std::size_t>(h) + 1) {
+    far.resize(h + 1);
+    local.resize(h + 1);
+  }
   for (int l = 0; l <= h; ++l) {
     far[l].assign(tree.boxes_at(l) * kp, 0.0);
     local[l].assign(tree.boxes_at(l) * kp, 0.0);
@@ -371,9 +397,13 @@ Fmm2Result FmmSolver2::solve(const ParticleSet2& particles) {
   }
 
   // --- L2P + near field (sorted order), then unsort.
-  std::vector<double> phi(n, 0.0);
-  std::vector<Point2> grad;
-  if (config_.with_gradient) grad.assign(n, Point2{});
+  std::vector<double>& phi = impl_->phi_sorted;
+  std::vector<Point2>& grad = impl_->grad_sorted;
+  phi.assign(n, 0.0);
+  if (config_.with_gradient)
+    grad.assign(n, Point2{});
+  else
+    grad.clear();
   {
     ScopedPhaseTimer timer(result.breakdown["l2p"]);
     const double a = config_.radius_ratio * tree.side_at(h);

@@ -11,65 +11,82 @@ namespace {
 
 // Shared grouping machinery: given a rank (position in the box enumeration
 // order implied by the sort keys) per particle, produce the CSR structure
-// via a stable counting sort.
-BoxedParticles group_by_rank(const ParticleSet& particles,
-                             std::vector<std::uint32_t> rank_of_particle,
-                             std::vector<std::uint32_t> flat_of_particle,
-                             std::vector<std::uint32_t> rank_to_flat) {
+// via a stable counting sort. Writes into `out` reusing its buffers;
+// `out.rank_to_flat` must already hold the rank -> flat map.
+void group_by_rank(const ParticleSet& particles, SortScratch& scratch,
+                   BoxedParticles& out) {
   const std::size_t n = particles.size();
-  const std::size_t boxes = rank_to_flat.size();
+  const std::size_t boxes = out.rank_to_flat.size();
 
-  BoxedParticles out;
   out.box_begin.assign(boxes + 1, 0);
-  for (const std::uint32_t r : rank_of_particle) out.box_begin[r + 1]++;
+  for (const std::uint32_t r : scratch.rank_of) out.box_begin[r + 1]++;
   for (std::size_t b = 0; b < boxes; ++b)
     out.box_begin[b + 1] += out.box_begin[b];
 
-  std::vector<std::uint32_t> perm(n);
-  std::vector<std::uint32_t> cursor(out.box_begin.begin(),
-                                    out.box_begin.end() - 1);
+  out.perm.resize(n);
+  scratch.cursor.assign(out.box_begin.begin(), out.box_begin.end() - 1);
   for (std::size_t i = 0; i < n; ++i)
-    perm[cursor[rank_of_particle[i]]++] = static_cast<std::uint32_t>(i);
+    out.perm[scratch.cursor[scratch.rank_of[i]]++] =
+        static_cast<std::uint32_t>(i);
 
-  out.sorted = particles;
-  out.sorted.permute(perm);
+  // Gather each attribute directly (no intermediate copy + permute).
+  out.sorted.resize(n);
   out.box_of.resize(n);
-  for (std::size_t i = 0; i < n; ++i)
-    out.box_of[i] = flat_of_particle[perm[i]];
-  out.perm = std::move(perm);
+  const std::span<const double> x = particles.x(), y = particles.y(),
+                                z = particles.z(), q = particles.q();
+  const std::span<double> sx = out.sorted.x(), sy = out.sorted.y(),
+                          sz = out.sorted.z(), sq = out.sorted.q();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t s = out.perm[i];
+    sx[i] = x[s];
+    sy[i] = y[s];
+    sz[i] = z[s];
+    sq[i] = q[s];
+    out.box_of[i] = scratch.flat_of[s];
+  }
 
-  out.rank_to_flat = std::move(rank_to_flat);
-  out.flat_to_rank.assign(boxes, 0);
+  out.flat_to_rank.resize(boxes);
   for (std::size_t r = 0; r < boxes; ++r)
     out.flat_to_rank[out.rank_to_flat[r]] = static_cast<std::uint32_t>(r);
-  return out;
 }
 
 }  // namespace
 
-BoxedParticles coordinate_sort(const ParticleSet& particles,
-                               const tree::Hierarchy& hier,
-                               const BlockLayout& layout) {
+void coordinate_sort(const ParticleSet& particles, const tree::Hierarchy& hier,
+                     const BlockLayout& layout, BoxedParticles& out,
+                     SortScratch* scratch) {
   if (layout.boxes_per_side() != hier.boxes_per_side(hier.depth()))
     throw std::invalid_argument("coordinate_sort: layout/hierarchy mismatch");
   const std::size_t n = particles.size();
   const std::size_t boxes = layout.total_boxes();
 
+  SortScratch local;
+  SortScratch& scr = scratch != nullptr ? *scratch : local;
+
   // The coordinate-sort key of a box IS its enumeration rank: VU-address
   // bits above local-address bits yields a dense [0, boxes) integer.
-  std::vector<std::uint32_t> rank_of(n), flat_of(n);
+  scr.rank_of.resize(n);
+  scr.flat_of.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     const tree::BoxCoord c = hier.leaf_of(particles.position(i));
-    rank_of[i] = static_cast<std::uint32_t>(layout.sort_key(c));
-    flat_of[i] = static_cast<std::uint32_t>(hier.flat_index(hier.depth(), c));
+    scr.rank_of[i] = static_cast<std::uint32_t>(layout.sort_key(c));
+    scr.flat_of[i] =
+        static_cast<std::uint32_t>(hier.flat_index(hier.depth(), c));
   }
-  std::vector<std::uint32_t> rank_to_flat(boxes);
+  out.rank_to_flat.resize(boxes);
   for (std::size_t f = 0; f < boxes; ++f) {
     const tree::BoxCoord c = hier.coord_of(hier.depth(), f);
-    rank_to_flat[layout.sort_key(c)] = static_cast<std::uint32_t>(f);
+    out.rank_to_flat[layout.sort_key(c)] = static_cast<std::uint32_t>(f);
   }
-  return group_by_rank(particles, std::move(rank_of), std::move(flat_of),
-                       std::move(rank_to_flat));
+  group_by_rank(particles, scr, out);
+}
+
+BoxedParticles coordinate_sort(const ParticleSet& particles,
+                               const tree::Hierarchy& hier,
+                               const BlockLayout& layout) {
+  BoxedParticles out;
+  coordinate_sort(particles, hier, layout, out);
+  return out;
 }
 
 BoxedParticles morton_sort(const ParticleSet& particles,
@@ -78,21 +95,24 @@ BoxedParticles morton_sort(const ParticleSet& particles,
   const int depth = hier.depth();
   const std::size_t boxes = hier.boxes_at(depth);
 
-  std::vector<std::uint32_t> rank_of(n), flat_of(n);
+  SortScratch scratch;
+  scratch.rank_of.resize(n);
+  scratch.flat_of.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     const tree::BoxCoord c = hier.leaf_of(particles.position(i));
-    rank_of[i] = static_cast<std::uint32_t>(
-        morton_encode(c.ix, c.iy, c.iz));
-    flat_of[i] = static_cast<std::uint32_t>(hier.flat_index(depth, c));
+    scratch.rank_of[i] =
+        static_cast<std::uint32_t>(morton_encode(c.ix, c.iy, c.iz));
+    scratch.flat_of[i] = static_cast<std::uint32_t>(hier.flat_index(depth, c));
   }
-  std::vector<std::uint32_t> rank_to_flat(boxes);
+  BoxedParticles out;
+  out.rank_to_flat.resize(boxes);
   for (std::size_t f = 0; f < boxes; ++f) {
     const tree::BoxCoord c = hier.coord_of(depth, f);
-    rank_to_flat[morton_encode(c.ix, c.iy, c.iz)] =
+    out.rank_to_flat[morton_encode(c.ix, c.iy, c.iz)] =
         static_cast<std::uint32_t>(f);
   }
-  return group_by_rank(particles, std::move(rank_of), std::move(flat_of),
-                       std::move(rank_to_flat));
+  group_by_rank(particles, scratch, out);
+  return out;
 }
 
 SortLocality measure_locality(const BoxedParticles& boxed,

@@ -28,6 +28,12 @@ std::uint64_t PhaseBreakdown::total_bytes_moved() const {
   return b;
 }
 
+std::uint64_t PhaseBreakdown::total_allocs() const {
+  std::uint64_t a = 0;
+  for (const auto& [name, s] : phases_) a += s.allocs;
+  return a;
+}
+
 PhaseBreakdown& PhaseBreakdown::operator+=(const PhaseBreakdown& o) {
   for (const auto& [name, s] : o.phases()) phases_[name] += s;
   return *this;

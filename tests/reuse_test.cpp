@@ -1,0 +1,163 @@
+// Plan/workspace reuse semantics: a solver's first solve builds the
+// translation set, the per-depth plan, and the workspace; subsequent solves
+// with an unchanged configuration must reuse all three — bitwise-identical
+// results, zero plan construction, and zero workspace heap growth.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <tuple>
+
+#include "hfmm/core/integrator.hpp"
+#include "hfmm/core/solver.hpp"
+#include "hfmm/util/particles.hpp"
+
+namespace hfmm::core {
+namespace {
+
+FmmConfig base_config(ExecutionMode mode) {
+  FmmConfig cfg;
+  cfg.depth = 3;
+  cfg.mode = mode;
+  cfg.with_gradient = true;
+  return cfg;
+}
+
+bool bitwise_equal(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+bool bitwise_equal(const std::vector<Vec3>& a, const std::vector<Vec3>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(Vec3)) == 0);
+}
+
+class ReuseModes : public ::testing::TestWithParam<ExecutionMode> {};
+
+TEST_P(ReuseModes, ConsecutiveSolvesBitwiseIdentical) {
+  FmmSolver solver(base_config(GetParam()));
+  const ParticleSet p = make_uniform(1500, Box3{}, 17);
+  const FmmResult first = solver.solve(p);
+  const FmmResult second = solver.solve(p);
+  EXPECT_TRUE(bitwise_equal(first.phi, second.phi));
+  EXPECT_TRUE(bitwise_equal(first.grad, second.grad));
+}
+
+TEST_P(ReuseModes, WarmSolveReusesPlan) {
+  FmmSolver solver(base_config(GetParam()));
+  const ParticleSet p = make_uniform(1000, Box3{}, 23);
+  EXPECT_FALSE(solver.plan_ready(p.size()));
+  const FmmResult cold = solver.solve(p);
+  EXPECT_FALSE(cold.plan_reused);
+  EXPECT_GE(cold.breakdown.phases().at("plan").allocs, 1u);
+  EXPECT_TRUE(solver.plan_ready(p.size()));
+
+  const FmmResult warm = solver.solve(p);
+  EXPECT_TRUE(warm.plan_reused);
+  EXPECT_EQ(warm.breakdown.phases().at("plan").allocs, 0u);
+  EXPECT_EQ(warm.breakdown.phases().at("plan").seconds, 0.0);
+  EXPECT_EQ(warm.breakdown.phases().at("precompute").seconds, 0.0);
+}
+
+TEST_P(ReuseModes, WarmSolveZeroWorkspaceGrowth) {
+  FmmSolver solver(base_config(GetParam()));
+  const ParticleSet p = make_uniform(1500, Box3{}, 31);
+  const FmmResult cold = solver.solve(p);
+  EXPECT_GT(cold.workspace_allocs, 0u);  // the cold solve grows the buffers
+  const FmmResult warm = solver.solve(p);
+  EXPECT_EQ(warm.workspace_allocs, 0u);
+}
+
+TEST_P(ReuseModes, WorkspaceSurvivesChangeInN) {
+  FmmConfig cfg = base_config(GetParam());
+  cfg.depth = -1;  // automatic depth, so N drives plan selection
+  FmmSolver solver(cfg);
+  const ParticleSet small = make_uniform(300, Box3{}, 41);
+  const ParticleSet large = make_uniform(6000, Box3{}, 43);
+  ASSERT_NE(solver.depth_for(small.size()), solver.depth_for(large.size()))
+      << "test needs two N that select different depths";
+
+  const FmmResult first_small = solver.solve(small);
+  const FmmResult first_large = solver.solve(large);  // deeper plan rebuilt
+  EXPECT_FALSE(first_large.plan_reused);
+  const FmmResult second_small = solver.solve(small);  // shallower again
+  EXPECT_FALSE(second_small.plan_reused);
+
+  // Returning to a previously seen N must reproduce the results exactly;
+  // a fresh solver is the oracle.
+  FmmSolver fresh(cfg);
+  const FmmResult oracle = fresh.solve(small);
+  EXPECT_TRUE(bitwise_equal(second_small.phi, oracle.phi));
+  EXPECT_TRUE(bitwise_equal(second_small.grad, oracle.grad));
+
+  // And once the depth stabilizes, warmth returns.
+  const FmmResult warm = solver.solve(small);
+  EXPECT_TRUE(warm.plan_reused);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, ReuseModes,
+                         ::testing::Values(ExecutionMode::kSequential,
+                                           ExecutionMode::kThreads,
+                                           ExecutionMode::kDataParallel),
+                         [](const auto& info) {
+                           std::string s = to_string(info.param);
+                           for (char& c : s)
+                             if (c == '-') c = '_';
+                           return s;
+                         });
+
+// A multi-step integrator run on one (warm) solver must match stepping with
+// a fresh solver per force evaluation to machine precision: the warm path
+// reuses plan and workspace but performs the identical arithmetic.
+TEST(IntegratorReuse, MultiStepMatchesFreshSolverPerStep) {
+  FmmConfig cfg = base_config(ExecutionMode::kThreads);
+  const double dt = 1e-3;
+  const std::size_t n = 800;
+
+  FmmSolver warm_solver(cfg);
+  LeapfrogIntegrator warm(warm_solver, ForceLaw::kGravity, dt);
+  SimulationState ws;
+  ws.particles = make_uniform(n, Box3{}, 7);
+  ws.velocity.assign(n, Vec3{});
+  warm.initialize(ws);
+
+  SimulationState fs;
+  fs.particles = make_uniform(n, Box3{}, 7);
+  fs.velocity.assign(n, Vec3{});
+  {
+    FmmSolver fresh(cfg);
+    LeapfrogIntegrator one_shot(fresh, ForceLaw::kGravity, dt);
+    one_shot.initialize(fs);
+  }
+
+  const int steps = 4;
+  warm.run(ws, steps);
+  for (int s = 0; s < steps; ++s) {
+    // Rebuild the integrator around a brand-new solver each step: every
+    // force evaluation is a cold solve.
+    FmmSolver fresh(cfg);
+    LeapfrogIntegrator one_shot(fresh, ForceLaw::kGravity, dt);
+    // Re-seed its force cache from the current state without advancing.
+    one_shot.initialize(fs);
+    one_shot.step(fs);
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(ws.particles.position(i).x, fs.particles.position(i).x);
+    EXPECT_EQ(ws.particles.position(i).y, fs.particles.position(i).y);
+    EXPECT_EQ(ws.particles.position(i).z, fs.particles.position(i).z);
+    EXPECT_EQ(ws.velocity[i].x, fs.velocity[i].x);
+    EXPECT_EQ(ws.velocity[i].y, fs.velocity[i].y);
+    EXPECT_EQ(ws.velocity[i].z, fs.velocity[i].z);
+  }
+
+  const ForceStats& stats = warm.force_stats();
+  EXPECT_EQ(stats.evaluations, 1u + steps);
+  EXPECT_EQ(stats.warm_evaluations, static_cast<std::uint64_t>(steps));
+}
+
+}  // namespace
+}  // namespace hfmm::core

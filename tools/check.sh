@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-1 check: build + ctest once normally, then once with ASan + UBSan
+# (HFMM_SANITIZE=address,undefined). Run from the repository root:
+#   tools/check.sh [jobs]
+set -euo pipefail
+
+jobs="${1:-$(nproc)}"
+root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$root"
+
+run_suite() {
+  local build_dir="$1"; shift
+  cmake -B "$build_dir" -S . "$@" >/dev/null
+  cmake --build "$build_dir" -j "$jobs"
+  ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+}
+
+echo "== tier-1: plain build =="
+run_suite build
+
+echo "== tier-1: ASan + UBSan build =="
+# halt_on_error so UBSan findings fail the suite instead of just logging.
+export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+run_suite build-sanitize \
+  -DHFMM_SANITIZE=address,undefined \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DHFMM_BUILD_BENCH=OFF -DHFMM_BUILD_EXAMPLES=OFF
+
+echo "== all checks passed =="
