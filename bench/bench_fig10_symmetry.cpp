@@ -10,6 +10,7 @@
 #include "bench_common.hpp"
 #include "hfmm/core/near_field.hpp"
 #include "hfmm/dp/sort.hpp"
+#include "hfmm/tree/interaction_lists.hpp"
 #include "hfmm/util/particles.hpp"
 
 using namespace hfmm;
@@ -38,9 +39,12 @@ int main(int argc, char** argv) {
   std::vector<double> phi_plain, phi_symm;
   for (const bool symmetric : {false, true}) {
     std::vector<double> phi(n, 0.0);
+    const std::vector<tree::Offset> offsets =
+        symmetric ? tree::near_field_half_offsets(2)
+                  : tree::near_field_offsets(2);
     WallTimer t;
     const core::NearFieldResult r =
-        core::near_field(hier, boxed, 2, symmetric, phi, {},
+        core::near_field(hier, boxed, offsets, symmetric, phi, {},
                          ThreadPool::global());
     const double secs = t.seconds();
     if (!symmetric) {

@@ -10,6 +10,18 @@
 // The pairwise arithmetic runs on the dispatched pkern backend (see
 // hfmm/pkern/kernels.hpp); baseline::direct_ranges remains the scalar
 // reference the tests compare against.
+//
+// Two entry levels:
+//   * near_field() — the orchestrator: chunks the leaf boxes over the pool,
+//     runs near_field_chunk() per chunk, reduces with
+//     near_field_accumulate(). Interaction lists come precomputed from the
+//     caller (the solver's FmmPlan), so repeated solves rebuild nothing.
+//   * near_field_chunk() / near_field_accumulate() — the chunk-level worker
+//     and reduction the hfmm::exec phase graph drives directly, so the near
+//     field can run concurrently with the far-field stages and meet them at
+//     the accumulate stage. Chunks write only their own scratch buffers and
+//     the reduction adds chunks in index order (== ascending box ranges),
+//     which keeps threaded solves bitwise-reproducible.
 
 #include <cstdint>
 #include <span>
@@ -29,7 +41,7 @@ struct NearFieldResult {
 };
 
 /// Reusable workspace for near_field(). The per-chunk accumulation buffers
-/// are O(threads x N); owning them at the caller means an integrator
+/// are O(chunks x N); owning them at the caller means an integrator
 /// stepping the same system pays the allocation once, not every step.
 /// Buffers grow on demand and are reset (not shrunk) per call.
 struct NearFieldScratch {
@@ -43,24 +55,36 @@ struct NearFieldScratch {
   std::vector<Chunk> chunks;
 };
 
+/// Evaluates leaf boxes [box_lo, box_hi) into `ch`'s chunk-local buffers
+/// (resized and zeroed here). `offsets` is the precomputed interaction list —
+/// tree::near_field_half_offsets(d) when `symmetric`, else
+/// tree::near_field_offsets(d). Writes nothing outside `ch`; safe to run
+/// concurrently with other chunks and with the far-field stages. The
+/// returned flop count is analytic (pairs x per-pair kernel cost).
+NearFieldResult near_field_chunk(const tree::Hierarchy& hier,
+                                 const dp::BoxedParticles& boxed,
+                                 std::span<const tree::Offset> offsets,
+                                 bool symmetric, bool with_gradient,
+                                 NearFieldScratch::Chunk& ch,
+                                 std::size_t box_lo, std::size_t box_hi,
+                                 double softening = 0.0);
+
+/// Adds chunks [0, used) of `scr` into phi/grad over the particle range
+/// [lo, hi), in chunk-index order. Chunk index == ascending box range when
+/// the chunks came from a static split, so the floating-point accumulation
+/// order is fixed regardless of which thread ran which chunk.
+void near_field_accumulate(const NearFieldScratch& scr, std::size_t used,
+                           bool with_gradient, std::span<double> phi,
+                           std::span<Vec3> grad, std::size_t lo,
+                           std::size_t hi);
+
 /// Accumulates near-field potential (and gradient if `grad` nonempty) into
 /// phi/grad, both indexed in SORTED particle order (boxed.sorted).
 /// `scratch` (when non-null) is reused across calls; pass null for one-shot
 /// use. `softening` is the Plummer softening length applied to the pairwise
 /// kernel (far-field contributions are unsoftened, which is the standard
 /// treecode convention when the softening length is well below the leaf box
-/// side). This overload rebuilds the interaction list per call.
-NearFieldResult near_field(const tree::Hierarchy& hier,
-                           const dp::BoxedParticles& boxed, int separation,
-                           bool symmetric, std::span<double> phi,
-                           std::span<Vec3> grad, ThreadPool& pool,
-                           NearFieldScratch* scratch = nullptr,
-                           double softening = 0.0);
-
-/// Plan-driven overload: `offsets` is the precomputed interaction list —
-/// tree::near_field_half_offsets(d) when `symmetric`, else
-/// tree::near_field_offsets(d) — owned by the caller (the solver's FmmPlan),
-/// so repeated solves rebuild nothing.
+/// side).
 NearFieldResult near_field(const tree::Hierarchy& hier,
                            const dp::BoxedParticles& boxed,
                            std::span<const tree::Offset> offsets,

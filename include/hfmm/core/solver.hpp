@@ -23,6 +23,7 @@
 
 #include "hfmm/anderson/translations.hpp"
 #include "hfmm/core/config.hpp"
+#include "hfmm/exec/graph.hpp"
 #include "hfmm/tree/hierarchy.hpp"
 #include "hfmm/util/particles.hpp"
 #include "hfmm/util/timer.hpp"
@@ -39,6 +40,10 @@ struct FmmResult {
   std::size_t leaf_boxes = 0;
   bool plan_reused = false;  ///< warm solve: no plan construction happened
   std::uint64_t workspace_allocs = 0;  ///< heap-growth events this solve
+  /// Per-stage execution timeline of the solve's phase graph (start/end
+  /// seconds relative to the graph run, chunk split, worker count) — shows
+  /// which stages overlapped in concurrent mode.
+  std::vector<exec::StageTiming> timeline;
 };
 
 class FmmSolver {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "hfmm/d2/tree.hpp"
+#include "hfmm/exec/graph.hpp"
 #include "hfmm/util/thread_pool.hpp"
 #include "hfmm/util/timer.hpp"
 
@@ -56,6 +57,8 @@ struct Fmm2Result {
   std::vector<double> phi;   ///< sum_j q_j log(1/r_ij), original order
   std::vector<Point2> grad;  ///< gradient of phi (if requested)
   PhaseBreakdown breakdown;
+  /// Per-stage wall intervals of the solve's phase graph (insertion order).
+  std::vector<exec::StageTiming> timeline;
   int depth = 0;
 };
 

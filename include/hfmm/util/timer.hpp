@@ -39,6 +39,9 @@ struct PhaseStats {
   std::uint64_t comm_bytes = 0;
   std::uint64_t bytes_moved = 0;
   std::uint64_t allocs = 0;
+  /// Live ScopedPhaseTimer count on this phase (not merged by +=): lets
+  /// nested timers on the same stats count wall time exactly once.
+  int timing_depth = 0;
 
   PhaseStats& operator+=(const PhaseStats& o) {
     seconds += o.seconds;
@@ -77,16 +80,27 @@ class PhaseBreakdown {
 };
 
 /// RAII helper: adds elapsed wall time to `stats.seconds` on destruction.
+/// Nesting-safe: when timers on the SAME PhaseStats nest (a phase helper
+/// that itself opens a phase timer), only the outermost one records its
+/// elapsed time — inner timers would otherwise double-count the same wall
+/// interval. Not for concurrent use on one PhaseStats; concurrent stages
+/// report into per-worker stats that are merged afterwards (hfmm::exec).
 class ScopedPhaseTimer {
  public:
-  explicit ScopedPhaseTimer(PhaseStats& stats) : stats_(stats) {}
-  ~ScopedPhaseTimer() { stats_.seconds += timer_.seconds(); }
+  explicit ScopedPhaseTimer(PhaseStats& stats) : stats_(stats) {
+    outermost_ = stats_.timing_depth++ == 0;
+  }
+  ~ScopedPhaseTimer() {
+    --stats_.timing_depth;
+    if (outermost_) stats_.seconds += timer_.seconds();
+  }
   ScopedPhaseTimer(const ScopedPhaseTimer&) = delete;
   ScopedPhaseTimer& operator=(const ScopedPhaseTimer&) = delete;
 
  private:
   PhaseStats& stats_;
   WallTimer timer_;
+  bool outermost_ = false;
 };
 
 }  // namespace hfmm

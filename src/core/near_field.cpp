@@ -1,7 +1,6 @@
 #include "hfmm/core/near_field.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <vector>
 
 #include "hfmm/baseline/direct.hpp"
@@ -24,28 +23,15 @@ BoxRange range_of(const dp::BoxedParticles& boxed, std::size_t flat) {
 
 }  // namespace
 
-NearFieldResult near_field(const tree::Hierarchy& hier,
-                           const dp::BoxedParticles& boxed, int separation,
-                           bool symmetric, std::span<double> phi,
-                           std::span<Vec3> grad, ThreadPool& pool,
-                           NearFieldScratch* scratch, double softening) {
-  const auto offsets = symmetric
-                           ? tree::near_field_half_offsets(separation)
-                           : tree::near_field_offsets(separation);
-  return near_field(hier, boxed, offsets, symmetric, phi, grad, pool, scratch,
-                    softening);
-}
-
-NearFieldResult near_field(const tree::Hierarchy& hier,
-                           const dp::BoxedParticles& boxed,
-                           std::span<const tree::Offset> offsets,
-                           bool symmetric, std::span<double> phi,
-                           std::span<Vec3> grad, ThreadPool& pool,
-                           NearFieldScratch* scratch, double softening) {
+NearFieldResult near_field_chunk(const tree::Hierarchy& hier,
+                                 const dp::BoxedParticles& boxed,
+                                 std::span<const tree::Offset> offsets,
+                                 bool symmetric, bool with_gradient,
+                                 NearFieldScratch::Chunk& ch,
+                                 std::size_t box_lo, std::size_t box_hi,
+                                 double softening) {
   const int h = hier.depth();
   const std::int32_t n = hier.boxes_per_side(h);
-  const std::size_t boxes = hier.boxes_at(h);
-  const bool with_gradient = !grad.empty();
   const ParticleSet& p = boxed.sorted;
   const double* X = p.x().data();
   const double* Y = p.y().data();
@@ -54,130 +40,141 @@ NearFieldResult near_field(const tree::Hierarchy& hier,
   const double soft2 = softening * softening;
   const pkern::KernelBackend& kern = pkern::active_kernel();
 
-  const std::size_t chunks = pool.size();
-  // Per-chunk accumulation buffers make the symmetric variant race-free
-  // under threads: chunk-local writes, one parallel reduction at the end.
-  // The buffers live in caller-owned scratch (or a local fallback) so
-  // repeated calls — an integrator's timestep loop — reuse the capacity.
-  NearFieldScratch local;
-  NearFieldScratch& scr = scratch != nullptr ? *scratch : local;
-  scr.chunks.resize(chunks);
-  std::vector<NearFieldResult> partial(chunks);
-  std::atomic<std::size_t> chunk_id{0};
+  ch.lo = box_lo;
+  ch.phi.assign(p.size(), 0.0);
+  Vec3* my_grad = nullptr;
+  if (with_gradient) {
+    ch.grad.assign(p.size(), Vec3{});
+    my_grad = ch.grad.data();
+  }
+  NearFieldResult res;
 
-  pool.parallel_chunks(0, boxes, [&](std::size_t lo, std::size_t hi) {
-    const std::size_t me = chunk_id.fetch_add(1);
-    NearFieldScratch::Chunk& ch = scr.chunks[me];
-    ch.lo = lo;
-    ch.phi.assign(p.size(), 0.0);
-    Vec3* my_grad = nullptr;
-    if (with_gradient) {
-      ch.grad.assign(p.size(), Vec3{});
-      my_grad = ch.grad.data();
+  for (std::size_t f = box_lo; f < box_hi; ++f) {
+    const tree::BoxCoord c = hier.coord_of(h, f);
+    const BoxRange tr = range_of(boxed, f);
+    if (tr.count() == 0 && !symmetric) continue;
+
+    // Intra-box interactions (always symmetric-safe: same box).
+    if (tr.count() > 1) {
+      kern.p2p(X, Y, Z, Q, tr.begin, tr.end, tr.begin, tr.end,
+               ch.phi.data() + tr.begin,
+               with_gradient ? my_grad + tr.begin : nullptr, soft2);
+      res.pair_interactions += tr.count() * (tr.count() - 1);
+      ++res.box_interactions;
     }
-    NearFieldResult& res = partial[me];
 
-    for (std::size_t f = lo; f < hi; ++f) {
-      const tree::BoxCoord c = hier.coord_of(h, f);
-      const BoxRange tr = range_of(boxed, f);
-      if (tr.count() == 0 && !symmetric) continue;
-
-      // Intra-box interactions (always symmetric-safe: same box).
-      if (tr.count() > 1) {
-        kern.p2p(X, Y, Z, Q, tr.begin, tr.end, tr.begin, tr.end,
+    for (const tree::Offset& o : offsets) {
+      if (o == tree::Offset{0, 0, 0}) continue;
+      const tree::BoxCoord nb{c.ix + o.dx, c.iy + o.dy, c.iz + o.dz};
+      if (nb.ix < 0 || nb.ix >= n || nb.iy < 0 || nb.iy >= n || nb.iz < 0 ||
+          nb.iz >= n)
+        continue;
+      const BoxRange sr = range_of(boxed, hier.flat_index(h, nb));
+      if (sr.count() == 0 || tr.count() == 0) continue;
+      if (symmetric) {
+        // Both directions in one pass; the paper's Figure 10 trick.
+        const std::size_t tot = tr.count() + sr.count();
+        ch.pair_phi.assign(tot, 0.0);
+        if (with_gradient) {
+          ch.pair_gx.assign(tot, 0.0);
+          ch.pair_gy.assign(tot, 0.0);
+          ch.pair_gz.assign(tot, 0.0);
+        }
+        kern.p2p_symmetric(X, Y, Z, Q, tr.begin, tr.end, sr.begin, sr.end,
+                           ch.pair_phi.data(),
+                           with_gradient ? ch.pair_gx.data() : nullptr,
+                           ch.pair_gy.data(), ch.pair_gz.data(), soft2);
+        for (std::size_t i = 0; i < tr.count(); ++i)
+          ch.phi[tr.begin + i] += ch.pair_phi[i];
+        for (std::size_t j = 0; j < sr.count(); ++j)
+          ch.phi[sr.begin + j] += ch.pair_phi[tr.count() + j];
+        if (with_gradient) {
+          for (std::size_t i = 0; i < tr.count(); ++i) {
+            my_grad[tr.begin + i] +=
+                Vec3{ch.pair_gx[i], ch.pair_gy[i], ch.pair_gz[i]};
+          }
+          for (std::size_t j = 0; j < sr.count(); ++j) {
+            const std::size_t s = tr.count() + j;
+            my_grad[sr.begin + j] +=
+                Vec3{ch.pair_gx[s], ch.pair_gy[s], ch.pair_gz[s]};
+          }
+        }
+        res.pair_interactions += tr.count() * sr.count();
+        ++res.box_interactions;
+      } else {
+        kern.p2p(X, Y, Z, Q, tr.begin, tr.end, sr.begin, sr.end,
                  ch.phi.data() + tr.begin,
                  with_gradient ? my_grad + tr.begin : nullptr, soft2);
-        res.pair_interactions += tr.count() * (tr.count() - 1);
+        res.pair_interactions += tr.count() * sr.count();
         ++res.box_interactions;
       }
-
-      for (const tree::Offset& o : offsets) {
-        if (o == tree::Offset{0, 0, 0}) continue;
-        const tree::BoxCoord nb{c.ix + o.dx, c.iy + o.dy, c.iz + o.dz};
-        if (nb.ix < 0 || nb.ix >= n || nb.iy < 0 || nb.iy >= n || nb.iz < 0 ||
-            nb.iz >= n)
-          continue;
-        const BoxRange sr = range_of(boxed, hier.flat_index(h, nb));
-        if (sr.count() == 0 || tr.count() == 0) continue;
-        if (symmetric) {
-          // Both directions in one pass; the paper's Figure 10 trick.
-          const std::size_t tot = tr.count() + sr.count();
-          ch.pair_phi.assign(tot, 0.0);
-          if (with_gradient) {
-            ch.pair_gx.assign(tot, 0.0);
-            ch.pair_gy.assign(tot, 0.0);
-            ch.pair_gz.assign(tot, 0.0);
-          }
-          kern.p2p_symmetric(X, Y, Z, Q, tr.begin, tr.end, sr.begin, sr.end,
-                             ch.pair_phi.data(),
-                             with_gradient ? ch.pair_gx.data() : nullptr,
-                             ch.pair_gy.data(), ch.pair_gz.data(), soft2);
-          for (std::size_t i = 0; i < tr.count(); ++i)
-            ch.phi[tr.begin + i] += ch.pair_phi[i];
-          for (std::size_t j = 0; j < sr.count(); ++j)
-            ch.phi[sr.begin + j] += ch.pair_phi[tr.count() + j];
-          if (with_gradient) {
-            for (std::size_t i = 0; i < tr.count(); ++i) {
-              my_grad[tr.begin + i] +=
-                  Vec3{ch.pair_gx[i], ch.pair_gy[i], ch.pair_gz[i]};
-            }
-            for (std::size_t j = 0; j < sr.count(); ++j) {
-              const std::size_t s = tr.count() + j;
-              my_grad[sr.begin + j] +=
-                  Vec3{ch.pair_gx[s], ch.pair_gy[s], ch.pair_gz[s]};
-            }
-          }
-          res.pair_interactions += tr.count() * sr.count();
-          ++res.box_interactions;
-        } else {
-          kern.p2p(X, Y, Z, Q, tr.begin, tr.end, sr.begin, sr.end,
-                   ch.phi.data() + tr.begin,
-                   with_gradient ? my_grad + tr.begin : nullptr, soft2);
-          res.pair_interactions += tr.count() * sr.count();
-          ++res.box_interactions;
-        }
-      }
     }
-  });
+  }
 
-  // Only chunks [0, used) were (re)initialized this call; stale buffers from
-  // a previous reuse of the scratch must not enter the reduction.
-  const std::size_t used = chunk_id.load();
+  // Flop count is analytic (pairs x per-pair cost), not measured.
+  const std::uint64_t per_pair =
+      baseline::direct_pair_flops(with_gradient) + (symmetric ? 4 : 0);
+  res.flops = res.pair_interactions * per_pair;
+  return res;
+}
 
-  // Reduce in box-range order, not ticket-arrival order: which thread claims
-  // which chunk slot varies run to run, and floating-point addition is not
-  // associative — sorting by each chunk's box range makes repeated solves
-  // bitwise-reproducible.
-  std::vector<std::size_t> order(used);
-  for (std::size_t c = 0; c < used; ++c) order[c] = c;
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return scr.chunks[a].lo < scr.chunks[b].lo;
+void near_field_accumulate(const NearFieldScratch& scr, std::size_t used,
+                           bool with_gradient, std::span<double> phi,
+                           std::span<Vec3> grad, std::size_t lo,
+                           std::size_t hi) {
+  for (std::size_t c = 0; c < used; ++c) {
+    const double* src = scr.chunks[c].phi.data();
+    for (std::size_t i = lo; i < hi; ++i) phi[i] += src[i];
+    if (with_gradient) {
+      const Vec3* gsrc = scr.chunks[c].grad.data();
+      for (std::size_t i = lo; i < hi; ++i) grad[i] += gsrc[i];
+    }
+  }
+}
+
+NearFieldResult near_field(const tree::Hierarchy& hier,
+                           const dp::BoxedParticles& boxed,
+                           std::span<const tree::Offset> offsets,
+                           bool symmetric, std::span<double> phi,
+                           std::span<Vec3> grad, ThreadPool& pool,
+                           NearFieldScratch* scratch, double softening) {
+  const std::size_t boxes = hier.boxes_at(hier.depth());
+  const bool with_gradient = !grad.empty();
+  const ParticleSet& p = boxed.sorted;
+
+  // Static chunking mirrors ThreadPool::parallel_chunks, so the chunk index
+  // of a range is just lo / step — no atomic ticket, and chunk-index order
+  // is box-range order by construction. The buffers live in caller-owned
+  // scratch (or a local fallback) so repeated calls — an integrator's
+  // timestep loop — reuse the capacity.
+  const std::size_t chunks = std::max<std::size_t>(
+      1, std::min(pool.size(), boxes));
+  const std::size_t step = (boxes + chunks - 1) / chunks;
+  NearFieldScratch local;
+  NearFieldScratch& scr = scratch != nullptr ? *scratch : local;
+  if (scr.chunks.size() < chunks) scr.chunks.resize(chunks);
+  std::vector<NearFieldResult> partial(chunks);
+
+  pool.parallel_chunks(0, boxes, [&](std::size_t lo, std::size_t hi) {
+    const std::size_t me = lo / step;
+    partial[me] = near_field_chunk(hier, boxed, offsets, symmetric,
+                                   with_gradient, scr.chunks[me], lo, hi,
+                                   softening);
   });
 
   // Reduce chunk buffers into the output, parallel over disjoint particle
-  // ranges (the serial reduction was O(threads * N) on one core and showed
+  // ranges (the serial reduction was O(chunks * N) on one core and showed
   // up at large N).
   pool.parallel_chunks(0, p.size(), [&](std::size_t lo, std::size_t hi) {
-    for (const std::size_t c : order) {
-      const double* src = scr.chunks[c].phi.data();
-      for (std::size_t i = lo; i < hi; ++i) phi[i] += src[i];
-      if (with_gradient) {
-        const Vec3* gsrc = scr.chunks[c].grad.data();
-        for (std::size_t i = lo; i < hi; ++i) grad[i] += gsrc[i];
-      }
-    }
+    near_field_accumulate(scr, chunks, with_gradient, phi, grad, lo, hi);
   });
+
   NearFieldResult total;
-  for (std::size_t c = 0; c < used; ++c) {
+  for (std::size_t c = 0; c < chunks; ++c) {
     total.pair_interactions += partial[c].pair_interactions;
     total.box_interactions += partial[c].box_interactions;
+    total.flops += partial[c].flops;
   }
-  // Flop count is analytic (pairs x per-pair cost); the per-chunk flops
-  // fields stay zero and are not summed — summing them here used to be dead
-  // work that this assignment clobbered.
-  const std::uint64_t per_pair =
-      baseline::direct_pair_flops(with_gradient) + (symmetric ? 4 : 0);
-  total.flops = total.pair_interactions * per_pair;
   return total;
 }
 

@@ -235,7 +235,10 @@ SupernodeLevelPlan build_supernode_plan(const TranslationData& trans,
 }  // namespace internal
 
 // ---------------------------------------------------------------------------
-// Shared-memory (seq / threads) execution.
+// Shared-memory (seq / threads) execution: chunked stage bodies driven by
+// the hfmm::exec phase graph. Each body covers [lo, hi) of its stage's
+// range, uses the stage chunk index as its scratch-slot key, and reports
+// flops/bytes into the per-worker PhaseStats the scheduler hands it.
 // ---------------------------------------------------------------------------
 
 namespace {
@@ -244,130 +247,116 @@ struct SharedContext {
   const FmmConfig& config;
   const FmmPlan& plan;
   const tree::Hierarchy& hier;
-  const dp::BoxedParticles& boxed;
   SolveWorkspace& ws;
-  ThreadPool& pool;
-  PhaseBreakdown& breakdown;
 
   const TranslationData& trans() const { return *plan.trans; }
 };
 
-void run_p2m(SharedContext& ctx) {
-  PhaseStats& ph = ctx.breakdown["p2m"];
-  ScopedPhaseTimer timer(ph);
+void p2m_chunk(SharedContext& ctx, std::size_t lo, std::size_t hi,
+               PhaseStats& stats) {
   const int h = ctx.hier.depth();
   const std::size_t k = ctx.config.params.k();
   const double a = ctx.config.params.outer_ratio * ctx.hier.side_at(h);
-  const ParticleSet& p = ctx.boxed.sorted;
-  std::atomic<std::uint64_t> flops{0};
-  ctx.pool.parallel_chunks(0, ctx.hier.boxes_at(h), [&](std::size_t lo,
-                                                        std::size_t hi) {
-    std::uint64_t local_flops = 0;
-    for (std::size_t f = lo; f < hi; ++f) {
-      const std::uint32_t rank = ctx.boxed.flat_to_rank[f];
-      const std::uint32_t b = ctx.boxed.box_begin[rank];
-      const std::uint32_t e = ctx.boxed.box_begin[rank + 1];
-      if (b == e) continue;
-      const tree::BoxCoord c = ctx.hier.coord_of(h, f);
-      anderson::p2m(ctx.config.params, a, ctx.hier.center(h, c),
-                    p.x().subspan(b, e - b), p.y().subspan(b, e - b),
-                    p.z().subspan(b, e - b), p.q().subspan(b, e - b),
-                    {ctx.ws.far[h].data() + f * k, k});
-      local_flops += anderson::p2m_flops(k, e - b);
-    }
-    flops += local_flops;
-  });
-  ph.flops += flops.load();
-}
-
-void run_upward(SharedContext& ctx) {
-  PhaseStats& ph = ctx.breakdown["upward"];
-  ScopedPhaseTimer timer(ph);
-  const std::size_t k = ctx.config.params.k();
-  std::atomic<std::uint64_t> flops{0};
-  for (int l = ctx.hier.depth() - 1; l >= 1; --l) {
-    const std::int32_t np = ctx.hier.boxes_per_side(l);
-    const std::int32_t nc = 2 * np;
-    const double* child = ctx.ws.far[l + 1].data();
-    double* parent = ctx.ws.far[l].data();
-    // Parallel over parent (z, y) rows; each row gathers its 8 child rows.
-    ctx.ws.arena.begin(ctx.pool.size(), ctx.ws.allocs);
-    ctx.pool.parallel_chunks(
-        0, static_cast<std::size_t>(np) * np, [&](std::size_t lo,
-                                                  std::size_t hi) {
-          internal::ChunkSlot& slot = ctx.ws.arena.claim();
-          internal::grow(slot.a, static_cast<std::size_t>(np) * k,
-                         ctx.ws.allocs);
-          double* scratch = slot.a.data();
-          std::uint64_t local_flops = 0;
-          for (std::size_t zy = lo; zy < hi; ++zy) {
-            const std::int32_t pz = static_cast<std::int32_t>(zy / np);
-            const std::int32_t py = static_cast<std::int32_t>(zy % np);
-            double* prow =
-                parent + (static_cast<std::size_t>(pz) * np + py) * np * k;
-            for (int o = 0; o < 8; ++o) {
-              const std::int32_t cz = 2 * pz + ((o >> 2) & 1);
-              const std::int32_t cy = 2 * py + ((o >> 1) & 1);
-              const std::int32_t cx0 = o & 1;
-              // Gather the strided child row (stride 2 boxes) into scratch.
-              const double* crow =
-                  child + (static_cast<std::size_t>(cz) * nc + cy) * nc * k;
-              for (std::int32_t px = 0; px < np; ++px)
-                std::memcpy(scratch + px * k,
-                            crow + (static_cast<std::size_t>(2 * px + cx0)) * k,
-                            k * sizeof(double));
-              internal::apply_rows(ctx.trans().t1[o], scratch, prow, np,
-                                   ctx.config.aggregation, 8, local_flops);
-            }
-          }
-          flops += local_flops;
-        });
+  const dp::BoxedParticles& boxed = ctx.ws.boxed;
+  const ParticleSet& p = boxed.sorted;
+  std::uint64_t local_flops = 0;
+  for (std::size_t f = lo; f < hi; ++f) {
+    const std::uint32_t rank = boxed.flat_to_rank[f];
+    const std::uint32_t b = boxed.box_begin[rank];
+    const std::uint32_t e = boxed.box_begin[rank + 1];
+    if (b == e) continue;
+    const tree::BoxCoord c = ctx.hier.coord_of(h, f);
+    anderson::p2m(ctx.config.params, a, ctx.hier.center(h, c),
+                  p.x().subspan(b, e - b), p.y().subspan(b, e - b),
+                  p.z().subspan(b, e - b), p.q().subspan(b, e - b),
+                  {ctx.ws.far[h].data() + f * k, k});
+    local_flops += anderson::p2m_flops(k, e - b);
   }
-  ph.flops += flops.load();
+  stats.flops += local_flops;
 }
 
-// T2 over the interactive fields of all boxes at level l, reading from a
-// zero-padded copy of the level's far field (padding radius 2d+1 masks the
-// domain boundary automatically).
-void run_interactive_level(SharedContext& ctx, int l) {
+// One level of the upward T1 pass over parent (z, y) rows [lo, hi); each
+// row gathers its 8 strided child rows into chunk scratch.
+void upward_chunk(SharedContext& ctx, int l, std::size_t chunk,
+                  std::size_t lo, std::size_t hi, PhaseStats& stats) {
+  const std::size_t k = ctx.config.params.k();
+  const std::int32_t np = ctx.hier.boxes_per_side(l);
+  const std::int32_t nc = 2 * np;
+  const double* child = ctx.ws.far[l + 1].data();
+  double* parent = ctx.ws.far[l].data();
+  internal::ChunkSlot& slot = ctx.ws.arena.slot(chunk);
+  internal::grow(slot.a, static_cast<std::size_t>(np) * k, ctx.ws.allocs);
+  double* scratch = slot.a.data();
+  std::uint64_t local_flops = 0;
+  for (std::size_t zy = lo; zy < hi; ++zy) {
+    const std::int32_t pz = static_cast<std::int32_t>(zy / np);
+    const std::int32_t py = static_cast<std::int32_t>(zy % np);
+    double* prow = parent + (static_cast<std::size_t>(pz) * np + py) * np * k;
+    for (int o = 0; o < 8; ++o) {
+      const std::int32_t cz = 2 * pz + ((o >> 2) & 1);
+      const std::int32_t cy = 2 * py + ((o >> 1) & 1);
+      const std::int32_t cx0 = o & 1;
+      // Gather the strided child row (stride 2 boxes) into scratch.
+      const double* crow =
+          child + (static_cast<std::size_t>(cz) * nc + cy) * nc * k;
+      for (std::int32_t px = 0; px < np; ++px)
+        std::memcpy(scratch + px * k,
+                    crow + (static_cast<std::size_t>(2 * px + cx0)) * k,
+                    k * sizeof(double));
+      internal::apply_rows(ctx.trans().t1[o], scratch, prow, np,
+                           ctx.config.aggregation, 8, local_flops);
+    }
+  }
+  stats.flops += local_flops;
+}
+
+// Fills padded z slabs [lo, hi) of the level-l source grid: zero the slab,
+// then copy the interior far-field rows (padding radius 2d+1 masks the
+// domain boundary automatically). Disjoint writes per slab.
+void pad_chunk(SharedContext& ctx, int l, std::size_t lo, std::size_t hi,
+               PhaseStats& stats) {
+  const std::size_t k = ctx.config.params.k();
+  const std::int32_t r = 2 * ctx.config.separation + 1;
+  const std::int32_t n = ctx.hier.boxes_per_side(l);
+  const std::int32_t np = n + 2 * r;
+  std::vector<double>& pad = ctx.ws.pad;
+  const double* far = ctx.ws.far[l].data();
+  std::uint64_t local_copy = 0;
+  for (std::size_t z = lo; z < hi; ++z) {
+    double* slab = pad.data() + z * static_cast<std::size_t>(np) * np * k;
+    std::fill(slab, slab + static_cast<std::size_t>(np) * np * k, 0.0);
+    const std::int32_t iz = static_cast<std::int32_t>(z) - r;
+    if (iz < 0 || iz >= n) continue;
+    for (std::int32_t y = 0; y < n; ++y)
+      std::memcpy(slab + (static_cast<std::size_t>(y + r) * np + r) * k,
+                  far + (static_cast<std::size_t>(iz) * n + y) * n * k,
+                  static_cast<std::size_t>(n) * k * sizeof(double));
+    local_copy += static_cast<std::size_t>(n) * n * k * sizeof(double);
+  }
+  stats.bytes_moved += local_copy;
+}
+
+// T2 over target z slabs [lo, hi) of level l, reading the zero-padded
+// source grid filled by pad_chunk.
+void interactive_chunk(SharedContext& ctx, int l, std::size_t chunk,
+                       std::size_t lo, std::size_t hi, PhaseStats& stats) {
   const std::size_t k = ctx.config.params.k();
   const int d = ctx.config.separation;
   const std::int32_t r = 2 * d + 1;
   const std::int32_t n = ctx.hier.boxes_per_side(l);
   const std::int32_t np = n + 2 * r;
-
-  // Build the padded source grid (workspace buffer, grown once).
-  internal::grow(ctx.ws.pad, static_cast<std::size_t>(np) * np * np * k,
-                 ctx.ws.allocs);
-  std::vector<double>& pad = ctx.ws.pad;
-  std::fill(pad.begin(), pad.end(), 0.0);
-  const double* far = ctx.ws.far[l].data();
-  ctx.pool.parallel_for(0, static_cast<std::size_t>(n), [&](std::size_t z) {
-    for (std::int32_t y = 0; y < n; ++y)
-      std::memcpy(pad.data() +
-                      ((static_cast<std::size_t>(z + r) * np + (y + r)) * np +
-                       r) *
-                          k,
-                  far + (static_cast<std::size_t>(z) * n + y) * n * k,
-                  static_cast<std::size_t>(n) * k * sizeof(double));
-  });
-
+  const std::vector<double>& pad = ctx.ws.pad;
   double* local = ctx.ws.local[l].data();
-  std::atomic<std::uint64_t> flops{0};
-  std::atomic<std::uint64_t> copy_bytes{0};
 
-  // Parallel over target z slabs; every offset applied per slab.
-  ctx.ws.arena.begin(ctx.pool.size(), ctx.ws.allocs);
-  ctx.pool.parallel_chunks(0, static_cast<std::size_t>(n), [&](std::size_t lo,
-                                                               std::size_t hi) {
-    internal::ChunkSlot& slot = ctx.ws.arena.claim();
-    internal::grow(slot.a, static_cast<std::size_t>(n) * n * k, ctx.ws.allocs);
-    internal::grow(slot.b, static_cast<std::size_t>(n) * k, ctx.ws.allocs);
-    internal::grow(slot.c, static_cast<std::size_t>(n) * k, ctx.ws.allocs);
-    double* src_slab = slot.a.data();
-    double* dst_strip = slot.b.data();
-    double* out_strip = slot.c.data();
-    std::uint64_t local_flops = 0, local_copy = 0;
+  internal::ChunkSlot& slot = ctx.ws.arena.slot(chunk);
+  internal::grow(slot.a, static_cast<std::size_t>(n) * n * k, ctx.ws.allocs);
+  internal::grow(slot.b, static_cast<std::size_t>(n) * k, ctx.ws.allocs);
+  internal::grow(slot.c, static_cast<std::size_t>(n) * k, ctx.ws.allocs);
+  double* src_slab = slot.a.data();
+  double* dst_strip = slot.b.data();
+  double* out_strip = slot.c.data();
+  std::uint64_t local_flops = 0, local_copy = 0;
+  {
     for (std::size_t z = lo; z < hi; ++z) {
       for (const UnionOffset& u : ctx.trans().union_offsets) {
         const AppMatrix& m =
@@ -460,11 +449,9 @@ void run_interactive_level(SharedContext& ctx, int l) {
         }
       }
     }
-    flops += local_flops;
-    copy_bytes += local_copy;
-  });
-  ctx.breakdown["interactive"].flops += flops.load();
-  ctx.breakdown["interactive"].bytes_moved += copy_bytes.load();
+  }
+  stats.flops += local_flops;
+  stats.bytes_moved += local_copy;
 }
 
 // Supernode variant of the interactive field (paper Section 2.3): complete
@@ -477,7 +464,8 @@ void run_interactive_level(SharedContext& ctx, int l) {
 // the stride-2 child geometry directly as a multiple-instance GEMM (leading
 // dimension 2K, one instance per parent row) with zero copies; kGemv is the
 // per-box BLAS-2 reference.
-void run_interactive_level_supernodes(SharedContext& ctx, int l) {
+void supernode_chunk(SharedContext& ctx, int l, std::size_t chunk,
+                     std::size_t ulo, std::size_t uhi, PhaseStats& stats) {
   const std::size_t k = ctx.config.params.k();
   const std::int32_t n = ctx.hier.boxes_per_side(l);
   const std::int32_t np = ctx.hier.boxes_per_side(l - 1);
@@ -486,18 +474,14 @@ void run_interactive_level_supernodes(SharedContext& ctx, int l) {
   const double* far_parent = ctx.ws.far[l - 1].data();
   double* local = ctx.ws.local[l].data();
   const AggregationMode mode = ctx.config.aggregation;
-  std::atomic<std::uint64_t> flops{0};
-  std::atomic<std::uint64_t> moved{0};
 
   // Work units are (octant, parent z slice): targets of distinct units are
   // disjoint (octants differ in child parity, slices in child z), so chunks
   // write race-free.
-  ctx.ws.arena.begin(ctx.pool.size(), ctx.ws.allocs);
-  ctx.pool.parallel_chunks(
-      0, static_cast<std::size_t>(8) * np, [&](std::size_t ulo,
-                                               std::size_t uhi) {
-        internal::ChunkSlot& slot = ctx.ws.arena.claim();
-        std::uint64_t local_flops = 0, local_moved = 0;
+  internal::ChunkSlot& slot = ctx.ws.arena.slot(chunk);
+  std::uint64_t local_flops = 0, local_moved = 0;
+  {
+    {
         for (std::size_t u = ulo; u < uhi; ++u) {
           const int octant = static_cast<int>(u / np);
           const std::int32_t pz = static_cast<std::int32_t>(u % np);
@@ -601,108 +585,80 @@ void run_interactive_level_supernodes(SharedContext& ctx, int l) {
                 static_cast<std::size_t>(xlen) * ylen, k, k);
           }
         }
-        flops += local_flops;
-        moved += local_moved;
-      });
-  ctx.breakdown["interactive"].flops += flops.load();
-  ctx.breakdown["interactive"].bytes_moved += moved.load();
-}
-
-void run_downward(SharedContext& ctx) {
-  const std::size_t k = ctx.config.params.k();
-  for (int l = 2; l <= ctx.hier.depth(); ++l) {
-    // T3: parent local field shifted into the children.
-    if (l > 2) {
-      PhaseStats& ph = ctx.breakdown["downward"];
-      ScopedPhaseTimer timer(ph);
-      const std::int32_t np = ctx.hier.boxes_per_side(l - 1);
-      const std::int32_t nc = 2 * np;
-      const double* parent = ctx.ws.local[l - 1].data();
-      double* child = ctx.ws.local[l].data();
-      std::atomic<std::uint64_t> flops{0};
-      ctx.ws.arena.begin(ctx.pool.size(), ctx.ws.allocs);
-      ctx.pool.parallel_chunks(
-          0, static_cast<std::size_t>(np) * np, [&](std::size_t lo,
-                                                    std::size_t hi) {
-            internal::ChunkSlot& slot = ctx.ws.arena.claim();
-            internal::grow(slot.a, static_cast<std::size_t>(np) * k,
-                           ctx.ws.allocs);
-            double* scratch = slot.a.data();
-            std::uint64_t local_flops = 0;
-            for (std::size_t zy = lo; zy < hi; ++zy) {
-              const std::int32_t pz = static_cast<std::int32_t>(zy / np);
-              const std::int32_t py = static_cast<std::int32_t>(zy % np);
-              const double* prow =
-                  parent + (static_cast<std::size_t>(pz) * np + py) * np * k;
-              for (int o = 0; o < 8; ++o) {
-                const std::int32_t cz = 2 * pz + ((o >> 2) & 1);
-                const std::int32_t cy = 2 * py + ((o >> 1) & 1);
-                const std::int32_t cx0 = o & 1;
-                std::fill(scratch, scratch + static_cast<std::size_t>(np) * k,
-                          0.0);
-                internal::apply_rows(ctx.trans().t3[o], prow, scratch, np,
-                                     ctx.config.aggregation, 8, local_flops);
-                double* crow =
-                    child + (static_cast<std::size_t>(cz) * nc + cy) * nc * k;
-                for (std::int32_t px = 0; px < np; ++px) {
-                  double* dst =
-                      crow + static_cast<std::size_t>(2 * px + cx0) * k;
-                  const double* s = scratch + px * k;
-                  for (std::size_t i = 0; i < k; ++i) dst[i] += s[i];
-                }
-              }
-            }
-            flops += local_flops;
-          });
-      ph.flops += flops.load();
-    }
-    // T2 over the interactive field.
-    {
-      PhaseStats& ph = ctx.breakdown["interactive"];
-      ScopedPhaseTimer timer(ph);
-      if (ctx.config.supernodes)
-        run_interactive_level_supernodes(ctx, l);
-      else
-        run_interactive_level(ctx, l);
     }
   }
+  stats.flops += local_flops;
+  stats.bytes_moved += local_moved;
 }
 
-void run_l2p(SharedContext& ctx, std::span<double> phi, std::span<Vec3> grad) {
-  PhaseStats& ph = ctx.breakdown["l2p"];
-  ScopedPhaseTimer timer(ph);
+// One level of the downward T3 pass over parent (z, y) rows [lo, hi):
+// parent local field shifted into the children, accumulated before the
+// level's T2 stage (graph edges enforce the order).
+void downward_chunk(SharedContext& ctx, int l, std::size_t chunk,
+                    std::size_t lo, std::size_t hi, PhaseStats& stats) {
+  const std::size_t k = ctx.config.params.k();
+  const std::int32_t np = ctx.hier.boxes_per_side(l - 1);
+  const std::int32_t nc = 2 * np;
+  const double* parent = ctx.ws.local[l - 1].data();
+  double* child = ctx.ws.local[l].data();
+  internal::ChunkSlot& slot = ctx.ws.arena.slot(chunk);
+  internal::grow(slot.a, static_cast<std::size_t>(np) * k, ctx.ws.allocs);
+  double* scratch = slot.a.data();
+  std::uint64_t local_flops = 0;
+  for (std::size_t zy = lo; zy < hi; ++zy) {
+    const std::int32_t pz = static_cast<std::int32_t>(zy / np);
+    const std::int32_t py = static_cast<std::int32_t>(zy % np);
+    const double* prow =
+        parent + (static_cast<std::size_t>(pz) * np + py) * np * k;
+    for (int o = 0; o < 8; ++o) {
+      const std::int32_t cz = 2 * pz + ((o >> 2) & 1);
+      const std::int32_t cy = 2 * py + ((o >> 1) & 1);
+      const std::int32_t cx0 = o & 1;
+      std::fill(scratch, scratch + static_cast<std::size_t>(np) * k, 0.0);
+      internal::apply_rows(ctx.trans().t3[o], prow, scratch, np,
+                           ctx.config.aggregation, 8, local_flops);
+      double* crow =
+          child + (static_cast<std::size_t>(cz) * nc + cy) * nc * k;
+      for (std::int32_t px = 0; px < np; ++px) {
+        double* dst = crow + static_cast<std::size_t>(2 * px + cx0) * k;
+        const double* s = scratch + px * k;
+        for (std::size_t i = 0; i < k; ++i) dst[i] += s[i];
+      }
+    }
+  }
+  stats.flops += local_flops;
+}
+
+void l2p_chunk(SharedContext& ctx, std::size_t lo, std::size_t hi,
+               PhaseStats& stats) {
   const int h = ctx.hier.depth();
   const std::size_t k = ctx.config.params.k();
   const double a = ctx.config.params.inner_ratio * ctx.hier.side_at(h);
-  const ParticleSet& p = ctx.boxed.sorted;
-  std::atomic<std::uint64_t> flops{0};
-  ctx.pool.parallel_chunks(0, ctx.hier.boxes_at(h), [&](std::size_t lo,
-                                                        std::size_t hi) {
-    std::uint64_t local_flops = 0;
-    for (std::size_t f = lo; f < hi; ++f) {
-      const std::uint32_t rank = ctx.boxed.flat_to_rank[f];
-      const std::uint32_t b = ctx.boxed.box_begin[rank];
-      const std::uint32_t e = ctx.boxed.box_begin[rank + 1];
-      if (b == e) continue;
-      const tree::BoxCoord c = ctx.hier.coord_of(h, f);
-      const std::span<const double> g{ctx.ws.local[h].data() + f * k, k};
-      if (grad.empty()) {
-        anderson::l2p(ctx.config.params, a, ctx.hier.center(h, c), g,
-                      p.x().subspan(b, e - b), p.y().subspan(b, e - b),
-                      p.z().subspan(b, e - b), phi.subspan(b, e - b));
-      } else {
-        anderson::l2p_gradient(ctx.config.params, a, ctx.hier.center(h, c), g,
-                               p.x().subspan(b, e - b),
-                               p.y().subspan(b, e - b),
-                               p.z().subspan(b, e - b), phi.subspan(b, e - b),
-                               grad.subspan(b, e - b));
-      }
-      local_flops +=
-          anderson::l2p_flops(k, e - b, ctx.config.params.truncation);
+  const dp::BoxedParticles& boxed = ctx.ws.boxed;
+  const ParticleSet& p = boxed.sorted;
+  const std::span<double> phi{ctx.ws.phi_sorted};
+  const std::span<Vec3> grad{ctx.ws.grad_sorted};
+  std::uint64_t local_flops = 0;
+  for (std::size_t f = lo; f < hi; ++f) {
+    const std::uint32_t rank = boxed.flat_to_rank[f];
+    const std::uint32_t b = boxed.box_begin[rank];
+    const std::uint32_t e = boxed.box_begin[rank + 1];
+    if (b == e) continue;
+    const tree::BoxCoord c = ctx.hier.coord_of(h, f);
+    const std::span<const double> g{ctx.ws.local[h].data() + f * k, k};
+    if (grad.empty()) {
+      anderson::l2p(ctx.config.params, a, ctx.hier.center(h, c), g,
+                    p.x().subspan(b, e - b), p.y().subspan(b, e - b),
+                    p.z().subspan(b, e - b), phi.subspan(b, e - b));
+    } else {
+      anderson::l2p_gradient(ctx.config.params, a, ctx.hier.center(h, c), g,
+                             p.x().subspan(b, e - b), p.y().subspan(b, e - b),
+                             p.z().subspan(b, e - b), phi.subspan(b, e - b),
+                             grad.subspan(b, e - b));
     }
-    flops += local_flops;
-  });
-  ph.flops += flops.load();
+    local_flops += anderson::l2p_flops(k, e - b, ctx.config.params.truncation);
+  }
+  stats.flops += local_flops;
 }
 
 }  // namespace
@@ -750,39 +706,166 @@ FmmResult FmmSolver::solve(const ParticleSet& particles) {
   const dp::MachineConfig one_vu{1, 1, 1};
   const dp::BlockLayout layout(hier.boxes_per_side(h), one_vu);
 
-  {
-    ScopedPhaseTimer timer(result.breakdown["sort"]);
+  const std::size_t k = config_.params.k();
+  const std::size_t W = pool.size();
+  const std::size_t leaf_boxes = hier.boxes_at(h);
+  // Near-field chunk policy: one chunk on one worker preserves the classic
+  // sequential accumulation bitwise; with threads, finer chunks let idle
+  // workers drain the near field while the far-field chain runs. The count
+  // is fixed here (not by the scheduler), so results are reproducible.
+  const std::size_t nf_chunks =
+      W == 1 ? 1 : std::min(leaf_boxes, 4 * W);
+
+  SharedContext ctx{config_, plan, hier, ws};
+  using exec::NodeId;
+  exec::PhaseGraph g;
+
+  const NodeId sort = g.add_serial("sort", "sort", [&](PhaseStats&) {
     dp::coordinate_sort(particles, hier, layout, ws.boxed, &ws.sort_scratch);
+  });
+  const NodeId prep_levels =
+      g.add_serial("prepare:levels", "workspace", [&](PhaseStats&) {
+        ws.prepare_levels(h, k);
+        ws.arena.ensure(W, ws.allocs);
+        if (!config_.supernodes) {
+          // Pre-grow the padded source grid to its largest (leaf) level so
+          // the per-level pad stages only write, never resize.
+          const std::size_t np = hier.boxes_per_side(h) +
+                                 2 * (2 * config_.separation + 1);
+          internal::grow(ws.pad, np * np * np * k, ws.allocs);
+        }
+      });
+  const NodeId prep_out =
+      g.add_serial("prepare:outputs", "workspace", [&](PhaseStats&) {
+        ws.prepare_outputs(n, config_.with_gradient);
+        if (ws.near_scratch.chunks.size() < nf_chunks)
+          ws.near_scratch.chunks.resize(nf_chunks);
+        result.phi.assign(n, 0.0);
+        if (config_.with_gradient) result.grad.assign(n, Vec3{});
+      });
+
+  const NodeId p2m = g.add(
+      "p2m", "p2m", leaf_boxes, 0,
+      [&](std::size_t, std::size_t lo, std::size_t hi, PhaseStats& st) {
+        p2m_chunk(ctx, lo, hi, st);
+      });
+  g.depend(p2m, sort);
+  g.depend(p2m, prep_levels);
+
+  // Upward chain: up[l] completes far[l] (far[h] comes from P2M).
+  std::vector<NodeId> up(h, p2m);
+  NodeId chain = p2m;
+  for (int l = h - 1; l >= 1; --l) {
+    const std::size_t np = hier.boxes_per_side(l);
+    const NodeId id = g.add(
+        "upward:L" + std::to_string(l), "upward", np * np, 0,
+        [&, l](std::size_t c, std::size_t lo, std::size_t hi, PhaseStats& st) {
+          upward_chunk(ctx, l, c, lo, hi, st);
+        });
+    g.depend(id, chain);
+    up[l] = id;
+    chain = id;
+  }
+  const auto far_ready = [&](int l) { return l == h ? p2m : up[l]; };
+
+  // Downward/interactive: per level, T3 (l > 2) then T2, both writing
+  // local[l] — the T3 -> T2 edge fixes the floating-point accumulation
+  // order. The non-supernode T2 splits into pad (fill the shared padded
+  // grid) and apply; pad(l) must wait for apply(l-1) to release the grid.
+  NodeId prev_apply = 0;
+  bool have_prev_apply = false;
+  for (int l = 2; l <= h; ++l) {
+    const std::string ls = std::to_string(l);
+    NodeId t3 = 0;
+    const bool has_t3 = l > 2;
+    if (has_t3) {
+      const std::size_t np = hier.boxes_per_side(l - 1);
+      t3 = g.add(
+          "downward:L" + ls, "downward", np * np, 0,
+          [&, l](std::size_t c, std::size_t lo, std::size_t hi,
+                 PhaseStats& st) { downward_chunk(ctx, l, c, lo, hi, st); });
+      g.depend(t3, chain);  // local[l-1] complete
+    }
+    if (config_.supernodes) {
+      const std::size_t np = hier.boxes_per_side(l - 1);
+      const NodeId id = g.add(
+          "interactive:L" + ls, "interactive", 8 * np, 0,
+          [&, l](std::size_t c, std::size_t lo, std::size_t hi,
+                 PhaseStats& st) { supernode_chunk(ctx, l, c, lo, hi, st); });
+      g.depend(id, far_ready(l - 1));  // sources: far[l] and far[l-1]
+      if (has_t3) g.depend(id, t3);
+      chain = id;
+    } else {
+      const std::size_t nl = hier.boxes_per_side(l);
+      const std::size_t npad = nl + 2 * (2 * config_.separation + 1);
+      const NodeId pad = g.add(
+          "pad:L" + ls, "interactive", npad, 0,
+          [&, l](std::size_t, std::size_t lo, std::size_t hi,
+                 PhaseStats& st) { pad_chunk(ctx, l, lo, hi, st); });
+      g.depend(pad, far_ready(l));
+      if (have_prev_apply) g.depend(pad, prev_apply);
+      const NodeId apply = g.add(
+          "interactive:L" + ls, "interactive", nl, 0,
+          [&, l](std::size_t c, std::size_t lo, std::size_t hi,
+                 PhaseStats& st) { interactive_chunk(ctx, l, c, lo, hi, st); });
+      g.depend(apply, pad);
+      if (has_t3) g.depend(apply, t3);
+      prev_apply = apply;
+      have_prev_apply = true;
+      chain = apply;
+    }
   }
 
-  ws.prepare_levels(h, config_.params.k());
-  ws.prepare_outputs(n, config_.with_gradient);
+  const NodeId l2p = g.add(
+      "l2p", "l2p", leaf_boxes, 0,
+      [&](std::size_t, std::size_t lo, std::size_t hi, PhaseStats& st) {
+        l2p_chunk(ctx, lo, hi, st);
+      });
+  g.depend(l2p, chain);
+  g.depend(l2p, prep_out);
 
-  SharedContext ctx{config_, plan, hier, ws.boxed, ws, pool,
-                    result.breakdown};
+  // The near field is independent of the whole far-field chain: it runs at
+  // lower priority so idle workers pick it up, and meets the far field only
+  // at the accumulate stage.
+  const std::span<const tree::Offset> offsets =
+      plan.near_list(config_.near_symmetry);
+  const NodeId near = g.add(
+      "near", "near", leaf_boxes, nf_chunks,
+      [&, offsets](std::size_t c, std::size_t lo, std::size_t hi,
+                   PhaseStats& st) {
+        const NearFieldResult nf = near_field_chunk(
+            hier, ws.boxed, offsets, config_.near_symmetry,
+            config_.with_gradient, ws.near_scratch.chunks[c], lo, hi,
+            config_.softening);
+        st.flops += nf.flops;
+      },
+      /*priority=*/1);
+  g.depend(near, sort);
+  g.depend(near, prep_out);
 
-  run_p2m(ctx);
-  run_upward(ctx);
-  run_downward(ctx);
-  run_l2p(ctx, ws.phi_sorted, ws.grad_sorted);
+  // Accumulate: add the near-field chunks (in chunk-index == box-range
+  // order, for reproducibility) onto the far-field result and un-sort to
+  // the original particle order.
+  const NodeId acc = g.add(
+      "accumulate", "accumulate", n, 0,
+      [&](std::size_t, std::size_t lo, std::size_t hi, PhaseStats&) {
+        near_field_accumulate(ws.near_scratch, nf_chunks,
+                              config_.with_gradient, ws.phi_sorted,
+                              ws.grad_sorted, lo, hi);
+        for (std::size_t i = lo; i < hi; ++i) {
+          result.phi[ws.boxed.perm[i]] = ws.phi_sorted[i];
+          if (config_.with_gradient)
+            result.grad[ws.boxed.perm[i]] = ws.grad_sorted[i];
+        }
+      });
+  g.depend(acc, l2p);
+  g.depend(acc, near);
 
-  {
-    PhaseStats& ph = result.breakdown["near"];
-    ScopedPhaseTimer timer(ph);
-    const NearFieldResult nf =
-        near_field(hier, ws.boxed, plan.near_list(config_.near_symmetry),
-                   config_.near_symmetry, ws.phi_sorted, ws.grad_sorted, pool,
-                   &ws.near_scratch, config_.softening);
-    ph.flops += nf.flops;
-  }
+  g.run(pool,
+        config_.mode == ExecutionMode::kThreads ? exec::RunMode::kConcurrent
+                                                : exec::RunMode::kInline,
+        result.breakdown, &result.timeline);
 
-  // Un-sort to the original particle order.
-  result.phi.assign(n, 0.0);
-  if (config_.with_gradient) result.grad.assign(n, Vec3{});
-  for (std::size_t i = 0; i < n; ++i) {
-    result.phi[ws.boxed.perm[i]] = ws.phi_sorted[i];
-    if (config_.with_gradient) result.grad[ws.boxed.perm[i]] = ws.grad_sorted[i];
-  }
   result.breakdown["workspace"].allocs +=
       ws.allocs.load(std::memory_order_relaxed);
   result.workspace_allocs = result.breakdown["workspace"].allocs;

@@ -4,10 +4,18 @@
 // multigrid embedding) and that every inter-VU data motion goes through the
 // counted dp primitives: coordinate sort, multigrid embed/extract, halo
 // fetches for the interactive field, and neighbor reads in the near field.
+//
+// The drive loop is a PhaseGraph of serial stages run in kInline mode: the
+// stage bodies fan out onto the thread pool themselves (through
+// Machine::for_each_vu and the near-field orchestrator), so the graph must
+// not also schedule them concurrently. Each stage records the off-VU byte
+// delta it generates on the machine counters into its own phase.
 
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <memory>
+#include <string>
 
 #include "hfmm/anderson/leaf_ops.hpp"
 #include "hfmm/blas/blas.hpp"
@@ -74,31 +82,38 @@ FmmResult FmmSolver::solve_dp_(const ParticleSet& particles,
   // Fold the requested VU grid so it never exceeds the leaf box grid.
   const std::int32_t nside = hier.boxes_per_side(h);
   dp::MachineConfig mc{std::min(config_.machine.vu_x, nside),
-                       std::min(config_.machine.vu_y, nside),
-                       std::min(config_.machine.vu_z, nside)};
+                      std::min(config_.machine.vu_y, nside),
+                      std::min(config_.machine.vu_z, nside)};
   dp::Machine machine(mc);
   const dp::BlockLayout leaf_layout(nside, mc);
 
-  // --- Coordinate sort (Section 3.2). With >= 1 leaf box per VU the sorted
-  // 1-D order is already VU-aligned; any residual misplacement is counted.
   dp::BoxedParticles& boxed = ws.boxed;
-  {
-    ScopedPhaseTimer timer(result.breakdown["sort"]);
-    dp::coordinate_sort(particles, hier, leaf_layout, boxed,
-                        &ws.sort_scratch);
-    const dp::SortLocality loc = dp::measure_locality(boxed, hier, leaf_layout);
-    machine.stats().off_vu_bytes += loc.off_vu_bytes;
-    result.breakdown["sort"].comm_bytes += loc.off_vu_bytes;
-  }
   const ParticleSet& p = boxed.sorted;
-
   dp::MultigridArray mg_far(leaf_layout, h, k);
   dp::MultigridArray mg_local(leaf_layout, h, k);
 
+  // Cross-stage state, owned by this frame — run() is synchronous, so stage
+  // bodies can capture everything by reference.
+  std::unique_ptr<dp::DistGrid> temp_child;    // upward chain carrier
+  std::unique_ptr<dp::DistGrid> local_parent;  // downward chain carrier
+  std::unique_ptr<dp::DistGrid> temp_far, temp_local;  // current level
+
+  exec::PhaseGraph g;
+
+  // --- Coordinate sort (Section 3.2). With >= 1 leaf box per VU the sorted
+  // 1-D order is already VU-aligned; any residual misplacement is counted.
+  const exec::NodeId sort =
+      g.add_serial("sort", "sort", [&](PhaseStats& stats) {
+        dp::coordinate_sort(particles, hier, leaf_layout, boxed,
+                            &ws.sort_scratch);
+        const dp::SortLocality loc =
+            dp::measure_locality(boxed, hier, leaf_layout);
+        machine.stats().off_vu_bytes += loc.off_vu_bytes;
+        stats.comm_bytes += loc.off_vu_bytes;
+      });
+
   // --- P2M: particles are VU-aligned with their leaf boxes; no comm.
-  {
-    PhaseStats& ph = result.breakdown["p2m"];
-    ScopedPhaseTimer timer(ph);
+  const exec::NodeId p2m = g.add_serial("p2m", "p2m", [&](PhaseStats& stats) {
     const double a = params.outer_ratio * hier.side_at(h);
     dp::DistGrid& leaf = mg_far.leaf_layer();
     const std::size_t bpv = leaf_layout.boxes_per_vu();
@@ -118,194 +133,233 @@ FmmResult FmmSolver::solve_dp_(const ParticleSet& particles,
                           leaf.at(vu, lx, ly, lz));
           }
     });
-    ph.flops += anderson::p2m_flops(k, n);
-  }
+    stats.flops += anderson::p2m_flops(k, n);
+  });
+  g.depend(p2m, sort);
 
   // --- Upward pass: T1 with multigrid embed/extract (Sections 3.1, 3.3.2).
-  {
-    PhaseStats& ph = result.breakdown["upward"];
-    ScopedPhaseTimer timer(ph);
-    const dp::CommStats before = machine.stats();
-    dp::DistGrid temp_child(leaf_layout, k);
-    dp::multigrid_extract(machine, mg_far, h, temp_child, config_.embed);
-    for (int l = h - 1; l >= 1; --l) {
-      const dp::BlockLayout parent_layout =
-          dp::layout_for_level(leaf_layout, l);
-      const dp::BlockLayout child_layout = temp_child.layout();
-      dp::DistGrid temp_parent(parent_layout, k);
-      dp::Machine parent_machine(parent_layout.machine());
-      parent_machine.for_each_vu([&](std::size_t vu) {
-        for (std::int32_t lz = 0; lz < parent_layout.sub_z(); ++lz)
-          for (std::int32_t ly = 0; ly < parent_layout.sub_y(); ++ly)
-            for (std::int32_t lx = 0; lx < parent_layout.sub_x(); ++lx) {
-              const tree::BoxCoord pc =
-                  parent_layout.global_of({vu, lx, ly, lz});
-              double* dst = temp_parent.at(vu, lx, ly, lz).data();
-              for (int o = 0; o < 8; ++o) {
-                const tree::BoxCoord cc = tree::Hierarchy::child_of(pc, o);
-                blas::gemv(trans.t1[o].t, k,
-                           temp_child.at_global(cc).data(), dst, k, k, true);
-              }
-            }
-      });
-      // Parent-child comm: children living on a different VU than their
-      // parent (only near the root, where levels fold onto fewer VUs).
-      for (std::size_t f = 0; f < hier.boxes_at(l); ++f) {
-        const tree::BoxCoord pc = hier.coord_of(l, f);
-        const std::size_t pr = machine_rank(machine, parent_layout, pc);
-        for (int o = 0; o < 8; ++o) {
-          const tree::BoxCoord cc = tree::Hierarchy::child_of(pc, o);
-          if (machine_rank(machine, child_layout, cc) != pr) {
-            machine.stats().off_vu_bytes += k * sizeof(double);
-            machine.stats().messages += 1;
-          }
-        }
-      }
-      ph.flops += 8ull * hier.boxes_at(l) * blas::gemv_flops(k, k);
-      dp::multigrid_embed(machine, temp_parent, l, mg_far, config_.embed);
-      temp_child = std::move(temp_parent);
-    }
-    ph.comm_bytes += (machine.stats() - before).off_vu_bytes;
-  }
-
-  // --- Downward pass: T2 via halo fetches, T3 from the parent level.
-  {
-    dp::DistGrid local_parent(dp::layout_for_level(leaf_layout, 1), k);
-    for (int l = 2; l <= h; ++l) {
-      const dp::BlockLayout level_layout = dp::layout_for_level(leaf_layout, l);
-      dp::Machine level_machine(level_layout.machine());
-      level_machine.cost_model() = machine.cost_model();
-      const std::int32_t nl = level_layout.boxes_per_side();
-      dp::DistGrid temp_far(level_layout, k);
-      dp::multigrid_extract(machine, mg_far, l, temp_far, config_.embed);
-      dp::DistGrid temp_local(level_layout, k);
-
-      // T3 first (l > 2): parent local field into the children.
-      if (l > 2) {
-        PhaseStats& ph = result.breakdown["downward"];
-        ScopedPhaseTimer timer(ph);
-        const dp::BlockLayout& pl = local_parent.layout();
-        level_machine.for_each_vu([&](std::size_t vu) {
-          for (std::int32_t lz = 0; lz < level_layout.sub_z(); ++lz)
-            for (std::int32_t ly = 0; ly < level_layout.sub_y(); ++ly)
-              for (std::int32_t lx = 0; lx < level_layout.sub_x(); ++lx) {
-                const tree::BoxCoord c =
-                    level_layout.global_of({vu, lx, ly, lz});
-                const int o = tree::Hierarchy::octant_of(c);
-                blas::gemv(
-                    trans.t3[o].t, k,
-                    local_parent.at_global(tree::Hierarchy::parent_of(c))
-                        .data(),
-                    temp_local.at(vu, lx, ly, lz).data(), k, k, true);
-              }
-        });
-        for (std::size_t f = 0; f < hier.boxes_at(l); ++f) {
-          const tree::BoxCoord c = hier.coord_of(l, f);
-          if (machine_rank(machine, level_layout, c) !=
-              machine_rank(machine, pl, tree::Hierarchy::parent_of(c))) {
-            machine.stats().off_vu_bytes += k * sizeof(double);
-            machine.stats().messages += 1;
-          }
-        }
-        ph.flops += hier.boxes_at(l) * blas::gemv_flops(k, k);
-      }
-
-      // T2 over the interactive field.
-      {
-        PhaseStats& ph = result.breakdown["interactive"];
-        ScopedPhaseTimer timer(ph);
+  exec::NodeId chain =
+      g.add_serial("upward:extract", "upward", [&](PhaseStats& stats) {
         const dp::CommStats before = machine.stats();
-        const std::int32_t ghost = 2 * d;
-        const bool halo_ok = level_layout.sub_x() >= ghost &&
-                             level_layout.sub_y() >= ghost &&
-                             level_layout.sub_z() >= ghost;
-        if (halo_ok) {
-          dp::HaloGrid halo(level_layout, k, ghost);
-          fill_halo(level_machine, temp_far, halo, config_.halo);
-          mask_halo(level_machine, halo);
-          machine.stats() += level_machine.stats();
-          level_machine.reset_stats();
-          level_machine.for_each_vu([&](std::size_t vu) {
-            for (std::int32_t lz = 0; lz < level_layout.sub_z(); ++lz)
-              for (std::int32_t ly = 0; ly < level_layout.sub_y(); ++ly)
-                for (std::int32_t lx = 0; lx < level_layout.sub_x(); ++lx) {
-                  const tree::BoxCoord c =
-                      level_layout.global_of({vu, lx, ly, lz});
-                  const int oct = tree::Hierarchy::octant_of(c);
-                  double* dst = temp_local.at(vu, lx, ly, lz).data();
-                  for (const auto& off : tree::interactive_offsets(oct, d)) {
-                    const AppMatrix& m =
-                        trans.t2[tree::offset_cube_index(off, d)];
-                    blas::gemv(m.t, k,
-                               halo.at(vu, lx + ghost + off.dx,
-                                       ly + ghost + off.dy,
-                                       lz + ghost + off.dz)
-                                   .data(),
-                               dst, k, k, true);
+        temp_child = std::make_unique<dp::DistGrid>(leaf_layout, k);
+        dp::multigrid_extract(machine, mg_far, h, *temp_child, config_.embed);
+        stats.comm_bytes += (machine.stats() - before).off_vu_bytes;
+      });
+  g.depend(chain, p2m);
+  for (int l = h - 1; l >= 1; --l) {
+    const exec::NodeId up = g.add_serial(
+        "upward:L" + std::to_string(l), "upward", [&, l](PhaseStats& stats) {
+          const dp::CommStats before = machine.stats();
+          const dp::BlockLayout parent_layout =
+              dp::layout_for_level(leaf_layout, l);
+          const dp::BlockLayout child_layout = temp_child->layout();
+          auto temp_parent = std::make_unique<dp::DistGrid>(parent_layout, k);
+          dp::Machine parent_machine(parent_layout.machine());
+          parent_machine.for_each_vu([&](std::size_t vu) {
+            for (std::int32_t lz = 0; lz < parent_layout.sub_z(); ++lz)
+              for (std::int32_t ly = 0; ly < parent_layout.sub_y(); ++ly)
+                for (std::int32_t lx = 0; lx < parent_layout.sub_x(); ++lx) {
+                  const tree::BoxCoord pc =
+                      parent_layout.global_of({vu, lx, ly, lz});
+                  double* dst = temp_parent->at(vu, lx, ly, lz).data();
+                  for (int o = 0; o < 8; ++o) {
+                    const tree::BoxCoord cc = tree::Hierarchy::child_of(pc, o);
+                    blas::gemv(trans.t1[o].t, k,
+                               temp_child->at_global(cc).data(), dst, k, k,
+                               true);
                   }
                 }
           });
-        } else {
-          // Small-level fallback: direct global reads with counted comm.
-          level_machine.for_each_vu([&](std::size_t vu) {
-            for (std::int32_t lz = 0; lz < level_layout.sub_z(); ++lz)
-              for (std::int32_t ly = 0; ly < level_layout.sub_y(); ++ly)
-                for (std::int32_t lx = 0; lx < level_layout.sub_x(); ++lx) {
-                  const tree::BoxCoord c =
-                      level_layout.global_of({vu, lx, ly, lz});
-                  const int oct = tree::Hierarchy::octant_of(c);
-                  double* dst = temp_local.at(vu, lx, ly, lz).data();
-                  for (const auto& off : tree::interactive_offsets(oct, d)) {
-                    const tree::BoxCoord s{c.ix + off.dx, c.iy + off.dy,
-                                           c.iz + off.dz};
-                    if (s.ix < 0 || s.ix >= nl || s.iy < 0 || s.iy >= nl ||
-                        s.iz < 0 || s.iz >= nl)
-                      continue;
-                    const AppMatrix& m =
-                        trans.t2[tree::offset_cube_index(off, d)];
-                    blas::gemv(m.t, k, temp_far.at_global(s).data(), dst, k,
-                               k, true);
-                  }
-                }
-          });
+          // Parent-child comm: children living on a different VU than their
+          // parent (only near the root, where levels fold onto fewer VUs).
           for (std::size_t f = 0; f < hier.boxes_at(l); ++f) {
-            const tree::BoxCoord c = hier.coord_of(l, f);
-            const std::size_t cr = machine_rank(machine, level_layout, c);
-            const int oct = tree::Hierarchy::octant_of(c);
-            for (const auto& off : tree::interactive_offsets(oct, d)) {
-              const tree::BoxCoord s{c.ix + off.dx, c.iy + off.dy,
-                                     c.iz + off.dz};
-              if (s.ix < 0 || s.ix >= nl || s.iy < 0 || s.iy >= nl ||
-                  s.iz < 0 || s.iz >= nl)
-                continue;
-              if (machine_rank(machine, level_layout, s) != cr) {
+            const tree::BoxCoord pc = hier.coord_of(l, f);
+            const std::size_t pr = machine_rank(machine, parent_layout, pc);
+            for (int o = 0; o < 8; ++o) {
+              const tree::BoxCoord cc = tree::Hierarchy::child_of(pc, o);
+              if (machine_rank(machine, child_layout, cc) != pr) {
                 machine.stats().off_vu_bytes += k * sizeof(double);
                 machine.stats().messages += 1;
               }
             }
           }
-        }
-        machine.stats() += level_machine.stats();
-        const std::size_t n_int = tree::interactive_offsets(0, d).size();
-        ph.flops += hier.boxes_at(l) * n_int * blas::gemv_flops(k, k);
-        ph.comm_bytes += (machine.stats() - before).off_vu_bytes;
-      }
-
-      dp::multigrid_embed(machine, temp_local, l, mg_local, config_.embed);
-      local_parent = std::move(temp_local);
-    }
+          stats.flops += 8ull * hier.boxes_at(l) * blas::gemv_flops(k, k);
+          dp::multigrid_embed(machine, *temp_parent, l, mg_far, config_.embed);
+          temp_child = std::move(temp_parent);
+          stats.comm_bytes += (machine.stats() - before).off_vu_bytes;
+        });
+    g.depend(up, chain);
+    chain = up;
   }
 
+  // --- Downward pass: T2 via halo fetches, T3 from the parent level.
+  for (int l = 2; l <= h; ++l) {
+    const std::string ls = std::to_string(l);
+
+    // Fetch the level's interactive field out of the flattened multigrid.
+    const exec::NodeId fetch = g.add_serial(
+        "fetch:L" + ls, "interactive", [&, l](PhaseStats& stats) {
+          const dp::CommStats before = machine.stats();
+          const dp::BlockLayout level_layout =
+              dp::layout_for_level(leaf_layout, l);
+          temp_far = std::make_unique<dp::DistGrid>(level_layout, k);
+          dp::multigrid_extract(machine, mg_far, l, *temp_far, config_.embed);
+          temp_local = std::make_unique<dp::DistGrid>(level_layout, k);
+          stats.comm_bytes += (machine.stats() - before).off_vu_bytes;
+        });
+    g.depend(fetch, chain);
+    chain = fetch;
+
+    // T3 first (l > 2): parent local field into the children.
+    if (l > 2) {
+      const exec::NodeId t3 = g.add_serial(
+          "downward:L" + ls, "downward", [&, l](PhaseStats& stats) {
+            const dp::BlockLayout& level_layout = temp_far->layout();
+            dp::Machine level_machine(level_layout.machine());
+            level_machine.cost_model() = machine.cost_model();
+            const dp::BlockLayout& pl = local_parent->layout();
+            level_machine.for_each_vu([&](std::size_t vu) {
+              for (std::int32_t lz = 0; lz < level_layout.sub_z(); ++lz)
+                for (std::int32_t ly = 0; ly < level_layout.sub_y(); ++ly)
+                  for (std::int32_t lx = 0; lx < level_layout.sub_x(); ++lx) {
+                    const tree::BoxCoord c =
+                        level_layout.global_of({vu, lx, ly, lz});
+                    const int o = tree::Hierarchy::octant_of(c);
+                    blas::gemv(
+                        trans.t3[o].t, k,
+                        local_parent->at_global(tree::Hierarchy::parent_of(c))
+                            .data(),
+                        temp_local->at(vu, lx, ly, lz).data(), k, k, true);
+                  }
+            });
+            for (std::size_t f = 0; f < hier.boxes_at(l); ++f) {
+              const tree::BoxCoord c = hier.coord_of(l, f);
+              if (machine_rank(machine, level_layout, c) !=
+                  machine_rank(machine, pl, tree::Hierarchy::parent_of(c))) {
+                machine.stats().off_vu_bytes += k * sizeof(double);
+                machine.stats().messages += 1;
+              }
+            }
+            stats.flops += hier.boxes_at(l) * blas::gemv_flops(k, k);
+          });
+      g.depend(t3, chain);
+      chain = t3;
+    }
+
+    // T2 over the interactive field.
+    const exec::NodeId t2 = g.add_serial(
+        "interactive:L" + ls, "interactive", [&, l](PhaseStats& stats) {
+          const dp::CommStats before = machine.stats();
+          const dp::BlockLayout& level_layout = temp_far->layout();
+          dp::Machine level_machine(level_layout.machine());
+          level_machine.cost_model() = machine.cost_model();
+          const std::int32_t nl = level_layout.boxes_per_side();
+          const std::int32_t ghost = 2 * d;
+          const bool halo_ok = level_layout.sub_x() >= ghost &&
+                               level_layout.sub_y() >= ghost &&
+                               level_layout.sub_z() >= ghost;
+          if (halo_ok) {
+            dp::HaloGrid halo(level_layout, k, ghost);
+            fill_halo(level_machine, *temp_far, halo, config_.halo);
+            mask_halo(level_machine, halo);
+            machine.stats() += level_machine.stats();
+            level_machine.reset_stats();
+            level_machine.for_each_vu([&](std::size_t vu) {
+              for (std::int32_t lz = 0; lz < level_layout.sub_z(); ++lz)
+                for (std::int32_t ly = 0; ly < level_layout.sub_y(); ++ly)
+                  for (std::int32_t lx = 0; lx < level_layout.sub_x(); ++lx) {
+                    const tree::BoxCoord c =
+                        level_layout.global_of({vu, lx, ly, lz});
+                    const int oct = tree::Hierarchy::octant_of(c);
+                    double* dst = temp_local->at(vu, lx, ly, lz).data();
+                    for (const auto& off : tree::interactive_offsets(oct, d)) {
+                      const AppMatrix& m =
+                          trans.t2[tree::offset_cube_index(off, d)];
+                      blas::gemv(m.t, k,
+                                 halo.at(vu, lx + ghost + off.dx,
+                                         ly + ghost + off.dy,
+                                         lz + ghost + off.dz)
+                                     .data(),
+                                 dst, k, k, true);
+                    }
+                  }
+            });
+          } else {
+            // Small-level fallback: direct global reads with counted comm.
+            level_machine.for_each_vu([&](std::size_t vu) {
+              for (std::int32_t lz = 0; lz < level_layout.sub_z(); ++lz)
+                for (std::int32_t ly = 0; ly < level_layout.sub_y(); ++ly)
+                  for (std::int32_t lx = 0; lx < level_layout.sub_x(); ++lx) {
+                    const tree::BoxCoord c =
+                        level_layout.global_of({vu, lx, ly, lz});
+                    const int oct = tree::Hierarchy::octant_of(c);
+                    double* dst = temp_local->at(vu, lx, ly, lz).data();
+                    for (const auto& off : tree::interactive_offsets(oct, d)) {
+                      const tree::BoxCoord s{c.ix + off.dx, c.iy + off.dy,
+                                             c.iz + off.dz};
+                      if (s.ix < 0 || s.ix >= nl || s.iy < 0 || s.iy >= nl ||
+                          s.iz < 0 || s.iz >= nl)
+                        continue;
+                      const AppMatrix& m =
+                          trans.t2[tree::offset_cube_index(off, d)];
+                      blas::gemv(m.t, k, temp_far->at_global(s).data(), dst, k,
+                                 k, true);
+                    }
+                  }
+            });
+            for (std::size_t f = 0; f < hier.boxes_at(l); ++f) {
+              const tree::BoxCoord c = hier.coord_of(l, f);
+              const std::size_t cr = machine_rank(machine, level_layout, c);
+              const int oct = tree::Hierarchy::octant_of(c);
+              for (const auto& off : tree::interactive_offsets(oct, d)) {
+                const tree::BoxCoord s{c.ix + off.dx, c.iy + off.dy,
+                                       c.iz + off.dz};
+                if (s.ix < 0 || s.ix >= nl || s.iy < 0 || s.iy >= nl ||
+                    s.iz < 0 || s.iz >= nl)
+                  continue;
+                if (machine_rank(machine, level_layout, s) != cr) {
+                  machine.stats().off_vu_bytes += k * sizeof(double);
+                  machine.stats().messages += 1;
+                }
+              }
+            }
+          }
+          machine.stats() += level_machine.stats();
+          const std::size_t n_int = tree::interactive_offsets(0, d).size();
+          stats.flops += hier.boxes_at(l) * n_int * blas::gemv_flops(k, k);
+          stats.comm_bytes += (machine.stats() - before).off_vu_bytes;
+        });
+    g.depend(t2, chain);
+    chain = t2;
+
+    // Embed the level's local field back and hand it to the next level.
+    const exec::NodeId embed = g.add_serial(
+        "embed:L" + ls, "interactive", [&, l](PhaseStats& stats) {
+          const dp::CommStats before = machine.stats();
+          dp::multigrid_embed(machine, *temp_local, l, mg_local, config_.embed);
+          local_parent = std::move(temp_local);
+          stats.comm_bytes += (machine.stats() - before).off_vu_bytes;
+        });
+    g.depend(embed, chain);
+    chain = embed;
+  }
+
+  // --- Output buffers (sized from the sort, not the far chain).
+  const exec::NodeId prep_out =
+      g.add_serial("prepare:outputs", "workspace", [&](PhaseStats&) {
+        ws.prepare_outputs(n, config_.with_gradient);
+        result.phi.assign(n, 0.0);
+        if (config_.with_gradient) result.grad.assign(n, Vec3{});
+      });
+  g.depend(prep_out, sort);
+
   // --- L2P: leaf local field at the particles (VU-aligned, no comm).
-  ws.prepare_outputs(n, config_.with_gradient);
-  std::vector<double>& phi_sorted = ws.phi_sorted;
-  std::vector<Vec3>& grad_sorted = ws.grad_sorted;
-  {
-    PhaseStats& ph = result.breakdown["l2p"];
-    ScopedPhaseTimer timer(ph);
+  const exec::NodeId l2p = g.add_serial("l2p", "l2p", [&](PhaseStats& stats) {
     const double a = params.inner_ratio * hier.side_at(h);
     const dp::DistGrid& leaf = mg_local.leaf_layer();
     const std::size_t bpv = leaf_layout.boxes_per_vu();
+    std::vector<double>& phi_sorted = ws.phi_sorted;
+    std::vector<Vec3>& grad_sorted = ws.grad_sorted;
     machine.for_each_vu([&](std::size_t vu) {
       for (std::int32_t lz = 0; lz < leaf_layout.sub_z(); ++lz)
         for (std::int32_t ly = 0; ly < leaf_layout.sub_y(); ++ly)
@@ -331,53 +385,66 @@ FmmResult FmmSolver::solve_dp_(const ParticleSet& particles,
             }
           }
     });
-    ph.flops += anderson::l2p_flops(k, n, params.truncation);
-  }
+    stats.flops += anderson::l2p_flops(k, n, params.truncation);
+  });
+  g.depend(l2p, chain);
+  g.depend(l2p, prep_out);
 
   // --- Near field: physics via the shared kernel, communication counted as
   // the particle data of off-VU neighbor boxes (paper Section 3.4 fetches
-  // them with 62 single-step CSHIFTs; we count equivalent bytes).
-  {
-    PhaseStats& ph = result.breakdown["near"];
-    ScopedPhaseTimer timer(ph);
-    const NearFieldResult nf = near_field(
-        hier, boxed, plan.near_list(config_.near_symmetry),
-        config_.near_symmetry, phi_sorted, grad_sorted, *impl_->pool,
-        &ws.near_scratch, config_.softening);
-    ph.flops += nf.flops;
-    const auto offsets = plan.near_list(config_.near_symmetry);
-    std::uint64_t off_bytes = 0, msgs = 0;
-    for (std::size_t f = 0; f < hier.boxes_at(h); ++f) {
-      const tree::BoxCoord c = hier.coord_of(h, f);
-      const dp::BoxHome home = leaf_layout.home_of(c);
-      for (const auto& o : offsets) {
-        if (o == tree::Offset{0, 0, 0}) continue;
-        const tree::BoxCoord s{c.ix + o.dx, c.iy + o.dy, c.iz + o.dz};
-        if (!hier.in_bounds(h, s)) continue;
-        if (leaf_layout.home_of(s).vu != home.vu) {
-          const std::uint32_t rank = boxed.flat_to_rank[hier.flat_index(h, s)];
-          const std::uint32_t cnt =
-              boxed.box_begin[rank + 1] - boxed.box_begin[rank];
-          off_bytes += cnt * 4 * sizeof(double);
-          msgs += 1;
+  // them with 62 single-step CSHIFTs; we count equivalent bytes). The
+  // orchestrator accumulates onto phi_sorted in place, so it runs after L2P.
+  const exec::NodeId near = g.add_serial(
+      "near", "near",
+      [&](PhaseStats& stats) {
+        const NearFieldResult nf = near_field(
+            hier, boxed, plan.near_list(config_.near_symmetry),
+            config_.near_symmetry, ws.phi_sorted, ws.grad_sorted, *impl_->pool,
+            &ws.near_scratch, config_.softening);
+        stats.flops += nf.flops;
+        const auto offsets = plan.near_list(config_.near_symmetry);
+        std::uint64_t off_bytes = 0, msgs = 0;
+        for (std::size_t f = 0; f < hier.boxes_at(h); ++f) {
+          const tree::BoxCoord c = hier.coord_of(h, f);
+          const dp::BoxHome home = leaf_layout.home_of(c);
+          for (const auto& o : offsets) {
+            if (o == tree::Offset{0, 0, 0}) continue;
+            const tree::BoxCoord s{c.ix + o.dx, c.iy + o.dy, c.iz + o.dz};
+            if (!hier.in_bounds(h, s)) continue;
+            if (leaf_layout.home_of(s).vu != home.vu) {
+              const std::uint32_t rank =
+                  boxed.flat_to_rank[hier.flat_index(h, s)];
+              const std::uint32_t cnt =
+                  boxed.box_begin[rank + 1] - boxed.box_begin[rank];
+              off_bytes += cnt * 4 * sizeof(double);
+              msgs += 1;
+            }
+          }
         }
-      }
-    }
-    machine.stats().off_vu_bytes += off_bytes;
-    machine.stats().messages += msgs;
-    ph.comm_bytes += off_bytes;
-  }
+        machine.stats().off_vu_bytes += off_bytes;
+        machine.stats().messages += msgs;
+        stats.comm_bytes += off_bytes;
+      },
+      /*priority=*/1);
+  g.depend(near, l2p);
+
+  // --- Unsort into caller order.
+  const exec::NodeId acc =
+      g.add_serial("accumulate", "accumulate", [&](PhaseStats&) {
+        for (std::size_t i = 0; i < n; ++i) {
+          result.phi[boxed.perm[i]] = ws.phi_sorted[i];
+          if (config_.with_gradient)
+            result.grad[boxed.perm[i]] = ws.grad_sorted[i];
+        }
+      });
+  g.depend(acc, near);
+
+  g.run(*impl_->pool, exec::RunMode::kInline, result.breakdown,
+        &result.timeline);
 
   result.comm = machine.stats();
   result.breakdown["comm"].comm_bytes = machine.stats().off_vu_bytes;
   result.breakdown["comm"].seconds = machine.estimated_comm_seconds();
-
-  result.phi.assign(n, 0.0);
-  if (config_.with_gradient) result.grad.assign(n, Vec3{});
-  for (std::size_t i = 0; i < n; ++i) {
-    result.phi[boxed.perm[i]] = phi_sorted[i];
-    if (config_.with_gradient) result.grad[boxed.perm[i]] = grad_sorted[i];
-  }
   result.breakdown["workspace"].allocs +=
       ws.allocs.load(std::memory_order_relaxed);
   result.workspace_allocs = result.breakdown["workspace"].allocs;

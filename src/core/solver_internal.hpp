@@ -150,30 +150,30 @@ void grow(std::vector<T>& v, std::size_t n,
   v.resize(n);
 }
 
-// Per-chunk scratch slots for parallel_chunks bodies: each chunk claims a
-// slot on entry (atomic ticket, same scheme as NearFieldScratch) and gets
-// stable vectors that persist across parallel regions and solve() calls —
+// Per-chunk scratch slots for chunked stage bodies: slots are keyed by the
+// stage's chunk index (stable across runs, handed to the body by the exec
+// scheduler), and the vectors persist across stages and solve() calls —
 // this hoists the per-task `std::vector<double> scratch` heap allocations
-// out of the upward/downward/interactive lambdas.
+// out of the upward/downward/interactive bodies. Stages that share the
+// arena must not run concurrently (the far-field chain is serialized by
+// graph edges); distinct chunks of one stage touch distinct slots.
 struct ChunkSlot {
   std::vector<double> a, b, c;
 };
 
 class ChunkArena {
  public:
-  // Call before each parallel region (never concurrently with claim()).
-  void begin(std::size_t chunks, std::atomic<std::uint64_t>& allocs) {
+  // Call once, serially, before any stage uses the arena.
+  void ensure(std::size_t chunks, std::atomic<std::uint64_t>& allocs) {
     if (slots_.size() < chunks) {
       allocs.fetch_add(1, std::memory_order_relaxed);
       slots_.resize(chunks);
     }
-    next_.store(0, std::memory_order_relaxed);
   }
-  ChunkSlot& claim() { return slots_[next_.fetch_add(1)]; }
+  ChunkSlot& slot(std::size_t chunk) { return slots_[chunk]; }
 
  private:
   std::vector<ChunkSlot> slots_;
-  std::atomic<std::size_t> next_{0};
 };
 
 struct SolveWorkspace {

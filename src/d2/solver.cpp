@@ -166,12 +166,14 @@ struct FmmSolver2::Impl {
   std::unique_ptr<ThreadPool> seq_pool;
   ThreadPool* pool = nullptr;
 
-  // Per-solve workspace, reused across solve() calls.
+  // Per-solve workspace, reused across solve() calls. The near field gets
+  // its own output buffers so it can run concurrently with the far-field
+  // chain; the two are summed at the accumulate stage.
   Boxed2 boxed;
   std::vector<std::uint32_t> flat_scratch, cursor_scratch;
   std::vector<std::vector<double>> far, local;
-  std::vector<double> phi_sorted;
-  std::vector<Point2> grad_sorted;
+  std::vector<double> phi_sorted, phi_near;
+  std::vector<Point2> grad_sorted, grad_near;
 
   void build(const Fmm2Config& cfg) {
     if (built) return;
@@ -263,208 +265,262 @@ Fmm2Result FmmSolver2::solve(const ParticleSet2& particles) {
   const Quadtree tree({centre.x - 0.5 * side, centre.y - 0.5 * side}, side, h);
 
   ThreadPool& pool = *impl_->pool;
+  const std::size_t W = pool.size();
 
   Boxed2& boxed = impl_->boxed;
-  {
-    ScopedPhaseTimer timer(result.breakdown["sort"]);
-    sort_particles(particles, tree, boxed, impl_->flat_scratch,
-                   impl_->cursor_scratch);
-  }
   const ParticleSet2& p = boxed.sorted;
-
   // Level storage: augmented (K+1) vectors per box, Q in the last slot.
   // Workspace-resident — assign() keeps capacity, so warm solves at the
   // same depth perform no heap growth here.
   std::vector<std::vector<double>>& far = impl_->far;
   std::vector<std::vector<double>>& local = impl_->local;
-  if (far.size() < static_cast<std::size_t>(h) + 1) {
-    far.resize(h + 1);
-    local.resize(h + 1);
-  }
-  for (int l = 0; l <= h; ++l) {
-    far[l].assign(tree.boxes_at(l) * kp, 0.0);
-    local[l].assign(tree.boxes_at(l) * kp, 0.0);
-  }
+  std::vector<double>& phi = impl_->phi_sorted;
+  std::vector<Point2>& grad = impl_->grad_sorted;
+  std::vector<double>& phi_near = impl_->phi_near;
+  std::vector<Point2>& grad_near = impl_->grad_near;
+
+  // The solve as a phase graph: the same five-step pipeline as the 3-D
+  // solver, with the near field (priority 1) dependent only on the sort and
+  // the output buffers so it overlaps the whole far-field chain in threaded
+  // mode, meeting it at the accumulate stage.
+  exec::PhaseGraph g;
+
+  const exec::NodeId sort = g.add_serial("sort", "sort", [&](PhaseStats&) {
+    sort_particles(particles, tree, boxed, impl_->flat_scratch,
+                   impl_->cursor_scratch);
+  });
+
+  const exec::NodeId prep_levels =
+      g.add_serial("prepare:levels", "workspace", [&](PhaseStats&) {
+        if (far.size() < static_cast<std::size_t>(h) + 1) {
+          far.resize(h + 1);
+          local.resize(h + 1);
+        }
+        for (int l = 0; l <= h; ++l) {
+          far[l].assign(tree.boxes_at(l) * kp, 0.0);
+          local[l].assign(tree.boxes_at(l) * kp, 0.0);
+        }
+      });
+
+  const exec::NodeId prep_out =
+      g.add_serial("prepare:outputs", "workspace", [&](PhaseStats&) {
+        phi.assign(n, 0.0);
+        phi_near.assign(n, 0.0);
+        if (config_.with_gradient) {
+          grad.assign(n, Point2{});
+          grad_near.assign(n, Point2{});
+        } else {
+          grad.clear();
+          grad_near.clear();
+        }
+        result.phi.assign(n, 0.0);
+        if (config_.with_gradient) result.grad.assign(n, Point2{});
+      });
 
   // --- P2M.
-  {
-    ScopedPhaseTimer timer(result.breakdown["p2m"]);
-    const double a = config_.radius_ratio * tree.side_at(h);
-    pool.parallel_chunks(0, tree.boxes_at(h), [&](std::size_t lo,
-                                                  std::size_t hi) {
-      for (std::size_t f = lo; f < hi; ++f) {
-        const std::uint32_t b = boxed.box_begin[f];
-        const std::uint32_t e = boxed.box_begin[f + 1];
-        if (b == e) continue;
-        const Point2 c = tree.center(h, tree.coord_of(h, f));
-        double* g = far[h].data() + f * kp;
-        thread_local std::vector<double> spx, spy;
-        spx.resize(k);
-        spy.resize(k);
-        for (std::size_t i = 0; i < k; ++i) {
-          spx[i] = c.x + a * impl_->rule.points[i].x;
-          spy[i] = c.y + a * impl_->rule.points[i].y;
-        }
-        pkern::active_kernel().p2m2(spx.data(), spy.data(), k, p.x.data() + b,
-                                    p.y.data() + b, p.q.data() + b, e - b, g);
-        for (std::uint32_t j = b; j < e; ++j) g[k] += p.q[j];
-      }
-    });
-  }
-
-  // --- Upward (T1).
-  {
-    ScopedPhaseTimer timer(result.breakdown["upward"]);
-    for (int l = h - 1; l >= 1; --l) {
-      pool.parallel_chunks(0, tree.boxes_at(l), [&](std::size_t lo,
-                                                    std::size_t hi) {
+  const exec::NodeId p2m = g.add(
+      "p2m", "p2m", tree.boxes_at(h), 0,
+      [&](std::size_t, std::size_t lo, std::size_t hi, PhaseStats&) {
+        const double a = config_.radius_ratio * tree.side_at(h);
         for (std::size_t f = lo; f < hi; ++f) {
-          const BoxCoord2 pc = tree.coord_of(l, f);
-          double* dst = far[l].data() + f * kp;
-          for (int q = 0; q < 4; ++q) {
-            const BoxCoord2 cc = Quadtree::child_of(pc, q);
-            blas::gemv(impl_->t1[q].data(), kp,
-                       far[l + 1].data() + tree.flat_index(l + 1, cc) * kp,
-                       dst, kp, kp, true);
+          const std::uint32_t b = boxed.box_begin[f];
+          const std::uint32_t e = boxed.box_begin[f + 1];
+          if (b == e) continue;
+          const Point2 c = tree.center(h, tree.coord_of(h, f));
+          double* gv = far[h].data() + f * kp;
+          thread_local std::vector<double> spx, spy;
+          spx.resize(k);
+          spy.resize(k);
+          for (std::size_t i = 0; i < k; ++i) {
+            spx[i] = c.x + a * impl_->rule.points[i].x;
+            spy[i] = c.y + a * impl_->rule.points[i].y;
           }
+          pkern::active_kernel().p2m2(spx.data(), spy.data(), k,
+                                      p.x.data() + b, p.y.data() + b,
+                                      p.q.data() + b, e - b, gv);
+          for (std::uint32_t j = b; j < e; ++j) gv[k] += p.q[j];
         }
       });
-    }
+  g.depend(p2m, sort);
+  g.depend(p2m, prep_levels);
+
+  // --- Upward (T1). far_ready[l] completes the level-l interaction field.
+  std::vector<exec::NodeId> far_ready(h + 1, p2m);
+  for (int l = h - 1; l >= 1; --l) {
+    const exec::NodeId up = g.add(
+        "upward:L" + std::to_string(l), "upward", tree.boxes_at(l), 0,
+        [&, l](std::size_t, std::size_t lo, std::size_t hi, PhaseStats&) {
+          for (std::size_t f = lo; f < hi; ++f) {
+            const BoxCoord2 pc = tree.coord_of(l, f);
+            double* dst = far[l].data() + f * kp;
+            for (int q = 0; q < 4; ++q) {
+              const BoxCoord2 cc = Quadtree::child_of(pc, q);
+              blas::gemv(impl_->t1[q].data(), kp,
+                         far[l + 1].data() + tree.flat_index(l + 1, cc) * kp,
+                         dst, kp, kp, true);
+            }
+          }
+        });
+    g.depend(up, far_ready[l + 1]);
+    far_ready[l] = up;
   }
 
-  // --- Downward (T3 + T2).
+  // --- Downward (T3 + T2). T3 precedes T2 per level so the accumulation
+  // order into local[l] matches the classic drive loop.
+  exec::NodeId local_ready = prep_levels;
   for (int l = 2; l <= h; ++l) {
+    const std::string ls = std::to_string(l);
     if (l > 2) {
-      ScopedPhaseTimer timer(result.breakdown["downward"]);
-      pool.parallel_chunks(0, tree.boxes_at(l), [&](std::size_t lo,
-                                                    std::size_t hi) {
-        for (std::size_t f = lo; f < hi; ++f) {
-          const BoxCoord2 c = tree.coord_of(l, f);
-          blas::gemv(impl_->t3[Quadtree::quadrant_of(c)].data(), kp,
-                     local[l - 1].data() +
-                         tree.flat_index(l - 1, Quadtree::parent_of(c)) * kp,
-                     local[l].data() + f * kp, kp, kp, true);
-        }
-      });
-    }
-    {
-      ScopedPhaseTimer timer(result.breakdown["interactive"]);
-      const std::int32_t nl = tree.boxes_per_side(l);
-      const std::int32_t npar = tree.boxes_per_side(l - 1);
-      pool.parallel_chunks(0, tree.boxes_at(l), [&](std::size_t lo,
-                                                    std::size_t hi) {
-        for (std::size_t f = lo; f < hi; ++f) {
-          const BoxCoord2 c = tree.coord_of(l, f);
-          const int quad = Quadtree::quadrant_of(c);
-          double* dst = local[l].data() + f * kp;
-          if (!config_.supernodes) {
-            for (const Offset2& o : impl_->interactive[quad]) {
-              const BoxCoord2 s{c.ix + o.dx, c.iy + o.dy};
-              if (s.ix < 0 || s.ix >= nl || s.iy < 0 || s.iy >= nl) continue;
+      const exec::NodeId t3 = g.add(
+          "downward:L" + ls, "downward", tree.boxes_at(l), 0,
+          [&, l](std::size_t, std::size_t lo, std::size_t hi, PhaseStats&) {
+            for (std::size_t f = lo; f < hi; ++f) {
+              const BoxCoord2 c = tree.coord_of(l, f);
               blas::gemv(
-                  impl_->t2[offset_square_index(o, config_.separation)].data(),
-                  kp, far[l].data() + tree.flat_index(l, s) * kp, dst, kp, kp,
-                  true);
+                  impl_->t3[Quadtree::quadrant_of(c)].data(), kp,
+                  local[l - 1].data() +
+                      tree.flat_index(l - 1, Quadtree::parent_of(c)) * kp,
+                  local[l].data() + f * kp, kp, kp, true);
             }
-          } else {
-            const BoxCoord2 pc = Quadtree::parent_of(c);
-            const auto& entries = impl_->sn_entries[quad];
-            for (std::size_t e = 0; e < entries.size(); ++e) {
-              if (entries[e].source_level_up == 0) {
-                const BoxCoord2 s{c.ix + entries[e].offset.dx,
-                                  c.iy + entries[e].offset.dy};
+          });
+      g.depend(t3, local_ready);
+      local_ready = t3;
+    }
+    const exec::NodeId t2 = g.add(
+        "interactive:L" + ls, "interactive", tree.boxes_at(l), 0,
+        [&, l](std::size_t, std::size_t lo, std::size_t hi, PhaseStats&) {
+          const std::int32_t nl = tree.boxes_per_side(l);
+          const std::int32_t npar = tree.boxes_per_side(l - 1);
+          for (std::size_t f = lo; f < hi; ++f) {
+            const BoxCoord2 c = tree.coord_of(l, f);
+            const int quad = Quadtree::quadrant_of(c);
+            double* dst = local[l].data() + f * kp;
+            if (!config_.supernodes) {
+              for (const Offset2& o : impl_->interactive[quad]) {
+                const BoxCoord2 s{c.ix + o.dx, c.iy + o.dy};
                 if (s.ix < 0 || s.ix >= nl || s.iy < 0 || s.iy >= nl)
                   continue;
-                blas::gemv(impl_->t2[offset_square_index(entries[e].offset,
-                                                         config_.separation)]
-                               .data(),
-                           kp, far[l].data() + tree.flat_index(l, s) * kp,
-                           dst, kp, kp, true);
-              } else {
-                const BoxCoord2 s{pc.ix + entries[e].offset.dx,
-                                  pc.iy + entries[e].offset.dy};
-                if (s.ix < 0 || s.ix >= npar || s.iy < 0 || s.iy >= npar)
-                  continue;
-                blas::gemv(impl_->sn_matrices[quad][e].data(), kp,
-                           far[l - 1].data() + tree.flat_index(l - 1, s) * kp,
-                           dst, kp, kp, true);
+                blas::gemv(
+                    impl_->t2[offset_square_index(o, config_.separation)]
+                        .data(),
+                    kp, far[l].data() + tree.flat_index(l, s) * kp, dst, kp,
+                    kp, true);
+              }
+            } else {
+              const BoxCoord2 pc = Quadtree::parent_of(c);
+              const auto& entries = impl_->sn_entries[quad];
+              for (std::size_t e = 0; e < entries.size(); ++e) {
+                if (entries[e].source_level_up == 0) {
+                  const BoxCoord2 s{c.ix + entries[e].offset.dx,
+                                    c.iy + entries[e].offset.dy};
+                  if (s.ix < 0 || s.ix >= nl || s.iy < 0 || s.iy >= nl)
+                    continue;
+                  blas::gemv(impl_->t2[offset_square_index(entries[e].offset,
+                                                           config_.separation)]
+                                 .data(),
+                             kp, far[l].data() + tree.flat_index(l, s) * kp,
+                             dst, kp, kp, true);
+                } else {
+                  const BoxCoord2 s{pc.ix + entries[e].offset.dx,
+                                    pc.iy + entries[e].offset.dy};
+                  if (s.ix < 0 || s.ix >= npar || s.iy < 0 || s.iy >= npar)
+                    continue;
+                  blas::gemv(
+                      impl_->sn_matrices[quad][e].data(), kp,
+                      far[l - 1].data() + tree.flat_index(l - 1, s) * kp, dst,
+                      kp, kp, true);
+                }
               }
             }
           }
-        }
-      });
-    }
+        });
+    g.depend(t2, far_ready[l]);
+    if (config_.supernodes) g.depend(t2, far_ready[l - 1]);
+    g.depend(t2, local_ready);
+    local_ready = t2;
   }
 
-  // --- L2P + near field (sorted order), then unsort.
-  std::vector<double>& phi = impl_->phi_sorted;
-  std::vector<Point2>& grad = impl_->grad_sorted;
-  phi.assign(n, 0.0);
-  if (config_.with_gradient)
-    grad.assign(n, Point2{});
-  else
-    grad.clear();
-  {
-    ScopedPhaseTimer timer(result.breakdown["l2p"]);
-    const double a = config_.radius_ratio * tree.side_at(h);
-    pool.parallel_chunks(0, tree.boxes_at(h), [&](std::size_t lo,
-                                                  std::size_t hi) {
-      for (std::size_t f = lo; f < hi; ++f) {
-        const std::uint32_t b = boxed.box_begin[f];
-        const std::uint32_t e = boxed.box_begin[f + 1];
-        if (b == e) continue;
-        const Point2 c = tree.center(h, tree.coord_of(h, f));
-        const std::span<const double> g{local[h].data() + f * kp, k};
-        for (std::uint32_t j = b; j < e; ++j) {
-          const Point2 x{p.x[j], p.y[j]};
-          phi[j] += evaluate_inner(impl_->rule, config_.truncation, a, c, g, x);
-          if (config_.with_gradient) {
-            const Point2 gr = evaluate_inner_gradient(
-                impl_->rule, config_.truncation, a, c, g, x);
-            grad[j].x += gr.x;
-            grad[j].y += gr.y;
+  // --- L2P (sorted order, into phi/grad).
+  const exec::NodeId l2p = g.add(
+      "l2p", "l2p", tree.boxes_at(h), 0,
+      [&](std::size_t, std::size_t lo, std::size_t hi, PhaseStats&) {
+        const double a = config_.radius_ratio * tree.side_at(h);
+        for (std::size_t f = lo; f < hi; ++f) {
+          const std::uint32_t b = boxed.box_begin[f];
+          const std::uint32_t e = boxed.box_begin[f + 1];
+          if (b == e) continue;
+          const Point2 c = tree.center(h, tree.coord_of(h, f));
+          const std::span<const double> gv{local[h].data() + f * kp, k};
+          for (std::uint32_t j = b; j < e; ++j) {
+            const Point2 x{p.x[j], p.y[j]};
+            phi[j] +=
+                evaluate_inner(impl_->rule, config_.truncation, a, c, gv, x);
+            if (config_.with_gradient) {
+              const Point2 gr = evaluate_inner_gradient(
+                  impl_->rule, config_.truncation, a, c, gv, x);
+              grad[j].x += gr.x;
+              grad[j].y += gr.y;
+            }
           }
         }
-      }
-    });
-  }
-  {
-    ScopedPhaseTimer timer(result.breakdown["near"]);
-    const auto offsets = near_offsets2(config_.separation);
-    const std::int32_t nl = tree.boxes_per_side(h);
-    pool.parallel_chunks(0, tree.boxes_at(h), [&](std::size_t lo,
-                                                  std::size_t hi) {
-      for (std::size_t f = lo; f < hi; ++f) {
-        const std::uint32_t tb = boxed.box_begin[f];
-        const std::uint32_t te = boxed.box_begin[f + 1];
-        if (tb == te) continue;
-        const BoxCoord2 c = tree.coord_of(h, f);
-        for (const Offset2& o : offsets) {
-          const BoxCoord2 nb{c.ix + o.dx, c.iy + o.dy};
-          if (nb.ix < 0 || nb.ix >= nl || nb.iy < 0 || nb.iy >= nl) continue;
-          const std::size_t sf = tree.flat_index(h, nb);
-          const std::uint32_t sb = boxed.box_begin[sf];
-          const std::uint32_t se = boxed.box_begin[sf + 1];
-          if (sb == se) continue;
-          // Point2 is a plain {x, y} pair, so grad rows are exactly the
-          // interleaved layout the kernel's gxy output expects.
-          pkern::active_kernel().p2p2(
-              p.x.data(), p.y.data(), p.q.data(), tb, te, sb, se,
-              phi.data() + tb,
-              config_.with_gradient
-                  ? reinterpret_cast<double*>(grad.data() + tb)
-                  : nullptr);
-        }
-      }
-    });
-  }
+      });
+  g.depend(l2p, local_ready);
+  g.depend(l2p, prep_out);
 
-  result.phi.assign(n, 0.0);
-  if (config_.with_gradient) result.grad.assign(n, Point2{});
-  for (std::size_t i = 0; i < n; ++i) {
-    result.phi[boxed.perm[i]] = phi[i];
-    if (config_.with_gradient) result.grad[boxed.perm[i]] = grad[i];
-  }
+  // --- Near field into its own buffers: every target box writes only its
+  // own particle slice, so any chunking is race-free and deterministic.
+  const std::size_t leaf_boxes = tree.boxes_at(h);
+  const std::size_t nf_chunks = W == 1 ? 1 : std::min(leaf_boxes, 4 * W);
+  const exec::NodeId near = g.add(
+      "near", "near", leaf_boxes, nf_chunks,
+      [&](std::size_t, std::size_t lo, std::size_t hi, PhaseStats&) {
+        const auto offsets = near_offsets2(config_.separation);
+        const std::int32_t nl = tree.boxes_per_side(h);
+        for (std::size_t f = lo; f < hi; ++f) {
+          const std::uint32_t tb = boxed.box_begin[f];
+          const std::uint32_t te = boxed.box_begin[f + 1];
+          if (tb == te) continue;
+          const BoxCoord2 c = tree.coord_of(h, f);
+          for (const Offset2& o : offsets) {
+            const BoxCoord2 nb{c.ix + o.dx, c.iy + o.dy};
+            if (nb.ix < 0 || nb.ix >= nl || nb.iy < 0 || nb.iy >= nl)
+              continue;
+            const std::size_t sf = tree.flat_index(h, nb);
+            const std::uint32_t sb = boxed.box_begin[sf];
+            const std::uint32_t se = boxed.box_begin[sf + 1];
+            if (sb == se) continue;
+            // Point2 is a plain {x, y} pair, so grad rows are exactly the
+            // interleaved layout the kernel's gxy output expects.
+            pkern::active_kernel().p2p2(
+                p.x.data(), p.y.data(), p.q.data(), tb, te, sb, se,
+                phi_near.data() + tb,
+                config_.with_gradient
+                    ? reinterpret_cast<double*>(grad_near.data() + tb)
+                    : nullptr);
+          }
+        }
+      },
+      /*priority=*/1);
+  g.depend(near, sort);
+  g.depend(near, prep_out);
+
+  // --- Accumulate: merge far and near fields, unsort into caller order.
+  const exec::NodeId acc = g.add(
+      "accumulate", "accumulate", n, 0,
+      [&](std::size_t, std::size_t lo, std::size_t hi, PhaseStats&) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          result.phi[boxed.perm[i]] = phi[i] + phi_near[i];
+          if (config_.with_gradient)
+            result.grad[boxed.perm[i]] = {grad[i].x + grad_near[i].x,
+                                          grad[i].y + grad_near[i].y};
+        }
+      });
+  g.depend(acc, l2p);
+  g.depend(acc, near);
+
+  g.run(pool,
+        config_.threads ? exec::RunMode::kConcurrent : exec::RunMode::kInline,
+        result.breakdown, &result.timeline);
   return result;
 }
 

@@ -16,6 +16,7 @@
 #include "hfmm/core/near_field.hpp"
 #include "hfmm/dp/sort.hpp"
 #include "hfmm/pkern/kernels.hpp"
+#include "hfmm/tree/interaction_lists.hpp"
 #include "hfmm/util/particles.hpp"
 #include "hfmm/util/rng.hpp"
 
@@ -310,11 +311,13 @@ void expect_symmetric_agrees(const ParticleSet& p, int depth, bool with_grad,
   std::vector<double> phi_a(n, 0.0), phi_b(n, 0.0);
   std::vector<Vec3> grad_a(with_grad ? n : 0), grad_b(with_grad ? n : 0);
   core::NearFieldScratch scratch;
+  const std::vector<tree::Offset> full = tree::near_field_offsets(2);
+  const std::vector<tree::Offset> half = tree::near_field_half_offsets(2);
   const auto ra =
-      core::near_field(hier, boxed, 2, false, phi_a, grad_a,
+      core::near_field(hier, boxed, full, false, phi_a, grad_a,
                        ThreadPool::global(), &scratch);
   const auto rb =
-      core::near_field(hier, boxed, 2, true, phi_b, grad_b,
+      core::near_field(hier, boxed, half, true, phi_b, grad_b,
                        ThreadPool::global(), &scratch);
   // The symmetric pass visits every cross-box pair once instead of twice.
   EXPECT_LE(rb.pair_interactions, ra.pair_interactions);
@@ -377,12 +380,13 @@ TEST_P(NearFieldEdgeTest, ScratchReuseIsDeterministic) {
   const dp::BlockLayout layout(hier.boxes_per_side(2), {1, 1, 1});
   const dp::BoxedParticles boxed = dp::coordinate_sort(p, hier, layout);
   core::NearFieldScratch scratch;
+  const std::vector<tree::Offset> half = tree::near_field_half_offsets(2);
   std::vector<double> first(p.size(), 0.0), second(p.size(), 0.0);
   std::vector<Vec3> g1(p.size()), g2(p.size());
-  core::near_field(hier, boxed, 2, true, first, g1, ThreadPool::global(),
+  core::near_field(hier, boxed, half, true, first, g1, ThreadPool::global(),
                    &scratch);
   // Second call reuses the (now dirty) scratch; results must be identical.
-  core::near_field(hier, boxed, 2, true, second, g2, ThreadPool::global(),
+  core::near_field(hier, boxed, half, true, second, g2, ThreadPool::global(),
                    &scratch);
   for (std::size_t i = 0; i < p.size(); ++i) {
     EXPECT_DOUBLE_EQ(first[i], second[i]);

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <set>
+#include <string>
 #include <tuple>
 
 #include "hfmm/core/integrator.hpp"
@@ -44,6 +46,53 @@ TEST_P(ReuseModes, ConsecutiveSolvesBitwiseIdentical) {
   const FmmResult second = solver.solve(p);
   EXPECT_TRUE(bitwise_equal(first.phi, second.phi));
   EXPECT_TRUE(bitwise_equal(first.grad, second.grad));
+}
+
+// Graph-executor determinism: under every aggregation mode (and with
+// supernodes on/off), repeated solves — warm on one solver and cold on a
+// fresh one — must be bitwise identical. The chunk split of every stage is
+// fixed when the phase graph is built, so scheduling cannot change the
+// floating-point grouping.
+TEST_P(ReuseModes, DeterministicAcrossAggregationModes) {
+  const ParticleSet p = make_uniform(1200, Box3{}, 57);
+  for (const AggregationMode agg :
+       {AggregationMode::kGemv, AggregationMode::kGemm,
+        AggregationMode::kGemmBatch}) {
+    for (const bool sn : {false, true}) {
+      FmmConfig cfg = base_config(GetParam());
+      cfg.aggregation = agg;
+      cfg.supernodes = sn;
+      FmmSolver solver(cfg);
+      const FmmResult first = solver.solve(p);
+      const FmmResult warm = solver.solve(p);
+      EXPECT_TRUE(bitwise_equal(first.phi, warm.phi))
+          << to_string(agg) << " sn=" << sn;
+      EXPECT_TRUE(bitwise_equal(first.grad, warm.grad))
+          << to_string(agg) << " sn=" << sn;
+      FmmSolver fresh(cfg);
+      EXPECT_TRUE(bitwise_equal(first.phi, fresh.solve(p).phi))
+          << to_string(agg) << " sn=" << sn << " (fresh solver)";
+    }
+  }
+}
+
+// Every mode's solve runs through the phase graph and reports a per-stage
+// timeline covering the paper's pipeline.
+TEST_P(ReuseModes, TimelineCoversPipelineStages) {
+  FmmSolver solver(base_config(GetParam()));
+  const ParticleSet p = make_uniform(1000, Box3{}, 71);
+  const FmmResult r = solver.solve(p);
+  ASSERT_FALSE(r.timeline.empty());
+  std::set<std::string> phases;
+  for (const auto& t : r.timeline) {
+    phases.insert(t.phase);
+    EXPECT_GE(t.end_seconds, t.start_seconds) << t.stage;
+    EXPECT_GE(t.workers, 1u) << t.stage;
+    EXPECT_GE(t.chunks, 1u) << t.stage;
+  }
+  for (const char* ph : {"sort", "p2m", "upward", "interactive", "downward",
+                         "l2p", "near", "accumulate"})
+    EXPECT_TRUE(phases.count(ph)) << ph;
 }
 
 TEST_P(ReuseModes, WarmSolveReusesPlan) {

@@ -370,5 +370,43 @@ TEST(TimerTest, MeasuresElapsedTime) {
   (void)sink;
 }
 
+// Regression: timers nested on the same PhaseStats used to each add their
+// own elapsed time, double-counting the shared wall interval. Only the
+// outermost timer may record.
+TEST(TimerTest, NestedPhaseTimersCountWallTimeOnce) {
+  PhaseStats stats;
+  auto spin = [] {
+    WallTimer t;
+    double work = 0;
+    while (t.seconds() < 2e-3)
+      for (int i = 0; i < 1000; ++i) work += i;
+    volatile double sink = work;
+    (void)sink;
+  };
+  WallTimer wall;
+  {
+    ScopedPhaseTimer outer(stats);
+    spin();
+    {
+      ScopedPhaseTimer inner(stats);  // same stats: must not double-count
+      spin();
+      ScopedPhaseTimer inner2(stats);
+      spin();
+    }
+    spin();
+  }
+  const double elapsed = wall.seconds();
+  EXPECT_GT(stats.seconds, 0.0);
+  EXPECT_LE(stats.seconds, elapsed * 1.0001);
+  EXPECT_EQ(stats.timing_depth, 0);
+  // A later sibling timer accumulates on top, still without inflation.
+  WallTimer wall2;
+  {
+    ScopedPhaseTimer again(stats);
+    spin();
+  }
+  EXPECT_LE(stats.seconds, (elapsed + wall2.seconds()) * 1.0001);
+}
+
 }  // namespace
 }  // namespace hfmm

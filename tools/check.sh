@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# Tier-1 check: build + ctest once normally, then once with ASan + UBSan
-# (HFMM_SANITIZE=address,undefined). Run from the repository root:
+# Tier-1 check: build + ctest once normally, once with ASan + UBSan
+# (HFMM_SANITIZE=address,undefined), and once with TSan
+# (HFMM_SANITIZE=thread — the concurrent phase-graph scheduler is the main
+# subject). Run from the repository root:
 #   tools/check.sh [jobs]
 set -euo pipefail
 
@@ -23,6 +25,15 @@ echo "== tier-1: ASan + UBSan build =="
 export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
 run_suite build-sanitize \
   -DHFMM_SANITIZE=address,undefined \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DHFMM_BUILD_BENCH=OFF -DHFMM_BUILD_EXAMPLES=OFF
+
+echo "== tier-1: TSan build =="
+# TSan is exclusive of ASan, so it gets its own tree. halt_on_error makes
+# any reported race fail the suite.
+export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
+run_suite build-tsan \
+  -DHFMM_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DHFMM_BUILD_BENCH=OFF -DHFMM_BUILD_EXAMPLES=OFF
 
