@@ -7,17 +7,28 @@
 // shape as BENCH_kernels.json):
 //   { "bench": "bench_breakdown",
 //     "configs": [ { "label": "d5_k12", "n":.., "k":.., "depth":..,
-//       "mode": "threads", "total_seconds":.., "warm_seconds":..,
-//       "warm_allocs":.., "total_gflop":..,
-//       "phases": [ {"phase": "near", "seconds":.., "gflop":..}, ... ] },
+//       "mode": "threads", "dist": "uniform", "hierarchy": "auto",
+//       "sparse": false, "active_boxes":.., "workspace_bytes":..,
+//       "occupancy": [..],
+//       "total_seconds":.., "warm_seconds":.., "warm_allocs":..,
+//       "total_gflop":..,
+//       "phases": [ {"phase": "near", "seconds":.., "gflop":..,
+//                    "imbalance":.., "boxes_active":.., "boxes_total":..},
+//                   ... ] },
 //       ... ],
 //     "integrator": { "n":.., "steps":.., "first_eval_seconds":..,
 //       "warm_step_seconds":.. } }
 // total_seconds is the COLD solve (plan + workspace built); warm_seconds is
 // the best-of-3 warm solve on the reused plan/workspace.
+//
+// --dist {uniform,plummer,two-clusters} selects the particle distribution
+// for the headline configs; a pinned Plummer N=100k dense-vs-sparse pair at
+// depth 4 and 5 always runs so the sparse hierarchy's cold/warm cost and
+// workspace footprint are diffable against the dense path.
 
 #include <cstring>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -29,16 +40,43 @@ using namespace hfmm;
 
 namespace {
 
-void run(const char* label, const char* slug, const anderson::Params& params,
-         std::size_t n, bool dp_mode, std::FILE* json, bool first) {
+ParticleSet make_dist(const std::string& dist, std::size_t n,
+                      std::uint64_t seed) {
+  if (dist == "plummer") return make_plummer(n, Box3{}, seed);
+  if (dist == "two-clusters") return make_two_clusters(n, Box3{}, seed);
+  if (dist != "uniform") {
+    std::fprintf(stderr, "unknown --dist %s (uniform|plummer|two-clusters)\n",
+                 dist.c_str());
+    std::exit(1);
+  }
+  return make_uniform(n, Box3{}, seed);
+}
+
+struct RunOpts {
+  std::string dist = "uniform";
+  int depth = -1;  // -1 = occupancy policy
+  core::HierarchyMode hierarchy = core::HierarchyMode::kAuto;
+};
+
+struct RunOutcome {
+  double cold = 0.0;
+  double warm = 0.0;
+  std::size_t workspace_bytes = 0;
+};
+
+RunOutcome run(const char* label, const char* slug,
+               const anderson::Params& params, std::size_t n, bool dp_mode,
+               std::FILE* json, bool first, const RunOpts& opts = {}) {
   core::FmmConfig cfg;
   cfg.params = params;
   cfg.supernodes = true;
+  cfg.depth = opts.depth;
+  cfg.hierarchy = opts.hierarchy;
   if (dp_mode) {
     cfg.mode = core::ExecutionMode::kDataParallel;
     cfg.machine = {2, 2, 2};
   }
-  const ParticleSet p = make_uniform(n, Box3{}, 4242);
+  const ParticleSet p = make_dist(opts.dist, n, 4242);
   core::FmmSolver solver(cfg);
   (void)solver.translations();
   WallTimer t;
@@ -61,8 +99,11 @@ void run(const char* label, const char* slug, const anderson::Params& params,
     warm_allocs = w.workspace_allocs;
   }
 
-  std::printf("\n%s  (N = %zu, K = %zu, depth %d, %s)\n", label, n, r.k,
-              r.depth, dp_mode ? "data-parallel" : "threads");
+  std::printf("\n%s  (N = %zu, K = %zu, depth %d, %s, dist %s, %s "
+              "hierarchy%s)\n",
+              label, n, r.k, r.depth, dp_mode ? "data-parallel" : "threads",
+              opts.dist.c_str(), core::to_string(cfg.hierarchy),
+              r.sparse ? " [sparse active]" : "");
   Table table({"phase", "time (s)", "share", "Gflop", "efficiency"});
   for (const auto& [name, s] : r.breakdown.phases()) {
     if (name == "comm") continue;
@@ -80,6 +121,13 @@ void run(const char* label, const char* slug, const anderson::Params& params,
       "reused, %llu warm heap growths)\n",
       total, warm, total / warm,
       static_cast<unsigned long long>(warm_allocs));
+  std::printf("workspace: %.2f MB heap; active boxes %zu",
+              static_cast<double>(r.workspace_bytes) / 1e6, r.active_boxes);
+  if (!r.level_occupancy.empty()) {
+    std::printf("; occupancy by level:");
+    for (double o : r.level_occupancy) std::printf(" %.3f", o);
+  }
+  std::printf("\n");
   if (dp_mode) {
     const double comm = r.breakdown.phases().count("comm")
                             ? r.breakdown.phases().at("comm").seconds
@@ -109,20 +157,32 @@ void run(const char* label, const char* slug, const anderson::Params& params,
     std::fprintf(json,
                  "%s\n    { \"label\": \"%s\", \"n\": %zu, \"k\": %zu, "
                  "\"depth\": %d, \"mode\": \"%s\",\n"
+                 "      \"dist\": \"%s\", \"hierarchy\": \"%s\", "
+                 "\"sparse\": %s, \"active_boxes\": %zu, "
+                 "\"workspace_bytes\": %zu,\n      \"occupancy\": [",
+                 first ? "" : ",", slug, n, r.k, r.depth,
+                 dp_mode ? "data_parallel" : "threads", opts.dist.c_str(),
+                 core::to_string(cfg.hierarchy), r.sparse ? "true" : "false",
+                 r.active_boxes, r.workspace_bytes);
+    for (std::size_t l = 0; l < r.level_occupancy.size(); ++l)
+      std::fprintf(json, "%s%.6f", l == 0 ? "" : ", ", r.level_occupancy[l]);
+    std::fprintf(json,
+                 "],\n"
                  "      \"total_seconds\": %.6f, \"warm_seconds\": %.6f, "
                  "\"warm_allocs\": %llu, \"total_gflop\": %.3f,\n"
                  "      \"phases\": [",
-                 first ? "" : ",", slug, n, r.k, r.depth,
-                 dp_mode ? "data_parallel" : "threads", total, warm,
-                 static_cast<unsigned long long>(warm_allocs),
+                 total, warm, static_cast<unsigned long long>(warm_allocs),
                  static_cast<double>(r.breakdown.total_flops()) / 1e9);
     bool first_phase = true;
     for (const auto& [name, s] : r.breakdown.phases()) {
       std::fprintf(json,
                    "%s\n        { \"phase\": \"%s\", \"seconds\": %.6f, "
-                   "\"gflop\": %.3f }",
+                   "\"gflop\": %.3f, \"imbalance\": %.4f, "
+                   "\"boxes_active\": %llu, \"boxes_total\": %llu }",
                    first_phase ? "" : ",", name.c_str(), s.seconds,
-                   static_cast<double>(s.flops) / 1e9);
+                   static_cast<double>(s.flops) / 1e9, s.cost_imbalance,
+                   static_cast<unsigned long long>(s.boxes_active),
+                   static_cast<unsigned long long>(s.boxes_total));
       first_phase = false;
     }
     std::fprintf(json, "\n      ],\n      \"timeline\": [");
@@ -138,6 +198,7 @@ void run(const char* label, const char* slug, const anderson::Params& params,
     }
     std::fprintf(json, "\n      ] }");
   }
+  return {total, warm, r.workspace_bytes};
 }
 
 }  // namespace
@@ -156,6 +217,9 @@ int main(int argc, char** argv) {
   Cli cli(static_cast<int>(args.size()), args.data());
   const std::size_t n =
       static_cast<std::size_t>(cli.get("n", std::int64_t{100000}));
+  RunOpts opts;
+  opts.dist = cli.get("dist", std::string("uniform"));
+  opts.depth = static_cast<int>(cli.get("depth", std::int64_t{-1}));
   bench::check_unused(cli);
 
   bench::print_header("bench_breakdown",
@@ -170,11 +234,42 @@ int main(int argc, char** argv) {
     std::fprintf(json, "{\n  \"bench\": \"bench_breakdown\",\n  \"configs\": [");
 
   run("D=5 / K=12 configuration", "d5_k12", anderson::params_d5_k12(), n,
-      false, json, true);
+      false, json, true, opts);
   run("K=72 configuration", "k72", anderson::params_d14_k72(), n / 4, false,
-      json, false);
+      json, false, opts);
   run("D=5 / K=12, simulated 8-VU machine", "d5_k12_dp",
-      anderson::params_d5_k12(), n / 2, true, json, false);
+      anderson::params_d5_k12(), n / 2, true, json, false, opts);
+
+  // Pinned dense-vs-sparse pair on a clustered (Plummer) distribution: the
+  // sparse active-box hierarchy's headline comparison, at depth 4 (near-
+  // field dominated at N=100k) and depth 5 (translation dominated).
+  std::printf("\n==== clustered dense-vs-sparse comparison (Plummer) ====\n");
+  for (const int depth : {4, 5}) {
+    RunOpts d = opts;
+    d.dist = "plummer";
+    d.depth = depth;
+    d.hierarchy = core::HierarchyMode::kDense;
+    char label[96], slug[64];
+    std::snprintf(label, sizeof label, "Plummer depth-%d, dense hierarchy",
+                  depth);
+    std::snprintf(slug, sizeof slug, "plummer_d%d_dense", depth);
+    const RunOutcome dense = run(label, slug, anderson::params_d5_k12(), n,
+                                 false, json, false, d);
+    d.hierarchy = core::HierarchyMode::kSparse;
+    std::snprintf(label, sizeof label, "Plummer depth-%d, sparse hierarchy",
+                  depth);
+    std::snprintf(slug, sizeof slug, "plummer_d%d_sparse", depth);
+    const RunOutcome sparse = run(label, slug, anderson::params_d5_k12(), n,
+                                  false, json, false, d);
+    std::printf(
+        "\nplummer depth-%d sparse vs dense: warm %.3f s -> %.3f s "
+        "(%.2fx), workspace %.2f MB -> %.2f MB (%.2fx)\n",
+        depth, dense.warm, sparse.warm, dense.warm / sparse.warm,
+        static_cast<double>(dense.workspace_bytes) / 1e6,
+        static_cast<double>(sparse.workspace_bytes) / 1e6,
+        static_cast<double>(dense.workspace_bytes) /
+            static_cast<double>(sparse.workspace_bytes));
+  }
 
   // Timestep loop: after the first force evaluation builds the plan, every
   // leapfrog step pays only the warm-solve cost.

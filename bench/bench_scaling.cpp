@@ -7,8 +7,16 @@
 //       cycles/particle should be ~flat (linear in N);
 //   (2) VU sweep at fixed N: per-VU work should fall linearly while the
 //       communication fraction stays bounded (the paper: 10-25%).
+//
+// --dist {uniform,plummer,two-clusters} selects the particle distribution
+// (clustered inputs exercise the sparse active-box hierarchy). The N sweep
+// is written to BENCH_scaling.json (--json=FILE) with the distribution and
+// the per-level active-box occupancy of every row.
 
+#include <cstring>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "hfmm/core/solver.hpp"
@@ -16,25 +24,60 @@
 
 using namespace hfmm;
 
+namespace {
+
+ParticleSet make_dist(const std::string& dist, std::size_t n,
+                      std::uint64_t seed) {
+  if (dist == "plummer") return make_plummer(n, Box3{}, seed);
+  if (dist == "two-clusters") return make_two_clusters(n, Box3{}, seed);
+  if (dist != "uniform") {
+    std::fprintf(stderr, "unknown --dist %s (uniform|plummer|two-clusters)\n",
+                 dist.c_str());
+    std::exit(1);
+  }
+  return make_uniform(n, Box3{}, seed);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  Cli cli(argc, argv);
+  const char* json_path = "BENCH_scaling.json";
+  std::vector<const char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0)
+      json_path = argv[i] + 7;
+    else
+      args.push_back(argv[i]);
+  }
+  Cli cli(static_cast<int>(args.size()), args.data());
   const std::size_t nmax =
       static_cast<std::size_t>(cli.get("nmax", std::int64_t{256000}));
-  bench::check_unused(cli);
+  const std::string dist = cli.get("dist", std::string("uniform"));
 
   bench::print_header("bench_scaling",
                       "Abstract/Section 4 — linear scaling in N and P; "
                       "communication fraction 10-25%");
 
+  std::FILE* json = std::fopen(json_path, "w");
+  if (json == nullptr)
+    std::fprintf(stderr, "bench_scaling: cannot write %s\n", json_path);
+  else
+    std::fprintf(json,
+                 "{\n  \"bench\": \"bench_scaling\",\n  \"dist\": \"%s\",\n"
+                 "  \"n_sweep\": [",
+                 dist.c_str());
+
   // ---- Sweep 1: N, shared-memory executor, supernodes on (the paper's
   // production configuration).
-  std::printf("[1] particle-count sweep (threads executor, supernodes)\n\n");
+  std::printf("[1] particle-count sweep (threads executor, supernodes, "
+              "dist %s)\n\n", dist.c_str());
   Table t1({"N", "depth", "cold (s)", "warm (s)", "warm us/particle",
-            "cycles/particle", "Gflop", "efficiency"});
+            "cycles/particle", "Gflop", "efficiency", "sparse"});
+  bool first_row = true;
   for (std::size_t n = nmax / 16; n <= nmax; n *= 4) {
     core::FmmConfig cfg;
     cfg.supernodes = true;
-    const ParticleSet p = make_uniform(n, Box3{}, 606);
+    const ParticleSet p = make_dist(dist, n, 606);
     core::FmmSolver solver(cfg);
     (void)solver.translations();
     WallTimer t;
@@ -51,7 +94,23 @@ int main(int argc, char** argv) {
             Table::num(static_cast<double>(r.breakdown.total_flops()) / 1e9,
                        3),
             Table::percent(bench::efficiency(r.breakdown.total_flops(),
-                                             r.breakdown.total_seconds()))});
+                                             r.breakdown.total_seconds())),
+            r.sparse ? "yes" : "no"});
+    if (json != nullptr) {
+      std::fprintf(json,
+                   "%s\n    { \"n\": %zu, \"depth\": %d, "
+                   "\"cold_seconds\": %.6f, \"warm_seconds\": %.6f, "
+                   "\"sparse\": %s, \"active_boxes\": %zu, "
+                   "\"workspace_bytes\": %zu, \"occupancy\": [",
+                   first_row ? "" : ",", n, r.depth, secs, warm,
+                   r.sparse ? "true" : "false", r.active_boxes,
+                   r.workspace_bytes);
+      for (std::size_t l = 0; l < r.level_occupancy.size(); ++l)
+        std::fprintf(json, "%s%.6f", l == 0 ? "" : ", ",
+                     r.level_occupancy[l]);
+      std::fprintf(json, "] }");
+      first_row = false;
+    }
   }
   t1.print(std::cout);
 
@@ -59,9 +118,12 @@ int main(int argc, char** argv) {
   std::printf("\n[2] VU sweep (data-parallel executor, N fixed)\n\n");
   const std::size_t n_dp =
       static_cast<std::size_t>(cli.get("ndp", std::int64_t{32000}));
-  const ParticleSet p = make_uniform(n_dp, Box3{}, 607);
+  bench::check_unused(cli);
+  const ParticleSet p = make_dist(dist, n_dp, 607);
   Table t2({"VUs", "depth", "est. compute/VU (s)", "est. comm (s)",
             "comm fraction", "off-VU MB", "messages"});
+  if (json != nullptr) std::fprintf(json, "\n  ],\n  \"vu_sweep\": [");
+  first_row = true;
   for (const std::int32_t vu : {1, 2, 4}) {
     core::FmmConfig cfg;
     cfg.mode = core::ExecutionMode::kDataParallel;
@@ -84,8 +146,24 @@ int main(int argc, char** argv) {
             Table::num(comm, 3), Table::percent(comm / (per_vu + comm)),
             Table::num(static_cast<double>(r.comm.off_vu_bytes) / 1e6, 3),
             Table::num(r.comm.messages)});
+    if (json != nullptr) {
+      std::fprintf(json,
+                   "%s\n    { \"vus\": %zu, \"depth\": %d, "
+                   "\"comm_seconds\": %.6f, \"off_vu_bytes\": %llu, "
+                   "\"messages\": %llu, \"sparse\": %s }",
+                   first_row ? "" : ",", vus, r.depth, comm,
+                   static_cast<unsigned long long>(r.comm.off_vu_bytes),
+                   static_cast<unsigned long long>(r.comm.messages),
+                   r.sparse ? "true" : "false");
+      first_row = false;
+    }
   }
   t2.print(std::cout);
+  if (json != nullptr) {
+    std::fprintf(json, "\n  ]\n}\n");
+    std::fclose(json);
+    std::printf("\nscaling JSON written to %s\n", json_path);
+  }
   std::printf(
       "\npaper shape to verify: us/particle and cycles/particle flat in N\n"
       "(linear total time); per-VU time falls ~linearly with VUs while the\n"

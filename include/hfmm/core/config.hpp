@@ -22,8 +22,16 @@ enum class AggregationMode {
   kGemmBatch,  ///< multiple-instance GEMM over subgrid slabs (CMSSL style)
 };
 
+/// How the box hierarchy is enumerated (DESIGN.md Section 13):
+enum class HierarchyMode {
+  kDense,   ///< dense 8^l arrays per level (the classic layout)
+  kSparse,  ///< active-box level sets derived from leaf occupancy
+  kAuto,    ///< sparse when leaf occupancy < sparse_threshold, else dense
+};
+
 const char* to_string(ExecutionMode m);
 const char* to_string(AggregationMode m);
+const char* to_string(HierarchyMode m);
 
 struct FmmConfig {
   anderson::Params params = anderson::params_d5_k12();
@@ -40,6 +48,14 @@ struct FmmConfig {
   double softening = 0.0;            ///< Plummer softening for the near field
   ExecutionMode mode = ExecutionMode::kThreads;
   AggregationMode aggregation = AggregationMode::kGemm;
+  /// Sparse active-box hierarchy selection. kAuto measures the leaf-level
+  /// occupancy after the coordinate sort and switches to the sparse
+  /// executor only when it falls below sparse_threshold — dense (near-)
+  /// uniform inputs keep the dense path and its exact bit patterns.
+  HierarchyMode hierarchy = HierarchyMode::kAuto;
+  /// kAuto's occupancy cutoff: fraction of non-empty leaf boxes below which
+  /// the sparse path is selected. In [0, 1]; 0 forces dense under kAuto.
+  double sparse_threshold = 0.9;
 
   // Data-parallel execution knobs (ignored in the other modes).
   dp::MachineConfig machine{2, 2, 2};

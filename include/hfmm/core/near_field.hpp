@@ -69,6 +69,19 @@ NearFieldResult near_field_chunk(const tree::Hierarchy& hier,
                                  std::size_t box_lo, std::size_t box_hi,
                                  double softening = 0.0);
 
+/// Active-box variant: evaluates the leaf boxes whose flat indices are
+/// listed in `boxes` (a slice of a sparse active set, ascending). Pair
+/// coverage matches the dense range form exactly — boxes absent from an
+/// active set are empty, and box pairs with an empty side are skipped by
+/// both forms — so the two produce identical interactions.
+NearFieldResult near_field_chunk(const tree::Hierarchy& hier,
+                                 const dp::BoxedParticles& boxed,
+                                 std::span<const tree::Offset> offsets,
+                                 bool symmetric, bool with_gradient,
+                                 NearFieldScratch::Chunk& ch,
+                                 std::span<const std::uint32_t> boxes,
+                                 double softening = 0.0);
+
 /// Adds chunks [0, used) of `scr` into phi/grad over the particle range
 /// [lo, hi), in chunk-index order. Chunk index == ascending box range when
 /// the chunks came from a static split, so the floating-point accumulation

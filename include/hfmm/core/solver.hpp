@@ -40,6 +40,17 @@ struct FmmResult {
   std::size_t leaf_boxes = 0;
   bool plan_reused = false;  ///< warm solve: no plan construction happened
   std::uint64_t workspace_allocs = 0;  ///< heap-growth events this solve
+  /// True when the solve ran on the sparse active-box executor (forced by
+  /// HierarchyMode::kSparse or selected by kAuto's occupancy cutoff).
+  bool sparse = false;
+  /// Total active boxes over all levels (== total dense boxes when dense).
+  std::size_t active_boxes = 0;
+  /// Per-level active-box fraction, level_occupancy[l] in (0, 1]; filled
+  /// whenever the active sets were derived (sparse solves, and DP solves
+  /// with hierarchy != kDense).
+  std::vector<double> level_occupancy;
+  /// Heap footprint (capacity) of the solve workspace after this solve.
+  std::size_t workspace_bytes = 0;
   /// Per-stage execution timeline of the solve's phase graph (start/end
   /// seconds relative to the graph run, chunk split, worker count) — shows
   /// which stages overlapped in concurrent mode.
@@ -76,6 +87,8 @@ class FmmSolver {
  private:
   FmmResult solve_dp_(const ParticleSet& particles,
                       const tree::Hierarchy& hier, FmmResult result);
+  FmmResult solve_sparse_(const ParticleSet& particles,
+                          const tree::Hierarchy& hier, FmmResult result);
   FmmConfig config_;
   std::unique_ptr<Impl> impl_;
 };

@@ -18,6 +18,9 @@
 //                  scheme (stage through the finest level with >= 1 box per
 //                  VU) when they do not.
 
+#include <cstdint>
+#include <span>
+
 #include "hfmm/dp/dist_grid.hpp"
 #include "hfmm/dp/machine.hpp"
 
@@ -69,11 +72,25 @@ class MultigridArray {
 BlockLayout layout_for_level(const BlockLayout& leaf_layout, int level);
 
 /// temp (level-shaped) -> the level's section of the multigrid array.
+///
+/// `active` (optional) is the level's dense->active map (size 8^level,
+/// x-fastest flat order, < 0 = inactive): boxes marked inactive are skipped
+/// — no copy, no counted communication. Safe whenever the skipped values
+/// are not consumed downstream (inactive far fields are exactly zero and a
+/// freshly constructed DistGrid is zero-initialized, so a masked move of an
+/// active-set-consistent grid is value-identical to the dense move). The
+/// kGeneralSend path still pays its per-element address scan over the whole
+/// array — that overhead is what the method models — but moves only active
+/// sections.
 void multigrid_embed(Machine& machine, const DistGrid& temp, int level,
-                     MultigridArray& mg, EmbedMethod method);
+                     MultigridArray& mg, EmbedMethod method,
+                     std::span<const std::int32_t> active = {});
 
 /// The level's section of the multigrid array -> temp (level-shaped).
+/// `active` as in multigrid_embed; masked extraction leaves inactive temp
+/// positions untouched (zero in a fresh grid).
 void multigrid_extract(Machine& machine, const MultigridArray& mg, int level,
-                       DistGrid& temp, EmbedMethod method);
+                       DistGrid& temp, EmbedMethod method,
+                       std::span<const std::int32_t> active = {});
 
 }  // namespace hfmm::dp

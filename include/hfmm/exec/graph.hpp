@@ -34,6 +34,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -53,6 +54,9 @@ struct StageTiming {
   double end_seconds = 0.0;   ///< last chunk finished
   std::size_t chunks = 0;     ///< fixed chunk split of the stage
   std::size_t workers = 0;    ///< distinct workers that executed chunks
+  /// Cost-model imbalance of the chunk split: (max chunk cost) / (mean
+  /// chunk cost), >= 1.0 for weighted stages, 0 for unweighted ones.
+  double cost_imbalance = 0.0;
 };
 
 enum class RunMode {
@@ -86,6 +90,20 @@ class PhaseGraph {
   NodeId add(std::string name, std::string phase, std::size_t range,
              std::size_t max_chunks, ChunkBody body, int priority = 0);
 
+  /// Adds a cost-weighted stage over [0, weights.size()): the range is
+  /// split into at most min(weights.size(), max_chunks) contiguous chunks
+  /// of near-equal total weight (per-item costs from the caller's cost
+  /// model — near-field pair counts, translation counts), instead of equal
+  /// item counts. The split is computed when the graph runs, from the
+  /// weights alone, so it is independent of scheduling — results stay
+  /// bitwise-reproducible. The achieved (max/mean) chunk-cost ratio is
+  /// reported as StageTiming::cost_imbalance and max-merged into the
+  /// phase's PhaseStats.
+  NodeId add_weighted(std::string name, std::string phase,
+                      std::span<const std::uint64_t> weights,
+                      std::size_t max_chunks, ChunkBody body,
+                      int priority = 0);
+
   /// Adds a single-chunk stage (serial body).
   NodeId add_serial(std::string name, std::string phase,
                     std::function<void(PhaseStats&)> body, int priority = 0);
@@ -118,5 +136,14 @@ class PhaseGraph {
   std::vector<std::unique_ptr<Node>> nodes_;
   bool ran_ = false;
 };
+
+/// Splits items [0, weights.size()) into at most `max_chunks` contiguous
+/// chunks of near-equal total weight (greedy prefix targets; every chunk
+/// gets at least one item). Returns the chunk bounds: bounds[c] .. bounds
+/// [c+1] is chunk c, bounds.front() == 0, bounds.back() == weights.size().
+/// Deterministic in the weights — the building block of add_weighted,
+/// exposed for tests and for callers that need the split itself.
+std::vector<std::size_t> weighted_split(
+    std::span<const std::uint64_t> weights, std::size_t max_chunks);
 
 }  // namespace hfmm::exec

@@ -1,0 +1,84 @@
+#pragma once
+// Sparse active-box level sets (paper Section 3.5).
+//
+// The dense hierarchy enumerates all 8^l boxes of every level, but on
+// clustered distributions (Plummer, two-cluster) most of them are empty:
+// their subtrees hold no particles, their far fields are exactly zero, and
+// their local fields feed no particles. The coordinate sort already yields
+// leaf occupancy, so the solver derives per-level ACTIVE sets instead:
+//   * a leaf box is active iff it holds at least one particle;
+//   * an internal box is active iff any of its children is active.
+// Every translation phase then iterates active indices only, and the level
+// stores shrink from 8^l * K to |active_l| * K values.
+//
+// Each level keeps the active boxes as an ascending list of flat indices
+// (the reduction/iteration order, fixed so results stay reproducible) plus
+// the inverse dense -> active map used for neighbor lookups and for the
+// data-parallel multigrid embed/extract, which still addresses the dense
+// grid geometry.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hfmm/tree/hierarchy.hpp"
+
+namespace hfmm::tree {
+
+/// Active boxes of one level.
+struct LevelActiveSet {
+  /// Flat indices of the active boxes, ascending. The position of a flat
+  /// index in this list is the box's ACTIVE index — the row of its
+  /// potential vectors in the compact level stores.
+  std::vector<std::uint32_t> boxes;
+  /// Dense flat index -> active index; -1 for inactive boxes. Size 8^l.
+  std::vector<std::int32_t> dense_to_active;
+
+  std::size_t count() const { return boxes.size(); }
+  bool active(std::size_t flat) const { return dense_to_active[flat] >= 0; }
+};
+
+/// Active sets for every level 0..depth of a hierarchy.
+struct ActiveLevels {
+  int depth = -1;
+  std::vector<LevelActiveSet> levels;
+
+  std::size_t total_active() const {
+    std::size_t t = 0;
+    for (const LevelActiveSet& l : levels) t += l.count();
+    return t;
+  }
+  std::size_t total_dense() const {
+    std::size_t t = 0;
+    for (int l = 0; l <= depth; ++l) t += std::size_t{1} << (3 * l);
+    return t;
+  }
+  /// Fraction of level-l boxes that are active.
+  double occupancy(int l) const {
+    return static_cast<double>(levels[l].count()) /
+           static_cast<double>(std::size_t{1} << (3 * l));
+  }
+  bool level_all_active(int l) const {
+    return levels[l].count() == (std::size_t{1} << (3 * l));
+  }
+  /// Heap footprint of the stored sets (capacity, not size — the warm-solve
+  /// growth check compares this across rebuilds).
+  std::size_t capacity_bytes() const {
+    std::size_t b = 0;
+    for (const LevelActiveSet& l : levels)
+      b += l.boxes.capacity() * sizeof(std::uint32_t) +
+           l.dense_to_active.capacity() * sizeof(std::int32_t);
+    return b;
+  }
+};
+
+/// Builds the active sets of every level from the occupied LEAF flat
+/// indices (any order, duplicates allowed): leaf active iff occupied,
+/// internal box active iff any child active. `out`'s buffers are reused
+/// across calls so a warm rebuild performs no heap growth.
+void build_active_levels(const Hierarchy& hier,
+                         std::span<const std::uint32_t> occupied_leaves,
+                         ActiveLevels& out);
+
+}  // namespace hfmm::tree

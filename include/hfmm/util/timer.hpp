@@ -39,6 +39,14 @@ struct PhaseStats {
   std::uint64_t comm_bytes = 0;
   std::uint64_t bytes_moved = 0;
   std::uint64_t allocs = 0;
+  /// Active-box occupancy of the phase: boxes the phase actually visited
+  /// vs. the dense box count it would visit without sparse level sets.
+  std::uint64_t boxes_active = 0;
+  std::uint64_t boxes_total = 0;
+  /// Cost-model imbalance of the phase's worst stage: (max chunk cost) /
+  /// (mean chunk cost), >= 1.0; 0 when the phase ran unweighted. Merged by
+  /// max — one overloaded chunk anywhere is what bounds the speedup.
+  double cost_imbalance = 0.0;
   /// Live ScopedPhaseTimer count on this phase (not merged by +=): lets
   /// nested timers on the same stats count wall time exactly once.
   int timing_depth = 0;
@@ -49,12 +57,16 @@ struct PhaseStats {
     comm_bytes += o.comm_bytes;
     bytes_moved += o.bytes_moved;
     allocs += o.allocs;
+    boxes_active += o.boxes_active;
+    boxes_total += o.boxes_total;
+    if (o.cost_imbalance > cost_imbalance) cost_imbalance = o.cost_imbalance;
     return *this;
   }
 };
 
 /// Named per-phase accumulator. Phase names used by the FMM pipeline:
-/// "sort", "p2m", "upward", "interactive", "downward", "l2p", "near",
+/// "sort", "active" (sparse active-set derivation), "p2m", "upward",
+/// "interactive", "downward", "l2p", "near",
 /// "precompute", "plan" (per-depth solve-plan construction: supernode
 /// gather plans + near-field interaction lists; zero seconds/allocs on a
 /// warm solve), "workspace" (allocs = workspace buffer growth events this

@@ -22,6 +22,15 @@ const char* to_string(AggregationMode m) {
   return "?";
 }
 
+const char* to_string(HierarchyMode m) {
+  switch (m) {
+    case HierarchyMode::kDense: return "dense";
+    case HierarchyMode::kSparse: return "sparse";
+    case HierarchyMode::kAuto: return "auto";
+  }
+  return "?";
+}
+
 void FmmConfig::validate() const {
   params.validate();
   if (separation < 1)
@@ -31,6 +40,9 @@ void FmmConfig::validate() const {
   if (particles_per_leaf < 0.0)
     throw std::invalid_argument(
         "FmmConfig: particles_per_leaf must be positive (or 0 = automatic)");
+  if (sparse_threshold < 0.0 || sparse_threshold > 1.0)
+    throw std::invalid_argument(
+        "FmmConfig: sparse_threshold must be in [0, 1]");
   if (mode == ExecutionMode::kDataParallel && !machine.valid())
     throw std::invalid_argument("FmmConfig: invalid VU grid");
   if (supernodes && separation != 2)

@@ -21,15 +21,17 @@ BoxRange range_of(const dp::BoxedParticles& boxed, std::size_t flat) {
   return {boxed.box_begin[rank], boxed.box_begin[rank + 1]};
 }
 
-}  // namespace
-
-NearFieldResult near_field_chunk(const tree::Hierarchy& hier,
-                                 const dp::BoxedParticles& boxed,
-                                 std::span<const tree::Offset> offsets,
-                                 bool symmetric, bool with_gradient,
-                                 NearFieldScratch::Chunk& ch,
-                                 std::size_t box_lo, std::size_t box_hi,
-                                 double softening) {
+// Shared chunk body: evaluates `count` leaf boxes whose flat indices come
+// from `flat_of(i)` — a contiguous range on the dense path, an active-box
+// list slice on the sparse path. The arithmetic is identical either way
+// (the sparse path only skips boxes that contribute nothing).
+template <typename FlatOf>
+NearFieldResult evaluate_boxes(const tree::Hierarchy& hier,
+                               const dp::BoxedParticles& boxed,
+                               std::span<const tree::Offset> offsets,
+                               bool symmetric, bool with_gradient,
+                               NearFieldScratch::Chunk& ch, double softening,
+                               std::size_t count, FlatOf flat_of) {
   const int h = hier.depth();
   const std::int32_t n = hier.boxes_per_side(h);
   const ParticleSet& p = boxed.sorted;
@@ -40,7 +42,6 @@ NearFieldResult near_field_chunk(const tree::Hierarchy& hier,
   const double soft2 = softening * softening;
   const pkern::KernelBackend& kern = pkern::active_kernel();
 
-  ch.lo = box_lo;
   ch.phi.assign(p.size(), 0.0);
   Vec3* my_grad = nullptr;
   if (with_gradient) {
@@ -49,7 +50,8 @@ NearFieldResult near_field_chunk(const tree::Hierarchy& hier,
   }
   NearFieldResult res;
 
-  for (std::size_t f = box_lo; f < box_hi; ++f) {
+  for (std::size_t bi = 0; bi < count; ++bi) {
+    const std::size_t f = flat_of(bi);
     const tree::BoxCoord c = hier.coord_of(h, f);
     const BoxRange tr = range_of(boxed, f);
     if (tr.count() == 0 && !symmetric) continue;
@@ -116,6 +118,34 @@ NearFieldResult near_field_chunk(const tree::Hierarchy& hier,
       baseline::direct_pair_flops(with_gradient) + (symmetric ? 4 : 0);
   res.flops = res.pair_interactions * per_pair;
   return res;
+}
+
+}  // namespace
+
+NearFieldResult near_field_chunk(const tree::Hierarchy& hier,
+                                 const dp::BoxedParticles& boxed,
+                                 std::span<const tree::Offset> offsets,
+                                 bool symmetric, bool with_gradient,
+                                 NearFieldScratch::Chunk& ch,
+                                 std::size_t box_lo, std::size_t box_hi,
+                                 double softening) {
+  ch.lo = box_lo;
+  return evaluate_boxes(hier, boxed, offsets, symmetric, with_gradient, ch,
+                        softening, box_hi - box_lo,
+                        [box_lo](std::size_t i) { return box_lo + i; });
+}
+
+NearFieldResult near_field_chunk(const tree::Hierarchy& hier,
+                                 const dp::BoxedParticles& boxed,
+                                 std::span<const tree::Offset> offsets,
+                                 bool symmetric, bool with_gradient,
+                                 NearFieldScratch::Chunk& ch,
+                                 std::span<const std::uint32_t> boxes,
+                                 double softening) {
+  ch.lo = boxes.empty() ? 0 : boxes.front();
+  return evaluate_boxes(hier, boxed, offsets, symmetric, with_gradient, ch,
+                        softening, boxes.size(),
+                        [boxes](std::size_t i) { return boxes[i]; });
 }
 
 void near_field_accumulate(const NearFieldScratch& scr, std::size_t used,

@@ -706,6 +706,33 @@ FmmResult FmmSolver::solve(const ParticleSet& particles) {
   const dp::MachineConfig one_vu{1, 1, 1};
   const dp::BlockLayout layout(hier.boxes_per_side(h), one_vu);
 
+  // Sparse dispatch (DESIGN.md Section 13): the dense/sparse decision needs
+  // leaf occupancy, which needs the coordinate sort's output — so when the
+  // sparse path is reachable the sort runs here (still charged to "sort")
+  // and the graph's sort stage becomes a no-op. Dense-selected solves then
+  // proceed bit-identically: same sort output, same dense stages.
+  bool pre_sorted = false;
+  if (config_.hierarchy != HierarchyMode::kDense) {
+    {
+      ScopedPhaseTimer timer(result.breakdown["sort"]);
+      dp::coordinate_sort(particles, hier, layout, ws.boxed, &ws.sort_scratch);
+    }
+    pre_sorted = true;
+    const std::size_t cap_before = ws.occupied.capacity();
+    ws.occupied.clear();
+    const std::size_t ranks = ws.boxed.box_begin.size() - 1;
+    for (std::size_t r = 0; r < ranks; ++r)
+      if (ws.boxed.box_begin[r + 1] > ws.boxed.box_begin[r])
+        ws.occupied.push_back(ws.boxed.rank_to_flat[r]);
+    if (ws.occupied.capacity() != cap_before)
+      ws.allocs.fetch_add(1, std::memory_order_relaxed);
+    const double occ = static_cast<double>(ws.occupied.size()) /
+                       static_cast<double>(hier.boxes_at(h));
+    if (config_.hierarchy == HierarchyMode::kSparse ||
+        occ < config_.sparse_threshold)
+      return solve_sparse_(particles, hier, std::move(result));
+  }
+
   const std::size_t k = config_.params.k();
   const std::size_t W = pool.size();
   const std::size_t leaf_boxes = hier.boxes_at(h);
@@ -721,7 +748,9 @@ FmmResult FmmSolver::solve(const ParticleSet& particles) {
   exec::PhaseGraph g;
 
   const NodeId sort = g.add_serial("sort", "sort", [&](PhaseStats&) {
-    dp::coordinate_sort(particles, hier, layout, ws.boxed, &ws.sort_scratch);
+    if (!pre_sorted)
+      dp::coordinate_sort(particles, hier, layout, ws.boxed,
+                          &ws.sort_scratch);
   });
   const NodeId prep_levels =
       g.add_serial("prepare:levels", "workspace", [&](PhaseStats&) {
@@ -869,6 +898,9 @@ FmmResult FmmSolver::solve(const ParticleSet& particles) {
   result.breakdown["workspace"].allocs +=
       ws.allocs.load(std::memory_order_relaxed);
   result.workspace_allocs = result.breakdown["workspace"].allocs;
+  result.active_boxes = 0;
+  for (int l = 0; l <= h; ++l) result.active_boxes += hier.boxes_at(l);
+  result.workspace_bytes = ws.workspace_bytes();
   return result;
 }
 

@@ -24,6 +24,7 @@
 #include "hfmm/dp/halo.hpp"
 #include "hfmm/dp/multigrid.hpp"
 #include "hfmm/dp/sort.hpp"
+#include "hfmm/tree/active_set.hpp"
 #include "solver_internal.hpp"
 
 namespace hfmm::core {
@@ -112,6 +113,40 @@ FmmResult FmmSolver::solve_dp_(const ParticleSet& particles,
         stats.comm_bytes += loc.off_vu_bytes;
       });
 
+  // --- Active-box level sets (hierarchy != kDense): the multigrid moves
+  // take the per-level dense->active masks so inactive sections are neither
+  // copied nor counted as communication. The embedded grids start zeroed
+  // and inactive far fields are exactly zero, so the masked moves are
+  // value-identical to the dense ones — only the comm counters change.
+  bool use_mask = false;
+  const exec::NodeId active_stage =
+      g.add_serial("active", "active", [&](PhaseStats& stats) {
+        if (config_.hierarchy == HierarchyMode::kDense) return;
+        const std::size_t cap_before =
+            ws.occupied.capacity() * sizeof(std::uint32_t) +
+            ws.active.capacity_bytes();
+        ws.occupied.clear();
+        const std::size_t ranks = boxed.box_begin.size() - 1;
+        for (std::size_t r = 0; r < ranks; ++r)
+          if (boxed.box_begin[r + 1] > boxed.box_begin[r])
+            ws.occupied.push_back(boxed.rank_to_flat[r]);
+        tree::build_active_levels(hier, ws.occupied, ws.active);
+        if (ws.occupied.capacity() * sizeof(std::uint32_t) +
+                ws.active.capacity_bytes() !=
+            cap_before)
+          ws.allocs.fetch_add(1, std::memory_order_relaxed);
+        const double occ = ws.active.occupancy(h);
+        use_mask = config_.hierarchy == HierarchyMode::kSparse ||
+                   occ < config_.sparse_threshold;
+        stats.boxes_active += ws.active.total_active();
+        stats.boxes_total += ws.active.total_dense();
+      });
+  g.depend(active_stage, sort);
+  const auto mask = [&](int level) -> std::span<const std::int32_t> {
+    if (!use_mask) return {};
+    return ws.active.levels[level].dense_to_active;
+  };
+
   // --- P2M: particles are VU-aligned with their leaf boxes; no comm.
   const exec::NodeId p2m = g.add_serial("p2m", "p2m", [&](PhaseStats& stats) {
     const double a = params.outer_ratio * hier.side_at(h);
@@ -142,10 +177,12 @@ FmmResult FmmSolver::solve_dp_(const ParticleSet& particles,
       g.add_serial("upward:extract", "upward", [&](PhaseStats& stats) {
         const dp::CommStats before = machine.stats();
         temp_child = std::make_unique<dp::DistGrid>(leaf_layout, k);
-        dp::multigrid_extract(machine, mg_far, h, *temp_child, config_.embed);
+        dp::multigrid_extract(machine, mg_far, h, *temp_child, config_.embed,
+                              mask(h));
         stats.comm_bytes += (machine.stats() - before).off_vu_bytes;
       });
   g.depend(chain, p2m);
+  g.depend(chain, active_stage);
   for (int l = h - 1; l >= 1; --l) {
     const exec::NodeId up = g.add_serial(
         "upward:L" + std::to_string(l), "upward", [&, l](PhaseStats& stats) {
@@ -184,7 +221,8 @@ FmmResult FmmSolver::solve_dp_(const ParticleSet& particles,
             }
           }
           stats.flops += 8ull * hier.boxes_at(l) * blas::gemv_flops(k, k);
-          dp::multigrid_embed(machine, *temp_parent, l, mg_far, config_.embed);
+          dp::multigrid_embed(machine, *temp_parent, l, mg_far, config_.embed,
+                              mask(l));
           temp_child = std::move(temp_parent);
           stats.comm_bytes += (machine.stats() - before).off_vu_bytes;
         });
@@ -203,7 +241,8 @@ FmmResult FmmSolver::solve_dp_(const ParticleSet& particles,
           const dp::BlockLayout level_layout =
               dp::layout_for_level(leaf_layout, l);
           temp_far = std::make_unique<dp::DistGrid>(level_layout, k);
-          dp::multigrid_extract(machine, mg_far, l, *temp_far, config_.embed);
+          dp::multigrid_extract(machine, mg_far, l, *temp_far, config_.embed,
+                                mask(l));
           temp_local = std::make_unique<dp::DistGrid>(level_layout, k);
           stats.comm_bytes += (machine.stats() - before).off_vu_bytes;
         });
@@ -336,7 +375,8 @@ FmmResult FmmSolver::solve_dp_(const ParticleSet& particles,
     const exec::NodeId embed = g.add_serial(
         "embed:L" + ls, "interactive", [&, l](PhaseStats& stats) {
           const dp::CommStats before = machine.stats();
-          dp::multigrid_embed(machine, *temp_local, l, mg_local, config_.embed);
+          dp::multigrid_embed(machine, *temp_local, l, mg_local, config_.embed,
+                              mask(l));
           local_parent = std::move(temp_local);
           stats.comm_bytes += (machine.stats() - before).off_vu_bytes;
         });
@@ -448,6 +488,17 @@ FmmResult FmmSolver::solve_dp_(const ParticleSet& particles,
   result.breakdown["workspace"].allocs +=
       ws.allocs.load(std::memory_order_relaxed);
   result.workspace_allocs = result.breakdown["workspace"].allocs;
+  result.sparse = use_mask;
+  if (config_.hierarchy != HierarchyMode::kDense) {
+    result.active_boxes = ws.active.total_active();
+    result.level_occupancy.resize(h + 1);
+    for (int l = 0; l <= h; ++l)
+      result.level_occupancy[l] = ws.active.occupancy(l);
+  } else {
+    result.active_boxes = 0;
+    for (int l = 0; l <= h; ++l) result.active_boxes += hier.boxes_at(l);
+  }
+  result.workspace_bytes = ws.workspace_bytes();
   return result;
 }
 

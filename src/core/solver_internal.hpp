@@ -26,6 +26,7 @@
 #include "hfmm/core/near_field.hpp"
 #include "hfmm/core/solver.hpp"
 #include "hfmm/dp/sort.hpp"
+#include "hfmm/tree/active_set.hpp"
 #include "hfmm/tree/interaction_lists.hpp"
 
 namespace hfmm::core::internal {
@@ -192,6 +193,14 @@ struct SolveWorkspace {
   ChunkArena arena;
   // Zero-padded far-field copy for the non-supernode interactive phase.
   std::vector<double> pad;
+  // Sparse executor state: occupied leaf flats (sort output) and the derived
+  // active-box level sets. Rebuilt per solve (particles move), buffers
+  // reused — a warm sparse solve grows nothing here.
+  std::vector<std::uint32_t> occupied;
+  tree::ActiveLevels active;
+  // Cost-model weights for cost-balanced chunk splits (leaf = particle
+  // counts, near = near-field pair counts per active leaf).
+  std::vector<std::uint64_t> leaf_cost, near_cost;
   // Heap-growth events since begin_solve() (reported as workspace allocs).
   std::atomic<std::uint64_t> allocs{0};
 
@@ -211,6 +220,47 @@ struct SolveWorkspace {
       std::fill(far[l].begin(), far[l].end(), 0.0);
       std::fill(local[l].begin(), local[l].end(), 0.0);
     }
+  }
+
+  // Sparse analogue of prepare_levels(): level stores hold only the active
+  // boxes, [level][active_index * K + i]. This is where the sparse path's
+  // memory win comes from — |active_l| * K instead of 8^l * K per level.
+  void prepare_levels_sparse(const tree::ActiveLevels& act, std::size_t k) {
+    const std::size_t depth = static_cast<std::size_t>(act.depth);
+    if (far.size() < depth + 1) {
+      allocs.fetch_add(1, std::memory_order_relaxed);
+      far.resize(depth + 1);
+      local.resize(depth + 1);
+    }
+    for (std::size_t l = 0; l <= depth; ++l) {
+      const std::size_t boxes = act.levels[l].count();
+      grow(far[l], boxes * k, allocs);
+      grow(local[l], boxes * k, allocs);
+      std::fill(far[l].begin(), far[l].begin() + boxes * k, 0.0);
+      std::fill(local[l].begin(), local[l].begin() + boxes * k, 0.0);
+    }
+  }
+
+  // Heap footprint (capacities) of the buffers a solve touches; reported as
+  // FmmResult::workspace_bytes so benchmarks can compare dense vs sparse.
+  std::size_t workspace_bytes() const {
+    auto cap = [](const auto& v) {
+      return v.capacity() * sizeof(typename std::decay_t<decltype(v)>::value_type);
+    };
+    std::size_t total = 0;
+    for (const auto& v : far) total += cap(v);
+    for (const auto& v : local) total += cap(v);
+    total += cap(phi_sorted) + cap(grad_sorted) + cap(pad);
+    total += cap(occupied) + cap(leaf_cost) + cap(near_cost);
+    total += active.capacity_bytes();
+    for (const auto& ch : near_scratch.chunks) {
+      total += cap(ch.phi) + cap(ch.grad) + cap(ch.pair_phi) + cap(ch.pair_gx) +
+               cap(ch.pair_gy) + cap(ch.pair_gz);
+    }
+    total += boxed.sorted.size() * 4 * sizeof(double);
+    total += cap(boxed.box_begin) + cap(boxed.perm) + cap(boxed.box_of) +
+             cap(boxed.rank_to_flat) + cap(boxed.flat_to_rank);
+    return total;
   }
 
   void prepare_outputs(std::size_t n, bool with_gradient) {

@@ -1,0 +1,469 @@
+// Sparse active-box executor (DESIGN.md Section 13).
+//
+// The dense executor iterates every box of every level; on clustered
+// distributions most of those boxes are empty — their far fields are exactly
+// zero and their local fields feed no particles. This executor derives
+// per-level ACTIVE sets from the coordinate sort's leaf occupancy (leaf
+// active iff non-empty, internal box active iff any child active) and runs
+// every phase over active indices only:
+//   * level stores shrink from 8^l x K to |active_l| x K values,
+//   * translation stages skip inactive boxes entirely (their contribution
+//     is exactly 0.0, so skipping them is arithmetic-neutral),
+//   * the near field and the leaf phases split into cost-weighted chunks
+//     (particle counts / pair counts) instead of equal box counts.
+// Active boxes are not contiguous in the dense grids, so translations apply
+// per box (BLAS-2 gemv) through the dense->active maps; the dense executor
+// remains the BLAS-3 fast path for (near-)uniform inputs — solve() picks
+// between them from the measured leaf occupancy (HierarchyMode::kAuto).
+//
+// Reproducibility: active lists are ascending flat indices, stage chunk
+// splits are fixed before the graph runs, and per-box source application
+// follows the same fixed offset order as the dense path — results do not
+// depend on scheduling or worker count.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "hfmm/anderson/kernels.hpp"
+#include "hfmm/anderson/leaf_ops.hpp"
+#include "hfmm/blas/blas.hpp"
+#include "hfmm/core/near_field.hpp"
+#include "hfmm/core/solver.hpp"
+#include "hfmm/dp/sort.hpp"
+#include "hfmm/tree/active_set.hpp"
+#include "solver_internal.hpp"
+
+namespace hfmm::core {
+
+namespace {
+
+using internal::AppMatrix;
+using internal::FmmPlan;
+using internal::SolveWorkspace;
+using internal::TranslationData;
+using internal::UnionOffset;
+
+struct SparseContext {
+  const FmmConfig& config;
+  const FmmPlan& plan;
+  const tree::Hierarchy& hier;
+  SolveWorkspace& ws;
+
+  const TranslationData& trans() const { return *plan.trans; }
+  const tree::ActiveLevels& act() const { return ws.active; }
+};
+
+std::uint64_t particles_in(const dp::BoxedParticles& boxed, std::size_t flat) {
+  const std::uint32_t r = boxed.flat_to_rank[flat];
+  return boxed.box_begin[r + 1] - boxed.box_begin[r];
+}
+
+// P2M over active leaves [lo, hi): every active leaf is non-empty by
+// construction, writing its outer approximation at its ACTIVE row.
+void p2m_chunk(SparseContext& ctx, std::size_t lo, std::size_t hi,
+               PhaseStats& stats) {
+  const int h = ctx.hier.depth();
+  const std::size_t k = ctx.config.params.k();
+  const double a = ctx.config.params.outer_ratio * ctx.hier.side_at(h);
+  const dp::BoxedParticles& boxed = ctx.ws.boxed;
+  const ParticleSet& p = boxed.sorted;
+  const tree::LevelActiveSet& leaves = ctx.act().levels[h];
+  std::uint64_t local_flops = 0;
+  for (std::size_t ai = lo; ai < hi; ++ai) {
+    const std::size_t f = leaves.boxes[ai];
+    const std::uint32_t rank = boxed.flat_to_rank[f];
+    const std::uint32_t b = boxed.box_begin[rank];
+    const std::uint32_t e = boxed.box_begin[rank + 1];
+    const tree::BoxCoord c = ctx.hier.coord_of(h, f);
+    anderson::p2m(ctx.config.params, a, ctx.hier.center(h, c),
+                  p.x().subspan(b, e - b), p.y().subspan(b, e - b),
+                  p.z().subspan(b, e - b), p.q().subspan(b, e - b),
+                  {ctx.ws.far[h].data() + ai * k, k});
+    local_flops += anderson::p2m_flops(k, e - b);
+  }
+  stats.flops += local_flops;
+}
+
+// Upward T1 over active PARENTS [lo, hi) of level l: each parent gathers
+// its active children (octant order 0..7 — the dense accumulation order)
+// through the dense->active map of level l + 1. Inactive children hold an
+// exactly-zero far field, so skipping them changes nothing.
+void upward_chunk(SparseContext& ctx, int l, std::size_t lo, std::size_t hi,
+                  PhaseStats& stats) {
+  const std::size_t k = ctx.config.params.k();
+  const tree::LevelActiveSet& parents = ctx.act().levels[l];
+  const tree::LevelActiveSet& children = ctx.act().levels[l + 1];
+  const double* child = ctx.ws.far[l + 1].data();
+  double* parent = ctx.ws.far[l].data();
+  std::uint64_t local_flops = 0;
+  for (std::size_t pi = lo; pi < hi; ++pi) {
+    const tree::BoxCoord pc = ctx.hier.coord_of(l, parents.boxes[pi]);
+    double* dst = parent + pi * k;
+    for (int o = 0; o < 8; ++o) {
+      const tree::BoxCoord cc = tree::Hierarchy::child_of(pc, o);
+      const std::int32_t ca =
+          children.dense_to_active[ctx.hier.flat_index(l + 1, cc)];
+      if (ca < 0) continue;
+      blas::gemv(ctx.trans().t1[o].t, k,
+                 child + static_cast<std::size_t>(ca) * k, dst, k, k, true);
+      local_flops += blas::gemm_flops(1, k, k);
+    }
+  }
+  stats.flops += local_flops;
+}
+
+// Downward T3 over active CHILDREN [lo, hi) of level l (l > 2): the parent
+// of an active box is always active (parent closure), so the lookup cannot
+// miss.
+void downward_chunk(SparseContext& ctx, int l, std::size_t lo, std::size_t hi,
+                    PhaseStats& stats) {
+  const std::size_t k = ctx.config.params.k();
+  const tree::LevelActiveSet& children = ctx.act().levels[l];
+  const tree::LevelActiveSet& parents = ctx.act().levels[l - 1];
+  const double* parent = ctx.ws.local[l - 1].data();
+  double* child = ctx.ws.local[l].data();
+  std::uint64_t local_flops = 0;
+  for (std::size_t ci = lo; ci < hi; ++ci) {
+    const tree::BoxCoord c = ctx.hier.coord_of(l, children.boxes[ci]);
+    const int o = tree::Hierarchy::octant_of(c);
+    const std::int32_t pa = parents.dense_to_active[ctx.hier.flat_index(
+        l - 1, tree::Hierarchy::parent_of(c))];
+    blas::gemv(ctx.trans().t3[o].t, k,
+               parent + static_cast<std::size_t>(pa) * k, child + ci * k, k, k,
+               true);
+    local_flops += blas::gemm_flops(1, k, k);
+  }
+  stats.flops += local_flops;
+}
+
+// Non-supernode T2 over active TARGETS [lo, hi) of level l: the union
+// offset list with per-axis target-parity admissibility, explicit bounds
+// checks replacing the dense path's zero-padded grid, and active lookups
+// replacing its implicit zero sources.
+void interactive_chunk(SparseContext& ctx, int l, std::size_t lo,
+                       std::size_t hi, PhaseStats& stats) {
+  const std::size_t k = ctx.config.params.k();
+  const int d = ctx.config.separation;
+  const std::int32_t n = ctx.hier.boxes_per_side(l);
+  const tree::LevelActiveSet& act = ctx.act().levels[l];
+  const double* far = ctx.ws.far[l].data();
+  double* local = ctx.ws.local[l].data();
+  std::uint64_t local_flops = 0;
+  for (std::size_t ti = lo; ti < hi; ++ti) {
+    const tree::BoxCoord c = ctx.hier.coord_of(l, act.boxes[ti]);
+    double* dst = local + ti * k;
+    for (const UnionOffset& u : ctx.trans().union_offsets) {
+      if (!u.all_parities) {
+        if (!(u.valid_parity[0] & (1 << (c.ix & 1)))) continue;
+        if (!(u.valid_parity[1] & (1 << (c.iy & 1)))) continue;
+        if (!(u.valid_parity[2] & (1 << (c.iz & 1)))) continue;
+      }
+      const tree::BoxCoord s{c.ix + u.o.dx, c.iy + u.o.dy, c.iz + u.o.dz};
+      if (s.ix < 0 || s.ix >= n || s.iy < 0 || s.iy >= n || s.iz < 0 ||
+          s.iz >= n)
+        continue;
+      const std::int32_t sa = act.dense_to_active[ctx.hier.flat_index(l, s)];
+      if (sa < 0) continue;
+      blas::gemv(ctx.trans().t2[tree::offset_cube_index(u.o, d)].t, k,
+                 far + static_cast<std::size_t>(sa) * k, dst, k, k, true);
+      local_flops += blas::gemm_flops(1, k, k);
+    }
+  }
+  stats.flops += local_flops;
+}
+
+// Supernode T2 over active TARGETS [lo, hi) of level l: the precomputed
+// gather plan's rectangles already encode source-in-bounds per (octant,
+// entry) — a target only needs its parent coordinate inside the rectangle
+// plus an active lookup on the source.
+void supernode_chunk(SparseContext& ctx, int l, std::size_t lo, std::size_t hi,
+                     PhaseStats& stats) {
+  const std::size_t k = ctx.config.params.k();
+  const tree::LevelActiveSet& act = ctx.act().levels[l];
+  const tree::LevelActiveSet& act_parent = ctx.act().levels[l - 1];
+  const internal::SupernodeLevelPlan& plan = ctx.plan.supernode_plans[l];
+  const double* far = ctx.ws.far[l].data();
+  const double* far_parent = ctx.ws.far[l - 1].data();
+  double* local = ctx.ws.local[l].data();
+  std::uint64_t local_flops = 0;
+  for (std::size_t ti = lo; ti < hi; ++ti) {
+    const tree::BoxCoord c = ctx.hier.coord_of(l, act.boxes[ti]);
+    const int octant = tree::Hierarchy::octant_of(c);
+    const tree::BoxCoord p = tree::Hierarchy::parent_of(c);
+    double* dst = local + ti * k;
+    for (const internal::SupernodePlanEntry& pe : plan.per_octant[octant]) {
+      if (p.ix < pe.lo[0] || p.ix >= pe.hi[0] || p.iy < pe.lo[1] ||
+          p.iy >= pe.hi[1] || p.iz < pe.lo[2] || p.iz >= pe.hi[2])
+        continue;
+      const double* src;
+      if (pe.parent_source) {
+        const tree::BoxCoord s{p.ix + pe.offset.dx, p.iy + pe.offset.dy,
+                               p.iz + pe.offset.dz};
+        const std::int32_t sa =
+            act_parent.dense_to_active[ctx.hier.flat_index(l - 1, s)];
+        if (sa < 0) continue;
+        src = far_parent + static_cast<std::size_t>(sa) * k;
+      } else {
+        const tree::BoxCoord s{c.ix + pe.offset.dx, c.iy + pe.offset.dy,
+                               c.iz + pe.offset.dz};
+        const std::int32_t sa =
+            act.dense_to_active[ctx.hier.flat_index(l, s)];
+        if (sa < 0) continue;
+        src = far + static_cast<std::size_t>(sa) * k;
+      }
+      blas::gemv(pe.matrix->t, k, src, dst, k, k, true);
+      local_flops += blas::gemm_flops(1, k, k);
+    }
+  }
+  stats.flops += local_flops;
+}
+
+void l2p_chunk(SparseContext& ctx, std::size_t lo, std::size_t hi,
+               PhaseStats& stats) {
+  const int h = ctx.hier.depth();
+  const std::size_t k = ctx.config.params.k();
+  const double a = ctx.config.params.inner_ratio * ctx.hier.side_at(h);
+  const dp::BoxedParticles& boxed = ctx.ws.boxed;
+  const ParticleSet& p = boxed.sorted;
+  const tree::LevelActiveSet& leaves = ctx.act().levels[h];
+  const std::span<double> phi{ctx.ws.phi_sorted};
+  const std::span<Vec3> grad{ctx.ws.grad_sorted};
+  std::uint64_t local_flops = 0;
+  for (std::size_t ai = lo; ai < hi; ++ai) {
+    const std::size_t f = leaves.boxes[ai];
+    const std::uint32_t rank = boxed.flat_to_rank[f];
+    const std::uint32_t b = boxed.box_begin[rank];
+    const std::uint32_t e = boxed.box_begin[rank + 1];
+    const tree::BoxCoord c = ctx.hier.coord_of(h, f);
+    const std::span<const double> g{ctx.ws.local[h].data() + ai * k, k};
+    if (grad.empty()) {
+      anderson::l2p(ctx.config.params, a, ctx.hier.center(h, c), g,
+                    p.x().subspan(b, e - b), p.y().subspan(b, e - b),
+                    p.z().subspan(b, e - b), phi.subspan(b, e - b));
+    } else {
+      anderson::l2p_gradient(ctx.config.params, a, ctx.hier.center(h, c), g,
+                             p.x().subspan(b, e - b), p.y().subspan(b, e - b),
+                             p.z().subspan(b, e - b), phi.subspan(b, e - b),
+                             grad.subspan(b, e - b));
+    }
+    local_flops += anderson::l2p_flops(k, e - b, ctx.config.params.truncation);
+  }
+  stats.flops += local_flops;
+}
+
+}  // namespace
+
+// solve() has already run the coordinate sort (charged to "sort"), filled
+// ws.occupied with the non-empty leaf flats, and decided for this executor.
+FmmResult FmmSolver::solve_sparse_(const ParticleSet& particles,
+                                   const tree::Hierarchy& hier,
+                                   FmmResult result) {
+  const FmmPlan& plan = *impl_->plan;
+  SolveWorkspace& ws = impl_->ws;
+  ThreadPool& pool = *impl_->pool;
+  const std::size_t n = particles.size();
+  const std::size_t k = config_.params.k();
+  const int h = hier.depth();
+  const std::size_t W = pool.size();
+
+  // Derive the active level sets and the per-leaf cost model ("active"
+  // phase): particle counts weight the leaf stages, near-field pair counts
+  // weight the near-field chunks. Both reuse workspace buffers — a warm
+  // solve grows nothing here.
+  const std::span<const tree::Offset> offsets =
+      plan.near_list(config_.near_symmetry);
+  {
+    ScopedPhaseTimer timer(result.breakdown["active"]);
+    const std::size_t cap_before = ws.active.capacity_bytes();
+    tree::build_active_levels(hier, ws.occupied, ws.active);
+    if (ws.active.capacity_bytes() != cap_before)
+      ws.allocs.fetch_add(1, std::memory_order_relaxed);
+
+    const tree::LevelActiveSet& leaves = ws.active.levels[h];
+    const std::size_t nl = leaves.count();
+    internal::grow(ws.leaf_cost, nl, ws.allocs);
+    internal::grow(ws.near_cost, nl, ws.allocs);
+    const std::int32_t nside = hier.boxes_per_side(h);
+    for (std::size_t ai = 0; ai < nl; ++ai) {
+      const std::size_t f = leaves.boxes[ai];
+      const tree::BoxCoord c = hier.coord_of(h, f);
+      const std::uint64_t t = particles_in(ws.boxed, f);
+      ws.leaf_cost[ai] = t;
+      std::uint64_t pairs = t * (t > 0 ? t - 1 : 0);
+      for (const tree::Offset& o : offsets) {
+        if (o == tree::Offset{0, 0, 0}) continue;
+        const tree::BoxCoord nb{c.ix + o.dx, c.iy + o.dy, c.iz + o.dz};
+        if (nb.ix < 0 || nb.ix >= nside || nb.iy < 0 || nb.iy >= nside ||
+            nb.iz < 0 || nb.iz >= nside)
+          continue;
+        pairs += t * particles_in(ws.boxed, hier.flat_index(h, nb));
+      }
+      ws.near_cost[ai] = pairs;
+    }
+  }
+  const tree::ActiveLevels& act = ws.active;
+  result.sparse = true;
+  result.active_boxes = act.total_active();
+  result.level_occupancy.resize(h + 1);
+  for (int l = 0; l <= h; ++l) result.level_occupancy[l] = act.occupancy(l);
+  {
+    PhaseStats& st = result.breakdown["active"];
+    st.boxes_active += act.total_active();
+    st.boxes_total += act.total_dense();
+  }
+
+  const std::size_t active_leaves = act.levels[h].count();
+  // Same policy as the dense executor: one chunk on one worker, 4W
+  // cost-weighted chunks otherwise.
+  const std::size_t nf_cap =
+      W == 1 ? 1 : std::min(active_leaves, 4 * W);
+  const std::size_t nf_chunks = std::max<std::size_t>(1, nf_cap);
+
+  SparseContext ctx{config_, plan, hier, ws};
+  using exec::NodeId;
+  exec::PhaseGraph g;
+
+  // The sort already ran (solve() needed its output to pick this executor);
+  // the stage stays in the graph as a no-op so the timeline keeps the full
+  // pipeline shape.
+  const NodeId sort = g.add_serial("sort", "sort", [](PhaseStats&) {});
+  const NodeId prep_levels =
+      g.add_serial("prepare:levels", "workspace", [&](PhaseStats&) {
+        ws.prepare_levels_sparse(act, k);
+      });
+  const NodeId prep_out =
+      g.add_serial("prepare:outputs", "workspace", [&](PhaseStats&) {
+        ws.prepare_outputs(n, config_.with_gradient);
+        if (ws.near_scratch.chunks.size() < nf_chunks)
+          ws.near_scratch.chunks.resize(nf_chunks);
+        result.phi.assign(n, 0.0);
+        if (config_.with_gradient) result.grad.assign(n, Vec3{});
+      });
+
+  const NodeId p2m = g.add_weighted(
+      "p2m", "p2m", ws.leaf_cost, 0,
+      [&](std::size_t, std::size_t lo, std::size_t hi, PhaseStats& st) {
+        p2m_chunk(ctx, lo, hi, st);
+      });
+  g.depend(p2m, sort);
+  g.depend(p2m, prep_levels);
+
+  // Upward chain over active parents; up[l] completes far[l].
+  std::vector<NodeId> up(h, p2m);
+  NodeId chain = p2m;
+  for (int l = h - 1; l >= 1; --l) {
+    const NodeId id = g.add(
+        "upward:L" + std::to_string(l), "upward", act.levels[l].count(), 0,
+        [&, l](std::size_t, std::size_t lo, std::size_t hi, PhaseStats& st) {
+          upward_chunk(ctx, l, lo, hi, st);
+        });
+    g.depend(id, chain);
+    up[l] = id;
+    chain = id;
+  }
+  const auto far_ready = [&](int l) { return l == h ? p2m : up[l]; };
+
+  // Downward/interactive mirror the dense graph: per level, T3 (l > 2) then
+  // T2, the T3 -> T2 edge fixing the accumulation order into local[l].
+  for (int l = 2; l <= h; ++l) {
+    const std::string ls = std::to_string(l);
+    const std::size_t nl_act = act.levels[l].count();
+    NodeId t3 = 0;
+    const bool has_t3 = l > 2;
+    if (has_t3) {
+      t3 = g.add(
+          "downward:L" + ls, "downward", nl_act, 0,
+          [&, l](std::size_t, std::size_t lo, std::size_t hi, PhaseStats& st) {
+            downward_chunk(ctx, l, lo, hi, st);
+          });
+      g.depend(t3, chain);  // local[l-1] complete
+    }
+    const NodeId id =
+        config_.supernodes
+            ? g.add(
+                  "interactive:L" + ls, "interactive", nl_act, 0,
+                  [&, l](std::size_t, std::size_t lo, std::size_t hi,
+                         PhaseStats& st) { supernode_chunk(ctx, l, lo, hi, st); })
+            : g.add(
+                  "interactive:L" + ls, "interactive", nl_act, 0,
+                  [&, l](std::size_t, std::size_t lo, std::size_t hi,
+                         PhaseStats& st) {
+                    interactive_chunk(ctx, l, lo, hi, st);
+                  });
+    // Sources: far[l], plus far[l-1] for supernode parent-level entries.
+    g.depend(id, config_.supernodes ? far_ready(l - 1) : far_ready(l));
+    if (has_t3) g.depend(id, t3);
+    chain = id;
+  }
+
+  const NodeId l2p = g.add_weighted(
+      "l2p", "l2p", ws.leaf_cost, 0,
+      [&](std::size_t, std::size_t lo, std::size_t hi, PhaseStats& st) {
+        l2p_chunk(ctx, lo, hi, st);
+      });
+  g.depend(l2p, chain);
+  g.depend(l2p, prep_out);
+
+  // Near field over the active leaf list, chunked by pair-count cost so no
+  // worker inherits the whole dense cluster core.
+  const std::span<const std::uint32_t> leaf_list{act.levels[h].boxes};
+  const NodeId near = g.add_weighted(
+      "near", "near", ws.near_cost, nf_chunks,
+      [&, offsets, leaf_list](std::size_t c, std::size_t lo, std::size_t hi,
+                              PhaseStats& st) {
+        const NearFieldResult nf = near_field_chunk(
+            hier, ws.boxed, offsets, config_.near_symmetry,
+            config_.with_gradient, ws.near_scratch.chunks[c],
+            leaf_list.subspan(lo, hi - lo), config_.softening);
+        st.flops += nf.flops;
+      },
+      /*priority=*/1);
+  g.depend(near, sort);
+  g.depend(near, prep_out);
+
+  const NodeId acc = g.add(
+      "accumulate", "accumulate", n, 0,
+      [&](std::size_t, std::size_t lo, std::size_t hi, PhaseStats&) {
+        near_field_accumulate(ws.near_scratch, nf_chunks,
+                              config_.with_gradient, ws.phi_sorted,
+                              ws.grad_sorted, lo, hi);
+        for (std::size_t i = lo; i < hi; ++i) {
+          result.phi[ws.boxed.perm[i]] = ws.phi_sorted[i];
+          if (config_.with_gradient)
+            result.grad[ws.boxed.perm[i]] = ws.grad_sorted[i];
+        }
+      });
+  g.depend(acc, l2p);
+  g.depend(acc, near);
+
+  g.run(pool,
+        config_.mode == ExecutionMode::kThreads ? exec::RunMode::kConcurrent
+                                                : exec::RunMode::kInline,
+        result.breakdown, &result.timeline);
+
+  // Per-phase occupancy: boxes visited vs. the dense counts the phase would
+  // visit (the leaf phases iterate leaves; upward iterates parents 1..h-1;
+  // interactive 2..h; downward 3..h).
+  const auto record = [&](const char* phase, int lo_l, int hi_l) {
+    PhaseStats& st = result.breakdown[phase];
+    for (int l = lo_l; l <= hi_l; ++l) {
+      st.boxes_active += act.levels[l].count();
+      st.boxes_total += hier.boxes_at(l);
+    }
+  };
+  record("p2m", h, h);
+  record("l2p", h, h);
+  record("near", h, h);
+  record("upward", 1, h - 1);
+  record("interactive", 2, h);
+  if (h > 2) record("downward", 3, h);
+
+  result.breakdown["workspace"].allocs +=
+      ws.allocs.load(std::memory_order_relaxed);
+  result.workspace_allocs = result.breakdown["workspace"].allocs;
+  result.workspace_bytes = ws.workspace_bytes();
+  return result;
+}
+
+}  // namespace hfmm::core

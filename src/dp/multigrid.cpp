@@ -87,9 +87,11 @@ struct SectionMap {
 
 // Core data move: temp(level box c) <-> layer(section position of c).
 // `to_layer` selects direction. Returns (off_vu_boxes, local_boxes).
+// `active` (optional, level-flat dense->active map) masks the move to
+// active boxes: inactive positions are neither copied nor counted.
 std::pair<std::uint64_t, std::uint64_t> move_section(
     Machine& machine, DistGrid& temp, DistGrid& layer, const SectionMap& map,
-    bool to_layer) {
+    bool to_layer, std::span<const std::int32_t> active = {}) {
   const BlockLayout& tl = temp.layout();
   const BlockLayout& ll = layer.layout();
   const std::size_t k = temp.k();
@@ -98,6 +100,9 @@ std::pair<std::uint64_t, std::uint64_t> move_section(
   for (std::int32_t iz = 0; iz < n; ++iz)
     for (std::int32_t iy = 0; iy < n; ++iy)
       for (std::int32_t ix = 0; ix < n; ++ix) {
+        if (!active.empty() &&
+            active[(static_cast<std::size_t>(iz) * n + iy) * n + ix] < 0)
+          continue;
         const tree::BoxCoord ct{ix, iy, iz};
         const tree::BoxCoord cl{map.start + map.stride * ix,
                                 map.start + map.stride * iy,
@@ -125,7 +130,8 @@ std::pair<std::uint64_t, std::uint64_t> move_section(
 // whole destination layer and testing membership per element — this is what
 // makes Figure 7's "use send in CMF" curve flat and high.
 void general_send(Machine& machine, DistGrid& temp, DistGrid& layer,
-                  const SectionMap& map, bool to_layer) {
+                  const SectionMap& map, bool to_layer,
+                  std::span<const std::int32_t> active) {
   const BlockLayout& ll = layer.layout();
   const std::int32_t n = ll.boxes_per_side();
   std::uint64_t address_work = 0;
@@ -143,7 +149,8 @@ void general_send(Machine& machine, DistGrid& temp, DistGrid& layer,
   // Defeat dead-code elimination of the address computation.
   volatile std::uint64_t sink = address_work;
   (void)sink;
-  const auto [off, local] = move_section(machine, temp, layer, map, to_layer);
+  const auto [off, local] =
+      move_section(machine, temp, layer, map, to_layer, active);
   CommStats& st = machine.stats();
   // The general send pessimistically routes everything through the network
   // AND pays per-element address computation over the whole array.
@@ -161,14 +168,16 @@ void general_send(Machine& machine, DistGrid& temp, DistGrid& layer,
 
 void local_copy_or_two_step(Machine& machine, DistGrid& temp, DistGrid& layer,
                             const MultigridArray& mg, int level,
-                            const SectionMap& map, bool to_layer) {
+                            const SectionMap& map, bool to_layer,
+                            std::span<const std::int32_t> active) {
   const BlockLayout level_layout = layout_for_level(mg.leaf_layout(), level);
   const bool aligned =
       level_layout.machine().total_vus() == machine.vus();
   if (aligned) {
     // At least one box per VU at this level: embedding is a strided local
     // copy (Section 3.3.2).
-    const auto [off, local] = move_section(machine, temp, layer, map, to_layer);
+    const auto [off, local] =
+        move_section(machine, temp, layer, map, to_layer, active);
     CommStats& st = machine.stats();
     const std::uint64_t lbytes = local * temp.k() * sizeof(double);
     const std::uint64_t obytes = off * temp.k() * sizeof(double);  // 0 aligned
@@ -205,11 +214,22 @@ void local_copy_or_two_step(Machine& machine, DistGrid& temp, DistGrid& layer,
   // Solve for stage_to_layer.start:
   stage_to_layer.start = map.start - stage_to_layer.stride * to_stage.start;
 
+  // Level-box index of a stage position carrying level data (for masking).
+  const std::int32_t nlvl = temp.layout().boxes_per_side();
+  const auto masked_at = [&](std::int32_t ix, std::int32_t iy,
+                             std::int32_t iz) {
+    if (active.empty()) return false;
+    const std::int32_t lx = (ix - to_stage.start) / to_stage.stride;
+    const std::int32_t ly = (iy - to_stage.start) / to_stage.stride;
+    const std::int32_t lz = (iz - to_stage.start) / to_stage.stride;
+    return active[(static_cast<std::size_t>(lz) * nlvl + ly) * nlvl + lx] < 0;
+  };
+
   CommStats& st = machine.stats();
   if (to_layer) {
     // Step 1 (communication): temp -> stage section.
     const auto [off1, local1] =
-        move_section(machine, temp, stage, to_stage, true);
+        move_section(machine, temp, stage, to_stage, true, active);
     {
       const std::uint64_t b1 = (off1 + local1) * temp.k() * sizeof(double);
       st.off_vu_bytes += b1;
@@ -232,6 +252,7 @@ void local_copy_or_two_step(Machine& machine, DistGrid& temp, DistGrid& layer,
             continue;
           if (ix < to_stage.start || iy < to_stage.start || iz < to_stage.start)
             continue;
+          if (masked_at(ix, iy, iz)) continue;
           const tree::BoxCoord cs{ix, iy, iz};
           const tree::BoxCoord cl{
               stage_to_layer.start + stage_to_layer.stride * ix,
@@ -258,6 +279,7 @@ void local_copy_or_two_step(Machine& machine, DistGrid& temp, DistGrid& layer,
             continue;
           if (ix < to_stage.start || iy < to_stage.start || iz < to_stage.start)
             continue;
+          if (masked_at(ix, iy, iz)) continue;
           const tree::BoxCoord cs{ix, iy, iz};
           const tree::BoxCoord cl{
               stage_to_layer.start + stage_to_layer.stride * ix,
@@ -272,7 +294,7 @@ void local_copy_or_two_step(Machine& machine, DistGrid& temp, DistGrid& layer,
                           static_cast<double>(moved * temp.k() * 8) /
                           static_cast<double>(machine.vus());
     const auto [off1, local1] =
-        move_section(machine, temp, stage, to_stage, false);
+        move_section(machine, temp, stage, to_stage, false, active);
     const std::uint64_t b1 = (off1 + local1) * temp.k() * sizeof(double);
     st.off_vu_bytes += b1;
     st.messages += off1 + local1;
@@ -284,41 +306,47 @@ void local_copy_or_two_step(Machine& machine, DistGrid& temp, DistGrid& layer,
 }
 
 void check_level_temp(const MultigridArray& mg, const DistGrid& temp,
-                      int level) {
+                      int level, std::span<const std::int32_t> active) {
   if (temp.layout().boxes_per_side() != (std::int32_t{1} << level))
     throw std::invalid_argument("multigrid embed/extract: temp has wrong size");
   if (temp.k() != mg.k())
     throw std::invalid_argument("multigrid embed/extract: k mismatch");
+  if (!active.empty() &&
+      active.size() != (std::size_t{1} << (3 * level)))
+    throw std::invalid_argument(
+        "multigrid embed/extract: active mask must cover 8^level boxes");
 }
 
 }  // namespace
 
 void multigrid_embed(Machine& machine, const DistGrid& temp, int level,
-                     MultigridArray& mg, EmbedMethod method) {
-  check_level_temp(mg, temp, level);
+                     MultigridArray& mg, EmbedMethod method,
+                     std::span<const std::int32_t> active) {
+  check_level_temp(mg, temp, level, active);
   SectionMap map{mg.section_stride(level), mg.section_start(level)};
   DistGrid& layer =
       (level == mg.depth()) ? mg.leaf_layer() : mg.coarse_layer();
   auto& temp_mut = const_cast<DistGrid&>(temp);
   if (method == EmbedMethod::kGeneralSend)
-    general_send(machine, temp_mut, layer, map, /*to_layer=*/true);
+    general_send(machine, temp_mut, layer, map, /*to_layer=*/true, active);
   else
     local_copy_or_two_step(machine, temp_mut, layer, mg, level, map,
-                           /*to_layer=*/true);
+                           /*to_layer=*/true, active);
 }
 
 void multigrid_extract(Machine& machine, const MultigridArray& mg, int level,
-                       DistGrid& temp, EmbedMethod method) {
-  check_level_temp(mg, temp, level);
+                       DistGrid& temp, EmbedMethod method,
+                       std::span<const std::int32_t> active) {
+  check_level_temp(mg, temp, level, active);
   SectionMap map{mg.section_stride(level), mg.section_start(level)};
   auto& mg_mut = const_cast<MultigridArray&>(mg);
   DistGrid& layer =
       (level == mg.depth()) ? mg_mut.leaf_layer() : mg_mut.coarse_layer();
   if (method == EmbedMethod::kGeneralSend)
-    general_send(machine, temp, layer, map, /*to_layer=*/false);
+    general_send(machine, temp, layer, map, /*to_layer=*/false, active);
   else
     local_copy_or_two_step(machine, temp, layer, mg, level, map,
-                           /*to_layer=*/false);
+                           /*to_layer=*/false, active);
 }
 
 }  // namespace hfmm::dp

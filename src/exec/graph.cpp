@@ -15,6 +15,12 @@ struct PhaseGraph::Node {
   std::size_t range = 0;
   std::size_t max_chunks = 0;  // 0 = one chunk per worker
   int priority = 0;
+  // Per-item costs of a weighted stage (empty = equal-count split). The
+  // chunk bounds are derived from these at run(), once the worker count
+  // resolves max_chunks == 0.
+  std::vector<std::uint64_t> weights;
+  std::vector<std::size_t> bounds;  // size chunks + 1 when weighted
+  double cost_imbalance = 0.0;
   std::vector<NodeId> succ;
   std::size_t n_preds = 0;
 
@@ -47,6 +53,16 @@ NodeId PhaseGraph::add(std::string name, std::string phase, std::size_t range,
   return nodes_.size() - 1;
 }
 
+NodeId PhaseGraph::add_weighted(std::string name, std::string phase,
+                                std::span<const std::uint64_t> weights,
+                                std::size_t max_chunks, ChunkBody body,
+                                int priority) {
+  const NodeId id = add(std::move(name), std::move(phase), weights.size(),
+                        max_chunks, std::move(body), priority);
+  nodes_[id]->weights.assign(weights.begin(), weights.end());
+  return id;
+}
+
 NodeId PhaseGraph::add_serial(std::string name, std::string phase,
                               std::function<void(PhaseStats&)> body,
                               int priority) {
@@ -77,6 +93,35 @@ void chunk_bounds(std::size_t range, std::size_t chunks, std::size_t c,
 
 }  // namespace
 
+std::vector<std::size_t> weighted_split(
+    std::span<const std::uint64_t> weights, std::size_t max_chunks) {
+  const std::size_t n = weights.size();
+  std::vector<std::size_t> bounds;
+  const std::size_t chunks =
+      std::max<std::size_t>(1, std::min(max_chunks, n));
+  bounds.reserve(chunks + 1);
+  bounds.push_back(0);
+  long double total = 0;
+  for (const std::uint64_t w : weights) total += static_cast<long double>(w);
+  const long double per = total / static_cast<long double>(chunks);
+  std::size_t i = 0;
+  long double acc = 0;
+  for (std::size_t c = 0; c + 1 < chunks; ++c) {
+    // Close the chunk at the first item that reaches its prefix target,
+    // keeping at least one item in it and one per remaining chunk.
+    const long double target = per * static_cast<long double>(c + 1);
+    const std::size_t min_i = bounds.back() + 1;
+    const std::size_t max_i = n - (chunks - 1 - c);
+    while (i < max_i && (i < min_i || acc < target)) {
+      acc += static_cast<long double>(weights[i]);
+      ++i;
+    }
+    bounds.push_back(i);
+  }
+  bounds.push_back(n);
+  return bounds;
+}
+
 void PhaseGraph::finish(std::size_t workers,
                         std::vector<PhaseBreakdown>& worker_stats,
                         PhaseBreakdown& breakdown,
@@ -86,6 +131,8 @@ void PhaseGraph::finish(std::size_t workers,
   for (const auto& np : nodes_) {
     const Node& n = *np;
     breakdown[n.phase].seconds += n.end_seconds - n.start_seconds;
+    if (n.cost_imbalance > breakdown[n.phase].cost_imbalance)
+      breakdown[n.phase].cost_imbalance = n.cost_imbalance;
     if (timeline != nullptr) {
       StageTiming t;
       t.stage = n.name;
@@ -93,6 +140,7 @@ void PhaseGraph::finish(std::size_t workers,
       t.start_seconds = n.start_seconds;
       t.end_seconds = n.end_seconds;
       t.chunks = n.chunks;
+      t.cost_imbalance = n.cost_imbalance;
       std::uint64_t mask = n.worker_mask.load(std::memory_order_relaxed);
       while (mask != 0) {
         t.workers += mask & 1;
@@ -113,6 +161,23 @@ void PhaseGraph::run(ThreadPool& pool, RunMode mode, PhaseBreakdown& breakdown,
     Node& n = *np;
     const std::size_t cap = n.max_chunks == 0 ? workers : n.max_chunks;
     n.chunks = std::max<std::size_t>(1, std::min(n.range, cap));
+    if (!n.weights.empty()) {
+      n.bounds = weighted_split(n.weights, cap);
+      n.chunks = n.bounds.size() - 1;
+      long double total = 0, max_cost = 0;
+      for (std::size_t c = 0; c + 1 < n.bounds.size(); ++c) {
+        long double cost = 0;
+        for (std::size_t i = n.bounds[c]; i < n.bounds[c + 1]; ++i)
+          cost += static_cast<long double>(n.weights[i]);
+        total += cost;
+        if (cost > max_cost) max_cost = cost;
+      }
+      n.cost_imbalance =
+          total > 0 ? static_cast<double>(
+                          max_cost * static_cast<long double>(n.chunks) /
+                          total)
+                    : 1.0;
+    }
     n.unfinished.store(n.chunks, std::memory_order_relaxed);
     n.deps_remaining.store(n.n_preds, std::memory_order_relaxed);
   }
@@ -141,7 +206,12 @@ void PhaseGraph::run_inline(ThreadPool& pool, PhaseBreakdown& breakdown,
     n.start_seconds = epoch.seconds();
     for (std::size_t c = 0; c < n.chunks; ++c) {
       std::size_t lo, hi;
-      chunk_bounds(n.range, n.chunks, c, lo, hi);
+      if (!n.bounds.empty()) {
+        lo = n.bounds[c];
+        hi = n.bounds[c + 1];
+      } else {
+        chunk_bounds(n.range, n.chunks, c, lo, hi);
+      }
       n.body(c, lo, hi, worker_stats[0][n.phase]);
     }
     n.end_seconds = epoch.seconds();
@@ -216,7 +286,12 @@ void PhaseGraph::run_concurrent(ThreadPool& pool, PhaseBreakdown& breakdown,
       lock.unlock();
 
       std::size_t lo, hi;
-      chunk_bounds(n.range, n.chunks, c, lo, hi);
+      if (!n.bounds.empty()) {
+        lo = n.bounds[c];
+        hi = n.bounds[c + 1];
+      } else {
+        chunk_bounds(n.range, n.chunks, c, lo, hi);
+      }
       try {
         n.body(c, lo, hi, worker_stats[me][n.phase]);
       } catch (...) {

@@ -1,0 +1,57 @@
+#include "hfmm/tree/active_set.hpp"
+
+#include <algorithm>
+
+namespace hfmm::tree {
+
+void build_active_levels(const Hierarchy& hier,
+                         std::span<const std::uint32_t> occupied_leaves,
+                         ActiveLevels& out) {
+  const int depth = hier.depth();
+  out.depth = depth;
+  if (out.levels.size() < static_cast<std::size_t>(depth) + 1)
+    out.levels.resize(depth + 1);
+
+  // Leaf level: sort + dedup the occupied list into the active list.
+  LevelActiveSet& leaf = out.levels[depth];
+  leaf.boxes.assign(occupied_leaves.begin(), occupied_leaves.end());
+  std::sort(leaf.boxes.begin(), leaf.boxes.end());
+  leaf.boxes.erase(std::unique(leaf.boxes.begin(), leaf.boxes.end()),
+                   leaf.boxes.end());
+
+  // Propagate upward. Sibling children adjacent in x collapse to the same
+  // parent flat index consecutively (flat order is x-fastest), so a
+  // last-seen guard halves the list before the sort.
+  for (int l = depth - 1; l >= 0; --l) {
+    const LevelActiveSet& child = out.levels[l + 1];
+    LevelActiveSet& parent = out.levels[l];
+    parent.boxes.clear();
+    std::uint32_t last = 0;
+    bool any = false;
+    for (const std::uint32_t cf : child.boxes) {
+      const BoxCoord cc = hier.coord_of(l + 1, cf);
+      const std::uint32_t pf = static_cast<std::uint32_t>(
+          hier.flat_index(l, Hierarchy::parent_of(cc)));
+      if (!any || pf != last) {
+        parent.boxes.push_back(pf);
+        last = pf;
+        any = true;
+      }
+    }
+    // Children in different y/z rows can map to the same parent out of
+    // order, so finish with a sort + unique (cheap: |active| entries).
+    std::sort(parent.boxes.begin(), parent.boxes.end());
+    parent.boxes.erase(std::unique(parent.boxes.begin(), parent.boxes.end()),
+                       parent.boxes.end());
+  }
+
+  // Dense -> active maps.
+  for (int l = 0; l <= depth; ++l) {
+    LevelActiveSet& ls = out.levels[l];
+    ls.dense_to_active.assign(hier.boxes_at(l), -1);
+    for (std::size_t a = 0; a < ls.boxes.size(); ++a)
+      ls.dense_to_active[ls.boxes[a]] = static_cast<std::int32_t>(a);
+  }
+}
+
+}  // namespace hfmm::tree

@@ -158,6 +158,49 @@ INSTANTIATE_TEST_SUITE_P(AllModes, ReuseModes,
                            return s;
                          });
 
+// Clustered inputs select the sparse active-box hierarchy under kAuto; the
+// reuse guarantees must hold there too: warm solves are bitwise identical
+// and grow no workspace heap. (Run standalone as the reuse_test_clustered
+// CI fixture.)
+TEST(ClusteredReuse, WarmSparseSolveBitwiseIdenticalClustered) {
+  FmmConfig cfg = base_config(ExecutionMode::kThreads);
+  cfg.depth = 4;
+  cfg.supernodes = true;
+  FmmSolver solver(cfg);
+  const ParticleSet p = make_plummer(2500, Box3{}, 19);
+  const FmmResult cold = solver.solve(p);
+  EXPECT_TRUE(cold.sparse);  // Plummer occupancy selects the sparse path
+  const FmmResult warm = solver.solve(p);
+  EXPECT_TRUE(bitwise_equal(cold.phi, warm.phi));
+  EXPECT_TRUE(bitwise_equal(cold.grad, warm.grad));
+  EXPECT_EQ(warm.workspace_allocs, 0u);
+  // Re-sorting the same particles rebuilds the same active sets; a fresh
+  // solver is the oracle for full determinism.
+  FmmSolver fresh(cfg);
+  EXPECT_TRUE(bitwise_equal(cold.phi, fresh.solve(p).phi));
+}
+
+TEST(ClusteredReuse, AlternatingDistributionsKeepWarmPathClustered) {
+  // Alternating uniform (dense path) and Plummer (sparse path) solves on
+  // one solver: each must reproduce its own bits, and after the first
+  // round-trip neither grows the workspace further.
+  FmmConfig cfg = base_config(ExecutionMode::kThreads);
+  cfg.depth = 3;
+  FmmSolver solver(cfg);
+  const ParticleSet u = make_uniform(2000, Box3{}, 29);
+  const ParticleSet c = make_plummer(2000, Box3{}, 31);
+  const FmmResult u1 = solver.solve(u);
+  const FmmResult c1 = solver.solve(c);
+  EXPECT_FALSE(u1.sparse);
+  EXPECT_TRUE(c1.sparse);
+  const FmmResult u2 = solver.solve(u);
+  const FmmResult c2 = solver.solve(c);
+  EXPECT_TRUE(bitwise_equal(u1.phi, u2.phi));
+  EXPECT_TRUE(bitwise_equal(c1.phi, c2.phi));
+  EXPECT_EQ(u2.workspace_allocs, 0u);
+  EXPECT_EQ(c2.workspace_allocs, 0u);
+}
+
 // A multi-step integrator run on one (warm) solver must match stepping with
 // a fresh solver per force evaluation to machine precision: the warm path
 // reuses plan and workspace but performs the identical arithmetic.

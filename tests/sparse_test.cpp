@@ -1,0 +1,451 @@
+// Sparse active-box hierarchy (DESIGN.md Section 13): active-set
+// derivation, cost-model chunk splitting, and the sparse executors'
+// agreement with the dense paths — bitwise where the arithmetic is
+// identical (auto-dense on uniform inputs, the masked data-parallel moves),
+// within tolerance where only the accumulation grouping differs (forced
+// sparse vs dense BLAS-3 aggregation).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "hfmm/core/solver.hpp"
+#include "hfmm/dp/multigrid.hpp"
+#include "hfmm/exec/graph.hpp"
+#include "hfmm/tree/active_set.hpp"
+#include "hfmm/util/particles.hpp"
+
+namespace hfmm {
+namespace {
+
+// ---------------------------------------------------------------- active set
+
+tree::Hierarchy make_hier(int depth) { return tree::Hierarchy(Box3{}, depth); }
+
+TEST(ActiveSetTest, SingleOccupiedLeaf) {
+  const tree::Hierarchy hier = make_hier(3);
+  const tree::BoxCoord leaf{5, 2, 7};
+  const std::uint32_t flat =
+      static_cast<std::uint32_t>(hier.flat_index(3, leaf));
+  tree::ActiveLevels act;
+  tree::build_active_levels(hier, std::vector<std::uint32_t>{flat}, act);
+
+  ASSERT_EQ(act.depth, 3);
+  tree::BoxCoord c = leaf;
+  for (int l = 3; l >= 0; --l) {
+    EXPECT_EQ(act.levels[l].count(), 1u) << "level " << l;
+    EXPECT_EQ(act.levels[l].boxes[0], hier.flat_index(l, c)) << "level " << l;
+    EXPECT_EQ(act.levels[l].dense_to_active[hier.flat_index(l, c)], 0);
+    c = tree::Hierarchy::parent_of(c);
+  }
+  EXPECT_EQ(act.total_active(), 4u);
+  // Everything else is inactive.
+  int inactive = 0;
+  for (std::int32_t v : act.levels[3].dense_to_active) inactive += (v < 0);
+  EXPECT_EQ(inactive, 511);
+}
+
+TEST(ActiveSetTest, ParentClosureOnRandomSubset) {
+  const tree::Hierarchy hier = make_hier(4);
+  std::vector<std::uint32_t> occupied;
+  // A deterministic scattered subset, unsorted and with duplicates.
+  for (std::uint32_t i = 0; i < 4096; i += 37) occupied.push_back(i % 4096);
+  occupied.push_back(occupied.front());
+  tree::ActiveLevels act;
+  tree::build_active_levels(hier, occupied, act);
+
+  for (int l = 1; l <= 4; ++l) {
+    const auto& lvl = act.levels[l];
+    // Ascending unique flat indices — the fixed reduction order.
+    for (std::size_t i = 1; i < lvl.boxes.size(); ++i)
+      EXPECT_LT(lvl.boxes[i - 1], lvl.boxes[i]);
+    for (const std::uint32_t flat : lvl.boxes) {
+      const tree::BoxCoord c = hier.coord_of(l, flat);
+      const std::size_t pflat =
+          hier.flat_index(l - 1, tree::Hierarchy::parent_of(c));
+      EXPECT_TRUE(act.levels[l - 1].active(pflat))
+          << "level " << l << " box " << flat << " has inactive parent";
+    }
+  }
+  // Every active internal box has at least one active child.
+  for (int l = 0; l < 4; ++l)
+    for (const std::uint32_t flat : act.levels[l].boxes) {
+      const tree::BoxCoord c = hier.coord_of(l, flat);
+      bool any = false;
+      for (int o = 0; o < 8; ++o)
+        any |= act.levels[l + 1].active(
+            hier.flat_index(l + 1, tree::Hierarchy::child_of(c, o)));
+      EXPECT_TRUE(any) << "level " << l << " box " << flat;
+    }
+}
+
+TEST(ActiveSetTest, FullyOccupiedIsAllActive) {
+  const tree::Hierarchy hier = make_hier(2);
+  std::vector<std::uint32_t> occupied(64);
+  std::iota(occupied.begin(), occupied.end(), 0u);
+  tree::ActiveLevels act;
+  tree::build_active_levels(hier, occupied, act);
+  for (int l = 0; l <= 2; ++l) {
+    EXPECT_TRUE(act.level_all_active(l));
+    EXPECT_DOUBLE_EQ(act.occupancy(l), 1.0);
+  }
+  EXPECT_EQ(act.total_active(), act.total_dense());
+}
+
+TEST(ActiveSetTest, DepthZeroAndOne) {
+  {
+    const tree::Hierarchy hier = make_hier(0);
+    tree::ActiveLevels act;
+    tree::build_active_levels(hier, std::vector<std::uint32_t>{0}, act);
+    ASSERT_EQ(act.depth, 0);
+    EXPECT_EQ(act.levels[0].count(), 1u);
+  }
+  {
+    const tree::Hierarchy hier = make_hier(1);
+    tree::ActiveLevels act;
+    tree::build_active_levels(hier, std::vector<std::uint32_t>{3, 6}, act);
+    ASSERT_EQ(act.depth, 1);
+    EXPECT_EQ(act.levels[1].count(), 2u);
+    EXPECT_EQ(act.levels[0].count(), 1u);
+    EXPECT_EQ(act.levels[1].dense_to_active[3], 0);
+    EXPECT_EQ(act.levels[1].dense_to_active[6], 1);
+    EXPECT_FALSE(act.levels[1].active(0));
+  }
+}
+
+TEST(ActiveSetTest, EmptyOccupiedListYieldsEmptyLevels) {
+  const tree::Hierarchy hier = make_hier(2);
+  tree::ActiveLevels act;
+  tree::build_active_levels(hier, {}, act);
+  for (int l = 0; l <= 2; ++l) EXPECT_EQ(act.levels[l].count(), 0u);
+  EXPECT_EQ(act.total_active(), 0u);
+}
+
+TEST(ActiveSetTest, WarmRebuildNoHeapGrowth) {
+  const tree::Hierarchy hier = make_hier(3);
+  std::vector<std::uint32_t> occupied;
+  for (std::uint32_t i = 0; i < 512; i += 11) occupied.push_back(i);
+  tree::ActiveLevels act;
+  tree::build_active_levels(hier, occupied, act);
+  const std::size_t bytes = act.capacity_bytes();
+  tree::build_active_levels(hier, occupied, act);
+  EXPECT_EQ(act.capacity_bytes(), bytes);
+}
+
+// --------------------------------------------------- cost-model chunk split
+
+TEST(WeightedSplitTest, BoundsInvariants) {
+  const std::vector<std::uint64_t> w{5, 1, 1, 1, 8, 1, 1, 1, 1, 5};
+  for (std::size_t cap : {1u, 2u, 3u, 4u, 10u, 50u}) {
+    const auto b = exec::weighted_split(w, cap);
+    ASSERT_GE(b.size(), 2u);
+    EXPECT_EQ(b.front(), 0u);
+    EXPECT_EQ(b.back(), w.size());
+    for (std::size_t i = 1; i < b.size(); ++i) EXPECT_LT(b[i - 1], b[i]);
+    EXPECT_LE(b.size() - 1, std::min<std::size_t>(cap, w.size()));
+  }
+}
+
+TEST(WeightedSplitTest, SkewedWeightsBalanceCost) {
+  // One dominating item: with 4 chunks the split must isolate it rather
+  // than cut the range into equal quarters.
+  std::vector<std::uint64_t> w(16, 1);
+  w[3] = 1000;
+  const auto b = exec::weighted_split(w, 4);
+  std::uint64_t max_cost = 0;
+  for (std::size_t c = 0; c + 1 < b.size(); ++c) {
+    std::uint64_t cost = 0;
+    for (std::size_t i = b[c]; i < b[c + 1]; ++i) cost += w[i];
+    max_cost = std::max(max_cost, cost);
+  }
+  // The dominating item's chunk carries at most the item plus a few unit
+  // neighbors — far below an equal-count split's 1000 + 3.
+  EXPECT_LE(max_cost, 1003u);
+  std::size_t chunk_of_3 = 0;
+  for (std::size_t c = 0; c + 1 < b.size(); ++c)
+    if (b[c] <= 3 && 3 < b[c + 1]) chunk_of_3 = b[c + 1] - b[c];
+  EXPECT_LE(chunk_of_3, 4u);
+}
+
+TEST(WeightedSplitTest, ZeroWeightsStillCoverRange) {
+  const std::vector<std::uint64_t> w(7, 0);
+  const auto b = exec::weighted_split(w, 3);
+  EXPECT_EQ(b.front(), 0u);
+  EXPECT_EQ(b.back(), 7u);
+}
+
+TEST(WeightedSplitTest, Deterministic) {
+  std::vector<std::uint64_t> w;
+  for (std::uint64_t i = 0; i < 100; ++i) w.push_back((i * 2654435761u) % 97);
+  EXPECT_EQ(exec::weighted_split(w, 8), exec::weighted_split(w, 8));
+}
+
+TEST(PhaseGraphTest, WeightedStageCoversRangeAndReportsImbalance) {
+  std::vector<std::uint64_t> weights(64, 1);
+  weights[10] = 200;  // force a visible imbalance
+  std::vector<std::atomic<int>> visits(64);
+  exec::PhaseGraph g;
+  g.add_weighted("work", "near", weights, 8,
+                 [&](std::size_t, std::size_t lo, std::size_t hi,
+                     PhaseStats& stats) {
+                   for (std::size_t i = lo; i < hi; ++i)
+                     visits[i].fetch_add(1, std::memory_order_relaxed);
+                   stats.flops += hi - lo;
+                 });
+  ThreadPool pool(4);
+  PhaseBreakdown breakdown;
+  std::vector<exec::StageTiming> timeline;
+  g.run(pool, exec::RunMode::kConcurrent, breakdown, &timeline);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(visits[i].load(), 1) << i;
+  EXPECT_EQ(breakdown.phases().at("near").flops, 64u);
+  ASSERT_EQ(timeline.size(), 1u);
+  EXPECT_GE(timeline[0].cost_imbalance, 1.0);
+  EXPECT_GE(breakdown.phases().at("near").cost_imbalance, 1.0);
+}
+
+// -------------------------------------------------- masked multigrid moves
+
+class MaskedEmbedTest : public ::testing::TestWithParam<dp::EmbedMethod> {};
+
+TEST_P(MaskedEmbedTest, MaskedMovesMatchDenseAndCutTraffic) {
+  dp::Machine machine({2, 2, 2});
+  const dp::BlockLayout leaf(8, machine.config());
+  const int level = 3;
+  const dp::BlockLayout ll = dp::layout_for_level(leaf, level);
+  const std::int32_t n = ll.boxes_per_side();
+
+  // Active set: one corner octant of the level. dense_to_active carries the
+  // active ordinals; the moves only test for >= 0.
+  std::vector<std::int32_t> active(static_cast<std::size_t>(n) * n * n, -1);
+  std::int32_t next = 0;
+  for (std::int32_t z = 0; z < n / 2; ++z)
+    for (std::int32_t y = 0; y < n / 2; ++y)
+      for (std::int32_t x = 0; x < n / 2; ++x)
+        active[(static_cast<std::size_t>(z) * n + y) * n + x] = next++;
+
+  // An active-consistent level grid: values on active boxes, zero elsewhere
+  // (exactly the invariant the solver maintains — inactive far fields are
+  // exactly zero).
+  dp::DistGrid temp(ll, 2);
+  for (std::int32_t z = 0; z < n; ++z)
+    for (std::int32_t y = 0; y < n; ++y)
+      for (std::int32_t x = 0; x < n; ++x) {
+        if (active[(static_cast<std::size_t>(z) * n + y) * n + x] < 0)
+          continue;
+        auto v = temp.at_global({x, y, z});
+        v[0] = 1.0 + x + 10.0 * y + 100.0 * z;
+        v[1] = 0.5 * v[0];
+      }
+
+  dp::MultigridArray dense_mg(leaf, 3, 2), masked_mg(leaf, 3, 2);
+  dense_mg.fill(0.0);
+  masked_mg.fill(0.0);
+  machine.reset_stats();
+  dp::multigrid_embed(machine, temp, level, dense_mg, GetParam());
+  const auto dense_stats = machine.stats();
+  machine.reset_stats();
+  dp::multigrid_embed(machine, temp, level, masked_mg, GetParam(), active);
+  const auto masked_stats = machine.stats();
+
+  for (std::int32_t z = 0; z < n; ++z)
+    for (std::int32_t y = 0; y < n; ++y)
+      for (std::int32_t x = 0; x < n; ++x) {
+        const auto a = dense_mg.at(level, {x, y, z});
+        const auto b = masked_mg.at(level, {x, y, z});
+        EXPECT_EQ(a[0], b[0]) << x << "," << y << "," << z;
+        EXPECT_EQ(a[1], b[1]) << x << "," << y << "," << z;
+      }
+  EXPECT_LT(masked_stats.off_vu_bytes + masked_stats.local_bytes,
+            dense_stats.off_vu_bytes + dense_stats.local_bytes);
+
+  // Extraction: masked extract of the masked embed equals the dense
+  // round-trip on every box (inactive boxes read back the zeros they held).
+  dp::DistGrid back_dense(ll, 2), back_masked(ll, 2);
+  dp::multigrid_extract(machine, dense_mg, level, back_dense, GetParam());
+  dp::multigrid_extract(machine, masked_mg, level, back_masked, GetParam(),
+                        active);
+  for (std::int32_t z = 0; z < n; ++z)
+    for (std::int32_t y = 0; y < n; ++y)
+      for (std::int32_t x = 0; x < n; ++x)
+        EXPECT_EQ(back_dense.at_global({x, y, z})[0],
+                  back_masked.at_global({x, y, z})[0]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, MaskedEmbedTest,
+                         ::testing::Values(dp::EmbedMethod::kGeneralSend,
+                                           dp::EmbedMethod::kLocalCopy),
+                         [](const auto& info) {
+                           return info.param == dp::EmbedMethod::kGeneralSend
+                                      ? "general_send"
+                                      : "local_copy";
+                         });
+
+// ------------------------------------------------------- solver agreement
+
+bool bitwise_equal(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+core::FmmConfig sparse_config(core::HierarchyMode mode, int depth) {
+  core::FmmConfig cfg;
+  cfg.depth = depth;
+  cfg.supernodes = true;
+  cfg.with_gradient = true;
+  cfg.hierarchy = mode;
+  return cfg;
+}
+
+void expect_close(const core::FmmResult& a, const core::FmmResult& b,
+                  double rel) {
+  ASSERT_EQ(a.phi.size(), b.phi.size());
+  double scale = 0.0;
+  for (const double v : a.phi) scale = std::max(scale, std::abs(v));
+  for (std::size_t i = 0; i < a.phi.size(); ++i)
+    EXPECT_NEAR(a.phi[i], b.phi[i], rel * scale) << i;
+  ASSERT_EQ(a.grad.size(), b.grad.size());
+  double gscale = 0.0;
+  for (const Vec3& g : a.grad)
+    gscale = std::max({gscale, std::abs(g.x), std::abs(g.y), std::abs(g.z)});
+  for (std::size_t i = 0; i < a.grad.size(); ++i) {
+    EXPECT_NEAR(a.grad[i].x, b.grad[i].x, rel * gscale) << i;
+    EXPECT_NEAR(a.grad[i].y, b.grad[i].y, rel * gscale) << i;
+    EXPECT_NEAR(a.grad[i].z, b.grad[i].z, rel * gscale) << i;
+  }
+}
+
+TEST(SparseSolveTest, AutoStaysDenseAndBitwiseOnUniform) {
+  // A fully occupied uniform input must keep the dense path under kAuto —
+  // and therefore reproduce the dense executor's bits exactly.
+  const ParticleSet p = make_uniform(4000, Box3{}, 11);
+  core::FmmSolver dense(sparse_config(core::HierarchyMode::kDense, 3));
+  core::FmmSolver auto_s(sparse_config(core::HierarchyMode::kAuto, 3));
+  const core::FmmResult rd = dense.solve(p);
+  const core::FmmResult ra = auto_s.solve(p);
+  EXPECT_FALSE(ra.sparse);
+  EXPECT_TRUE(bitwise_equal(rd.phi, ra.phi));
+  EXPECT_EQ(rd.active_boxes, ra.active_boxes);
+}
+
+TEST(SparseSolveTest, AutoSelectsSparseOnPlummer) {
+  const ParticleSet p = make_plummer(3000, Box3{}, 12);
+  core::FmmSolver solver(sparse_config(core::HierarchyMode::kAuto, 4));
+  const core::FmmResult r = solver.solve(p);
+  EXPECT_TRUE(r.sparse);
+  ASSERT_EQ(r.level_occupancy.size(), 5u);
+  EXPECT_LT(r.level_occupancy[4], 0.9);
+  EXPECT_LT(r.active_boxes, 4096u + 512 + 64 + 8 + 1);
+}
+
+TEST(SparseSolveTest, ForcedSparseMatchesDenseUniform) {
+  const ParticleSet p = make_uniform(2500, Box3{}, 13);
+  core::FmmSolver dense(sparse_config(core::HierarchyMode::kDense, 3));
+  core::FmmSolver sparse(sparse_config(core::HierarchyMode::kSparse, 3));
+  const core::FmmResult rd = dense.solve(p);
+  const core::FmmResult rs = sparse.solve(p);
+  EXPECT_TRUE(rs.sparse);
+  expect_close(rd, rs, 1e-11);
+}
+
+TEST(SparseSolveTest, SparseMatchesDenseOnClustered) {
+  for (const std::uint64_t seed : {21u, 22u}) {
+    const ParticleSet p = seed == 21u ? make_plummer(3000, Box3{}, seed)
+                                      : make_two_clusters(3000, Box3{}, seed);
+    core::FmmSolver dense(sparse_config(core::HierarchyMode::kDense, 4));
+    core::FmmSolver sparse(sparse_config(core::HierarchyMode::kSparse, 4));
+    const core::FmmResult rd = dense.solve(p);
+    const core::FmmResult rs = sparse.solve(p);
+    EXPECT_TRUE(rs.sparse);
+    EXPECT_LT(rs.active_boxes, rd.active_boxes);
+    EXPECT_LT(rs.workspace_bytes, rd.workspace_bytes);
+    expect_close(rd, rs, 1e-11);
+  }
+}
+
+TEST(SparseSolveTest, AlmostAllParticlesInOneLeaf) {
+  // Everything except two corner anchors sits inside one depth-3 leaf
+  // (the solver's root cube comes from the particle bounds, so the anchors
+  // pin the domain to the unit box). Three occupied leaves — the extreme
+  // clustering edge case: nearly every level is almost empty.
+  const ParticleSet cluster =
+      make_uniform(300, Box3{{0.50, 0.50, 0.50}, {0.56, 0.56, 0.56}}, 14);
+  ParticleSet p(302);
+  for (std::size_t i = 0; i < 300; ++i)
+    p.set(i, cluster.position(i), cluster.charge(i));
+  p.set(300, {0.0, 0.0, 0.0}, 1.0);
+  p.set(301, {1.0, 1.0, 1.0}, 1.0);
+  core::FmmConfig cfg = sparse_config(core::HierarchyMode::kSparse, 3);
+  core::FmmSolver sparse(cfg);
+  const core::FmmResult rs = sparse.solve(p);
+  EXPECT_TRUE(rs.sparse);
+  // At most 3 active boxes per level (cluster leaf may straddle at most a
+  // couple of leaves; the anchors add one each), far below the dense 585.
+  EXPECT_LE(rs.active_boxes, 4u * 3u);
+  cfg.hierarchy = core::HierarchyMode::kDense;
+  core::FmmSolver dense(cfg);
+  expect_close(dense.solve(p), rs, 1e-11);
+}
+
+TEST(SparseSolveTest, WarmSparseSolveBitwiseAndZeroGrowth) {
+  const ParticleSet p = make_plummer(2500, Box3{}, 15);
+  core::FmmSolver solver(sparse_config(core::HierarchyMode::kSparse, 4));
+  const core::FmmResult cold = solver.solve(p);
+  const core::FmmResult warm = solver.solve(p);
+  EXPECT_TRUE(bitwise_equal(cold.phi, warm.phi));
+  EXPECT_EQ(warm.workspace_allocs, 0u);
+  // A fresh solver reproduces the same bits — chunk splits depend only on
+  // the cost model, never on scheduling.
+  core::FmmSolver fresh(sparse_config(core::HierarchyMode::kSparse, 4));
+  EXPECT_TRUE(bitwise_equal(cold.phi, fresh.solve(p).phi));
+}
+
+TEST(SparseSolveTest, SequentialAndThreadedSparseAgreeBitwise) {
+  const ParticleSet p = make_plummer(2000, Box3{}, 16);
+  core::FmmConfig cfg = sparse_config(core::HierarchyMode::kSparse, 4);
+  cfg.mode = core::ExecutionMode::kSequential;
+  core::FmmSolver seq(cfg);
+  cfg.mode = core::ExecutionMode::kThreads;
+  core::FmmSolver thr(cfg);
+  EXPECT_TRUE(bitwise_equal(seq.solve(p).phi, thr.solve(p).phi));
+}
+
+TEST(SparseSolveTest, DataParallelMaskedBitwiseMatchesDense) {
+  // The DP executor keeps its dense compute loops; the mask only skips
+  // multigrid moves of all-zero inactive sections — results must be
+  // bitwise identical while counted communication drops.
+  const ParticleSet p = make_plummer(1500, Box3{}, 17);
+  core::FmmConfig cfg = sparse_config(core::HierarchyMode::kDense, 3);
+  cfg.mode = core::ExecutionMode::kDataParallel;
+  cfg.machine = {2, 2, 2};
+  core::FmmSolver dense(cfg);
+  cfg.hierarchy = core::HierarchyMode::kSparse;
+  core::FmmSolver masked(cfg);
+  const core::FmmResult rd = dense.solve(p);
+  const core::FmmResult rm = masked.solve(p);
+  EXPECT_TRUE(rm.sparse);
+  EXPECT_TRUE(bitwise_equal(rd.phi, rm.phi));
+  // With the default kLocalCopy embedding every VU-aligned level moves
+  // locally, so the mask's savings land in local bytes; off-VU traffic
+  // (halo exchange, sort) is unchanged.
+  EXPECT_LT(rm.comm.local_bytes, rd.comm.local_bytes);
+  EXPECT_LE(rm.comm.off_vu_bytes, rd.comm.off_vu_bytes);
+}
+
+TEST(SparseSolveTest, NearFieldCostImbalanceReported) {
+  const ParticleSet p = make_plummer(3000, Box3{}, 18);
+  core::FmmSolver solver(sparse_config(core::HierarchyMode::kSparse, 4));
+  const core::FmmResult r = solver.solve(p);
+  const auto& near = r.breakdown.phases().at("near");
+  EXPECT_GE(near.cost_imbalance, 1.0);
+  EXPECT_GT(near.boxes_total, near.boxes_active);
+  const auto& active = r.breakdown.phases().at("active");
+  EXPECT_GT(active.boxes_total, 0u);
+}
+
+}  // namespace
+}  // namespace hfmm

@@ -3,10 +3,17 @@
 # (HFMM_SANITIZE=address,undefined), and once with TSan
 # (HFMM_SANITIZE=thread — the concurrent phase-graph scheduler is the main
 # subject). Run from the repository root:
-#   tools/check.sh [jobs]
+#   tools/check.sh [jobs] [lane]
+# `lane` selects which suites run (default all): plain | asan | tsan | all —
+# CI runs the lanes as separate matrix jobs.
 set -euo pipefail
 
 jobs="${1:-$(nproc)}"
+lane="${2:-all}"
+case "$lane" in
+  all|plain|asan|tsan) ;;
+  *) echo "unknown lane '$lane' (plain|asan|tsan|all)" >&2; exit 2 ;;
+esac
 root="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$root"
 
@@ -17,24 +24,30 @@ run_suite() {
   ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
 }
 
-echo "== tier-1: plain build =="
-run_suite build
+if [[ "$lane" == all || "$lane" == plain ]]; then
+  echo "== tier-1: plain build =="
+  run_suite build
+fi
 
-echo "== tier-1: ASan + UBSan build =="
-# halt_on_error so UBSan findings fail the suite instead of just logging.
-export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
-run_suite build-sanitize \
-  -DHFMM_SANITIZE=address,undefined \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DHFMM_BUILD_BENCH=OFF -DHFMM_BUILD_EXAMPLES=OFF
+if [[ "$lane" == all || "$lane" == asan ]]; then
+  echo "== tier-1: ASan + UBSan build =="
+  # halt_on_error so UBSan findings fail the suite instead of just logging.
+  export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+  run_suite build-sanitize \
+    -DHFMM_SANITIZE=address,undefined \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DHFMM_BUILD_BENCH=OFF -DHFMM_BUILD_EXAMPLES=OFF
+fi
 
-echo "== tier-1: TSan build =="
-# TSan is exclusive of ASan, so it gets its own tree. halt_on_error makes
-# any reported race fail the suite.
-export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
-run_suite build-tsan \
-  -DHFMM_SANITIZE=thread \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DHFMM_BUILD_BENCH=OFF -DHFMM_BUILD_EXAMPLES=OFF
+if [[ "$lane" == all || "$lane" == tsan ]]; then
+  echo "== tier-1: TSan build =="
+  # TSan is exclusive of ASan, so it gets its own tree. halt_on_error makes
+  # any reported race fail the suite.
+  export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
+  run_suite build-tsan \
+    -DHFMM_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DHFMM_BUILD_BENCH=OFF -DHFMM_BUILD_EXAMPLES=OFF
+fi
 
 echo "== all checks passed =="
