@@ -178,11 +178,16 @@ RunOutcome run(const char* label, const char* slug,
       std::fprintf(json,
                    "%s\n        { \"phase\": \"%s\", \"seconds\": %.6f, "
                    "\"gflop\": %.3f, \"imbalance\": %.4f, "
-                   "\"boxes_active\": %llu, \"boxes_total\": %llu }",
+                   "\"boxes_active\": %llu, \"boxes_total\": %llu, "
+                   "\"movers\": %llu, \"chunks_rebuilt\": %llu, "
+                   "\"plan_reuse\": %llu }",
                    first_phase ? "" : ",", name.c_str(), s.seconds,
                    static_cast<double>(s.flops) / 1e9, s.cost_imbalance,
                    static_cast<unsigned long long>(s.boxes_active),
-                   static_cast<unsigned long long>(s.boxes_total));
+                   static_cast<unsigned long long>(s.boxes_total),
+                   static_cast<unsigned long long>(s.movers),
+                   static_cast<unsigned long long>(s.chunks_rebuilt),
+                   static_cast<unsigned long long>(s.plan_reuse));
       first_phase = false;
     }
     std::fprintf(json, "\n      ],\n      \"timeline\": [");

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "hfmm/core/integrator.hpp"
 #include "hfmm/core/solver.hpp"
 #include "hfmm/util/particles.hpp"
 
@@ -53,6 +54,11 @@ int main(int argc, char** argv) {
   const std::size_t nmax =
       static_cast<std::size_t>(cli.get("nmax", std::int64_t{256000}));
   const std::string dist = cli.get("dist", std::string("uniform"));
+  // --steps S: additionally time S incremental leapfrog steps per N (the
+  // dynamic-stepping per-step cost, step_incremental on) and report the
+  // mean step time alongside the static warm solve.
+  const std::uint64_t dyn_steps =
+      static_cast<std::uint64_t>(cli.get("steps", std::int64_t{0}));
 
   bench::print_header("bench_scaling",
                       "Abstract/Section 4 — linear scaling in N and P; "
@@ -71,8 +77,9 @@ int main(int argc, char** argv) {
   // production configuration).
   std::printf("[1] particle-count sweep (threads executor, supernodes, "
               "dist %s)\n\n", dist.c_str());
-  Table t1({"N", "depth", "cold (s)", "warm (s)", "warm us/particle",
-            "cycles/particle", "Gflop", "efficiency", "sparse"});
+  Table t1({"N", "depth", "cold (s)", "warm (s)", "step (s)",
+            "warm us/particle", "cycles/particle", "Gflop", "efficiency",
+            "sparse"});
   bool first_row = true;
   for (std::size_t n = nmax / 16; n <= nmax; n *= 4) {
     core::FmmConfig cfg;
@@ -87,8 +94,28 @@ int main(int argc, char** argv) {
     t.reset();
     (void)solver.solve(p);
     const double warm = t.seconds();
+    // Dynamic stepping: cold initialize, then S incremental leapfrog steps
+    // (each = kick/drift + one warm incremental solve).
+    double step_seconds = 0.0;
+    if (dyn_steps > 0) {
+      core::FmmConfig scfg = cfg;
+      scfg.with_gradient = true;
+      scfg.step_incremental = true;
+      scfg.softening = 1e-3;
+      core::FmmSolver ssolver(scfg);
+      (void)ssolver.translations();
+      core::SimulationState st;
+      st.particles = p;
+      st.velocity.assign(n, Vec3{});
+      core::LeapfrogIntegrator integ(ssolver, core::ForceLaw::kGravity, 1e-4);
+      integ.initialize(st);
+      t.reset();
+      integ.run(st, dyn_steps);
+      step_seconds = t.seconds() / static_cast<double>(dyn_steps);
+    }
     t1.row({Table::num(std::uint64_t(n)), Table::num(std::uint64_t(r.depth)),
             Table::num(secs, 3), Table::num(warm, 3),
+            dyn_steps > 0 ? Table::num(step_seconds, 4) : std::string("-"),
             Table::num(1e6 * warm / static_cast<double>(n), 3),
             Table::num(bench::cycles_per_particle(warm, n), 4),
             Table::num(static_cast<double>(r.breakdown.total_flops()) / 1e9,
@@ -100,9 +127,11 @@ int main(int argc, char** argv) {
       std::fprintf(json,
                    "%s\n    { \"n\": %zu, \"depth\": %d, "
                    "\"cold_seconds\": %.6f, \"warm_seconds\": %.6f, "
+                   "\"step_seconds\": %.6f, \"dyn_steps\": %llu, "
                    "\"sparse\": %s, \"active_boxes\": %zu, "
                    "\"workspace_bytes\": %zu, \"occupancy\": [",
-                   first_row ? "" : ",", n, r.depth, secs, warm,
+                   first_row ? "" : ",", n, r.depth, secs, warm, step_seconds,
+                   static_cast<unsigned long long>(dyn_steps),
                    r.sparse ? "true" : "false", r.active_boxes,
                    r.workspace_bytes);
       for (std::size_t l = 0; l < r.level_occupancy.size(); ++l)

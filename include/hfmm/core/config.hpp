@@ -33,6 +33,12 @@ const char* to_string(ExecutionMode m);
 const char* to_string(AggregationMode m);
 const char* to_string(HierarchyMode m);
 
+/// Environment-backed defaults for FmmConfig's incremental-stepping knobs:
+/// HFMM_STEP_INCREMENTAL=0|1 (default 0) and HFMM_STEP_MOVER_THRESHOLD
+/// (default 0.10). Read once on first use.
+bool default_step_incremental();
+double default_step_mover_threshold();
+
 struct FmmConfig {
   anderson::Params params = anderson::params_d5_k12();
   int depth = -1;                    ///< hierarchy depth; -1 = automatic
@@ -56,6 +62,19 @@ struct FmmConfig {
   /// kAuto's occupancy cutoff: fraction of non-empty leaf boxes below which
   /// the sparse path is selected. In [0, 1]; 0 forces dense under kAuto.
   double sparse_threshold = 0.9;
+  /// Incremental dynamic stepping (DESIGN.md Section 14): pin the hierarchy
+  /// root cube across solves and, while the particle count / depth / cube
+  /// stay valid, diff each solve's leaf assignment against the previous one
+  /// — repairing the sorted order in place and revalidating the sparse
+  /// active sets / cost model instead of rebuilding them. Results stay
+  /// bit-identical to a full rebuild ON THE SAME (pinned) cube; they are
+  /// NOT bitwise-comparable to a cold solve that derives a tight cube from
+  /// the moved positions, so the feature is opt-in (default off; env
+  /// override HFMM_STEP_INCREMENTAL=0|1). Ignored in data-parallel mode.
+  bool step_incremental = default_step_incremental();
+  /// Mover fraction above which an incremental step falls back to the full
+  /// counting sort. In [0, 1]; env override HFMM_STEP_MOVER_THRESHOLD.
+  double step_mover_threshold = default_step_mover_threshold();
 
   // Data-parallel execution knobs (ignored in the other modes).
   dp::MachineConfig machine{2, 2, 2};

@@ -46,6 +46,12 @@ struct ForceStats {
   std::uint64_t evaluations = 0;       ///< solver_.solve() calls issued
   std::uint64_t warm_evaluations = 0;  ///< of those, plan-reusing (warm)
   std::uint64_t workspace_allocs = 0;  ///< summed heap-growth events
+  /// Evaluations that consumed the solver's sorted-order SolveView instead
+  /// of FmmResult vectors (every non-DP evaluation).
+  std::uint64_t streamed_evaluations = 0;
+  /// Per-step result-vector allocations avoided by streaming (phi + grad
+  /// assigns skipped per streamed evaluation).
+  std::uint64_t saved_result_allocs = 0;
   double seconds = 0.0;                ///< summed solve wall time
 };
 
@@ -68,15 +74,22 @@ class LeapfrogIntegrator {
 
   const ForceStats& force_stats() const { return force_stats_; }
 
+  /// Phase breakdown of the most recent force evaluation (sort seconds,
+  /// movers, plan_reuse, chunks_rebuilt, ...) — what the dynamics benches
+  /// report per step. Empty before initialize().
+  const PhaseBreakdown& last_breakdown() const { return last_breakdown_; }
+
  private:
-  Vec3 acceleration(const SimulationState& s, std::size_t i) const;
   void evaluate_forces(SimulationState& state);
 
   FmmSolver& solver_;
   ForceLaw law_;
   double dt_;
-  std::vector<Vec3> grad_;
+  /// a_i in ORIGINAL particle order, precomputed per evaluation with the
+  /// ForceLaw branch applied once (not once per particle per kick).
+  std::vector<Vec3> accel_;
   ForceStats force_stats_;
+  PhaseBreakdown last_breakdown_;
 };
 
 }  // namespace hfmm::core

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "hfmm/anderson/translations.hpp"
@@ -57,6 +58,23 @@ struct FmmResult {
   std::vector<exec::StageTiming> timeline;
 };
 
+/// Borrowed, SORTED-order view of a solve's per-particle outputs — the
+/// streamed accumulation path for timestep loops. `phi[i]` / `grad[i]`
+/// belong to the particle with original index `perm[i]`; `q[i]` is its
+/// charge. The spans alias the solver's workspace: they stay valid until
+/// the next solve() on the same solver and must not be written. When a
+/// solve fills a view, FmmResult::phi / ::grad are left EMPTY (no
+/// original-order scatter, no per-step result allocation). Data-parallel
+/// mode does not stream; the view comes back empty (valid() == false) and
+/// the result vectors are filled as usual.
+struct SolveView {
+  std::span<const double> phi;
+  std::span<const Vec3> grad;  ///< empty unless config.with_gradient
+  std::span<const std::uint32_t> perm;  ///< sorted index -> original index
+  std::span<const double> q;            ///< charges in sorted order
+  bool valid() const { return !phi.empty(); }
+};
+
 class FmmSolver {
  public:
   explicit FmmSolver(FmmConfig config);
@@ -67,6 +85,11 @@ class FmmSolver {
   /// Computes the potential (and optionally gradient) induced at every
   /// particle by all the others.
   FmmResult solve(const ParticleSet& particles);
+
+  /// Streamed variant: leaves the outputs in sorted order behind `view`
+  /// instead of scattering them into FmmResult (see SolveView). Everything
+  /// else about the solve — phases, counters, determinism — is identical.
+  FmmResult solve(const ParticleSet& particles, SolveView& view);
 
   const FmmConfig& config() const { return config_; }
 
@@ -85,10 +108,12 @@ class FmmSolver {
   struct Impl;
 
  private:
+  FmmResult solve_impl_(const ParticleSet& particles, SolveView* view);
   FmmResult solve_dp_(const ParticleSet& particles,
                       const tree::Hierarchy& hier, FmmResult result);
   FmmResult solve_sparse_(const ParticleSet& particles,
-                          const tree::Hierarchy& hier, FmmResult result);
+                          const tree::Hierarchy& hier, FmmResult result,
+                          SolveView* view, bool sort_repaired);
   FmmConfig config_;
   std::unique_ptr<Impl> impl_;
 };

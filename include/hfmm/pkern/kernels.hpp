@@ -94,6 +94,19 @@ struct KernelBackend {
   void (*p2m2)(const double* spx, const double* spy, std::size_t k,
                const double* px, const double* py, const double* pq,
                std::size_t n, double* g);
+
+  /// Leapfrog kick: vel[i] = fma(c, acc[i], vel[i]) per component over n
+  /// Vec3 entries (c carries the half-step factor and sign). Every backend
+  /// computes an explicit correctly-rounded FMA — std::fma in portable
+  /// code, vfmadd in avx2 — so the bits are identical across backends and
+  /// immune to the compiler's -ffp-contract setting (a scalar mul-then-add
+  /// reference would contract or not depending on flags and TU).
+  void (*kick)(const Vec3* acc, double c, Vec3* vel, std::size_t n);
+
+  /// Leapfrog drift: x/y/z[i] = fma(dt, vel[i], x/y/z[i]) component-wise
+  /// over the SoA coordinate arrays (same explicit-FMA bit guarantee).
+  void (*drift)(const Vec3* vel, double dt, double* x, double* y, double* z,
+                std::size_t n);
 };
 
 /// True when `kind` can run on this CPU (portable always can).

@@ -47,6 +47,15 @@ struct PhaseStats {
   /// (mean chunk cost), >= 1.0; 0 when the phase ran unweighted. Merged by
   /// max — one overloaded chunk anywhere is what bounds the speedup.
   double cost_imbalance = 0.0;
+  /// Incremental-stepping counters (DESIGN.md Section 14). On the "sort"
+  /// phase: `movers` counts particles whose leaf box changed since the
+  /// previous solve and `plan_reuse` counts in-place repairs (no full
+  /// counting sort). On the "active" phase: `plan_reuse` counts reused
+  /// structures (active level sets, cost model) and `chunks_rebuilt` counts
+  /// cost-model entries recomputed by the diff-driven patch.
+  std::uint64_t movers = 0;
+  std::uint64_t chunks_rebuilt = 0;
+  std::uint64_t plan_reuse = 0;
   /// Live ScopedPhaseTimer count on this phase (not merged by +=): lets
   /// nested timers on the same stats count wall time exactly once.
   int timing_depth = 0;
@@ -60,6 +69,9 @@ struct PhaseStats {
     boxes_active += o.boxes_active;
     boxes_total += o.boxes_total;
     if (o.cost_imbalance > cost_imbalance) cost_imbalance = o.cost_imbalance;
+    movers += o.movers;
+    chunks_rebuilt += o.chunks_rebuilt;
+    plan_reuse += o.plan_reuse;
     return *this;
   }
 };

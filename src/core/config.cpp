@@ -1,5 +1,8 @@
 #include "hfmm/core/config.hpp"
 
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <stdexcept>
 
 namespace hfmm::core {
@@ -31,6 +34,33 @@ const char* to_string(HierarchyMode m) {
   return "?";
 }
 
+bool default_step_incremental() {
+  static const bool value = [] {
+    const char* env = std::getenv("HFMM_STEP_INCREMENTAL");
+    return env != nullptr && std::strcmp(env, "0") != 0 &&
+           std::strcmp(env, "") != 0;
+  }();
+  return value;
+}
+
+double default_step_mover_threshold() {
+  static const double value = [] {
+    const char* env = std::getenv("HFMM_STEP_MOVER_THRESHOLD");
+    if (env == nullptr || *env == '\0') return 0.10;
+    char* end = nullptr;
+    const double v = std::strtod(env, &end);
+    if (end == env || v < 0.0 || v > 1.0) {
+      std::fprintf(stderr,
+                   "hfmm: ignoring HFMM_STEP_MOVER_THRESHOLD=\"%s\" "
+                   "(want a fraction in [0, 1])\n",
+                   env);
+      return 0.10;
+    }
+    return v;
+  }();
+  return value;
+}
+
 void FmmConfig::validate() const {
   params.validate();
   if (separation < 1)
@@ -43,6 +73,9 @@ void FmmConfig::validate() const {
   if (sparse_threshold < 0.0 || sparse_threshold > 1.0)
     throw std::invalid_argument(
         "FmmConfig: sparse_threshold must be in [0, 1]");
+  if (step_mover_threshold < 0.0 || step_mover_threshold > 1.0)
+    throw std::invalid_argument(
+        "FmmConfig: step_mover_threshold must be in [0, 1]");
   if (mode == ExecutionMode::kDataParallel && !machine.valid())
     throw std::invalid_argument("FmmConfig: invalid VU grid");
   if (supernodes && separation != 2)

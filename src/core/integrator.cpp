@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "hfmm/pkern/kernels.hpp"
+
 namespace hfmm::core {
 
 LeapfrogIntegrator::LeapfrogIntegrator(FmmSolver& solver, ForceLaw law,
@@ -15,30 +17,56 @@ LeapfrogIntegrator::LeapfrogIntegrator(FmmSolver& solver, ForceLaw law,
         "LeapfrogIntegrator: solver must be configured with_gradient = true");
 }
 
-Vec3 LeapfrogIntegrator::acceleration(const SimulationState& s,
-                                      std::size_t i) const {
-  const double q = s.particles.charge(i);
-  switch (law_) {
-    case ForceLaw::kGravity:
-      // phi = sum m_j / r; gravitational potential is -phi, force -m grad(-phi).
-      return grad_[i];
-    case ForceLaw::kElectrostatic:
-      // Unit masses; F = -q grad phi.
-      return -q * grad_[i];
-  }
-  return {};
-}
-
 void LeapfrogIntegrator::evaluate_forces(SimulationState& state) {
-  FmmResult r = solver_.solve(state.particles);
-  // Move the buffers out — the solve path already reuses its own workspace,
-  // so a warm step performs no copies here either.
-  grad_ = std::move(r.grad);
-  state.phi = std::move(r.phi);
+  const std::size_t n = state.particles.size();
+  SolveView view;
+  FmmResult r = solver_.solve(state.particles, view);
+  state.phi.resize(n);
+  accel_.resize(n);
+  if (view.valid()) {
+    // Streamed path: one pass over the sorted-order view scatters phi and
+    // the law-applied acceleration straight into original order — the solve
+    // skipped its own result-vector assign + unsort entirely. The ForceLaw
+    // branch is hoisted out of the per-particle loop.
+    //   gravity:  phi = sum m_j / r, so a = +grad phi (see header)
+    //   electrostatic: unit masses, F = -q grad phi
+    switch (law_) {
+      case ForceLaw::kGravity:
+        for (std::size_t i = 0; i < n; ++i) {
+          const std::uint32_t j = view.perm[i];
+          state.phi[j] = view.phi[i];
+          accel_[j] = view.grad[i];
+        }
+        break;
+      case ForceLaw::kElectrostatic:
+        for (std::size_t i = 0; i < n; ++i) {
+          const std::uint32_t j = view.perm[i];
+          state.phi[j] = view.phi[i];
+          accel_[j] = -view.q[i] * view.grad[i];
+        }
+        break;
+    }
+    ++force_stats_.streamed_evaluations;
+    force_stats_.saved_result_allocs += 2;  // result.phi + result.grad
+  } else {
+    // Data-parallel mode (or n == 0): the solve filled the result vectors
+    // in original order as usual.
+    state.phi = std::move(r.phi);
+    switch (law_) {
+      case ForceLaw::kGravity:
+        for (std::size_t i = 0; i < n; ++i) accel_[i] = r.grad[i];
+        break;
+      case ForceLaw::kElectrostatic:
+        for (std::size_t i = 0; i < n; ++i)
+          accel_[i] = -state.particles.charge(i) * r.grad[i];
+        break;
+    }
+  }
   ++force_stats_.evaluations;
   if (r.plan_reused) ++force_stats_.warm_evaluations;
   force_stats_.workspace_allocs += r.workspace_allocs;
   force_stats_.seconds += r.breakdown.total_seconds();
+  last_breakdown_ = std::move(r.breakdown);
 }
 
 void LeapfrogIntegrator::initialize(SimulationState& state) {
@@ -50,16 +78,18 @@ void LeapfrogIntegrator::initialize(SimulationState& state) {
 void LeapfrogIntegrator::step(SimulationState& state) {
   ParticleSet& p = state.particles;
   const std::size_t n = p.size();
-  if (grad_.size() != n)
+  if (accel_.size() != n || (n > 0 && state.phi.size() != n))
     throw std::logic_error("LeapfrogIntegrator: call initialize() first");
-  // Kick (half), drift, re-evaluate, kick (half).
-  for (std::size_t i = 0; i < n; ++i) {
-    state.velocity[i] += (0.5 * dt_) * acceleration(state, i);
-    p.set(i, p.position(i) + dt_ * state.velocity[i], p.charge(i));
-  }
+  // Kick (half), drift, re-evaluate, kick (half). The kick and drift run on
+  // the dispatched particle kernels (SIMD over the flat velocity /
+  // coordinate arrays); both are contraction-free mul+add, so the update is
+  // bit-identical to the former per-particle scalar loop on every backend.
+  const pkern::KernelBackend& kern = pkern::active_kernel();
+  kern.kick(accel_.data(), 0.5 * dt_, state.velocity.data(), n);
+  kern.drift(state.velocity.data(), dt_, p.x().data(), p.y().data(),
+             p.z().data(), n);
   evaluate_forces(state);
-  for (std::size_t i = 0; i < n; ++i)
-    state.velocity[i] += (0.5 * dt_) * acceleration(state, i);
+  kern.kick(accel_.data(), 0.5 * dt_, state.velocity.data(), n);
   state.time += dt_;
   ++state.steps;
 }

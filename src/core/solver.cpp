@@ -664,6 +664,16 @@ void l2p_chunk(SharedContext& ctx, std::size_t lo, std::size_t hi,
 }  // namespace
 
 FmmResult FmmSolver::solve(const ParticleSet& particles) {
+  return solve_impl_(particles, nullptr);
+}
+
+FmmResult FmmSolver::solve(const ParticleSet& particles, SolveView& view) {
+  view = SolveView{};
+  return solve_impl_(particles, &view);
+}
+
+FmmResult FmmSolver::solve_impl_(const ParticleSet& particles,
+                                 SolveView* view) {
   const std::size_t n = particles.size();
   FmmResult result;
   result.k = config_.params.k();
@@ -689,12 +699,36 @@ FmmResult FmmSolver::solve(const ParticleSet& particles) {
   result.breakdown["plan"];  // phase visible with zeros on warm solves
   result.plan_reused = result.breakdown["plan"].allocs == 0;
 
-  // The hierarchy's root cube is the only per-solve geometry (particles
-  // move); it is an O(1) object and all plan structure is expressed in
-  // box-side units, so the plan stays valid across solves.
-  const tree::Hierarchy hier(tree::cube_containing(particles.bounds()), h);
-
   SolveWorkspace& ws = impl_->ws;
+  internal::StepCache& step = ws.step;
+
+  // Incremental stepping (DESIGN.md Section 14): when enabled and the
+  // previous solve's sort state is reusable (same n and depth, new bounds
+  // still inside the pinned root cube), keep the previous cube so box keys
+  // are comparable across steps and the sort can be repaired by diff.
+  const bool step_enabled = config_.step_incremental &&
+                            config_.mode != ExecutionMode::kDataParallel;
+  step.cur_incremental = false;
+  step.cur_counts_changed = true;
+  step.cur_emptiness_changed = true;
+  Box3 cube;
+  if (step_enabled && step.valid && step.n == n && step.depth == h) {
+    const Box3 b = particles.bounds();
+    if (step.cube.contains(b.lo) && step.cube.contains(b.hi)) {
+      cube = step.cube;
+      step.cur_incremental = true;
+    }
+  }
+  if (!step.cur_incremental) {
+    // The hierarchy's root cube is the only per-solve geometry (particles
+    // move); it is an O(1) object and all plan structure is expressed in
+    // box-side units, so the plan stays valid across solves.
+    cube = tree::cube_containing(particles.bounds());
+    step.active_valid = false;
+    step.cost_valid = false;
+  }
+  const tree::Hierarchy hier(cube, h);
+
   ws.begin_solve();
   ThreadPool& pool = *impl_->pool;
 
@@ -710,27 +744,51 @@ FmmResult FmmSolver::solve(const ParticleSet& particles) {
   // leaf occupancy, which needs the coordinate sort's output — so when the
   // sparse path is reachable the sort runs here (still charged to "sort")
   // and the graph's sort stage becomes a no-op. Dense-selected solves then
-  // proceed bit-identically: same sort output, same dense stages.
+  // proceed bit-identically: same sort output, same dense stages. The
+  // incremental step also sorts eagerly (its diff drives the StepCache
+  // revalidation below) even when the hierarchy is forced dense.
   bool pre_sorted = false;
-  if (config_.hierarchy != HierarchyMode::kDense) {
+  bool sort_repaired = false;
+  if (step_enabled || config_.hierarchy != HierarchyMode::kDense) {
     {
       ScopedPhaseTimer timer(result.breakdown["sort"]);
-      dp::coordinate_sort(particles, hier, layout, ws.boxed, &ws.sort_scratch);
+      if (step.cur_incremental) {
+        const dp::StepSortResult sr = dp::coordinate_sort_step(
+            particles, hier, layout, config_.step_mover_threshold, ws.boxed,
+            ws.sort_scratch);
+        result.breakdown["sort"].movers += sr.movers;
+        if (sr.repaired) {
+          result.breakdown["sort"].plan_reuse += 1;
+          sort_repaired = true;
+        }
+        step.cur_counts_changed = sr.counts_changed;
+        step.cur_emptiness_changed = sr.emptiness_changed;
+      } else {
+        dp::coordinate_sort(particles, hier, layout, ws.boxed,
+                            &ws.sort_scratch);
+      }
     }
     pre_sorted = true;
-    const std::size_t cap_before = ws.occupied.capacity();
-    ws.occupied.clear();
-    const std::size_t ranks = ws.boxed.box_begin.size() - 1;
-    for (std::size_t r = 0; r < ranks; ++r)
-      if (ws.boxed.box_begin[r + 1] > ws.boxed.box_begin[r])
-        ws.occupied.push_back(ws.boxed.rank_to_flat[r]);
-    if (ws.occupied.capacity() != cap_before)
-      ws.allocs.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (config_.hierarchy != HierarchyMode::kDense) {
+    // The occupied leaf list only changes when some box flips empty <->
+    // non-empty; an incremental step whose diff says otherwise keeps it.
+    if (!(step.cur_incremental && !step.cur_emptiness_changed)) {
+      const std::size_t cap_before = ws.occupied.capacity();
+      ws.occupied.clear();
+      const std::size_t ranks = ws.boxed.box_begin.size() - 1;
+      for (std::size_t r = 0; r < ranks; ++r)
+        if (ws.boxed.box_begin[r + 1] > ws.boxed.box_begin[r])
+          ws.occupied.push_back(ws.boxed.rank_to_flat[r]);
+      if (ws.occupied.capacity() != cap_before)
+        ws.allocs.fetch_add(1, std::memory_order_relaxed);
+    }
     const double occ = static_cast<double>(ws.occupied.size()) /
                        static_cast<double>(hier.boxes_at(h));
     if (config_.hierarchy == HierarchyMode::kSparse ||
         occ < config_.sparse_threshold)
-      return solve_sparse_(particles, hier, std::move(result));
+      return solve_sparse_(particles, hier, std::move(result), view,
+                           sort_repaired);
   }
 
   const std::size_t k = config_.params.k();
@@ -747,11 +805,13 @@ FmmResult FmmSolver::solve(const ParticleSet& particles) {
   using exec::NodeId;
   exec::PhaseGraph g;
 
-  const NodeId sort = g.add_serial("sort", "sort", [&](PhaseStats&) {
-    if (!pre_sorted)
-      dp::coordinate_sort(particles, hier, layout, ws.boxed,
-                          &ws.sort_scratch);
-  });
+  const NodeId sort = g.add_serial(sort_repaired ? "sort.incremental" : "sort",
+                                   "sort", [&](PhaseStats&) {
+                                     if (!pre_sorted)
+                                       dp::coordinate_sort(particles, hier,
+                                                           layout, ws.boxed,
+                                                           &ws.sort_scratch);
+                                   });
   const NodeId prep_levels =
       g.add_serial("prepare:levels", "workspace", [&](PhaseStats&) {
         ws.prepare_levels(h, k);
@@ -769,8 +829,10 @@ FmmResult FmmSolver::solve(const ParticleSet& particles) {
         ws.prepare_outputs(n, config_.with_gradient);
         if (ws.near_scratch.chunks.size() < nf_chunks)
           ws.near_scratch.chunks.resize(nf_chunks);
-        result.phi.assign(n, 0.0);
-        if (config_.with_gradient) result.grad.assign(n, Vec3{});
+        if (view == nullptr) {
+          result.phi.assign(n, 0.0);
+          if (config_.with_gradient) result.grad.assign(n, Vec3{});
+        }
       });
 
   const NodeId p2m = g.add(
@@ -873,14 +935,16 @@ FmmResult FmmSolver::solve(const ParticleSet& particles) {
   g.depend(near, prep_out);
 
   // Accumulate: add the near-field chunks (in chunk-index == box-range
-  // order, for reproducibility) onto the far-field result and un-sort to
-  // the original particle order.
+  // order, for reproducibility) onto the far-field result and — unless a
+  // SolveView streams the sorted buffers out directly — un-sort to the
+  // original particle order.
   const NodeId acc = g.add(
       "accumulate", "accumulate", n, 0,
       [&](std::size_t, std::size_t lo, std::size_t hi, PhaseStats&) {
         near_field_accumulate(ws.near_scratch, nf_chunks,
                               config_.with_gradient, ws.phi_sorted,
                               ws.grad_sorted, lo, hi);
+        if (view != nullptr) return;
         for (std::size_t i = lo; i < hi; ++i) {
           result.phi[ws.boxed.perm[i]] = ws.phi_sorted[i];
           if (config_.with_gradient)
@@ -901,6 +965,17 @@ FmmResult FmmSolver::solve(const ParticleSet& particles) {
   result.active_boxes = 0;
   for (int l = 0; l <= h; ++l) result.active_boxes += hier.boxes_at(l);
   result.workspace_bytes = ws.workspace_bytes();
+  internal::publish_view(ws, config_, n, view);
+  if (step_enabled) {
+    step.valid = true;
+    step.n = n;
+    step.depth = h;
+    step.cube = hier.root();
+    // A dense solve leaves the sparse structures stale relative to the new
+    // sorted order; the next sparse solve must rebuild them.
+    step.active_valid = false;
+    step.cost_valid = false;
+  }
   return result;
 }
 

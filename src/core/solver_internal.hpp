@@ -177,6 +177,26 @@ class ChunkArena {
   std::vector<ChunkSlot> slots_;
 };
 
+// Cross-solve incremental-stepping state (DESIGN.md Section 14). The
+// durable fields describe the sort state ws.boxed/ws.sort_scratch carry
+// from the previous solve: while n and depth match and the new bounds stay
+// inside the pinned root cube, the next solve may diff against it instead
+// of rebuilding. The cur_* fields are per-solve transients — solve() sets
+// them from the sort diff before dispatching, and the sparse executor reads
+// them to decide what to revalidate.
+struct StepCache {
+  bool valid = false;  ///< ws.boxed holds a steppable previous sort
+  std::size_t n = 0;
+  int depth = -1;
+  Box3 cube;  ///< pinned hierarchy root cube
+  bool active_valid = false;  ///< ws.active matches ws.boxed's occupancy
+  bool cost_valid = false;    ///< ws.leaf_cost/near_cost match ws.boxed
+  // Per-solve transients (set by solve(), read by solve_sparse_).
+  bool cur_incremental = false;  ///< this solve stepped from the cache
+  bool cur_counts_changed = true;
+  bool cur_emptiness_changed = true;
+};
+
 struct SolveWorkspace {
   // Box-major level stores: far/local potential vectors for every box of
   // every level, [level][flat_box * K + i]. Grown once, zeroed per solve.
@@ -201,6 +221,10 @@ struct SolveWorkspace {
   // Cost-model weights for cost-balanced chunk splits (leaf = particle
   // counts, near = near-field pair counts per active leaf).
   std::vector<std::uint64_t> leaf_cost, near_cost;
+  // Incremental-stepping cache plus the scratch list of active leaf indices
+  // whose cost entries the per-step patch recomputes.
+  StepCache step;
+  std::vector<std::uint32_t> cost_patch;
   // Heap-growth events since begin_solve() (reported as workspace allocs).
   std::atomic<std::uint64_t> allocs{0};
 
@@ -274,6 +298,19 @@ struct SolveWorkspace {
     }
   }
 };
+
+// Fills a SolveView from the workspace's sorted buffers; no-op when the
+// caller did not request streaming. Shared by the dense and sparse
+// executors (the DP executor does not stream).
+inline void publish_view(const SolveWorkspace& ws, const FmmConfig& config,
+                         std::size_t n, SolveView* view) {
+  if (view == nullptr || n == 0) return;
+  view->phi = std::span<const double>{ws.phi_sorted.data(), n};
+  if (config.with_gradient)
+    view->grad = std::span<const Vec3>{ws.grad_sorted.data(), n};
+  view->perm = std::span<const std::uint32_t>{ws.boxed.perm.data(), n};
+  view->q = std::span<const double>{ws.boxed.sorted.q().data(), n};
+}
 
 }  // namespace hfmm::core::internal
 

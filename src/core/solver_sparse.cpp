@@ -256,9 +256,14 @@ void l2p_chunk(SparseContext& ctx, std::size_t lo, std::size_t hi,
 
 // solve() has already run the coordinate sort (charged to "sort"), filled
 // ws.occupied with the non-empty leaf flats, and decided for this executor.
+// On an incremental step (ws.step.cur_incremental) the sort diff drives
+// what the "active" phase rebuilds: nothing when no box changed occupancy,
+// only the affected cost entries when counts changed without any empty <->
+// non-empty flip, and everything otherwise.
 FmmResult FmmSolver::solve_sparse_(const ParticleSet& particles,
                                    const tree::Hierarchy& hier,
-                                   FmmResult result) {
+                                   FmmResult result, SolveView* view,
+                                   bool sort_repaired) {
   const FmmPlan& plan = *impl_->plan;
   SolveWorkspace& ws = impl_->ws;
   ThreadPool& pool = *impl_->pool;
@@ -270,22 +275,32 @@ FmmResult FmmSolver::solve_sparse_(const ParticleSet& particles,
   // Derive the active level sets and the per-leaf cost model ("active"
   // phase): particle counts weight the leaf stages, near-field pair counts
   // weight the near-field chunks. Both reuse workspace buffers — a warm
-  // solve grows nothing here.
+  // solve grows nothing here, and an incremental step revalidates instead
+  // of rebuilding.
   const std::span<const tree::Offset> offsets =
       plan.near_list(config_.near_symmetry);
   {
     ScopedPhaseTimer timer(result.breakdown["active"]);
-    const std::size_t cap_before = ws.active.capacity_bytes();
-    tree::build_active_levels(hier, ws.occupied, ws.active);
-    if (ws.active.capacity_bytes() != cap_before)
-      ws.allocs.fetch_add(1, std::memory_order_relaxed);
+    const bool structures_ok =
+        ws.step.cur_incremental && !ws.step.cur_emptiness_changed;
+    if (structures_ok && ws.step.active_valid) {
+      // No box flipped empty <-> non-empty: the active level sets (and the
+      // dense->active maps) from the previous step are still exact.
+      result.breakdown["active"].plan_reuse += 1;
+    } else {
+      const std::size_t cap_before = ws.active.capacity_bytes();
+      tree::build_active_levels(hier, ws.occupied, ws.active);
+      if (ws.active.capacity_bytes() != cap_before)
+        ws.allocs.fetch_add(1, std::memory_order_relaxed);
+    }
 
     const tree::LevelActiveSet& leaves = ws.active.levels[h];
     const std::size_t nl = leaves.count();
-    internal::grow(ws.leaf_cost, nl, ws.allocs);
-    internal::grow(ws.near_cost, nl, ws.allocs);
     const std::int32_t nside = hier.boxes_per_side(h);
-    for (std::size_t ai = 0; ai < nl; ++ai) {
+    // Cost entries for one active leaf (leaf = its particle count, near =
+    // its near-field pair count) — the full build and the per-step patch
+    // apply the identical formula.
+    const auto cost_at = [&](std::size_t ai) {
       const std::size_t f = leaves.boxes[ai];
       const tree::BoxCoord c = hier.coord_of(h, f);
       const std::uint64_t t = particles_in(ws.boxed, f);
@@ -300,6 +315,47 @@ FmmResult FmmSolver::solve_sparse_(const ParticleSet& particles,
         pairs += t * particles_in(ws.boxed, hier.flat_index(h, nb));
       }
       ws.near_cost[ai] = pairs;
+    };
+    if (structures_ok && ws.step.cost_valid) {
+      if (!ws.step.cur_counts_changed) {
+        // Count-preserving membership swaps don't move any cost entry.
+        result.breakdown["active"].plan_reuse += 1;
+      } else {
+        // A changed count at leaf g dirties g's own entries plus every
+        // leaf f whose near list reaches g (f + o == g for an offset o in
+        // the list — with the symmetric half list each pair is costed once,
+        // on the side that owns it, so the inverse offsets cover exactly
+        // the dependent entries).
+        ws.cost_patch.clear();
+        const tree::LevelActiveSet& la = ws.active.levels[h];
+        const auto push_flat = [&](const tree::BoxCoord& c) {
+          if (c.ix < 0 || c.ix >= nside || c.iy < 0 || c.iy >= nside ||
+              c.iz < 0 || c.iz >= nside)
+            return;
+          const std::int32_t ai =
+              la.dense_to_active[hier.flat_index(h, c)];
+          if (ai >= 0) ws.cost_patch.push_back(static_cast<std::uint32_t>(ai));
+        };
+        for (const std::uint32_t r : ws.sort_scratch.changed_ranks) {
+          const tree::BoxCoord c =
+              hier.coord_of(h, ws.boxed.rank_to_flat[r]);
+          push_flat(c);
+          for (const tree::Offset& o : offsets) {
+            if (o == tree::Offset{0, 0, 0}) continue;
+            push_flat({c.ix - o.dx, c.iy - o.dy, c.iz - o.dz});
+          }
+        }
+        std::sort(ws.cost_patch.begin(), ws.cost_patch.end());
+        ws.cost_patch.erase(
+            std::unique(ws.cost_patch.begin(), ws.cost_patch.end()),
+            ws.cost_patch.end());
+        for (const std::uint32_t ai : ws.cost_patch) cost_at(ai);
+        result.breakdown["active"].chunks_rebuilt += ws.cost_patch.size();
+      }
+    } else {
+      internal::grow(ws.leaf_cost, nl, ws.allocs);
+      internal::grow(ws.near_cost, nl, ws.allocs);
+      for (std::size_t ai = 0; ai < nl; ++ai) cost_at(ai);
     }
   }
   const tree::ActiveLevels& act = ws.active;
@@ -327,7 +383,8 @@ FmmResult FmmSolver::solve_sparse_(const ParticleSet& particles,
   // The sort already ran (solve() needed its output to pick this executor);
   // the stage stays in the graph as a no-op so the timeline keeps the full
   // pipeline shape.
-  const NodeId sort = g.add_serial("sort", "sort", [](PhaseStats&) {});
+  const NodeId sort = g.add_serial(sort_repaired ? "sort.incremental" : "sort",
+                                   "sort", [](PhaseStats&) {});
   const NodeId prep_levels =
       g.add_serial("prepare:levels", "workspace", [&](PhaseStats&) {
         ws.prepare_levels_sparse(act, k);
@@ -337,8 +394,10 @@ FmmResult FmmSolver::solve_sparse_(const ParticleSet& particles,
         ws.prepare_outputs(n, config_.with_gradient);
         if (ws.near_scratch.chunks.size() < nf_chunks)
           ws.near_scratch.chunks.resize(nf_chunks);
-        result.phi.assign(n, 0.0);
-        if (config_.with_gradient) result.grad.assign(n, Vec3{});
+        if (view == nullptr) {
+          result.phi.assign(n, 0.0);
+          if (config_.with_gradient) result.grad.assign(n, Vec3{});
+        }
       });
 
   const NodeId p2m = g.add_weighted(
@@ -428,6 +487,7 @@ FmmResult FmmSolver::solve_sparse_(const ParticleSet& particles,
         near_field_accumulate(ws.near_scratch, nf_chunks,
                               config_.with_gradient, ws.phi_sorted,
                               ws.grad_sorted, lo, hi);
+        if (view != nullptr) return;  // streamed: outputs stay sorted
         for (std::size_t i = lo; i < hi; ++i) {
           result.phi[ws.boxed.perm[i]] = ws.phi_sorted[i];
           if (config_.with_gradient)
@@ -463,6 +523,15 @@ FmmResult FmmSolver::solve_sparse_(const ParticleSet& particles,
       ws.allocs.load(std::memory_order_relaxed);
   result.workspace_allocs = result.breakdown["workspace"].allocs;
   result.workspace_bytes = ws.workspace_bytes();
+  internal::publish_view(ws, config_, n, view);
+  if (config_.step_incremental) {
+    ws.step.valid = true;
+    ws.step.n = n;
+    ws.step.depth = h;
+    ws.step.cube = hier.root();
+    ws.step.active_valid = true;  // this solve's active sets are current
+    ws.step.cost_valid = true;
+  }
   return result;
 }
 

@@ -270,6 +270,58 @@ TEST_P(PkernBackendTest, P2p2MatchesScalar2d) {
   }
 }
 
+// Kick/drift carry a BITWISE contract (the integrator's identity tests rely
+// on it): every backend computes an explicit correctly-rounded FMA per
+// component — std::fma here is the reference, immune to -ffp-contract —
+// including sub-register tails.
+TEST_P(PkernBackendTest, KickMatchesScalarBitwise) {
+  Xoshiro256 rng(505);
+  const double c = 0.5 * 0.003;
+  for (const std::size_t n : {0u, 1u, 2u, 3u, 4u, 5u, 9u, 22u}) {
+    std::vector<Vec3> acc(n), vel(n), ref(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      acc[i] = {rng.uniform(-9.0, 9.0), rng.uniform(-9.0, 9.0),
+                rng.uniform(-9.0, 9.0)};
+      vel[i] = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0),
+                rng.uniform(-1.0, 1.0)};
+      ref[i] = {std::fma(c, acc[i].x, vel[i].x),
+                std::fma(c, acc[i].y, vel[i].y),
+                std::fma(c, acc[i].z, vel[i].z)};
+    }
+    kern().kick(acc.data(), c, vel.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(vel[i].x, ref[i].x);
+      EXPECT_EQ(vel[i].y, ref[i].y);
+      EXPECT_EQ(vel[i].z, ref[i].z);
+    }
+  }
+}
+
+TEST_P(PkernBackendTest, DriftMatchesScalarBitwise) {
+  Xoshiro256 rng(606);
+  const double dt = 0.007;
+  for (const std::size_t n : {0u, 1u, 3u, 4u, 6u, 13u, 32u}) {
+    std::vector<Vec3> vel(n);
+    std::vector<double> x(n), y(n), z(n), rx(n), ry(n), rz(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      vel[i] = {rng.uniform(-2.0, 2.0), rng.uniform(-2.0, 2.0),
+                rng.uniform(-2.0, 2.0)};
+      x[i] = rng.uniform();
+      y[i] = rng.uniform();
+      z[i] = rng.uniform();
+      rx[i] = std::fma(dt, vel[i].x, x[i]);
+      ry[i] = std::fma(dt, vel[i].y, y[i]);
+      rz[i] = std::fma(dt, vel[i].z, z[i]);
+    }
+    kern().drift(vel.data(), dt, x.data(), y.data(), z.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(x[i], rx[i]);
+      EXPECT_EQ(y[i], ry[i]);
+      EXPECT_EQ(z[i], rz[i]);
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Backends, PkernBackendTest,
                          ::testing::Values(pkern::KernelKind::kPortable,
                                            pkern::KernelKind::kAvx2),

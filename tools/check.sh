@@ -22,6 +22,11 @@ run_suite() {
   cmake -B "$build_dir" -S . "$@" >/dev/null
   cmake --build "$build_dir" -j "$jobs"
   ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+  # Explicit re-run of the incremental-stepping suite so a sanitizer finding
+  # in the sort-repair / plan-patch path is attributed on its own row.
+  echo "== incremental-stepping suite =="
+  ctest --test-dir "$build_dir" --output-on-failure \
+    -R 'IncrementalStep|PkernBackendTest|Integrator'
 }
 
 if [[ "$lane" == all || "$lane" == plain ]]; then
