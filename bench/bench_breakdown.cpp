@@ -8,12 +8,14 @@
 //   { "bench": "bench_breakdown",
 //     "configs": [ { "label": "d5_k12", "n":.., "k":.., "depth":..,
 //       "mode": "threads", "dist": "uniform", "hierarchy": "auto",
-//       "sparse": false, "active_boxes":.., "workspace_bytes":..,
+//       "sparse": false, "adaptive": false, "ncrit":.., "front_leaves":..,
+//       "active_boxes":.., "workspace_bytes":..,
 //       "occupancy": [..],
 //       "total_seconds":.., "warm_seconds":.., "warm_allocs":..,
 //       "total_gflop":..,
 //       "phases": [ {"phase": "near", "seconds":.., "gflop":..,
-//                    "imbalance":.., "boxes_active":.., "boxes_total":..},
+//                    "imbalance":.., "boxes_active":.., "boxes_total":..,
+//                    "pairs":..},
 //                   ... ] },
 //       ... ],
 //     "integrator": { "n":.., "steps":.., "first_eval_seconds":..,
@@ -22,9 +24,10 @@
 // the best-of-3 warm solve on the reused plan/workspace.
 //
 // --dist {uniform,plummer,two-clusters} selects the particle distribution
-// for the headline configs; a pinned Plummer N=100k dense-vs-sparse pair at
-// depth 4 and 5 always runs so the sparse hierarchy's cold/warm cost and
-// workspace footprint are diffable against the dense path.
+// for the headline configs; a pinned Plummer N=100k dense/sparse/adaptive
+// triple at depth 4 and 5 always runs so the sparse hierarchy's cold/warm
+// cost, workspace footprint and the adaptive front's near-field pair count
+// are diffable against the dense path.
 
 #include <cstring>
 #include <iostream>
@@ -62,6 +65,7 @@ struct RunOutcome {
   double cold = 0.0;
   double warm = 0.0;
   std::size_t workspace_bytes = 0;
+  std::uint64_t near_pairs = 0;
 };
 
 RunOutcome run(const char* label, const char* slug,
@@ -123,6 +127,15 @@ RunOutcome run(const char* label, const char* slug,
       static_cast<unsigned long long>(warm_allocs));
   std::printf("workspace: %.2f MB heap; active boxes %zu",
               static_cast<double>(r.workspace_bytes) / 1e6, r.active_boxes);
+  if (r.adaptive)
+    std::printf("; ncrit %d, %zu front leaves", r.ncrit, r.front_leaves);
+  const std::uint64_t near_pairs =
+      r.breakdown.phases().count("near")
+          ? r.breakdown.phases().at("near").pairs
+          : 0;
+  if (near_pairs > 0)
+    std::printf("; near pairs %llu",
+                static_cast<unsigned long long>(near_pairs));
   if (!r.level_occupancy.empty()) {
     std::printf("; occupancy by level:");
     for (double o : r.level_occupancy) std::printf(" %.3f", o);
@@ -158,11 +171,13 @@ RunOutcome run(const char* label, const char* slug,
                  "%s\n    { \"label\": \"%s\", \"n\": %zu, \"k\": %zu, "
                  "\"depth\": %d, \"mode\": \"%s\",\n"
                  "      \"dist\": \"%s\", \"hierarchy\": \"%s\", "
-                 "\"sparse\": %s, \"active_boxes\": %zu, "
+                 "\"sparse\": %s, \"adaptive\": %s, \"ncrit\": %d, "
+                 "\"front_leaves\": %zu, \"active_boxes\": %zu, "
                  "\"workspace_bytes\": %zu,\n      \"occupancy\": [",
                  first ? "" : ",", slug, n, r.k, r.depth,
                  dp_mode ? "data_parallel" : "threads", opts.dist.c_str(),
                  core::to_string(cfg.hierarchy), r.sparse ? "true" : "false",
+                 r.adaptive ? "true" : "false", r.ncrit, r.front_leaves,
                  r.active_boxes, r.workspace_bytes);
     for (std::size_t l = 0; l < r.level_occupancy.size(); ++l)
       std::fprintf(json, "%s%.6f", l == 0 ? "" : ", ", r.level_occupancy[l]);
@@ -179,12 +194,14 @@ RunOutcome run(const char* label, const char* slug,
                    "%s\n        { \"phase\": \"%s\", \"seconds\": %.6f, "
                    "\"gflop\": %.3f, \"imbalance\": %.4f, "
                    "\"boxes_active\": %llu, \"boxes_total\": %llu, "
+                   "\"pairs\": %llu, "
                    "\"movers\": %llu, \"chunks_rebuilt\": %llu, "
                    "\"plan_reuse\": %llu }",
                    first_phase ? "" : ",", name.c_str(), s.seconds,
                    static_cast<double>(s.flops) / 1e9, s.cost_imbalance,
                    static_cast<unsigned long long>(s.boxes_active),
                    static_cast<unsigned long long>(s.boxes_total),
+                   static_cast<unsigned long long>(s.pairs),
                    static_cast<unsigned long long>(s.movers),
                    static_cast<unsigned long long>(s.chunks_rebuilt),
                    static_cast<unsigned long long>(s.plan_reuse));
@@ -203,7 +220,7 @@ RunOutcome run(const char* label, const char* slug,
     }
     std::fprintf(json, "\n      ] }");
   }
-  return {total, warm, r.workspace_bytes};
+  return {total, warm, r.workspace_bytes, near_pairs};
 }
 
 }  // namespace
@@ -248,7 +265,8 @@ int main(int argc, char** argv) {
   // Pinned dense-vs-sparse pair on a clustered (Plummer) distribution: the
   // sparse active-box hierarchy's headline comparison, at depth 4 (near-
   // field dominated at N=100k) and depth 5 (translation dominated).
-  std::printf("\n==== clustered dense-vs-sparse comparison (Plummer) ====\n");
+  std::printf(
+      "\n==== clustered dense/sparse/adaptive comparison (Plummer) ====\n");
   for (const int depth : {4, 5}) {
     RunOpts d = opts;
     d.dist = "plummer";
@@ -274,6 +292,36 @@ int main(int argc, char** argv) {
         static_cast<double>(sparse.workspace_bytes) / 1e6,
         static_cast<double>(dense.workspace_bytes) /
             static_cast<double>(sparse.workspace_bytes));
+  }
+
+  // Adaptive ncrit refinement against the best uniform-leaf sparse solve:
+  // the §15 headline. Both pick their own depth (occupancy rule vs
+  // refinement cap); the adaptive front must cut the near-field pair count
+  // and the warm wall-clock on the clustered core.
+  {
+    RunOpts d = opts;
+    d.dist = "plummer";
+    d.depth = -1;
+    d.hierarchy = core::HierarchyMode::kSparse;
+    const RunOutcome sparse = run("Plummer, uniform-leaf sparse (auto depth)",
+                                  "plummer_sparse_auto",
+                                  anderson::params_d5_k12(), n, false, json,
+                                  false, d);
+    d.hierarchy = core::HierarchyMode::kAdaptive;
+    const RunOutcome adaptive = run("Plummer, adaptive ncrit front",
+                                    "plummer_adaptive",
+                                    anderson::params_d5_k12(), n, false, json,
+                                    false, d);
+    std::printf(
+        "\nplummer adaptive vs uniform sparse: warm %.3f s -> %.3f s "
+        "(%.2fx), near pairs %llu -> %llu (%.2fx)\n",
+        sparse.warm, adaptive.warm, sparse.warm / adaptive.warm,
+        static_cast<unsigned long long>(sparse.near_pairs),
+        static_cast<unsigned long long>(adaptive.near_pairs),
+        static_cast<double>(sparse.near_pairs) /
+            static_cast<double>(adaptive.near_pairs == 0
+                                    ? 1
+                                    : adaptive.near_pairs));
   }
 
   // Timestep loop: after the first force evaluation builds the plan, every

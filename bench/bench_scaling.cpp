@@ -9,9 +9,11 @@
 //       communication fraction stays bounded (the paper: 10-25%).
 //
 // --dist {uniform,plummer,two-clusters} selects the particle distribution
-// (clustered inputs exercise the sparse active-box hierarchy). The N sweep
-// is written to BENCH_scaling.json (--json=FILE) with the distribution and
-// the per-level active-box occupancy of every row.
+// (clustered inputs exercise the sparse active-box hierarchy) and
+// --hierarchy {auto,dense,sparse,adaptive} the tree policy for the N sweep
+// (adaptive = the §15 per-box ncrit leaf front). The N sweep is written to
+// BENCH_scaling.json (--json=FILE) with the distribution, the per-level
+// active-box occupancy and the near-field pair count of every row.
 
 #include <cstring>
 #include <iostream>
@@ -39,6 +41,18 @@ ParticleSet make_dist(const std::string& dist, std::size_t n,
   return make_uniform(n, Box3{}, seed);
 }
 
+core::HierarchyMode parse_hierarchy(const std::string& s) {
+  if (s.empty()) return core::default_hierarchy_mode();  // honor HFMM_HIERARCHY
+  if (s == "auto") return core::HierarchyMode::kAuto;
+  if (s == "dense") return core::HierarchyMode::kDense;
+  if (s == "sparse") return core::HierarchyMode::kSparse;
+  if (s == "adaptive") return core::HierarchyMode::kAdaptive;
+  std::fprintf(stderr,
+               "unknown --hierarchy %s (auto|dense|sparse|adaptive)\n",
+               s.c_str());
+  std::exit(1);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -54,6 +68,8 @@ int main(int argc, char** argv) {
   const std::size_t nmax =
       static_cast<std::size_t>(cli.get("nmax", std::int64_t{256000}));
   const std::string dist = cli.get("dist", std::string("uniform"));
+  const core::HierarchyMode hierarchy =
+      parse_hierarchy(cli.get("hierarchy", std::string()));
   // --steps S: additionally time S incremental leapfrog steps per N (the
   // dynamic-stepping per-step cost, step_incremental on) and report the
   // mean step time alongside the static warm solve.
@@ -70,20 +86,23 @@ int main(int argc, char** argv) {
   else
     std::fprintf(json,
                  "{\n  \"bench\": \"bench_scaling\",\n  \"dist\": \"%s\",\n"
+                 "  \"hierarchy\": \"%s\",\n"
                  "  \"n_sweep\": [",
-                 dist.c_str());
+                 dist.c_str(), core::to_string(hierarchy));
 
   // ---- Sweep 1: N, shared-memory executor, supernodes on (the paper's
   // production configuration).
   std::printf("[1] particle-count sweep (threads executor, supernodes, "
-              "dist %s)\n\n", dist.c_str());
+              "dist %s, hierarchy %s)\n\n",
+              dist.c_str(), core::to_string(hierarchy));
   Table t1({"N", "depth", "cold (s)", "warm (s)", "step (s)",
             "warm us/particle", "cycles/particle", "Gflop", "efficiency",
-            "sparse"});
+            "near pairs", "tree"});
   bool first_row = true;
   for (std::size_t n = nmax / 16; n <= nmax; n *= 4) {
     core::FmmConfig cfg;
     cfg.supernodes = true;
+    cfg.hierarchy = hierarchy;
     const ParticleSet p = make_dist(dist, n, 606);
     core::FmmSolver solver(cfg);
     (void)solver.translations();
@@ -113,6 +132,10 @@ int main(int argc, char** argv) {
       integ.run(st, dyn_steps);
       step_seconds = t.seconds() / static_cast<double>(dyn_steps);
     }
+    const std::uint64_t near_pairs =
+        r.breakdown.phases().count("near")
+            ? r.breakdown.phases().at("near").pairs
+            : 0;
     t1.row({Table::num(std::uint64_t(n)), Table::num(std::uint64_t(r.depth)),
             Table::num(secs, 3), Table::num(warm, 3),
             dyn_steps > 0 ? Table::num(step_seconds, 4) : std::string("-"),
@@ -122,18 +145,23 @@ int main(int argc, char** argv) {
                        3),
             Table::percent(bench::efficiency(r.breakdown.total_flops(),
                                              r.breakdown.total_seconds())),
-            r.sparse ? "yes" : "no"});
+            Table::num(near_pairs),
+            r.adaptive ? "adaptive" : (r.sparse ? "sparse" : "dense")});
     if (json != nullptr) {
       std::fprintf(json,
                    "%s\n    { \"n\": %zu, \"depth\": %d, "
                    "\"cold_seconds\": %.6f, \"warm_seconds\": %.6f, "
                    "\"step_seconds\": %.6f, \"dyn_steps\": %llu, "
-                   "\"sparse\": %s, \"active_boxes\": %zu, "
+                   "\"sparse\": %s, \"adaptive\": %s, \"ncrit\": %d, "
+                   "\"front_leaves\": %zu, \"near_pairs\": %llu, "
+                   "\"active_boxes\": %zu, "
                    "\"workspace_bytes\": %zu, \"occupancy\": [",
                    first_row ? "" : ",", n, r.depth, secs, warm, step_seconds,
                    static_cast<unsigned long long>(dyn_steps),
-                   r.sparse ? "true" : "false", r.active_boxes,
-                   r.workspace_bytes);
+                   r.sparse ? "true" : "false",
+                   r.adaptive ? "true" : "false", r.ncrit, r.front_leaves,
+                   static_cast<unsigned long long>(near_pairs),
+                   r.active_boxes, r.workspace_bytes);
       for (std::size_t l = 0; l < r.level_occupancy.size(); ++l)
         std::fprintf(json, "%s%.6f", l == 0 ? "" : ", ",
                      r.level_occupancy[l]);

@@ -44,6 +44,14 @@ struct FmmResult {
   /// True when the solve ran on the sparse active-box executor (forced by
   /// HierarchyMode::kSparse or selected by kAuto's occupancy cutoff).
   bool sparse = false;
+  /// True when the solve ran on the adaptive leaf-front executor
+  /// (HierarchyMode::kAdaptive, DESIGN.md Section 15).
+  bool adaptive = false;
+  /// The ncrit the adaptive front was refined with (config.ncrit, or the
+  /// cost-model selection when config.ncrit == 0). 0 on non-adaptive solves.
+  int ncrit = 0;
+  /// Leaves of the adaptive front (== leaf_boxes on adaptive solves).
+  std::size_t front_leaves = 0;
   /// Total active boxes over all levels (== total dense boxes when dense).
   std::size_t active_boxes = 0;
   /// Per-level active-box fraction, level_occupancy[l] in (0, 1]; filled
@@ -114,6 +122,9 @@ class FmmSolver {
   FmmResult solve_sparse_(const ParticleSet& particles,
                           const tree::Hierarchy& hier, FmmResult result,
                           SolveView* view, bool sort_repaired);
+  FmmResult solve_adaptive_(const ParticleSet& particles,
+                            const tree::Hierarchy& hier, FmmResult result,
+                            SolveView* view, bool sort_repaired);
   FmmConfig config_;
   std::unique_ptr<Impl> impl_;
 };

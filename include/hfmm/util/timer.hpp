@@ -43,6 +43,10 @@ struct PhaseStats {
   /// vs. the dense box count it would visit without sparse level sets.
   std::uint64_t boxes_active = 0;
   std::uint64_t boxes_total = 0;
+  /// Particle pair interactions the phase evaluated (the "near" phase): the
+  /// direct comparison between the uniform leaf level and the adaptive leaf
+  /// front, surfaced in the bench JSON so pair-count regressions fail fast.
+  std::uint64_t pairs = 0;
   /// Cost-model imbalance of the phase's worst stage: (max chunk cost) /
   /// (mean chunk cost), >= 1.0; 0 when the phase ran unweighted. Merged by
   /// max — one overloaded chunk anywhere is what bounds the speedup.
@@ -68,6 +72,7 @@ struct PhaseStats {
     allocs += o.allocs;
     boxes_active += o.boxes_active;
     boxes_total += o.boxes_total;
+    pairs += o.pairs;
     if (o.cost_imbalance > cost_imbalance) cost_imbalance = o.cost_imbalance;
     movers += o.movers;
     chunks_rebuilt += o.chunks_rebuilt;

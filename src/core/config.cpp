@@ -30,6 +30,7 @@ const char* to_string(HierarchyMode m) {
     case HierarchyMode::kDense: return "dense";
     case HierarchyMode::kSparse: return "sparse";
     case HierarchyMode::kAuto: return "auto";
+    case HierarchyMode::kAdaptive: return "adaptive";
   }
   return "?";
 }
@@ -61,6 +62,59 @@ double default_step_mover_threshold() {
   return value;
 }
 
+HierarchyMode default_hierarchy_mode() {
+  static const HierarchyMode value = [] {
+    const char* env = std::getenv("HFMM_HIERARCHY");
+    if (env == nullptr || *env == '\0') return HierarchyMode::kAuto;
+    if (std::strcmp(env, "dense") == 0) return HierarchyMode::kDense;
+    if (std::strcmp(env, "sparse") == 0) return HierarchyMode::kSparse;
+    if (std::strcmp(env, "auto") == 0) return HierarchyMode::kAuto;
+    if (std::strcmp(env, "adaptive") == 0) return HierarchyMode::kAdaptive;
+    std::fprintf(stderr,
+                 "hfmm: ignoring HFMM_HIERARCHY=\"%s\" "
+                 "(want dense|sparse|auto|adaptive)\n",
+                 env);
+    return HierarchyMode::kAuto;
+  }();
+  return value;
+}
+
+int default_ncrit() {
+  static const int value = [] {
+    const char* env = std::getenv("HFMM_NCRIT");
+    if (env == nullptr || *env == '\0') return 0;
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end == env || v < 0 || v > 100000) {
+      std::fprintf(stderr,
+                   "hfmm: ignoring HFMM_NCRIT=\"%s\" "
+                   "(want a non-negative split threshold; 0 = cost model)\n",
+                   env);
+      return 0;
+    }
+    return static_cast<int>(v);
+  }();
+  return value;
+}
+
+int default_adaptive_max_depth() {
+  static const int value = [] {
+    const char* env = std::getenv("HFMM_ADAPTIVE_MAX_DEPTH");
+    if (env == nullptr || *env == '\0') return 7;
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end == env || v < 2 || v > 10) {
+      std::fprintf(stderr,
+                   "hfmm: ignoring HFMM_ADAPTIVE_MAX_DEPTH=\"%s\" "
+                   "(want a depth in [2, 10])\n",
+                   env);
+      return 7;
+    }
+    return static_cast<int>(v);
+  }();
+  return value;
+}
+
 void FmmConfig::validate() const {
   params.validate();
   if (separation < 1)
@@ -76,6 +130,12 @@ void FmmConfig::validate() const {
   if (step_mover_threshold < 0.0 || step_mover_threshold > 1.0)
     throw std::invalid_argument(
         "FmmConfig: step_mover_threshold must be in [0, 1]");
+  if (ncrit < 0)
+    throw std::invalid_argument(
+        "FmmConfig: ncrit must be positive (or 0 = cost-model selection)");
+  if (adaptive_max_depth < 2 || adaptive_max_depth > 10)
+    throw std::invalid_argument(
+        "FmmConfig: adaptive_max_depth must be in [2, 10]");
   if (mode == ExecutionMode::kDataParallel && !machine.valid())
     throw std::invalid_argument("FmmConfig: invalid VU grid");
   if (supernodes && separation != 2)

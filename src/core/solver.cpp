@@ -134,6 +134,17 @@ const anderson::TranslationSet& FmmSolver::translations() {
 
 int FmmSolver::depth_for(std::size_t n) const {
   if (config_.depth >= 0) return config_.depth;
+  if (config_.hierarchy == HierarchyMode::kAdaptive &&
+      config_.mode != ExecutionMode::kDataParallel) {
+    // Refinement CAP for the adaptive leaf front (DESIGN.md Section 15):
+    // sort ~two levels deeper than the ~1-body-per-leaf depth so dense
+    // cluster cores can keep splitting — the ncrit front, not this cap,
+    // decides the actual leaf sizes. (The data-parallel executor has no
+    // adaptive path; it treats kAdaptive as sparse masking at the normal
+    // occupancy depth.)
+    return std::clamp(tree::optimal_depth(n, 1.0) + 2, 3,
+                      config_.adaptive_max_depth);
+  }
   double occupancy = config_.particles_per_leaf;
   if (occupancy <= 0.0) {
     // Balance near-field (~occupancy^2) against traversal (~K^2 per box,
@@ -783,6 +794,9 @@ FmmResult FmmSolver::solve_impl_(const ParticleSet& particles,
       if (ws.occupied.capacity() != cap_before)
         ws.allocs.fetch_add(1, std::memory_order_relaxed);
     }
+    if (config_.hierarchy == HierarchyMode::kAdaptive)
+      return solve_adaptive_(particles, hier, std::move(result), view,
+                             sort_repaired);
     const double occ = static_cast<double>(ws.occupied.size()) /
                        static_cast<double>(hier.boxes_at(h));
     if (config_.hierarchy == HierarchyMode::kSparse ||
@@ -929,6 +943,7 @@ FmmResult FmmSolver::solve_impl_(const ParticleSet& particles,
             config_.with_gradient, ws.near_scratch.chunks[c], lo, hi,
             config_.softening);
         st.flops += nf.flops;
+        st.pairs += nf.pair_interactions;
       },
       /*priority=*/1);
   g.depend(near, sort);
@@ -959,6 +974,51 @@ FmmResult FmmSolver::solve_impl_(const ParticleSet& particles,
                                                 : exec::RunMode::kInline,
         result.breakdown, &result.timeline);
 
+  // Per-phase box counts: the dense executor visits every box of a phase's
+  // levels, so active == total here (the sparse/adaptive executors report
+  // smaller active counts against the same totals).
+  {
+    const auto record = [&](const char* phase, int lo_l, int hi_l) {
+      PhaseStats& st = result.breakdown[phase];
+      for (int l = lo_l; l <= hi_l; ++l) {
+        st.boxes_active += hier.boxes_at(l);
+        st.boxes_total += hier.boxes_at(l);
+      }
+    };
+    record("p2m", h, h);
+    record("l2p", h, h);
+    record("near", h, h);
+    record("upward", 1, h - 1);
+    record("interactive", 2, h);
+    if (h > 2) record("downward", 3, h);
+  }
+  // Measured leaf occupancy for the result record ("active" phase): the
+  // dense executor does not need the active sets to run, but deriving them
+  // afterwards gives benches the same per-level occupancy the sparse path
+  // reports (previously empty on dense solves).
+  {
+    ScopedPhaseTimer timer(result.breakdown["active"]);
+    if (config_.hierarchy == HierarchyMode::kDense) {
+      // The sparse dispatch block did not run; derive the occupied list.
+      const std::size_t cap_before = ws.occupied.capacity();
+      ws.occupied.clear();
+      const std::size_t ranks = ws.boxed.box_begin.size() - 1;
+      for (std::size_t r = 0; r < ranks; ++r)
+        if (ws.boxed.box_begin[r + 1] > ws.boxed.box_begin[r])
+          ws.occupied.push_back(ws.boxed.rank_to_flat[r]);
+      if (ws.occupied.capacity() != cap_before)
+        ws.allocs.fetch_add(1, std::memory_order_relaxed);
+    }
+    const std::size_t cap_before = ws.active.capacity_bytes();
+    tree::build_active_levels(hier, ws.occupied, ws.active);
+    if (ws.active.capacity_bytes() != cap_before)
+      ws.allocs.fetch_add(1, std::memory_order_relaxed);
+    result.level_occupancy.resize(h + 1);
+    for (int l = 0; l <= h; ++l)
+      result.level_occupancy[l] = ws.active.occupancy(l);
+    result.breakdown["active"].boxes_active += ws.active.total_active();
+    result.breakdown["active"].boxes_total += ws.active.total_dense();
+  }
   result.breakdown["workspace"].allocs +=
       ws.allocs.load(std::memory_order_relaxed);
   result.workspace_allocs = result.breakdown["workspace"].allocs;

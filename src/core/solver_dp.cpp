@@ -442,6 +442,7 @@ FmmResult FmmSolver::solve_dp_(const ParticleSet& particles,
             config_.near_symmetry, ws.phi_sorted, ws.grad_sorted, *impl_->pool,
             &ws.near_scratch, config_.softening);
         stats.flops += nf.flops;
+        stats.pairs += nf.pair_interactions;
         const auto offsets = plan.near_list(config_.near_symmetry);
         std::uint64_t off_bytes = 0, msgs = 0;
         for (std::size_t f = 0; f < hier.boxes_at(h); ++f) {
@@ -481,6 +482,24 @@ FmmResult FmmSolver::solve_dp_(const ParticleSet& particles,
 
   g.run(*impl_->pool, exec::RunMode::kInline, result.breakdown,
         &result.timeline);
+
+  // The DP compute loops are dense (the mask only skips multigrid moves of
+  // inactive sections), so every phase visits every box of its levels.
+  {
+    const auto record = [&](const char* phase, int lo, int hi) {
+      PhaseStats& st = result.breakdown[phase];
+      for (int l = lo; l <= hi; ++l) {
+        st.boxes_active += hier.boxes_at(l);
+        st.boxes_total += hier.boxes_at(l);
+      }
+    };
+    record("p2m", h, h);
+    record("l2p", h, h);
+    record("near", h, h);
+    record("upward", 1, h - 1);
+    record("interactive", 2, h);
+    if (h > 2) record("downward", 3, h);
+  }
 
   result.comm = machine.stats();
   result.breakdown["comm"].comm_bytes = machine.stats().off_vu_bytes;

@@ -33,42 +33,31 @@
 #include "hfmm/dp/sort.hpp"
 #include "hfmm/tree/active_set.hpp"
 #include "solver_internal.hpp"
+#include "sparse_chunks.hpp"
 
 namespace hfmm::core {
 
 namespace {
 
-using internal::AppMatrix;
+using internal::ActiveContext;
 using internal::FmmPlan;
 using internal::SolveWorkspace;
-using internal::TranslationData;
-using internal::UnionOffset;
-
-struct SparseContext {
-  const FmmConfig& config;
-  const FmmPlan& plan;
-  const tree::Hierarchy& hier;
-  SolveWorkspace& ws;
-
-  const TranslationData& trans() const { return *plan.trans; }
-  const tree::ActiveLevels& act() const { return ws.active; }
-};
-
-std::uint64_t particles_in(const dp::BoxedParticles& boxed, std::size_t flat) {
-  const std::uint32_t r = boxed.flat_to_rank[flat];
-  return boxed.box_begin[r + 1] - boxed.box_begin[r];
-}
+using internal::downward_chunk;
+using internal::interactive_chunk;
+using internal::particles_in;
+using internal::supernode_chunk;
+using internal::upward_chunk;
 
 // P2M over active leaves [lo, hi): every active leaf is non-empty by
 // construction, writing its outer approximation at its ACTIVE row.
-void p2m_chunk(SparseContext& ctx, std::size_t lo, std::size_t hi,
+void p2m_chunk(ActiveContext& ctx, std::size_t lo, std::size_t hi,
                PhaseStats& stats) {
   const int h = ctx.hier.depth();
   const std::size_t k = ctx.config.params.k();
   const double a = ctx.config.params.outer_ratio * ctx.hier.side_at(h);
   const dp::BoxedParticles& boxed = ctx.ws.boxed;
   const ParticleSet& p = boxed.sorted;
-  const tree::LevelActiveSet& leaves = ctx.act().levels[h];
+  const tree::LevelActiveSet& leaves = ctx.act.levels[h];
   std::uint64_t local_flops = 0;
   for (std::size_t ai = lo; ai < hi; ++ai) {
     const std::size_t f = leaves.boxes[ai];
@@ -85,148 +74,14 @@ void p2m_chunk(SparseContext& ctx, std::size_t lo, std::size_t hi,
   stats.flops += local_flops;
 }
 
-// Upward T1 over active PARENTS [lo, hi) of level l: each parent gathers
-// its active children (octant order 0..7 — the dense accumulation order)
-// through the dense->active map of level l + 1. Inactive children hold an
-// exactly-zero far field, so skipping them changes nothing.
-void upward_chunk(SparseContext& ctx, int l, std::size_t lo, std::size_t hi,
-                  PhaseStats& stats) {
-  const std::size_t k = ctx.config.params.k();
-  const tree::LevelActiveSet& parents = ctx.act().levels[l];
-  const tree::LevelActiveSet& children = ctx.act().levels[l + 1];
-  const double* child = ctx.ws.far[l + 1].data();
-  double* parent = ctx.ws.far[l].data();
-  std::uint64_t local_flops = 0;
-  for (std::size_t pi = lo; pi < hi; ++pi) {
-    const tree::BoxCoord pc = ctx.hier.coord_of(l, parents.boxes[pi]);
-    double* dst = parent + pi * k;
-    for (int o = 0; o < 8; ++o) {
-      const tree::BoxCoord cc = tree::Hierarchy::child_of(pc, o);
-      const std::int32_t ca =
-          children.dense_to_active[ctx.hier.flat_index(l + 1, cc)];
-      if (ca < 0) continue;
-      blas::gemv(ctx.trans().t1[o].t, k,
-                 child + static_cast<std::size_t>(ca) * k, dst, k, k, true);
-      local_flops += blas::gemm_flops(1, k, k);
-    }
-  }
-  stats.flops += local_flops;
-}
-
-// Downward T3 over active CHILDREN [lo, hi) of level l (l > 2): the parent
-// of an active box is always active (parent closure), so the lookup cannot
-// miss.
-void downward_chunk(SparseContext& ctx, int l, std::size_t lo, std::size_t hi,
-                    PhaseStats& stats) {
-  const std::size_t k = ctx.config.params.k();
-  const tree::LevelActiveSet& children = ctx.act().levels[l];
-  const tree::LevelActiveSet& parents = ctx.act().levels[l - 1];
-  const double* parent = ctx.ws.local[l - 1].data();
-  double* child = ctx.ws.local[l].data();
-  std::uint64_t local_flops = 0;
-  for (std::size_t ci = lo; ci < hi; ++ci) {
-    const tree::BoxCoord c = ctx.hier.coord_of(l, children.boxes[ci]);
-    const int o = tree::Hierarchy::octant_of(c);
-    const std::int32_t pa = parents.dense_to_active[ctx.hier.flat_index(
-        l - 1, tree::Hierarchy::parent_of(c))];
-    blas::gemv(ctx.trans().t3[o].t, k,
-               parent + static_cast<std::size_t>(pa) * k, child + ci * k, k, k,
-               true);
-    local_flops += blas::gemm_flops(1, k, k);
-  }
-  stats.flops += local_flops;
-}
-
-// Non-supernode T2 over active TARGETS [lo, hi) of level l: the union
-// offset list with per-axis target-parity admissibility, explicit bounds
-// checks replacing the dense path's zero-padded grid, and active lookups
-// replacing its implicit zero sources.
-void interactive_chunk(SparseContext& ctx, int l, std::size_t lo,
-                       std::size_t hi, PhaseStats& stats) {
-  const std::size_t k = ctx.config.params.k();
-  const int d = ctx.config.separation;
-  const std::int32_t n = ctx.hier.boxes_per_side(l);
-  const tree::LevelActiveSet& act = ctx.act().levels[l];
-  const double* far = ctx.ws.far[l].data();
-  double* local = ctx.ws.local[l].data();
-  std::uint64_t local_flops = 0;
-  for (std::size_t ti = lo; ti < hi; ++ti) {
-    const tree::BoxCoord c = ctx.hier.coord_of(l, act.boxes[ti]);
-    double* dst = local + ti * k;
-    for (const UnionOffset& u : ctx.trans().union_offsets) {
-      if (!u.all_parities) {
-        if (!(u.valid_parity[0] & (1 << (c.ix & 1)))) continue;
-        if (!(u.valid_parity[1] & (1 << (c.iy & 1)))) continue;
-        if (!(u.valid_parity[2] & (1 << (c.iz & 1)))) continue;
-      }
-      const tree::BoxCoord s{c.ix + u.o.dx, c.iy + u.o.dy, c.iz + u.o.dz};
-      if (s.ix < 0 || s.ix >= n || s.iy < 0 || s.iy >= n || s.iz < 0 ||
-          s.iz >= n)
-        continue;
-      const std::int32_t sa = act.dense_to_active[ctx.hier.flat_index(l, s)];
-      if (sa < 0) continue;
-      blas::gemv(ctx.trans().t2[tree::offset_cube_index(u.o, d)].t, k,
-                 far + static_cast<std::size_t>(sa) * k, dst, k, k, true);
-      local_flops += blas::gemm_flops(1, k, k);
-    }
-  }
-  stats.flops += local_flops;
-}
-
-// Supernode T2 over active TARGETS [lo, hi) of level l: the precomputed
-// gather plan's rectangles already encode source-in-bounds per (octant,
-// entry) — a target only needs its parent coordinate inside the rectangle
-// plus an active lookup on the source.
-void supernode_chunk(SparseContext& ctx, int l, std::size_t lo, std::size_t hi,
-                     PhaseStats& stats) {
-  const std::size_t k = ctx.config.params.k();
-  const tree::LevelActiveSet& act = ctx.act().levels[l];
-  const tree::LevelActiveSet& act_parent = ctx.act().levels[l - 1];
-  const internal::SupernodeLevelPlan& plan = ctx.plan.supernode_plans[l];
-  const double* far = ctx.ws.far[l].data();
-  const double* far_parent = ctx.ws.far[l - 1].data();
-  double* local = ctx.ws.local[l].data();
-  std::uint64_t local_flops = 0;
-  for (std::size_t ti = lo; ti < hi; ++ti) {
-    const tree::BoxCoord c = ctx.hier.coord_of(l, act.boxes[ti]);
-    const int octant = tree::Hierarchy::octant_of(c);
-    const tree::BoxCoord p = tree::Hierarchy::parent_of(c);
-    double* dst = local + ti * k;
-    for (const internal::SupernodePlanEntry& pe : plan.per_octant[octant]) {
-      if (p.ix < pe.lo[0] || p.ix >= pe.hi[0] || p.iy < pe.lo[1] ||
-          p.iy >= pe.hi[1] || p.iz < pe.lo[2] || p.iz >= pe.hi[2])
-        continue;
-      const double* src;
-      if (pe.parent_source) {
-        const tree::BoxCoord s{p.ix + pe.offset.dx, p.iy + pe.offset.dy,
-                               p.iz + pe.offset.dz};
-        const std::int32_t sa =
-            act_parent.dense_to_active[ctx.hier.flat_index(l - 1, s)];
-        if (sa < 0) continue;
-        src = far_parent + static_cast<std::size_t>(sa) * k;
-      } else {
-        const tree::BoxCoord s{c.ix + pe.offset.dx, c.iy + pe.offset.dy,
-                               c.iz + pe.offset.dz};
-        const std::int32_t sa =
-            act.dense_to_active[ctx.hier.flat_index(l, s)];
-        if (sa < 0) continue;
-        src = far + static_cast<std::size_t>(sa) * k;
-      }
-      blas::gemv(pe.matrix->t, k, src, dst, k, k, true);
-      local_flops += blas::gemm_flops(1, k, k);
-    }
-  }
-  stats.flops += local_flops;
-}
-
-void l2p_chunk(SparseContext& ctx, std::size_t lo, std::size_t hi,
+void l2p_chunk(ActiveContext& ctx, std::size_t lo, std::size_t hi,
                PhaseStats& stats) {
   const int h = ctx.hier.depth();
   const std::size_t k = ctx.config.params.k();
   const double a = ctx.config.params.inner_ratio * ctx.hier.side_at(h);
   const dp::BoxedParticles& boxed = ctx.ws.boxed;
   const ParticleSet& p = boxed.sorted;
-  const tree::LevelActiveSet& leaves = ctx.act().levels[h];
+  const tree::LevelActiveSet& leaves = ctx.act.levels[h];
   const std::span<double> phi{ctx.ws.phi_sorted};
   const std::span<Vec3> grad{ctx.ws.grad_sorted};
   std::uint64_t local_flops = 0;
@@ -376,7 +231,7 @@ FmmResult FmmSolver::solve_sparse_(const ParticleSet& particles,
       W == 1 ? 1 : std::min(active_leaves, 4 * W);
   const std::size_t nf_chunks = std::max<std::size_t>(1, nf_cap);
 
-  SparseContext ctx{config_, plan, hier, ws};
+  ActiveContext ctx{config_, plan, hier, ws, act};
   using exec::NodeId;
   exec::PhaseGraph g;
 
@@ -476,6 +331,7 @@ FmmResult FmmSolver::solve_sparse_(const ParticleSet& particles,
             config_.with_gradient, ws.near_scratch.chunks[c],
             leaf_list.subspan(lo, hi - lo), config_.softening);
         st.flops += nf.flops;
+        st.pairs += nf.pair_interactions;
       },
       /*priority=*/1);
   g.depend(near, sort);

@@ -1,0 +1,295 @@
+#include "hfmm/tree/refinement.hpp"
+
+#include <algorithm>
+
+namespace hfmm::tree {
+
+namespace {
+
+// Grows a vector-of-vectors to `levels` entries without ever shrinking, so
+// warm rebuilds at the same depth reuse every inner buffer's capacity.
+template <typename T>
+void ensure_levels(std::vector<std::vector<T>>& v, std::size_t levels) {
+  if (v.size() < levels) v.resize(levels);
+}
+
+}  // namespace
+
+std::size_t LeafFront::capacity_bytes() const {
+  std::size_t b = leaf_level.capacity() * sizeof(std::int32_t) +
+                  leaf_flat.capacity() * sizeof(std::uint32_t);
+  for (const auto& s : state) b += s.capacity() * sizeof(std::uint8_t);
+  for (const auto& s : leaf_id) b += s.capacity() * sizeof(std::int32_t);
+  return b;
+}
+
+void build_subtree_counts(const Hierarchy& hier, const ActiveLevels& act,
+                          std::span<const std::uint32_t> leaf_counts,
+                          std::vector<std::vector<std::uint32_t>>& counts) {
+  const int depth = act.depth;
+  ensure_levels(counts, static_cast<std::size_t>(depth) + 1);
+  counts[static_cast<std::size_t>(depth)].assign(leaf_counts.begin(),
+                                                 leaf_counts.end());
+  for (int l = depth - 1; l >= 0; --l) {
+    const LevelActiveSet& par = act.levels[static_cast<std::size_t>(l)];
+    const LevelActiveSet& chi = act.levels[static_cast<std::size_t>(l + 1)];
+    auto& dst = counts[static_cast<std::size_t>(l)];
+    const auto& src = counts[static_cast<std::size_t>(l + 1)];
+    dst.assign(par.count(), 0);
+    for (std::size_t ci = 0; ci < chi.count(); ++ci) {
+      const BoxCoord c = hier.coord_of(l + 1, chi.boxes[ci]);
+      const std::size_t pf = hier.flat_index(l, Hierarchy::parent_of(c));
+      dst[static_cast<std::size_t>(par.dense_to_active[pf])] += src[ci];
+    }
+  }
+}
+
+void build_leaf_front(const Hierarchy& hier, const ActiveLevels& act,
+                      const std::vector<std::vector<std::uint32_t>>& counts,
+                      int ncrit, int min_level, std::span<const Offset> near,
+                      LeafFront& out) {
+  const int depth = act.depth;
+  min_level = std::min(min_level, depth);
+  out.depth = depth;
+  out.min_level = min_level;
+  out.ncrit = ncrit;
+  const std::size_t nlev = static_cast<std::size_t>(depth) + 1;
+  ensure_levels(out.state, nlev);
+  ensure_levels(out.leaf_id, nlev);
+
+  // Top-down marking: a box is reachable while every ancestor keeps
+  // splitting; a reachable box at or below min_level becomes a leaf when
+  // its subtree count fits ncrit or it sits at the depth cap.
+  const std::uint32_t limit =
+      ncrit > 0 ? static_cast<std::uint32_t>(ncrit) : 0;
+  for (int l = 0; l <= depth; ++l) {
+    const LevelActiveSet& lvl = act.levels[static_cast<std::size_t>(l)];
+    auto& st = out.state[static_cast<std::size_t>(l)];
+    st.assign(lvl.count(), LeafFront::kBelow);
+    const LevelActiveSet* up =
+        l > 0 ? &act.levels[static_cast<std::size_t>(l - 1)] : nullptr;
+    const auto* upst =
+        l > 0 ? &out.state[static_cast<std::size_t>(l - 1)] : nullptr;
+    for (std::size_t ai = 0; ai < lvl.count(); ++ai) {
+      if (l > min_level) {
+        const BoxCoord c = hier.coord_of(l, lvl.boxes[ai]);
+        const std::size_t pf = hier.flat_index(l - 1, Hierarchy::parent_of(c));
+        const std::int32_t pai = up->dense_to_active[pf];
+        if ((*upst)[static_cast<std::size_t>(pai)] != LeafFront::kInternal)
+          continue;  // under a leaf — pruned
+      }
+      if (l < min_level) {
+        st[ai] = LeafFront::kInternal;
+      } else if (l == depth ||
+                 counts[static_cast<std::size_t>(l)][ai] <= limit) {
+        st[ai] = LeafFront::kLeaf;
+      } else {
+        st[ai] = LeafFront::kInternal;
+      }
+    }
+  }
+
+  // Balance ripple: while some leaf B at level l has a direct partner A at
+  // level <= l - 2 (a leaf within `near` of B's same-level ancestor), split
+  // A — its active children become leaves one level down. Fixed point in a
+  // few passes since every split strictly deepens the offending leaf.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int l = depth; l >= min_level + 2; --l) {
+      const LevelActiveSet& lvl = act.levels[static_cast<std::size_t>(l)];
+      const auto& st = out.state[static_cast<std::size_t>(l)];
+      for (std::size_t ai = 0; ai < lvl.count(); ++ai) {
+        if (st[ai] != LeafFront::kLeaf) continue;
+        // anc walks B's ancestor chain; after the first two steps it sits
+        // at level l - 2, then one level up per iteration.
+        BoxCoord anc = Hierarchy::parent_of(hier.coord_of(l, lvl.boxes[ai]));
+        for (int la = l - 2; la >= min_level; --la) {
+          anc = Hierarchy::parent_of(anc);
+          const LevelActiveSet& coarse =
+              act.levels[static_cast<std::size_t>(la)];
+          auto& cst = out.state[static_cast<std::size_t>(la)];
+          for (const Offset& o : near) {
+            const BoxCoord nb{anc.ix + o.dx, anc.iy + o.dy, anc.iz + o.dz};
+            if (!hier.in_bounds(la, nb)) continue;
+            const std::int32_t ci =
+                coarse.dense_to_active[hier.flat_index(la, nb)];
+            if (ci < 0 || cst[static_cast<std::size_t>(ci)] != LeafFront::kLeaf)
+              continue;
+            // Split: the coarse leaf turns internal, its active children
+            // become leaves.
+            cst[static_cast<std::size_t>(ci)] = LeafFront::kInternal;
+            const LevelActiveSet& kids =
+                act.levels[static_cast<std::size_t>(la + 1)];
+            auto& kst = out.state[static_cast<std::size_t>(la + 1)];
+            for (int oc = 0; oc < 8; ++oc) {
+              const BoxCoord kc = Hierarchy::child_of(nb, oc);
+              const std::int32_t ki =
+                  kids.dense_to_active[hier.flat_index(la + 1, kc)];
+              if (ki >= 0) kst[static_cast<std::size_t>(ki)] = LeafFront::kLeaf;
+            }
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  // Canonical enumeration: ascending (level, flat) — active lists are
+  // already ascending per level.
+  out.leaf_level.clear();
+  out.leaf_flat.clear();
+  out.max_leaf_level = min_level;
+  for (int l = 0; l <= depth; ++l) {
+    const LevelActiveSet& lvl = act.levels[static_cast<std::size_t>(l)];
+    const auto& st = out.state[static_cast<std::size_t>(l)];
+    auto& ids = out.leaf_id[static_cast<std::size_t>(l)];
+    ids.assign(lvl.count(), -1);
+    for (std::size_t ai = 0; ai < lvl.count(); ++ai) {
+      if (st[ai] != LeafFront::kLeaf) continue;
+      ids[ai] = static_cast<std::int32_t>(out.leaf_flat.size());
+      out.leaf_level.push_back(l);
+      out.leaf_flat.push_back(lvl.boxes[ai]);
+      out.max_leaf_level = std::max(out.max_leaf_level, l);
+    }
+  }
+}
+
+void build_front_levels(const Hierarchy& hier, const ActiveLevels& act,
+                        const LeafFront& front, ActiveLevels& out,
+                        std::vector<std::vector<std::uint8_t>>& out_leaf) {
+  (void)hier;
+  const int depth = front.max_leaf_level;
+  out.depth = depth;
+  const std::size_t nlev = static_cast<std::size_t>(depth) + 1;
+  if (out.levels.size() < nlev) out.levels.resize(nlev);
+  ensure_levels(out_leaf, nlev);
+  for (int l = 0; l <= depth; ++l) {
+    const LevelActiveSet& full = act.levels[static_cast<std::size_t>(l)];
+    const auto& st = front.state[static_cast<std::size_t>(l)];
+    LevelActiveSet& dst = out.levels[static_cast<std::size_t>(l)];
+    auto& leaf = out_leaf[static_cast<std::size_t>(l)];
+    dst.boxes.clear();
+    leaf.clear();
+    for (std::size_t ai = 0; ai < full.count(); ++ai) {
+      if (st[ai] == LeafFront::kBelow) continue;
+      dst.boxes.push_back(full.boxes[ai]);
+      leaf.push_back(st[ai] == LeafFront::kLeaf ? 1 : 0);
+    }
+    dst.dense_to_active.assign(full.dense_to_active.size(), -1);
+    for (std::size_t i = 0; i < dst.boxes.size(); ++i)
+      dst.dense_to_active[dst.boxes[i]] = static_cast<std::int32_t>(i);
+  }
+  // Stale deeper levels from a previous (deeper) build must not count
+  // toward total_active(); clearing keeps their capacity for reuse.
+  for (std::size_t l = nlev; l < out.levels.size(); ++l) {
+    out.levels[l].boxes.clear();
+    out.levels[l].dense_to_active.clear();
+  }
+}
+
+RefinementCost front_cost(const Hierarchy& hier, const ActiveLevels& act,
+                          const std::vector<std::vector<std::uint32_t>>& counts,
+                          const LeafFront& front, std::span<const Offset> near,
+                          std::span<const Offset> near_half,
+                          const RefinementCostParams& params) {
+  RefinementCost rc;
+  for (int l = 0; l <= front.depth; ++l)
+    for (const std::uint8_t s : front.state[static_cast<std::size_t>(l)])
+      if (s != LeafFront::kBelow) ++rc.tree_boxes;
+  for (std::size_t li = 0; li < front.leaves(); ++li) {
+    const int l = front.leaf_level[li];
+    const std::size_t f = front.leaf_flat[li];
+    const std::int32_t ai =
+        act.levels[static_cast<std::size_t>(l)].dense_to_active[f];
+    const std::uint64_t t =
+        counts[static_cast<std::size_t>(l)][static_cast<std::size_t>(ai)];
+    rc.near_pairs += t * (t - 1) / 2;
+  }
+  for_each_near_pair(hier, act, front, near, near_half,
+                     [&](std::size_t li, int sl, std::uint32_t sa) {
+                       const int l = front.leaf_level[li];
+                       const std::size_t f = front.leaf_flat[li];
+                       const std::int32_t ai =
+                           act.levels[static_cast<std::size_t>(l)]
+                               .dense_to_active[f];
+                       const std::uint64_t t =
+                           counts[static_cast<std::size_t>(l)]
+                                 [static_cast<std::size_t>(ai)];
+                       const std::uint64_t s =
+                           counts[static_cast<std::size_t>(sl)][sa];
+                       rc.near_pairs += t * s;
+                     });
+  rc.flops = static_cast<double>(rc.near_pairs) * params.pair_flops +
+             static_cast<double>(rc.tree_boxes) * params.box_flops();
+  return rc;
+}
+
+RefinementCost uniform_cost(const Hierarchy& hier, const ActiveLevels& act,
+                            const std::vector<std::vector<std::uint32_t>>& counts,
+                            int h, std::span<const Offset> near_half,
+                            const RefinementCostParams& params) {
+  RefinementCost rc;
+  for (int l = 0; l <= h; ++l)
+    rc.tree_boxes += act.levels[static_cast<std::size_t>(l)].count();
+  const LevelActiveSet& lvl = act.levels[static_cast<std::size_t>(h)];
+  const auto& cnt = counts[static_cast<std::size_t>(h)];
+  for (std::size_t ai = 0; ai < lvl.count(); ++ai) {
+    const std::uint64_t t = cnt[ai];
+    rc.near_pairs += t * (t - 1) / 2;
+    const BoxCoord c = hier.coord_of(h, lvl.boxes[ai]);
+    for (const Offset& o : near_half) {
+      const BoxCoord nb{c.ix + o.dx, c.iy + o.dy, c.iz + o.dz};
+      if (!hier.in_bounds(h, nb)) continue;
+      const std::int32_t si = lvl.dense_to_active[hier.flat_index(h, nb)];
+      if (si < 0) continue;
+      rc.near_pairs += t * cnt[static_cast<std::size_t>(si)];
+    }
+  }
+  rc.flops = static_cast<double>(rc.near_pairs) * params.pair_flops +
+             static_cast<double>(rc.tree_boxes) * params.box_flops();
+  return rc;
+}
+
+int select_uniform_depth(const Hierarchy& hier, const ActiveLevels& act,
+                         const std::vector<std::vector<std::uint32_t>>& counts,
+                         std::span<const Offset> near_half,
+                         const RefinementCostParams& params, int min_level) {
+  min_level = std::min(min_level, act.depth);
+  int best = min_level;
+  double best_flops = 0.0;
+  for (int h = min_level; h <= act.depth; ++h) {
+    const RefinementCost c = uniform_cost(hier, act, counts, h, near_half,
+                                          params);
+    if (h == min_level || c.flops < best_flops) {
+      best = h;
+      best_flops = c.flops;
+    }
+  }
+  return best;
+}
+
+int select_ncrit(const Hierarchy& hier, const ActiveLevels& act,
+                 const std::vector<std::vector<std::uint32_t>>& counts,
+                 std::span<const Offset> near,
+                 std::span<const Offset> near_half,
+                 const RefinementCostParams& params,
+                 std::span<const int> candidates, int min_level,
+                 LeafFront& scratch) {
+  int best = candidates.empty() ? 32 : candidates.front();
+  double best_flops = 0.0;
+  bool first = true;
+  for (const int nc : candidates) {
+    build_leaf_front(hier, act, counts, nc, min_level, near, scratch);
+    const RefinementCost c =
+        front_cost(hier, act, counts, scratch, near, near_half, params);
+    if (first || c.flops < best_flops) {
+      best = nc;
+      best_flops = c.flops;
+      first = false;
+    }
+  }
+  return best;
+}
+
+}  // namespace hfmm::tree

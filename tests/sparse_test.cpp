@@ -11,9 +11,12 @@
 #include <cmath>
 #include <cstring>
 #include <numeric>
+#include <span>
 #include <vector>
 
+#include "hfmm/baseline/direct.hpp"
 #include "hfmm/core/solver.hpp"
+#include "hfmm/util/errors.hpp"
 #include "hfmm/dp/multigrid.hpp"
 #include "hfmm/exec/graph.hpp"
 #include "hfmm/tree/active_set.hpp"
@@ -434,6 +437,109 @@ TEST(SparseSolveTest, DataParallelMaskedBitwiseMatchesDense) {
   // (halo exchange, sort) is unchanged.
   EXPECT_LT(rm.comm.local_bytes, rd.comm.local_bytes);
   EXPECT_LE(rm.comm.off_vu_bytes, rd.comm.off_vu_bytes);
+}
+
+// ------------------------------------------------ adaptive refinement (§15)
+
+TEST(AdaptiveSolveTest, MatchesDirectOnClusteredWithFewerNearPairs) {
+  // Large enough that the occupancy rule picks a real uniform leaf level
+  // (depth 3 at ~12 bodies/leaf) rather than degenerating to near-direct.
+  const ParticleSet p = make_plummer(6000, Box3{}, 19);
+  const baseline::DirectResult d = baseline::direct_all(p, true);
+  core::FmmConfig cfg = sparse_config(core::HierarchyMode::kSparse, -1);
+  core::FmmSolver sparse(cfg);
+  cfg.hierarchy = core::HierarchyMode::kAdaptive;
+  core::FmmSolver adaptive(cfg);
+  const core::FmmResult rs = sparse.solve(p);
+  const core::FmmResult ra = adaptive.solve(p);
+  EXPECT_TRUE(ra.adaptive);
+  EXPECT_GT(ra.ncrit, 0);
+  EXPECT_GT(ra.front_leaves, 0u);
+  const ErrorNorms es = compare_fields(rs.phi, d.phi);
+  const ErrorNorms ea = compare_fields(ra.phi, d.phi);
+  // Both solves meet the same solver-tolerance bound (k = 12)...
+  EXPECT_LT(es.rms_rel, 1e-3);
+  EXPECT_LT(ea.rms_rel, 1e-3);
+  const ErrorNorms eg = compare_fields(std::span<const Vec3>(ra.grad),
+                                       std::span<const Vec3>(d.grad));
+  EXPECT_LT(eg.rms_rel, 1e-2);
+  // ...but the adaptive front refines the Plummer core past the uniform
+  // leaf level, cutting the O(n_leaf^2) P2P pair count.
+  const auto& na = ra.breakdown.phases().at("near");
+  const auto& ns = rs.breakdown.phases().at("near");
+  EXPECT_GT(ns.pairs, 0u);
+  EXPECT_LT(na.pairs, ns.pairs);
+}
+
+TEST(AdaptiveSolveTest, UniformInputMatchesDirect) {
+  // A uniform input must not regress: the front collapses to (nearly) one
+  // level and accuracy stays at solver tolerance.
+  const ParticleSet p = make_uniform(2000, Box3{}, 23);
+  core::FmmConfig cfg = sparse_config(core::HierarchyMode::kAdaptive, -1);
+  core::FmmSolver solver(cfg);
+  const core::FmmResult r = solver.solve(p);
+  EXPECT_TRUE(r.adaptive);
+  const baseline::DirectResult d = baseline::direct_all(p, false);
+  EXPECT_LT(compare_fields(r.phi, d.phi).rms_rel, 1e-3);
+}
+
+TEST(AdaptiveSolveTest, HonorsExplicitNcrit) {
+  const ParticleSet p = make_plummer(1500, Box3{}, 24);
+  core::FmmConfig cfg = sparse_config(core::HierarchyMode::kAdaptive, -1);
+  cfg.ncrit = 48;
+  core::FmmSolver solver(cfg);
+  const core::FmmResult r = solver.solve(p);
+  EXPECT_EQ(r.ncrit, 48);
+  // Every front leaf obeys the threshold: leaves cover all bodies, and
+  // the canonical count matches what the solver reports.
+  EXPECT_GT(r.front_leaves, 0u);
+  EXPECT_LE(r.front_leaves, r.active_boxes);
+}
+
+TEST(AdaptiveSolveTest, WarmSolveBitwiseAndZeroGrowth) {
+  const ParticleSet p = make_plummer(2500, Box3{}, 25);
+  core::FmmSolver solver(sparse_config(core::HierarchyMode::kAdaptive, -1));
+  const core::FmmResult cold = solver.solve(p);
+  const core::FmmResult warm = solver.solve(p);
+  EXPECT_TRUE(bitwise_equal(cold.phi, warm.phi));
+  EXPECT_EQ(warm.workspace_allocs, 0u);
+  // A fresh solver reproduces the same bits — the front, the run lists and
+  // the U-list order depend only on the input, never on scheduling.
+  core::FmmSolver fresh(sparse_config(core::HierarchyMode::kAdaptive, -1));
+  EXPECT_TRUE(bitwise_equal(cold.phi, fresh.solve(p).phi));
+}
+
+TEST(AdaptiveSolveTest, SequentialAndThreadedAgreeBitwise) {
+  const ParticleSet p = make_plummer(2000, Box3{}, 26);
+  core::FmmConfig cfg = sparse_config(core::HierarchyMode::kAdaptive, -1);
+  cfg.mode = core::ExecutionMode::kSequential;
+  core::FmmSolver seq(cfg);
+  cfg.mode = core::ExecutionMode::kThreads;
+  core::FmmSolver thr(cfg);
+  const core::FmmResult rs = seq.solve(p);
+  const core::FmmResult rt = thr.solve(p);
+  EXPECT_TRUE(bitwise_equal(rs.phi, rt.phi));
+  ASSERT_EQ(rs.grad.size(), rt.grad.size());
+  for (std::size_t i = 0; i < rs.grad.size(); ++i) {
+    EXPECT_EQ(rs.grad[i].x, rt.grad[i].x);
+    EXPECT_EQ(rs.grad[i].y, rt.grad[i].y);
+    EXPECT_EQ(rs.grad[i].z, rt.grad[i].z);
+  }
+}
+
+TEST(AdaptiveSolveTest, BreakdownReportsActiveBoxesAndPairs) {
+  const ParticleSet p = make_plummer(2000, Box3{}, 27);
+  core::FmmSolver solver(sparse_config(core::HierarchyMode::kAdaptive, -1));
+  const core::FmmResult r = solver.solve(p);
+  const auto& phases = r.breakdown.phases();
+  for (const char* name : {"p2m", "l2p", "near", "interactive"}) {
+    const auto& ph = phases.at(name);
+    EXPECT_GT(ph.boxes_active, 0u) << name;
+    EXPECT_GT(ph.boxes_total, 0u) << name;
+    EXPECT_LE(ph.boxes_active, ph.boxes_total) << name;
+  }
+  EXPECT_GT(phases.at("near").pairs, 0u);
+  EXPECT_FALSE(r.level_occupancy.empty());
 }
 
 TEST(SparseSolveTest, NearFieldCostImbalanceReported) {

@@ -27,6 +27,27 @@ run_suite() {
   echo "== incremental-stepping suite =="
   ctest --test-dir "$build_dir" --output-on-failure \
     -R 'IncrementalStep|PkernBackendTest|Integrator'
+  # Adaptive-refinement suite on its own row for the same reason: the leaf
+  # front, U-list plan and multi-level leaf phases are the newest hot path.
+  echo "== adaptive-refinement suite =="
+  ctest --test-dir "$build_dir" --output-on-failure \
+    -R 'RefinementTest|AdaptiveSolveTest'
+  # Clustered bench smoke (plain tree only — sanitizer trees build no
+  # bench): the adaptive artifacts must carry pair counts and non-empty
+  # occupancy for every config.
+  if [[ -x "$build_dir/bench/bench_scaling" ]]; then
+    echo "== clustered bench smoke =="
+    "$build_dir/bench/bench_scaling" --nmax=32000 --ndp=8000 \
+      --dist=plummer --hierarchy=adaptive --json="$build_dir/smoke_scaling.json" \
+      >/dev/null
+    grep -q '"adaptive": true' "$build_dir/smoke_scaling.json"
+    grep -q '"near_pairs"' "$build_dir/smoke_scaling.json"
+    "$build_dir/bench/bench_breakdown" --n=20000 --dist=plummer \
+      --json="$build_dir/smoke_breakdown.json" >/dev/null
+    grep -q '"label": "plummer_adaptive"' "$build_dir/smoke_breakdown.json"
+    grep -q '"pairs"' "$build_dir/smoke_breakdown.json"
+    ! grep -q '"occupancy": \[\]' "$build_dir/smoke_breakdown.json"
+  fi
 }
 
 if [[ "$lane" == all || "$lane" == plain ]]; then
