@@ -55,10 +55,22 @@ ParticleSet make_dist(const std::string& dist, std::size_t n,
   return make_uniform(n, Box3{}, seed);
 }
 
+// Empty string keeps the environment default (HFMM_KERNEL), so
+// `HFMM_KERNEL=vdw ./bench_breakdown` and `--kernel vdw` agree.
+core::KernelType parse_kernel(const std::string& name) {
+  if (name.empty()) return core::default_kernel_type();
+  if (name == "laplace") return core::KernelType::kLaplace3d;
+  if (name == "vdw") return core::KernelType::kVanDerWaals;
+  std::fprintf(stderr, "unknown --kernel %s (laplace|vdw)\n", name.c_str());
+  std::exit(1);
+}
+
 struct RunOpts {
   std::string dist = "uniform";
   int depth = -1;  // -1 = occupancy policy
   core::HierarchyMode hierarchy = core::HierarchyMode::kAuto;
+  core::KernelType kernel = core::KernelType::kLaplace3d;
+  bool vdw_periodic = false;
 };
 
 struct RunOutcome {
@@ -80,7 +92,18 @@ RunOutcome run(const char* label, const char* slug,
     cfg.mode = core::ExecutionMode::kDataParallel;
     cfg.machine = {2, 2, 2};
   }
-  const ParticleSet p = make_dist(opts.dist, n, 4242);
+  ParticleSet p = make_dist(opts.dist, n, 4242);
+  if (opts.kernel == core::KernelType::kVanDerWaals) {
+    // Two-type Rmin/eps table at unit-box scale; the cuton/cutoff window
+    // keeps the environment defaults (HFMM_VDW_CUTON / HFMM_VDW_CUTOFF).
+    cfg.kernel.type = core::KernelType::kVanDerWaals;
+    cfg.kernel.vdw_rmin = {0.02, 0.016};
+    cfg.kernel.vdw_epsilon = {1.0, 0.5};
+    cfg.kernel.vdw_periodic = opts.vdw_periodic;
+    p.ensure_types();
+    for (std::size_t i = 0; i < p.size(); ++i)
+      p.set_type(i, static_cast<std::int32_t>(i % 2));
+  }
   core::FmmSolver solver(cfg);
   (void)solver.translations();
   WallTimer t;
@@ -103,10 +126,11 @@ RunOutcome run(const char* label, const char* slug,
     warm_allocs = w.workspace_allocs;
   }
 
-  std::printf("\n%s  (N = %zu, K = %zu, depth %d, %s, dist %s, %s "
-              "hierarchy%s)\n",
+  std::printf("\n%s  (N = %zu, K = %zu, depth %d, %s, dist %s, kernel %s, "
+              "%s hierarchy%s)\n",
               label, n, r.k, r.depth, dp_mode ? "data-parallel" : "threads",
-              opts.dist.c_str(), core::to_string(cfg.hierarchy),
+              opts.dist.c_str(), core::to_string(r.kernel),
+              core::to_string(cfg.hierarchy),
               r.sparse ? " [sparse active]" : "");
   Table table({"phase", "time (s)", "share", "Gflop", "efficiency"});
   for (const auto& [name, s] : r.breakdown.phases()) {
@@ -169,13 +193,14 @@ RunOutcome run(const char* label, const char* slug,
   if (json != nullptr) {
     std::fprintf(json,
                  "%s\n    { \"label\": \"%s\", \"n\": %zu, \"k\": %zu, "
-                 "\"depth\": %d, \"mode\": \"%s\",\n"
+                 "\"depth\": %d, \"mode\": \"%s\", \"kernel\": \"%s\",\n"
                  "      \"dist\": \"%s\", \"hierarchy\": \"%s\", "
                  "\"sparse\": %s, \"adaptive\": %s, \"ncrit\": %d, "
                  "\"front_leaves\": %zu, \"active_boxes\": %zu, "
                  "\"workspace_bytes\": %zu,\n      \"occupancy\": [",
                  first ? "" : ",", slug, n, r.k, r.depth,
-                 dp_mode ? "data_parallel" : "threads", opts.dist.c_str(),
+                 dp_mode ? "data_parallel" : "threads",
+                 core::to_string(r.kernel), opts.dist.c_str(),
                  core::to_string(cfg.hierarchy), r.sparse ? "true" : "false",
                  r.adaptive ? "true" : "false", r.ncrit, r.front_leaves,
                  r.active_boxes, r.workspace_bytes);
@@ -242,6 +267,7 @@ int main(int argc, char** argv) {
   RunOpts opts;
   opts.dist = cli.get("dist", std::string("uniform"));
   opts.depth = static_cast<int>(cli.get("depth", std::int64_t{-1}));
+  opts.kernel = parse_kernel(cli.get("kernel", std::string("")));
   bench::check_unused(cli);
 
   bench::print_header("bench_breakdown",
@@ -322,6 +348,24 @@ int main(int argc, char** argv) {
             static_cast<double>(adaptive.near_pairs == 0
                                     ? 1
                                     : adaptive.near_pairs));
+  }
+
+  // Pinned Laplace/vdW pair at the same N: the short-range tier runs the
+  // same tree + near-field machinery with the far-field stages as empty
+  // DAG nodes, so the two rows are directly diffable phase by phase.
+  std::printf("\n==== kernel comparison (Laplace vs van der Waals) ====\n");
+  {
+    RunOpts d = opts;
+    d.dist = "uniform";
+    d.kernel = core::KernelType::kLaplace3d;
+    run("Laplace 3-D, uniform", "kernel_laplace", anderson::params_d5_k12(),
+        n, false, json, false, d);
+    d.kernel = core::KernelType::kVanDerWaals;
+    run("van der Waals, uniform", "kernel_vdw", anderson::params_d5_k12(), n,
+        false, json, false, d);
+    d.vdw_periodic = true;
+    run("van der Waals, uniform, periodic box", "kernel_vdw_periodic",
+        anderson::params_d5_k12(), n, false, json, false, d);
   }
 
   // Timestep loop: after the first force evaluation builds the plan, every

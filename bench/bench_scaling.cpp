@@ -41,6 +41,30 @@ ParticleSet make_dist(const std::string& dist, std::size_t n,
   return make_uniform(n, Box3{}, seed);
 }
 
+// Empty string keeps the environment default (HFMM_KERNEL), so
+// `HFMM_KERNEL=vdw ./bench_scaling` and `--kernel vdw` agree.
+core::KernelType parse_kernel(const std::string& name) {
+  if (name.empty()) return core::default_kernel_type();
+  if (name == "laplace") return core::KernelType::kLaplace3d;
+  if (name == "vdw") return core::KernelType::kVanDerWaals;
+  std::fprintf(stderr, "unknown --kernel %s (laplace|vdw)\n", name.c_str());
+  std::exit(1);
+}
+
+// Retargets a config at the short-range vdW kernel: two-type Rmin/eps
+// table at unit-box scale, switching window from the environment defaults.
+void apply_vdw(core::FmmConfig& cfg) {
+  cfg.kernel.type = core::KernelType::kVanDerWaals;
+  cfg.kernel.vdw_rmin = {0.02, 0.016};
+  cfg.kernel.vdw_epsilon = {1.0, 0.5};
+}
+
+void type_particles(ParticleSet& p) {
+  p.ensure_types();
+  for (std::size_t i = 0; i < p.size(); ++i)
+    p.set_type(i, static_cast<std::int32_t>(i % 2));
+}
+
 core::HierarchyMode parse_hierarchy(const std::string& s) {
   if (s.empty()) return core::default_hierarchy_mode();  // honor HFMM_HIERARCHY
   if (s == "auto") return core::HierarchyMode::kAuto;
@@ -70,6 +94,9 @@ int main(int argc, char** argv) {
   const std::string dist = cli.get("dist", std::string("uniform"));
   const core::HierarchyMode hierarchy =
       parse_hierarchy(cli.get("hierarchy", std::string()));
+  const core::KernelType kernel =
+      parse_kernel(cli.get("kernel", std::string()));
+  const bool vdw = kernel == core::KernelType::kVanDerWaals;
   // --steps S: additionally time S incremental leapfrog steps per N (the
   // dynamic-stepping per-step cost, step_incremental on) and report the
   // mean step time alongside the static warm solve.
@@ -86,15 +113,17 @@ int main(int argc, char** argv) {
   else
     std::fprintf(json,
                  "{\n  \"bench\": \"bench_scaling\",\n  \"dist\": \"%s\",\n"
-                 "  \"hierarchy\": \"%s\",\n"
+                 "  \"hierarchy\": \"%s\",\n  \"kernel\": \"%s\",\n"
                  "  \"n_sweep\": [",
-                 dist.c_str(), core::to_string(hierarchy));
+                 dist.c_str(), core::to_string(hierarchy),
+                 core::to_string(kernel));
 
   // ---- Sweep 1: N, shared-memory executor, supernodes on (the paper's
   // production configuration).
   std::printf("[1] particle-count sweep (threads executor, supernodes, "
-              "dist %s, hierarchy %s)\n\n",
-              dist.c_str(), core::to_string(hierarchy));
+              "dist %s, hierarchy %s, kernel %s)\n\n",
+              dist.c_str(), core::to_string(hierarchy),
+              core::to_string(kernel));
   Table t1({"N", "depth", "cold (s)", "warm (s)", "step (s)",
             "warm us/particle", "cycles/particle", "Gflop", "efficiency",
             "near pairs", "tree"});
@@ -103,7 +132,9 @@ int main(int argc, char** argv) {
     core::FmmConfig cfg;
     cfg.supernodes = true;
     cfg.hierarchy = hierarchy;
-    const ParticleSet p = make_dist(dist, n, 606);
+    if (vdw) apply_vdw(cfg);
+    ParticleSet p = make_dist(dist, n, 606);
+    if (vdw) type_particles(p);
     core::FmmSolver solver(cfg);
     (void)solver.translations();
     WallTimer t;
@@ -115,8 +146,12 @@ int main(int argc, char** argv) {
     const double warm = t.seconds();
     // Dynamic stepping: cold initialize, then S incremental leapfrog steps
     // (each = kick/drift + one warm incremental solve).
+    // Short-range LJ on a random uniform cloud has near-singular core
+    // repulsion, so free dynamics would eject particles from the pinned
+    // vdw_box; the stepping column stays Laplace-only (the lj_cluster
+    // example covers vdW stepping on a physical configuration).
     double step_seconds = 0.0;
-    if (dyn_steps > 0) {
+    if (dyn_steps > 0 && !vdw) {
       core::FmmConfig scfg = cfg;
       scfg.with_gradient = true;
       scfg.step_incremental = true;
@@ -138,7 +173,8 @@ int main(int argc, char** argv) {
             : 0;
     t1.row({Table::num(std::uint64_t(n)), Table::num(std::uint64_t(r.depth)),
             Table::num(secs, 3), Table::num(warm, 3),
-            dyn_steps > 0 ? Table::num(step_seconds, 4) : std::string("-"),
+            dyn_steps > 0 && !vdw ? Table::num(step_seconds, 4)
+                                  : std::string("-"),
             Table::num(1e6 * warm / static_cast<double>(n), 3),
             Table::num(bench::cycles_per_particle(warm, n), 4),
             Table::num(static_cast<double>(r.breakdown.total_flops()) / 1e9,
@@ -150,13 +186,15 @@ int main(int argc, char** argv) {
     if (json != nullptr) {
       std::fprintf(json,
                    "%s\n    { \"n\": %zu, \"depth\": %d, "
+                   "\"kernel\": \"%s\", "
                    "\"cold_seconds\": %.6f, \"warm_seconds\": %.6f, "
                    "\"step_seconds\": %.6f, \"dyn_steps\": %llu, "
                    "\"sparse\": %s, \"adaptive\": %s, \"ncrit\": %d, "
                    "\"front_leaves\": %zu, \"near_pairs\": %llu, "
                    "\"active_boxes\": %zu, "
                    "\"workspace_bytes\": %zu, \"occupancy\": [",
-                   first_row ? "" : ",", n, r.depth, secs, warm, step_seconds,
+                   first_row ? "" : ",", n, r.depth,
+                   core::to_string(r.kernel), secs, warm, step_seconds,
                    static_cast<unsigned long long>(dyn_steps),
                    r.sparse ? "true" : "false",
                    r.adaptive ? "true" : "false", r.ncrit, r.front_leaves,
@@ -176,7 +214,8 @@ int main(int argc, char** argv) {
   const std::size_t n_dp =
       static_cast<std::size_t>(cli.get("ndp", std::int64_t{32000}));
   bench::check_unused(cli);
-  const ParticleSet p = make_dist(dist, n_dp, 607);
+  ParticleSet p = make_dist(dist, n_dp, 607);
+  if (vdw) type_particles(p);
   Table t2({"VUs", "depth", "est. compute/VU (s)", "est. comm (s)",
             "comm fraction", "off-VU MB", "messages"});
   if (json != nullptr) std::fprintf(json, "\n  ],\n  \"vu_sweep\": [");
@@ -186,6 +225,7 @@ int main(int argc, char** argv) {
     cfg.mode = core::ExecutionMode::kDataParallel;
     cfg.machine = {vu, vu, vu};
     cfg.depth = 4;
+    if (vdw) apply_vdw(cfg);
     const std::size_t vus = cfg.machine.total_vus();
     core::FmmSolver solver(cfg);
     (void)solver.translations();
@@ -206,9 +246,11 @@ int main(int argc, char** argv) {
     if (json != nullptr) {
       std::fprintf(json,
                    "%s\n    { \"vus\": %zu, \"depth\": %d, "
+                   "\"kernel\": \"%s\", "
                    "\"comm_seconds\": %.6f, \"off_vu_bytes\": %llu, "
                    "\"messages\": %llu, \"sparse\": %s }",
-                   first_row ? "" : ",", vus, r.depth, comm,
+                   first_row ? "" : ",", vus, r.depth,
+                   core::to_string(r.kernel), comm,
                    static_cast<unsigned long long>(r.comm.off_vu_bytes),
                    static_cast<unsigned long long>(r.comm.messages),
                    r.sparse ? "true" : "false");

@@ -2,6 +2,7 @@
 // Configuration of the full O(N) solver.
 
 #include "hfmm/anderson/params.hpp"
+#include "hfmm/core/kernel_model.hpp"
 #include "hfmm/dp/halo.hpp"
 #include "hfmm/dp/machine.hpp"
 #include "hfmm/dp/multigrid.hpp"
@@ -60,7 +61,16 @@ struct FmmConfig {
   bool supernodes = false;           ///< Section 2.3 supernode optimization
   bool near_symmetry = true;         ///< Newton-3rd-law near field (Fig. 10)
   bool with_gradient = false;        ///< also compute field gradients
-  double softening = 0.0;            ///< Plummer softening for the near field
+  /// The physics this solve evaluates (DESIGN.md §16): Laplace 3-D runs the
+  /// full Anderson far-field chain, short-range kernels (van der Waals)
+  /// reuse the tree/near-field machinery with the far phases as empty DAG
+  /// nodes. Env default HFMM_KERNEL=laplace|vdw.
+  KernelSpec kernel{};
+  /// DEPRECATED alias for kernel.softening (the Laplace Plummer softening
+  /// now lives on the KernelSpec). A non-zero value here is forwarded to
+  /// kernel.softening by FmmSolver when the spec leaves it at 0, so
+  /// pre-KernelModel call sites behave unchanged.
+  double softening = 0.0;
   ExecutionMode mode = ExecutionMode::kThreads;
   AggregationMode aggregation = AggregationMode::kGemm;
   /// Sparse active-box hierarchy selection. kAuto measures the leaf-level

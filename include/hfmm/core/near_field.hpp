@@ -27,7 +27,9 @@
 #include <span>
 #include <vector>
 
+#include "hfmm/core/kernel_model.hpp"
 #include "hfmm/dp/sort.hpp"
+#include "hfmm/pkern/kernels.hpp"
 #include "hfmm/tree/hierarchy.hpp"
 #include "hfmm/tree/interaction_lists.hpp"
 #include "hfmm/util/thread_pool.hpp"
@@ -38,6 +40,23 @@ struct NearFieldResult {
   std::uint64_t flops = 0;
   std::uint64_t pair_interactions = 0;  ///< particle pairs evaluated
   std::uint64_t box_interactions = 0;   ///< box-box interactions evaluated
+};
+
+/// Physics of the near-field pair loop, resolved by the solver from its
+/// KernelSpec. Implicitly convertible from a softening length so
+/// pre-KernelModel call sites passing `cfg.softening` compile unchanged
+/// and run the identical Laplace arithmetic. For van der Waals the solver
+/// fills the precomputed pair tables / switching constants and the
+/// per-particle type array (SORTED order, aligned with boxed.sorted); a
+/// period > 0 in `vdw` additionally wraps box neighbours and pair
+/// displacements to the minimum image of the periodic cube.
+struct NearKernel {
+  KernelType type = KernelType::kLaplace3d;
+  double soft2 = 0.0;                  ///< Laplace: softening^2
+  const std::int32_t* types = nullptr; ///< vdW: sorted per-particle types
+  pkern::VdwParams vdw{};              ///< vdW: tables + derived constants
+  NearKernel() = default;
+  NearKernel(double softening) : soft2(softening * softening) {}  // implicit
 };
 
 /// Reusable workspace for near_field(). The per-chunk accumulation buffers
@@ -67,7 +86,7 @@ NearFieldResult near_field_chunk(const tree::Hierarchy& hier,
                                  bool symmetric, bool with_gradient,
                                  NearFieldScratch::Chunk& ch,
                                  std::size_t box_lo, std::size_t box_hi,
-                                 double softening = 0.0);
+                                 const NearKernel& kern = NearKernel{});
 
 /// Active-box variant: evaluates the leaf boxes whose flat indices are
 /// listed in `boxes` (a slice of a sparse active set, ascending). Pair
@@ -80,7 +99,7 @@ NearFieldResult near_field_chunk(const tree::Hierarchy& hier,
                                  bool symmetric, bool with_gradient,
                                  NearFieldScratch::Chunk& ch,
                                  std::span<const std::uint32_t> boxes,
-                                 double softening = 0.0);
+                                 const NearKernel& kern = NearKernel{});
 
 /// Run/pair plan of an adaptive leaf front (DESIGN.md Section 15), borrowed
 /// from the solve workspace. Leaves follow the front's canonical (level,
@@ -124,16 +143,16 @@ void near_field_accumulate(const NearFieldScratch& scr, std::size_t used,
 /// Accumulates near-field potential (and gradient if `grad` nonempty) into
 /// phi/grad, both indexed in SORTED particle order (boxed.sorted).
 /// `scratch` (when non-null) is reused across calls; pass null for one-shot
-/// use. `softening` is the Plummer softening length applied to the pairwise
-/// kernel (far-field contributions are unsoftened, which is the standard
-/// treecode convention when the softening length is well below the leaf box
-/// side).
+/// use. `kern` selects the pairwise physics — a bare softening length still
+/// converts to the Laplace kernel (far-field contributions are unsoftened,
+/// which is the standard treecode convention when the softening length is
+/// well below the leaf box side).
 NearFieldResult near_field(const tree::Hierarchy& hier,
                            const dp::BoxedParticles& boxed,
                            std::span<const tree::Offset> offsets,
                            bool symmetric, std::span<double> phi,
                            std::span<Vec3> grad, ThreadPool& pool,
                            NearFieldScratch* scratch = nullptr,
-                           double softening = 0.0);
+                           const NearKernel& kern = NearKernel{});
 
 }  // namespace hfmm::core

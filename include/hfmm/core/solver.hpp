@@ -38,6 +38,10 @@ struct FmmResult {
   dp::CommStats comm;        ///< data-parallel mode communication counters
   int depth = 0;             ///< hierarchy depth used
   std::size_t k = 0;         ///< integration points per sphere
+  /// The physics this solve evaluated (config.kernel.type). Short-range
+  /// kernels keep the far-field phases in the breakdown/timeline as empty
+  /// entries (zero boxes, zero pairs).
+  KernelType kernel = KernelType::kLaplace3d;
   std::size_t leaf_boxes = 0;
   bool plan_reused = false;  ///< warm solve: no plan construction happened
   std::uint64_t workspace_allocs = 0;  ///< heap-growth events this solve

@@ -39,6 +39,33 @@ enum class KernelKind { kPortable, kAvx2 };
 
 const char* to_string(KernelKind kind);
 
+/// Parameter block for the van der Waals (Lennard-Jones) P2P kernels, in
+/// CHARMM convention: E_ij = eps_ij ((Rmin_ij/r)^12 - 2 (Rmin_ij/r)^6) with
+/// a cuton/cutoff switching window. All distances appear squared so the
+/// kernels never take a square root: `rmin2` / `eps` are ntypes x ntypes
+/// row-major tables of Rmin_ij^2 and eps_ij (combining rules applied by the
+/// caller), indexed [type_i * ntypes + type_j]. The derived switching
+/// constants are precomputed once:
+///   cm3o       = cutoff2 - 3 cuton2
+///   inv_denom  = 1 / (cutoff2 - cuton2)^3
+///   inv_denom6 = 6 inv_denom
+/// so S(r2) = (cutoff2-r2)^2 (2 r2 + cm3o) inv_denom and
+/// dS/dr2 = (cutoff2-r2)(cuton2-r2) inv_denom6 on cuton2 < r2 < cutoff2.
+/// When `period` > 0 the pair displacement is wrapped to the minimum image
+/// of a cubic box of that side (inv_period = 1/period) before r2.
+struct VdwParams {
+  const double* rmin2 = nullptr;
+  const double* eps = nullptr;
+  std::size_t ntypes = 0;
+  double cuton2 = 0.0;
+  double cutoff2 = 0.0;
+  double cm3o = 0.0;
+  double inv_denom = 0.0;
+  double inv_denom6 = 0.0;
+  double period = 0.0;
+  double inv_period = 0.0;
+};
+
 /// Function table of one backend. All particle data is SoA; all outputs
 /// ACCUMULATE (+=) so callers can sum several source boxes into one target.
 struct KernelBackend {
@@ -107,6 +134,28 @@ struct KernelBackend {
   /// over the SoA coordinate arrays (same explicit-FMA bit guarantee).
   void (*drift)(const Vec3* vel, double dt, double* x, double* y, double* z,
                 std::size_t n);
+
+  /// Van der Waals P2P: switched Lennard-Jones energy (and gradient when
+  /// `grad != nullptr`) at targets [tb, te) due to sources [sb, se),
+  /// accumulated like `p2p`. `type` indexes the per-pair Rmin^2/eps tables
+  /// in `vp`. Pairs at or beyond the cutoff contribute exactly zero. The
+  /// two backends carry a BITWISE contract: every operation is a correctly
+  /// rounded sub/mul/div/round or an explicit FMA in the same sequence, so
+  /// portable and avx2 results are identical to the last bit (the
+  /// integrator-facing guarantee the kick/drift entries already make).
+  void (*p2p_vdw)(const double* x, const double* y, const double* z,
+                  const std::int32_t* type, std::size_t tb, std::size_t te,
+                  std::size_t sb, std::size_t se, double* phi, Vec3* grad,
+                  const VdwParams& vp);
+
+  /// Symmetric van der Waals P2P (Newton's third law): both sides of every
+  /// (target, source) pair in one pass, same output layout and gx == nullptr
+  /// convention as `p2p_symmetric`, same bitwise contract as `p2p_vdw`.
+  void (*p2p_vdw_symmetric)(const double* x, const double* y, const double* z,
+                            const std::int32_t* type, std::size_t tb,
+                            std::size_t te, std::size_t sb, std::size_t se,
+                            double* phi, double* gx, double* gy, double* gz,
+                            const VdwParams& vp);
 };
 
 /// True when `kind` can run on this CPU (portable always can).

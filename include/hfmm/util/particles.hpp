@@ -52,6 +52,20 @@ class ParticleSet {
     x_[i] = p.x; y_[i] = p.y; z_[i] = p.z; q_[i] = charge;
   }
 
+  /// Optional per-particle atom-type channel, consumed by short-range
+  /// kernels (van der Waals Rmin/eps table lookups). Empty by default —
+  /// solves that need types treat absent as all type 0. When present it is
+  /// permuted through the coordinate sort alongside the other attributes.
+  bool has_types() const { return !type_.empty(); }
+  std::span<std::int32_t> type() { return type_; }
+  std::span<const std::int32_t> type() const { return type_; }
+  /// Allocates the type channel (zero-filled) if absent.
+  void ensure_types() { type_.resize(x_.size(), 0); }
+  void set_type(std::size_t i, std::int32_t t) {
+    ensure_types();
+    type_[i] = t;
+  }
+
   /// Tight bounding box of the positions (degenerate box if empty).
   Box3 bounds() const;
 
@@ -62,6 +76,7 @@ class ParticleSet {
 
  private:
   std::vector<double> x_, y_, z_, q_;
+  std::vector<std::int32_t> type_;  // empty (no types) or size()
 };
 
 /// N particles uniformly distributed in `box`, charges uniform in [qlo, qhi].

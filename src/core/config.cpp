@@ -117,6 +117,7 @@ int default_adaptive_max_depth() {
 
 void FmmConfig::validate() const {
   params.validate();
+  kernel.validate();
   if (separation < 1)
     throw std::invalid_argument("FmmConfig: separation must be >= 1");
   if (depth != -1 && depth < 2)

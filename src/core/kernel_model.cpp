@@ -1,0 +1,107 @@
+#include "hfmm/core/kernel_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+namespace hfmm::core {
+
+const char* to_string(KernelType t) {
+  switch (t) {
+    case KernelType::kLaplace3d: return "laplace";
+    case KernelType::kVanDerWaals: return "vdw";
+  }
+  return "?";
+}
+
+KernelType default_kernel_type() {
+  static const KernelType value = [] {
+    const char* env = std::getenv("HFMM_KERNEL");
+    if (env == nullptr || *env == '\0') return KernelType::kLaplace3d;
+    if (std::strcmp(env, "laplace") == 0) return KernelType::kLaplace3d;
+    if (std::strcmp(env, "vdw") == 0) return KernelType::kVanDerWaals;
+    std::fprintf(stderr,
+                 "hfmm: ignoring HFMM_KERNEL=\"%s\" (want laplace|vdw)\n",
+                 env);
+    return KernelType::kLaplace3d;
+  }();
+  return value;
+}
+
+namespace {
+
+double vdw_radius_env(const char* name, double fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(env, &end);
+  if (end == env || !(v >= 0.0) || !std::isfinite(v)) {
+    std::fprintf(stderr,
+                 "hfmm: ignoring %s=\"%s\" (want a non-negative distance)\n",
+                 name, env);
+    return fallback;
+  }
+  return v;
+}
+
+}  // namespace
+
+double default_vdw_cuton() {
+  static const double value = vdw_radius_env("HFMM_VDW_CUTON", 0.04);
+  return value;
+}
+
+double default_vdw_cutoff() {
+  static const double value = vdw_radius_env("HFMM_VDW_CUTOFF", 0.06);
+  return value;
+}
+
+bool default_vdw_periodic() {
+  static const bool value = [] {
+    const char* env = std::getenv("HFMM_VDW_PERIODIC");
+    return env != nullptr && std::strcmp(env, "0") != 0 &&
+           std::strcmp(env, "") != 0;
+  }();
+  return value;
+}
+
+void KernelSpec::validate() const {
+  if (type == KernelType::kLaplace3d) return;
+  if (vdw_rmin.empty() || vdw_rmin.size() != vdw_epsilon.size())
+    throw std::invalid_argument(
+        "KernelSpec: vdw_rmin and vdw_epsilon must be non-empty and the "
+        "same size (one entry per atom type)");
+  for (const double r : vdw_rmin)
+    if (!(r > 0.0) || !std::isfinite(r))
+      throw std::invalid_argument("KernelSpec: vdw_rmin entries must be > 0");
+  for (const double e : vdw_epsilon)
+    if (!(e >= 0.0) || !std::isfinite(e))
+      throw std::invalid_argument(
+          "KernelSpec: vdw_epsilon entries must be >= 0");
+  if (!(vdw_cutoff > 0.0) || !(vdw_cuton >= 0.0) || vdw_cuton >= vdw_cutoff)
+    throw std::invalid_argument(
+        "KernelSpec: need 0 <= vdw_cuton < vdw_cutoff");
+  const Vec3 ext = vdw_box.extent();
+  if (!(ext.x > 0.0) || !(ext.y > 0.0) || !(ext.z > 0.0))
+    throw std::invalid_argument("KernelSpec: vdw_box must be non-degenerate");
+  const double side = vdw_box.max_side();
+  if (vdw_periodic) {
+    const double skew =
+        std::max(std::abs(ext.x - side),
+                 std::max(std::abs(ext.y - side), std::abs(ext.z - side)));
+    if (skew > 1e-12 * side)
+      throw std::invalid_argument(
+          "KernelSpec: periodic vdw_box must be a cube (minimum-image wrap "
+          "assumes one period per axis)");
+  }
+  if (!(vdw_cutoff <= 0.25 * side))
+    throw std::invalid_argument(
+        "KernelSpec: vdw_cutoff must be <= vdw_box side / 4 so the "
+        "d-separation U-list covers every in-range pair (see "
+        "kernel_model.hpp)");
+}
+
+}  // namespace hfmm::core

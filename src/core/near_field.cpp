@@ -25,13 +25,20 @@ BoxRange range_of(const dp::BoxedParticles& boxed, std::size_t flat) {
 // from `flat_of(i)` — a contiguous range on the dense path, an active-box
 // list slice on the sparse path. The arithmetic is identical either way
 // (the sparse path only skips boxes that contribute nothing).
+// Analytic per-pair flop cost of the switched-LJ kernel (r2, table lookup,
+// x^12/x^6 powers, switch polynomial; gradient adds the c2 * d updates).
+std::uint64_t vdw_pair_flops(bool with_gradient) {
+  return with_gradient ? 34 : 24;
+}
+
 template <typename FlatOf>
 NearFieldResult evaluate_boxes(const tree::Hierarchy& hier,
                                const dp::BoxedParticles& boxed,
                                std::span<const tree::Offset> offsets,
                                bool symmetric, bool with_gradient,
-                               NearFieldScratch::Chunk& ch, double softening,
-                               std::size_t count, FlatOf flat_of) {
+                               NearFieldScratch::Chunk& ch,
+                               const NearKernel& kern, std::size_t count,
+                               FlatOf flat_of) {
   const int h = hier.depth();
   const std::int32_t n = hier.boxes_per_side(h);
   const ParticleSet& p = boxed.sorted;
@@ -39,8 +46,41 @@ NearFieldResult evaluate_boxes(const tree::Hierarchy& hier,
   const double* Y = p.y().data();
   const double* Z = p.z().data();
   const double* Q = p.q().data();
-  const double soft2 = softening * softening;
-  const pkern::KernelBackend& kern = pkern::active_kernel();
+  const double soft2 = kern.soft2;
+  const bool vdw = kern.type == KernelType::kVanDerWaals;
+  const std::int32_t* T = kern.types;
+  // Periodic vdW: neighbour offsets wrap around the grid instead of
+  // falling off it (the pair kernel wraps the displacements to match).
+  // KernelSpec::validate + the solver's depth policy guarantee n >= 8, so
+  // the +/-2 offsets stay distinct after the wrap.
+  const bool periodic = vdw && kern.vdw.period > 0.0;
+  const pkern::KernelBackend& back = pkern::active_kernel();
+
+  // Kernel-dispatched range-range evaluations: identical outputs layout,
+  // physics chosen once per chunk.
+  const auto p2p = [&](const BoxRange& tr, const BoxRange& sr) {
+    if (vdw)
+      back.p2p_vdw(X, Y, Z, T, tr.begin, tr.end, sr.begin, sr.end,
+                   ch.phi.data() + tr.begin,
+                   with_gradient ? ch.grad.data() + tr.begin : nullptr,
+                   kern.vdw);
+    else
+      back.p2p(X, Y, Z, Q, tr.begin, tr.end, sr.begin, sr.end,
+               ch.phi.data() + tr.begin,
+               with_gradient ? ch.grad.data() + tr.begin : nullptr, soft2);
+  };
+  const auto p2p_symmetric = [&](const BoxRange& tr, const BoxRange& sr) {
+    if (vdw)
+      back.p2p_vdw_symmetric(X, Y, Z, T, tr.begin, tr.end, sr.begin, sr.end,
+                             ch.pair_phi.data(),
+                             with_gradient ? ch.pair_gx.data() : nullptr,
+                             ch.pair_gy.data(), ch.pair_gz.data(), kern.vdw);
+    else
+      back.p2p_symmetric(X, Y, Z, Q, tr.begin, tr.end, sr.begin, sr.end,
+                         ch.pair_phi.data(),
+                         with_gradient ? ch.pair_gx.data() : nullptr,
+                         ch.pair_gy.data(), ch.pair_gz.data(), soft2);
+  };
 
   ch.phi.assign(p.size(), 0.0);
   Vec3* my_grad = nullptr;
@@ -58,19 +98,22 @@ NearFieldResult evaluate_boxes(const tree::Hierarchy& hier,
 
     // Intra-box interactions (always symmetric-safe: same box).
     if (tr.count() > 1) {
-      kern.p2p(X, Y, Z, Q, tr.begin, tr.end, tr.begin, tr.end,
-               ch.phi.data() + tr.begin,
-               with_gradient ? my_grad + tr.begin : nullptr, soft2);
+      p2p(tr, tr);
       res.pair_interactions += tr.count() * (tr.count() - 1);
       ++res.box_interactions;
     }
 
     for (const tree::Offset& o : offsets) {
       if (o == tree::Offset{0, 0, 0}) continue;
-      const tree::BoxCoord nb{c.ix + o.dx, c.iy + o.dy, c.iz + o.dz};
-      if (nb.ix < 0 || nb.ix >= n || nb.iy < 0 || nb.iy >= n || nb.iz < 0 ||
-          nb.iz >= n)
+      tree::BoxCoord nb{c.ix + o.dx, c.iy + o.dy, c.iz + o.dz};
+      if (periodic) {
+        nb.ix = (nb.ix + n) % n;
+        nb.iy = (nb.iy + n) % n;
+        nb.iz = (nb.iz + n) % n;
+      } else if (nb.ix < 0 || nb.ix >= n || nb.iy < 0 || nb.iy >= n ||
+                 nb.iz < 0 || nb.iz >= n) {
         continue;
+      }
       const BoxRange sr = range_of(boxed, hier.flat_index(h, nb));
       if (sr.count() == 0 || tr.count() == 0) continue;
       if (symmetric) {
@@ -82,10 +125,7 @@ NearFieldResult evaluate_boxes(const tree::Hierarchy& hier,
           ch.pair_gy.assign(tot, 0.0);
           ch.pair_gz.assign(tot, 0.0);
         }
-        kern.p2p_symmetric(X, Y, Z, Q, tr.begin, tr.end, sr.begin, sr.end,
-                           ch.pair_phi.data(),
-                           with_gradient ? ch.pair_gx.data() : nullptr,
-                           ch.pair_gy.data(), ch.pair_gz.data(), soft2);
+        p2p_symmetric(tr, sr);
         for (std::size_t i = 0; i < tr.count(); ++i)
           ch.phi[tr.begin + i] += ch.pair_phi[i];
         for (std::size_t j = 0; j < sr.count(); ++j)
@@ -104,9 +144,7 @@ NearFieldResult evaluate_boxes(const tree::Hierarchy& hier,
         res.pair_interactions += tr.count() * sr.count();
         ++res.box_interactions;
       } else {
-        kern.p2p(X, Y, Z, Q, tr.begin, tr.end, sr.begin, sr.end,
-                 ch.phi.data() + tr.begin,
-                 with_gradient ? my_grad + tr.begin : nullptr, soft2);
+        p2p(tr, sr);
         res.pair_interactions += tr.count() * sr.count();
         ++res.box_interactions;
       }
@@ -115,7 +153,9 @@ NearFieldResult evaluate_boxes(const tree::Hierarchy& hier,
 
   // Flop count is analytic (pairs x per-pair cost), not measured.
   const std::uint64_t per_pair =
-      baseline::direct_pair_flops(with_gradient) + (symmetric ? 4 : 0);
+      (vdw ? vdw_pair_flops(with_gradient)
+           : baseline::direct_pair_flops(with_gradient)) +
+      (symmetric ? 4 : 0);
   res.flops = res.pair_interactions * per_pair;
   return res;
 }
@@ -128,10 +168,10 @@ NearFieldResult near_field_chunk(const tree::Hierarchy& hier,
                                  bool symmetric, bool with_gradient,
                                  NearFieldScratch::Chunk& ch,
                                  std::size_t box_lo, std::size_t box_hi,
-                                 double softening) {
+                                 const NearKernel& kern) {
   ch.lo = box_lo;
   return evaluate_boxes(hier, boxed, offsets, symmetric, with_gradient, ch,
-                        softening, box_hi - box_lo,
+                        kern, box_hi - box_lo,
                         [box_lo](std::size_t i) { return box_lo + i; });
 }
 
@@ -141,10 +181,10 @@ NearFieldResult near_field_chunk(const tree::Hierarchy& hier,
                                  bool symmetric, bool with_gradient,
                                  NearFieldScratch::Chunk& ch,
                                  std::span<const std::uint32_t> boxes,
-                                 double softening) {
+                                 const NearKernel& kern) {
   ch.lo = boxes.empty() ? 0 : boxes.front();
   return evaluate_boxes(hier, boxed, offsets, symmetric, with_gradient, ch,
-                        softening, boxes.size(),
+                        kern, boxes.size(),
                         [boxes](std::size_t i) { return boxes[i]; });
 }
 
@@ -261,7 +301,7 @@ NearFieldResult near_field(const tree::Hierarchy& hier,
                            std::span<const tree::Offset> offsets,
                            bool symmetric, std::span<double> phi,
                            std::span<Vec3> grad, ThreadPool& pool,
-                           NearFieldScratch* scratch, double softening) {
+                           NearFieldScratch* scratch, const NearKernel& kern) {
   const std::size_t boxes = hier.boxes_at(hier.depth());
   const bool with_gradient = !grad.empty();
   const ParticleSet& p = boxed.sorted;
@@ -283,7 +323,7 @@ NearFieldResult near_field(const tree::Hierarchy& hier,
     const std::size_t me = lo / step;
     partial[me] = near_field_chunk(hier, boxed, offsets, symmetric,
                                    with_gradient, scr.chunks[me], lo, hi,
-                                   softening);
+                                   kern);
   });
 
   // Reduce chunk buffers into the output, parallel over disjoint particle

@@ -81,9 +81,12 @@ std::shared_ptr<const FmmPlan> FmmPlan::build(
   WallTimer t;
   auto plan = std::make_shared<FmmPlan>();
   plan->trans = std::move(trans);
+  plan->kernel = config.kernel.type;
   plan->depth = depth;
   plan->k = config.params.k();
-  if (config.supernodes) {
+  // Short-range plans (trans == nullptr) carry only the near-field lists;
+  // the supernode gather plans exist to drive translations that never run.
+  if (config.supernodes && plan->trans) {
     plan->supernode_plans.resize(depth + 1);
     for (int l = 2; l <= depth; ++l)
       plan->supernode_plans[l] = build_supernode_plan(
@@ -105,7 +108,7 @@ const TranslationData& FmmSolver::Impl::translation_data(
 
 const FmmPlan& FmmSolver::Impl::plan_for(const FmmConfig& config, int depth,
                                          PhaseBreakdown& breakdown) {
-  if (!plan || plan->depth != depth) {
+  if (!plan || plan->depth != depth || plan->kernel != config.kernel.type) {
     ScopedPhaseTimer timer(breakdown["plan"]);
     plan = FmmPlan::build(trans, config, depth);
     breakdown["plan"].allocs += 1;
@@ -115,7 +118,27 @@ const FmmPlan& FmmSolver::Impl::plan_for(const FmmConfig& config, int depth,
 
 FmmSolver::FmmSolver(FmmConfig config)
     : config_(std::move(config)), impl_(std::make_unique<Impl>()) {
+  // Softening alias reconciliation: the legacy FmmConfig::softening forwards
+  // into the Laplace KernelSpec when the spec leaves it at 0, and the spec
+  // wins otherwise; afterwards the two fields agree, so pre-KernelModel code
+  // reading either sees the value that is actually applied.
+  if (config_.kernel.softening == 0.0 && config_.softening != 0.0)
+    config_.kernel.softening = config_.softening;
+  config_.softening = config_.kernel.softening;
   config_.validate();
+  if (!config_.kernel.far_field_capable()) {
+    // Short-range kernels run on the uniform-leaf executors; the adaptive
+    // leaf front has no U-list notion of a cutoff sphere, so degrade it to
+    // the occupancy-based auto selection.
+    if (config_.hierarchy == HierarchyMode::kAdaptive)
+      config_.hierarchy = HierarchyMode::kAuto;
+    impl_->vdw.build(config_.kernel);
+    impl_->near.type = config_.kernel.type;
+    impl_->near.soft2 = 0.0;
+    impl_->near.vdw = impl_->vdw.params;
+  } else {
+    impl_->near = NearKernel{config_.softening};
+  }
   // Pool selection happens once here, not per solve: sequential mode owns a
   // one-thread pool; the parallel modes share the process-global pool.
   if (config_.mode == ExecutionMode::kSequential) {
@@ -153,7 +176,22 @@ int FmmSolver::depth_for(std::size_t n) const {
     if (config_.supernodes) occupancy *= 0.45;
     occupancy = std::clamp(occupancy, 8.0, 128.0);
   }
-  return std::max(2, tree::optimal_depth(n, occupancy));
+  int h = std::max(2, tree::optimal_depth(n, occupancy));
+  if (!config_.kernel.far_field_capable()) {
+    // Cutoff-coverage cap: the U-list reaches d leaf boxes, so with leaf
+    // side s every pair within r < cutoff is covered when s >= cutoff / 2
+    // (a per-axis box offset over such a pair is at most 2), i.e.
+    // h <= floor(log2(2 * side / cutoff)). validate() guarantees
+    // cutoff <= side / 4, so the cap is always >= 3. Periodic solves
+    // additionally need >= 8 boxes per side so the +-2 wrapped offsets stay
+    // distinct modulo the box count.
+    const double side = config_.kernel.vdw_box.max_side();
+    const int cap = static_cast<int>(
+        std::floor(std::log2(2.0 * side / config_.kernel.vdw_cutoff)));
+    h = std::min(h, cap);
+    h = std::max(h, config_.kernel.vdw_periodic ? 3 : 2);
+  }
+  return h;
 }
 
 bool FmmSolver::plan_ready(std::size_t n) const {
@@ -686,12 +724,16 @@ FmmResult FmmSolver::solve(const ParticleSet& particles, SolveView& view) {
 FmmResult FmmSolver::solve_impl_(const ParticleSet& particles,
                                  SolveView* view) {
   const std::size_t n = particles.size();
+  const bool far_capable = config_.kernel.far_field_capable();
   FmmResult result;
   result.k = config_.params.k();
+  result.kernel = config_.kernel.type;
   // Cold-path construction, charged to the solve that triggers it: the
   // translation set ("precompute", config-wide) and the per-depth plan
-  // ("plan"). Warm solves reuse both and report zero here.
-  {
+  // ("plan"). Warm solves reuse both and report zero here. Short-range
+  // kernels have no translation machinery at all; the phase stays visible
+  // with zeros.
+  if (far_capable) {
     const bool cold_trans = impl_->trans == nullptr;
     impl_->translation_data(config_);
     if (cold_trans) {
@@ -700,6 +742,8 @@ FmmResult FmmSolver::solve_impl_(const ParticleSet& particles,
     } else {
       result.breakdown["precompute"];  // phase visible with zeros
     }
+  } else {
+    result.breakdown["precompute"];  // phase visible with zeros
   }
   if (n == 0) return result;
 
@@ -723,20 +767,35 @@ FmmResult FmmSolver::solve_impl_(const ParticleSet& particles,
   step.cur_counts_changed = true;
   step.cur_emptiness_changed = true;
   Box3 cube;
-  if (step_enabled && step.valid && step.n == n && step.depth == h) {
-    const Box3 b = particles.bounds();
-    if (step.cube.contains(b.lo) && step.cube.contains(b.hi)) {
-      cube = step.cube;
+  if (!far_capable) {
+    // Short-range solves pin the root cube to the kernel's domain box:
+    // geometry (leaf side vs. cutoff, and the periodic wrap's box grid) is
+    // fixed at construction and identical across steps, so incremental
+    // stepping never loses the cube. Particles are expected to stay inside
+    // vdw_box (the LJ integrator loop wraps or reflects them there).
+    cube = tree::cube_containing(config_.kernel.vdw_box);
+    if (step_enabled && step.valid && step.n == n && step.depth == h)
       step.cur_incremental = true;
+    if (!step.cur_incremental) {
+      step.active_valid = false;
+      step.cost_valid = false;
     }
-  }
-  if (!step.cur_incremental) {
-    // The hierarchy's root cube is the only per-solve geometry (particles
-    // move); it is an O(1) object and all plan structure is expressed in
-    // box-side units, so the plan stays valid across solves.
-    cube = tree::cube_containing(particles.bounds());
-    step.active_valid = false;
-    step.cost_valid = false;
+  } else {
+    if (step_enabled && step.valid && step.n == n && step.depth == h) {
+      const Box3 b = particles.bounds();
+      if (step.cube.contains(b.lo) && step.cube.contains(b.hi)) {
+        cube = step.cube;
+        step.cur_incremental = true;
+      }
+    }
+    if (!step.cur_incremental) {
+      // The hierarchy's root cube is the only per-solve geometry (particles
+      // move); it is an O(1) object and all plan structure is expressed in
+      // box-side units, so the plan stays valid across solves.
+      cube = tree::cube_containing(particles.bounds());
+      step.active_valid = false;
+      step.cost_valid = false;
+    }
   }
   const tree::Hierarchy hier(cube, h);
 
@@ -758,6 +817,16 @@ FmmResult FmmSolver::solve_impl_(const ParticleSet& particles,
   // proceed bit-identically: same sort output, same dense stages. The
   // incremental step also sorts eagerly (its diff drives the StepCache
   // revalidation below) even when the hierarchy is forced dense.
+  // Short-range kernels read the per-particle type array in SORTED order;
+  // inputs without a type channel get the all-zeros single-type array. The
+  // pointer is re-bound after every sort because the sorted buffers can
+  // reallocate when the workspace grows.
+  const auto bind_types = [&] {
+    if (far_capable) return;
+    ws.boxed.sorted.ensure_types();
+    impl_->near.types = ws.boxed.sorted.type().data();
+  };
+
   bool pre_sorted = false;
   bool sort_repaired = false;
   if (step_enabled || config_.hierarchy != HierarchyMode::kDense) {
@@ -780,6 +849,7 @@ FmmResult FmmSolver::solve_impl_(const ParticleSet& particles,
       }
     }
     pre_sorted = true;
+    bind_types();
   }
   if (config_.hierarchy != HierarchyMode::kDense) {
     // The occupied leaf list only changes when some box flips empty <->
@@ -821,13 +891,16 @@ FmmResult FmmSolver::solve_impl_(const ParticleSet& particles,
 
   const NodeId sort = g.add_serial(sort_repaired ? "sort.incremental" : "sort",
                                    "sort", [&](PhaseStats&) {
-                                     if (!pre_sorted)
+                                     if (!pre_sorted) {
                                        dp::coordinate_sort(particles, hier,
                                                            layout, ws.boxed,
                                                            &ws.sort_scratch);
+                                       bind_types();
+                                     }
                                    });
   const NodeId prep_levels =
       g.add_serial("prepare:levels", "workspace", [&](PhaseStats&) {
+        if (!far_capable) return;  // no level stores for short-range solves
         ws.prepare_levels(h, k);
         ws.arena.ensure(W, ws.allocs);
         if (!config_.supernodes) {
@@ -849,6 +922,23 @@ FmmResult FmmSolver::solve_impl_(const ParticleSet& particles,
         }
       });
 
+  // Tail of the far-field chain; accumulate waits on it. For short-range
+  // kernels the chain collapses to empty serial nodes — one per far phase,
+  // in the canonical order — so the breakdown and timeline keep a stable
+  // phase set (zero boxes, zero pairs, ~zero time) across kernels.
+  NodeId far_tail = 0;
+  if (!far_capable) {
+    NodeId prev = prep_levels;
+    for (const char* ph :
+         {"p2m", "upward", "interactive", "downward", "l2p"}) {
+      const NodeId id = g.add_serial(ph, ph, [](PhaseStats&) {});
+      g.depend(id, prev);
+      prev = id;
+    }
+    g.depend(prev, sort);
+    g.depend(prev, prep_out);
+    far_tail = prev;
+  } else {
   const NodeId p2m = g.add(
       "p2m", "p2m", leaf_boxes, 0,
       [&](std::size_t, std::size_t lo, std::size_t hi, PhaseStats& st) {
@@ -928,6 +1018,8 @@ FmmResult FmmSolver::solve_impl_(const ParticleSet& particles,
       });
   g.depend(l2p, chain);
   g.depend(l2p, prep_out);
+  far_tail = l2p;
+  }
 
   // The near field is independent of the whole far-field chain: it runs at
   // lower priority so idle workers pick it up, and meets the far field only
@@ -941,7 +1033,7 @@ FmmResult FmmSolver::solve_impl_(const ParticleSet& particles,
         const NearFieldResult nf = near_field_chunk(
             hier, ws.boxed, offsets, config_.near_symmetry,
             config_.with_gradient, ws.near_scratch.chunks[c], lo, hi,
-            config_.softening);
+            impl_->near);
         st.flops += nf.flops;
         st.pairs += nf.pair_interactions;
       },
@@ -966,7 +1058,7 @@ FmmResult FmmSolver::solve_impl_(const ParticleSet& particles,
             result.grad[ws.boxed.perm[i]] = ws.grad_sorted[i];
         }
       });
-  g.depend(acc, l2p);
+  g.depend(acc, far_tail);
   g.depend(acc, near);
 
   g.run(pool,
@@ -985,12 +1077,14 @@ FmmResult FmmSolver::solve_impl_(const ParticleSet& particles,
         st.boxes_total += hier.boxes_at(l);
       }
     };
-    record("p2m", h, h);
-    record("l2p", h, h);
     record("near", h, h);
-    record("upward", 1, h - 1);
-    record("interactive", 2, h);
-    if (h > 2) record("downward", 3, h);
+    if (far_capable) {
+      record("p2m", h, h);
+      record("l2p", h, h);
+      record("upward", 1, h - 1);
+      record("interactive", 2, h);
+      if (h > 2) record("downward", 3, h);
+    }
   }
   // Measured leaf occupancy for the result record ("active" phase): the
   // dense executor does not need the active sets to run, but deriving them

@@ -70,8 +70,11 @@ void mask_halo(dp::Machine& machine, dp::HaloGrid& halo) {
 
 FmmResult FmmSolver::solve_dp_(const ParticleSet& particles,
                                const tree::Hierarchy& hier, FmmResult result) {
-  // solve() has already materialized the shared plan layers.
-  const internal::TranslationData& trans = *impl_->trans;
+  // solve() has already materialized the shared plan layers. Short-range
+  // kernels have no translation data (null); every use below sits inside a
+  // far_capable-gated stage.
+  const internal::TranslationData* const trans = impl_->trans.get();
+  const bool far_capable = config_.kernel.far_field_capable();
   const internal::FmmPlan& plan = *impl_->plan;
   internal::SolveWorkspace& ws = impl_->ws;
   const anderson::Params& params = config_.params;
@@ -107,6 +110,12 @@ FmmResult FmmSolver::solve_dp_(const ParticleSet& particles,
       g.add_serial("sort", "sort", [&](PhaseStats& stats) {
         dp::coordinate_sort(particles, hier, leaf_layout, boxed,
                             &ws.sort_scratch);
+        if (!far_capable) {
+          // Short-range kernels read per-particle types in sorted order;
+          // type-less inputs get the all-zeros single-type array.
+          ws.boxed.sorted.ensure_types();
+          impl_->near.types = ws.boxed.sorted.type().data();
+        }
         const dp::SortLocality loc =
             dp::measure_locality(boxed, hier, leaf_layout);
         machine.stats().off_vu_bytes += loc.off_vu_bytes;
@@ -149,6 +158,7 @@ FmmResult FmmSolver::solve_dp_(const ParticleSet& particles,
 
   // --- P2M: particles are VU-aligned with their leaf boxes; no comm.
   const exec::NodeId p2m = g.add_serial("p2m", "p2m", [&](PhaseStats& stats) {
+    if (!far_capable) return;  // empty far phase for short-range kernels
     const double a = params.outer_ratio * hier.side_at(h);
     dp::DistGrid& leaf = mg_far.leaf_layer();
     const std::size_t bpv = leaf_layout.boxes_per_vu();
@@ -173,7 +183,19 @@ FmmResult FmmSolver::solve_dp_(const ParticleSet& particles,
   g.depend(p2m, sort);
 
   // --- Upward pass: T1 with multigrid embed/extract (Sections 3.1, 3.3.2).
-  exec::NodeId chain =
+  // Short-range kernels replace the whole far chain with empty serial nodes
+  // (one per phase, canonical order) so the breakdown and timeline keep a
+  // stable phase set across kernels.
+  exec::NodeId chain = p2m;
+  if (!far_capable) {
+    for (const char* ph : {"upward", "interactive", "downward", "l2p"}) {
+      const exec::NodeId id = g.add_serial(ph, ph, [](PhaseStats&) {});
+      g.depend(id, chain);
+      chain = id;
+    }
+    g.depend(chain, active_stage);
+  } else {
+  chain =
       g.add_serial("upward:extract", "upward", [&](PhaseStats& stats) {
         const dp::CommStats before = machine.stats();
         temp_child = std::make_unique<dp::DistGrid>(leaf_layout, k);
@@ -201,7 +223,7 @@ FmmResult FmmSolver::solve_dp_(const ParticleSet& particles,
                   double* dst = temp_parent->at(vu, lx, ly, lz).data();
                   for (int o = 0; o < 8; ++o) {
                     const tree::BoxCoord cc = tree::Hierarchy::child_of(pc, o);
-                    blas::gemv(trans.t1[o].t, k,
+                    blas::gemv(trans->t1[o].t, k,
                                temp_child->at_global(cc).data(), dst, k, k,
                                true);
                   }
@@ -265,7 +287,7 @@ FmmResult FmmSolver::solve_dp_(const ParticleSet& particles,
                         level_layout.global_of({vu, lx, ly, lz});
                     const int o = tree::Hierarchy::octant_of(c);
                     blas::gemv(
-                        trans.t3[o].t, k,
+                        trans->t3[o].t, k,
                         local_parent->at_global(tree::Hierarchy::parent_of(c))
                             .data(),
                         temp_local->at(vu, lx, ly, lz).data(), k, k, true);
@@ -313,7 +335,7 @@ FmmResult FmmSolver::solve_dp_(const ParticleSet& particles,
                     double* dst = temp_local->at(vu, lx, ly, lz).data();
                     for (const auto& off : tree::interactive_offsets(oct, d)) {
                       const AppMatrix& m =
-                          trans.t2[tree::offset_cube_index(off, d)];
+                          trans->t2[tree::offset_cube_index(off, d)];
                       blas::gemv(m.t, k,
                                  halo.at(vu, lx + ghost + off.dx,
                                          ly + ghost + off.dy,
@@ -340,7 +362,7 @@ FmmResult FmmSolver::solve_dp_(const ParticleSet& particles,
                           s.iz < 0 || s.iz >= nl)
                         continue;
                       const AppMatrix& m =
-                          trans.t2[tree::offset_cube_index(off, d)];
+                          trans->t2[tree::offset_cube_index(off, d)];
                       blas::gemv(m.t, k, temp_far->at_global(s).data(), dst, k,
                                  k, true);
                     }
@@ -383,6 +405,7 @@ FmmResult FmmSolver::solve_dp_(const ParticleSet& particles,
     g.depend(embed, chain);
     chain = embed;
   }
+  }  // far_capable
 
   // --- Output buffers (sized from the sort, not the far chain).
   const exec::NodeId prep_out =
@@ -393,7 +416,9 @@ FmmResult FmmSolver::solve_dp_(const ParticleSet& particles,
       });
   g.depend(prep_out, sort);
 
-  // --- L2P: leaf local field at the particles (VU-aligned, no comm).
+  // --- L2P: leaf local field at the particles (VU-aligned, no comm). The
+  // short-range path already placed its empty "l2p" node in the chain.
+  if (far_capable) {
   const exec::NodeId l2p = g.add_serial("l2p", "l2p", [&](PhaseStats& stats) {
     const double a = params.inner_ratio * hier.side_at(h);
     const dp::DistGrid& leaf = mg_local.leaf_layer();
@@ -429,6 +454,8 @@ FmmResult FmmSolver::solve_dp_(const ParticleSet& particles,
   });
   g.depend(l2p, chain);
   g.depend(l2p, prep_out);
+  chain = l2p;
+  }
 
   // --- Near field: physics via the shared kernel, communication counted as
   // the particle data of off-VU neighbor boxes (paper Section 3.4 fetches
@@ -440,18 +467,25 @@ FmmResult FmmSolver::solve_dp_(const ParticleSet& particles,
         const NearFieldResult nf = near_field(
             hier, boxed, plan.near_list(config_.near_symmetry),
             config_.near_symmetry, ws.phi_sorted, ws.grad_sorted, *impl_->pool,
-            &ws.near_scratch, config_.softening);
+            &ws.near_scratch, impl_->near);
         stats.flops += nf.flops;
         stats.pairs += nf.pair_interactions;
         const auto offsets = plan.near_list(config_.near_symmetry);
+        const bool periodic = impl_->near.vdw.period > 0.0;
         std::uint64_t off_bytes = 0, msgs = 0;
         for (std::size_t f = 0; f < hier.boxes_at(h); ++f) {
           const tree::BoxCoord c = hier.coord_of(h, f);
           const dp::BoxHome home = leaf_layout.home_of(c);
           for (const auto& o : offsets) {
             if (o == tree::Offset{0, 0, 0}) continue;
-            const tree::BoxCoord s{c.ix + o.dx, c.iy + o.dy, c.iz + o.dz};
-            if (!hier.in_bounds(h, s)) continue;
+            tree::BoxCoord s{c.ix + o.dx, c.iy + o.dy, c.iz + o.dz};
+            if (periodic) {
+              s.ix = (s.ix + nside) % nside;
+              s.iy = (s.iy + nside) % nside;
+              s.iz = (s.iz + nside) % nside;
+            } else if (!hier.in_bounds(h, s)) {
+              continue;
+            }
             if (leaf_layout.home_of(s).vu != home.vu) {
               const std::uint32_t rank =
                   boxed.flat_to_rank[hier.flat_index(h, s)];
@@ -467,7 +501,8 @@ FmmResult FmmSolver::solve_dp_(const ParticleSet& particles,
         stats.comm_bytes += off_bytes;
       },
       /*priority=*/1);
-  g.depend(near, l2p);
+  g.depend(near, chain);
+  g.depend(near, prep_out);
 
   // --- Unsort into caller order.
   const exec::NodeId acc =
@@ -493,12 +528,14 @@ FmmResult FmmSolver::solve_dp_(const ParticleSet& particles,
         st.boxes_total += hier.boxes_at(l);
       }
     };
-    record("p2m", h, h);
-    record("l2p", h, h);
     record("near", h, h);
-    record("upward", 1, h - 1);
-    record("interactive", 2, h);
-    if (h > 2) record("downward", 3, h);
+    if (far_capable) {
+      record("p2m", h, h);
+      record("l2p", h, h);
+      record("upward", 1, h - 1);
+      record("interactive", 2, h);
+      if (h > 2) record("downward", 3, h);
+    }
   }
 
   result.comm = machine.stats();

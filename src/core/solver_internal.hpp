@@ -16,6 +16,7 @@
 
 #include <array>
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -118,7 +119,12 @@ SupernodeLevelPlan build_supernode_plan(const TranslationData& trans,
 // ---------------------------------------------------------------------------
 
 struct FmmPlan {
+  // Null for short-range kernels: their plans carry only the near-field
+  // interaction lists, and FmmPlan::build skips the supernode machinery.
   std::shared_ptr<const TranslationData> trans;
+  // Plans are keyed by kernel (as well as depth) so a future plan cache can
+  // be multi-tenant across workloads; plan_for rebuilds on a mismatch.
+  KernelType kernel = KernelType::kLaplace3d;
   int depth = 0;
   std::size_t k = 0;
   // Supernode gather plans indexed by level (empty when supernodes are off;
@@ -137,6 +143,43 @@ struct FmmPlan {
   static std::shared_ptr<const FmmPlan> build(
       std::shared_ptr<const TranslationData> trans, const FmmConfig& config,
       int depth);
+};
+
+// Per-solver van der Waals state: the ntypes^2 pair tables (combining rules
+// applied once at solver construction) plus the derived switching constants,
+// packaged as the VdwParams the near field hands to pkern.
+struct VdwTables {
+  std::vector<double> rmin2, eps;
+  pkern::VdwParams params{};
+
+  void build(const KernelSpec& spec) {
+    const std::size_t nt = spec.vdw_types();
+    rmin2.resize(nt * nt);
+    eps.resize(nt * nt);
+    for (std::size_t i = 0; i < nt; ++i) {
+      for (std::size_t j = 0; j < nt; ++j) {
+        const double rm = 0.5 * (spec.vdw_rmin[i] + spec.vdw_rmin[j]);
+        rmin2[i * nt + j] = rm * rm;
+        eps[i * nt + j] = std::sqrt(spec.vdw_epsilon[i] * spec.vdw_epsilon[j]);
+      }
+    }
+    params.rmin2 = rmin2.data();
+    params.eps = eps.data();
+    params.ntypes = nt;
+    params.cuton2 = spec.vdw_cuton * spec.vdw_cuton;
+    params.cutoff2 = spec.vdw_cutoff * spec.vdw_cutoff;
+    params.cm3o = params.cutoff2 - 3.0 * params.cuton2;
+    const double denom = params.cutoff2 - params.cuton2;
+    params.inv_denom = 1.0 / (denom * denom * denom);
+    params.inv_denom6 = 6.0 * params.inv_denom;
+    if (spec.vdw_periodic) {
+      params.period = spec.vdw_box.max_side();
+      params.inv_period = 1.0 / params.period;
+    } else {
+      params.period = 0.0;
+      params.inv_period = 0.0;
+    }
+  }
 };
 
 // ---------------------------------------------------------------------------
@@ -348,6 +391,13 @@ struct FmmSolver::Impl {
   // process-global pool.
   std::unique_ptr<ThreadPool> seq_pool;
   ThreadPool* pool = nullptr;
+  // Short-range kernel state, built once in the FmmSolver ctor. `near`
+  // points into `vdw`'s tables for van der Waals; for Laplace it just
+  // carries softening^2. Every executor hands `near` to the near-field
+  // chunk bodies (the solver re-binds near.types to the sorted type array
+  // each solve, since the workspace buffer can reallocate on growth).
+  internal::VdwTables vdw;
+  NearKernel near;
 
   // Builds (or reuses) the translation data; charged to "precompute".
   const internal::TranslationData& translation_data(const FmmConfig& config);

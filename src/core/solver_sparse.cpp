@@ -134,6 +134,10 @@ FmmResult FmmSolver::solve_sparse_(const ParticleSet& particles,
   // of rebuilding.
   const std::span<const tree::Offset> offsets =
       plan.near_list(config_.near_symmetry);
+  const bool far_capable = config_.kernel.far_field_capable();
+  // Periodic short-range solves wrap box neighbours instead of clipping
+  // them, so the cost model must count the wrapped pairs it will evaluate.
+  const bool periodic = impl_->near.vdw.period > 0.0;
   {
     ScopedPhaseTimer timer(result.breakdown["active"]);
     const bool structures_ok =
@@ -163,10 +167,15 @@ FmmResult FmmSolver::solve_sparse_(const ParticleSet& particles,
       std::uint64_t pairs = t * (t > 0 ? t - 1 : 0);
       for (const tree::Offset& o : offsets) {
         if (o == tree::Offset{0, 0, 0}) continue;
-        const tree::BoxCoord nb{c.ix + o.dx, c.iy + o.dy, c.iz + o.dz};
-        if (nb.ix < 0 || nb.ix >= nside || nb.iy < 0 || nb.iy >= nside ||
-            nb.iz < 0 || nb.iz >= nside)
+        tree::BoxCoord nb{c.ix + o.dx, c.iy + o.dy, c.iz + o.dz};
+        if (periodic) {
+          nb.ix = (nb.ix + nside) % nside;
+          nb.iy = (nb.iy + nside) % nside;
+          nb.iz = (nb.iz + nside) % nside;
+        } else if (nb.ix < 0 || nb.ix >= nside || nb.iy < 0 ||
+                   nb.iy >= nside || nb.iz < 0 || nb.iz >= nside) {
           continue;
+        }
         pairs += t * particles_in(ws.boxed, hier.flat_index(h, nb));
       }
       ws.near_cost[ai] = pairs;
@@ -183,10 +192,15 @@ FmmResult FmmSolver::solve_sparse_(const ParticleSet& particles,
         // the dependent entries).
         ws.cost_patch.clear();
         const tree::LevelActiveSet& la = ws.active.levels[h];
-        const auto push_flat = [&](const tree::BoxCoord& c) {
-          if (c.ix < 0 || c.ix >= nside || c.iy < 0 || c.iy >= nside ||
-              c.iz < 0 || c.iz >= nside)
+        const auto push_flat = [&](tree::BoxCoord c) {
+          if (periodic) {
+            c.ix = (c.ix + nside) % nside;
+            c.iy = (c.iy + nside) % nside;
+            c.iz = (c.iz + nside) % nside;
+          } else if (c.ix < 0 || c.ix >= nside || c.iy < 0 || c.iy >= nside ||
+                     c.iz < 0 || c.iz >= nside) {
             return;
+          }
           const std::int32_t ai =
               la.dense_to_active[hier.flat_index(h, c)];
           if (ai >= 0) ws.cost_patch.push_back(static_cast<std::uint32_t>(ai));
@@ -242,6 +256,7 @@ FmmResult FmmSolver::solve_sparse_(const ParticleSet& particles,
                                    "sort", [](PhaseStats&) {});
   const NodeId prep_levels =
       g.add_serial("prepare:levels", "workspace", [&](PhaseStats&) {
+        if (!far_capable) return;  // no level stores for short-range solves
         ws.prepare_levels_sparse(act, k);
       });
   const NodeId prep_out =
@@ -255,6 +270,22 @@ FmmResult FmmSolver::solve_sparse_(const ParticleSet& particles,
         }
       });
 
+  // Tail of the far-field chain (see the dense executor): short-range
+  // kernels collapse it to empty serial nodes that keep the phase set
+  // stable in the breakdown and timeline.
+  NodeId far_tail = 0;
+  if (!far_capable) {
+    NodeId prev = prep_levels;
+    for (const char* ph :
+         {"p2m", "upward", "interactive", "downward", "l2p"}) {
+      const NodeId id = g.add_serial(ph, ph, [](PhaseStats&) {});
+      g.depend(id, prev);
+      prev = id;
+    }
+    g.depend(prev, sort);
+    g.depend(prev, prep_out);
+    far_tail = prev;
+  } else {
   const NodeId p2m = g.add_weighted(
       "p2m", "p2m", ws.leaf_cost, 0,
       [&](std::size_t, std::size_t lo, std::size_t hi, PhaseStats& st) {
@@ -318,6 +349,8 @@ FmmResult FmmSolver::solve_sparse_(const ParticleSet& particles,
       });
   g.depend(l2p, chain);
   g.depend(l2p, prep_out);
+  far_tail = l2p;
+  }
 
   // Near field over the active leaf list, chunked by pair-count cost so no
   // worker inherits the whole dense cluster core.
@@ -329,7 +362,7 @@ FmmResult FmmSolver::solve_sparse_(const ParticleSet& particles,
         const NearFieldResult nf = near_field_chunk(
             hier, ws.boxed, offsets, config_.near_symmetry,
             config_.with_gradient, ws.near_scratch.chunks[c],
-            leaf_list.subspan(lo, hi - lo), config_.softening);
+            leaf_list.subspan(lo, hi - lo), impl_->near);
         st.flops += nf.flops;
         st.pairs += nf.pair_interactions;
       },
@@ -350,7 +383,7 @@ FmmResult FmmSolver::solve_sparse_(const ParticleSet& particles,
             result.grad[ws.boxed.perm[i]] = ws.grad_sorted[i];
         }
       });
-  g.depend(acc, l2p);
+  g.depend(acc, far_tail);
   g.depend(acc, near);
 
   g.run(pool,
@@ -368,12 +401,14 @@ FmmResult FmmSolver::solve_sparse_(const ParticleSet& particles,
       st.boxes_total += hier.boxes_at(l);
     }
   };
-  record("p2m", h, h);
-  record("l2p", h, h);
   record("near", h, h);
-  record("upward", 1, h - 1);
-  record("interactive", 2, h);
-  if (h > 2) record("downward", 3, h);
+  if (far_capable) {
+    record("p2m", h, h);
+    record("l2p", h, h);
+    record("upward", 1, h - 1);
+    record("interactive", 2, h);
+    if (h > 2) record("downward", 3, h);
+  }
 
   result.breakdown["workspace"].allocs +=
       ws.allocs.load(std::memory_order_relaxed);

@@ -30,6 +30,12 @@ void gather_sorted(const ParticleSet& particles, const SortScratch& scratch,
     sq[i] = q[s];
     out.box_of[i] = scratch.flat_of[s];
   }
+  if (particles.has_types()) {
+    out.sorted.ensure_types();
+    const std::span<const std::int32_t> t = particles.type();
+    const std::span<std::int32_t> st = out.sorted.type();
+    for (std::size_t i = 0; i < n; ++i) st[i] = t[out.perm[i]];
+  }
 }
 
 // Shared grouping machinery: given a rank (position in the box enumeration

@@ -483,6 +483,335 @@ HFMM_AVX2_TARGET void avx2_drift(const Vec3* vel, double dt, double* x,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Van der Waals (switched Lennard-Jones). These lanes carry a BITWISE
+// contract with the portable backend (see kernels.hpp): every vector op
+// below is the correctly rounded sub/mul/div/round or explicit-FMA twin of
+// the same step in detail::vdw_pair / detail::vdw_wrap, executed in the
+// identical sequence, and the portable loops assign source j to lane
+// (j - sweep_start) % 4 to mirror these registers. Excluded lanes (beyond
+// the cutoff, or dead tail lanes) are AND-masked to +0.0 before the
+// accumulate, which the portable side reproduces by skipping them (the
+// accumulators can never hold -0.0, so x + 0.0 == x bit for bit).
+// ---------------------------------------------------------------------------
+
+// int32 sliding-window tail mask for the per-particle type loads.
+alignas(16) constexpr std::int32_t kTailMask32[8] = {-1, -1, -1, -1,
+                                                     0,  0,  0,  0};
+
+HFMM_AVX2_TARGET inline __m128i tail_mask32(std::size_t rem) {
+  return _mm_loadu_si128(
+      reinterpret_cast<const __m128i*>(kTailMask32 + 4 - rem));
+}
+
+struct VdwConstsV {
+  __m256d one, two, m2, m6, cuton2, cutoff2, cm3o, inv_denom, inv_denom6,
+      period, inv_period, all;
+};
+
+HFMM_AVX2_TARGET inline VdwConstsV vdw_consts(const VdwParams& vp) {
+  return {_mm256_set1_pd(1.0),
+          _mm256_set1_pd(2.0),
+          _mm256_set1_pd(-2.0),
+          _mm256_set1_pd(-6.0),
+          _mm256_set1_pd(vp.cuton2),
+          _mm256_set1_pd(vp.cutoff2),
+          _mm256_set1_pd(vp.cm3o),
+          _mm256_set1_pd(vp.inv_denom),
+          _mm256_set1_pd(vp.inv_denom6),
+          _mm256_set1_pd(vp.period),
+          _mm256_set1_pd(vp.inv_period),
+          _mm256_castsi256_pd(_mm256_set1_epi64x(-1))};
+}
+
+// Minimum-image wrap: round-to-nearest-even matches std::nearbyint under
+// the default rounding mode, fnmadd matches fma(-period, n, d).
+HFMM_AVX2_TARGET inline __m256d vdw_wrap_v(__m256d d, const VdwConstsV& c) {
+  const __m256d n =
+      _mm256_round_pd(_mm256_mul_pd(d, c.inv_period),
+                      _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  return _mm256_fnmadd_pd(c.period, n, d);
+}
+
+// Vector twin of detail::vdw_pair. `lanes` is all-ones where the lane holds
+// a live source; it is combined with the r2 < cutoff2 test so excluded
+// lanes emit exactly +0.0 for both outputs.
+HFMM_AVX2_TARGET inline void vdw_pair_v(__m256d r2, __m256d rm2, __m256d ev,
+                                        const VdwConstsV& c, __m256d lanes,
+                                        __m256d& e_out, __m256d& c2_out) {
+  const __m256d inv_r2 = _mm256_div_pd(c.one, r2);
+  const __m256d x2 = _mm256_mul_pd(rm2, inv_r2);
+  const __m256d x6 = _mm256_mul_pd(_mm256_mul_pd(x2, x2), x2);
+  const __m256d x12 = _mm256_mul_pd(x6, x6);
+  const __m256d energy = _mm256_mul_pd(ev, _mm256_fmadd_pd(c.m2, x6, x12));
+  const __m256d g0 = _mm256_mul_pd(
+      c.m6,
+      _mm256_mul_pd(_mm256_mul_pd(ev, _mm256_sub_pd(x12, x6)), inv_r2));
+  const __m256d cmr = _mm256_sub_pd(c.cutoff2, r2);
+  const __m256d s =
+      _mm256_mul_pd(_mm256_mul_pd(_mm256_mul_pd(cmr, cmr),
+                                  _mm256_fmadd_pd(c.two, r2, c.cm3o)),
+                    c.inv_denom);
+  const __m256d ds = _mm256_mul_pd(
+      _mm256_mul_pd(cmr, _mm256_sub_pd(c.cuton2, r2)), c.inv_denom6);
+  const __m256d energy_sw = _mm256_mul_pd(energy, s);
+  const __m256d g_sw = _mm256_fmadd_pd(g0, s, _mm256_mul_pd(energy, ds));
+  const __m256d switched = _mm256_cmp_pd(r2, c.cuton2, _CMP_GT_OQ);
+  const __m256d ef = _mm256_blendv_pd(energy, energy_sw, switched);
+  const __m256d gf = _mm256_blendv_pd(g0, g_sw, switched);
+  const __m256d keep =
+      _mm256_and_pd(_mm256_cmp_pd(r2, c.cutoff2, _CMP_LT_OQ), lanes);
+  e_out = _mm256_and_pd(ef, keep);
+  c2_out = _mm256_and_pd(_mm256_mul_pd(c.two, gf), keep);
+}
+
+// Accumulates sources [lo, hi) onto one broadcast target. Single-target
+// only: the kernel is gather-bound (two table gathers per group), so the
+// Coulomb backend's 2-target blocking buys nothing here.
+template <bool WithGrad, bool Periodic>
+HFMM_AVX2_TARGET inline void vdw_accum_target(
+    const double* x, const double* y, const double* z,
+    const std::int32_t* type, __m256d tx, __m256d ty, __m256d tz,
+    const double* rrow, const double* erow, std::size_t lo, std::size_t hi,
+    const VdwConstsV& c, AccV& acc) {
+  std::size_t j = lo;
+  for (; j + 4 <= hi; j += 4) {
+    const __m128i tj =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(type + j));
+    __m256d dx = _mm256_sub_pd(tx, _mm256_loadu_pd(x + j));
+    __m256d dy = _mm256_sub_pd(ty, _mm256_loadu_pd(y + j));
+    __m256d dz = _mm256_sub_pd(tz, _mm256_loadu_pd(z + j));
+    if constexpr (Periodic) {
+      dx = vdw_wrap_v(dx, c);
+      dy = vdw_wrap_v(dy, c);
+      dz = vdw_wrap_v(dz, c);
+    }
+    __m256d r2 = _mm256_mul_pd(dx, dx);
+    r2 = _mm256_fmadd_pd(dy, dy, r2);
+    r2 = _mm256_fmadd_pd(dz, dz, r2);
+    const __m256d rm2 = _mm256_i32gather_pd(rrow, tj, 8);
+    const __m256d ev = _mm256_i32gather_pd(erow, tj, 8);
+    __m256d ef, c2v;
+    vdw_pair_v(r2, rm2, ev, c, c.all, ef, c2v);
+    acc.phi = _mm256_add_pd(acc.phi, ef);
+    if constexpr (WithGrad) {
+      acc.gx = _mm256_fmadd_pd(c2v, dx, acc.gx);
+      acc.gy = _mm256_fmadd_pd(c2v, dy, acc.gy);
+      acc.gz = _mm256_fmadd_pd(c2v, dz, acc.gz);
+    }
+  }
+  if (j < hi) {
+    const std::size_t rem = hi - j;
+    const __m256i m = tail_mask(rem);
+    const __m256d md = _mm256_castsi256_pd(m);
+    // Dead lanes: coordinates 0, type 0 (a valid table index), r2 forced to
+    // 1 so the divide stays finite; vdw_pair_v masks their outputs to +0.
+    const __m128i tj = _mm_maskload_epi32(
+        reinterpret_cast<const int*>(type + j), tail_mask32(rem));
+    __m256d dx = _mm256_sub_pd(tx, _mm256_maskload_pd(x + j, m));
+    __m256d dy = _mm256_sub_pd(ty, _mm256_maskload_pd(y + j, m));
+    __m256d dz = _mm256_sub_pd(tz, _mm256_maskload_pd(z + j, m));
+    if constexpr (Periodic) {
+      dx = vdw_wrap_v(dx, c);
+      dy = vdw_wrap_v(dy, c);
+      dz = vdw_wrap_v(dz, c);
+    }
+    __m256d r2 = _mm256_mul_pd(dx, dx);
+    r2 = _mm256_fmadd_pd(dy, dy, r2);
+    r2 = _mm256_fmadd_pd(dz, dz, r2);
+    r2 = _mm256_blendv_pd(c.one, r2, md);
+    const __m256d rm2 = _mm256_i32gather_pd(rrow, tj, 8);
+    const __m256d ev = _mm256_i32gather_pd(erow, tj, 8);
+    __m256d ef, c2v;
+    vdw_pair_v(r2, rm2, ev, c, md, ef, c2v);
+    acc.phi = _mm256_add_pd(acc.phi, ef);
+    if constexpr (WithGrad) {
+      acc.gx = _mm256_fmadd_pd(c2v, dx, acc.gx);
+      acc.gy = _mm256_fmadd_pd(c2v, dy, acc.gy);
+      acc.gz = _mm256_fmadd_pd(c2v, dz, acc.gz);
+    }
+  }
+}
+
+template <bool WithGrad, bool Periodic>
+HFMM_AVX2_TARGET void avx2_p2p_vdw_impl(const double* x, const double* y,
+                                        const double* z,
+                                        const std::int32_t* type,
+                                        std::size_t tb, std::size_t te,
+                                        std::size_t sb, std::size_t se,
+                                        double* phi, Vec3* grad,
+                                        const VdwParams& vp) {
+  const bool identical = tb == sb && te == se;
+  const VdwConstsV c = vdw_consts(vp);
+  for (std::size_t i = tb; i < te; ++i) {
+    const std::size_t row = static_cast<std::size_t>(type[i]) * vp.ntypes;
+    const double* rrow = vp.rmin2 + row;
+    const double* erow = vp.eps + row;
+    const __m256d tx = _mm256_set1_pd(x[i]);
+    const __m256d ty = _mm256_set1_pd(y[i]);
+    const __m256d tz = _mm256_set1_pd(z[i]);
+    AccV acc = acc_zero();
+    if (identical) {
+      vdw_accum_target<WithGrad, Periodic>(x, y, z, type, tx, ty, tz, rrow,
+                                           erow, sb, i, c, acc);
+      vdw_accum_target<WithGrad, Periodic>(x, y, z, type, tx, ty, tz, rrow,
+                                           erow, i + 1, se, c, acc);
+    } else {
+      vdw_accum_target<WithGrad, Periodic>(x, y, z, type, tx, ty, tz, rrow,
+                                           erow, sb, se, c, acc);
+    }
+    phi[i - tb] += hsum(acc.phi);
+    if constexpr (WithGrad) {
+      grad[i - tb].x += hsum(acc.gx);
+      grad[i - tb].y += hsum(acc.gy);
+      grad[i - tb].z += hsum(acc.gz);
+    }
+  }
+}
+
+void avx2_p2p_vdw(const double* x, const double* y, const double* z,
+                  const std::int32_t* type, std::size_t tb, std::size_t te,
+                  std::size_t sb, std::size_t se, double* phi, Vec3* grad,
+                  const VdwParams& vp) {
+  const bool periodic = vp.period > 0.0;
+  if (grad != nullptr) {
+    if (periodic)
+      avx2_p2p_vdw_impl<true, true>(x, y, z, type, tb, te, sb, se, phi, grad,
+                                    vp);
+    else
+      avx2_p2p_vdw_impl<true, false>(x, y, z, type, tb, te, sb, se, phi,
+                                     grad, vp);
+  } else if (periodic) {
+    avx2_p2p_vdw_impl<false, true>(x, y, z, type, tb, te, sb, se, phi, grad,
+                                   vp);
+  } else {
+    avx2_p2p_vdw_impl<false, false>(x, y, z, type, tb, te, sb, se, phi, grad,
+                                    vp);
+  }
+}
+
+template <bool WithGrad, bool Periodic>
+HFMM_AVX2_TARGET void avx2_p2p_vdw_symmetric_impl(
+    const double* x, const double* y, const double* z,
+    const std::int32_t* type, std::size_t tb, std::size_t te, std::size_t sb,
+    std::size_t se, double* phi, double* gx, double* gy, double* gz,
+    const VdwParams& vp) {
+  const std::size_t nt = te - tb;
+  const VdwConstsV c = vdw_consts(vp);
+  for (std::size_t i = tb; i < te; ++i) {
+    const std::size_t row = static_cast<std::size_t>(type[i]) * vp.ntypes;
+    const double* rrow = vp.rmin2 + row;
+    const double* erow = vp.eps + row;
+    const __m256d tx = _mm256_set1_pd(x[i]);
+    const __m256d ty = _mm256_set1_pd(y[i]);
+    const __m256d tz = _mm256_set1_pd(z[i]);
+    AccV acc = acc_zero();
+    std::size_t j = sb;
+    for (; j + 4 <= se; j += 4) {
+      const std::size_t s = nt + (j - sb);
+      const __m128i tj =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(type + j));
+      __m256d dx = _mm256_sub_pd(tx, _mm256_loadu_pd(x + j));
+      __m256d dy = _mm256_sub_pd(ty, _mm256_loadu_pd(y + j));
+      __m256d dz = _mm256_sub_pd(tz, _mm256_loadu_pd(z + j));
+      if constexpr (Periodic) {
+        dx = vdw_wrap_v(dx, c);
+        dy = vdw_wrap_v(dy, c);
+        dz = vdw_wrap_v(dz, c);
+      }
+      __m256d r2 = _mm256_mul_pd(dx, dx);
+      r2 = _mm256_fmadd_pd(dy, dy, r2);
+      r2 = _mm256_fmadd_pd(dz, dz, r2);
+      const __m256d rm2 = _mm256_i32gather_pd(rrow, tj, 8);
+      const __m256d ev = _mm256_i32gather_pd(erow, tj, 8);
+      __m256d ef, c2v;
+      vdw_pair_v(r2, rm2, ev, c, c.all, ef, c2v);
+      acc.phi = _mm256_add_pd(acc.phi, ef);
+      _mm256_storeu_pd(phi + s, _mm256_add_pd(_mm256_loadu_pd(phi + s), ef));
+      if constexpr (WithGrad) {
+        acc.gx = _mm256_fmadd_pd(c2v, dx, acc.gx);
+        acc.gy = _mm256_fmadd_pd(c2v, dy, acc.gy);
+        acc.gz = _mm256_fmadd_pd(c2v, dz, acc.gz);
+        _mm256_storeu_pd(gx + s,
+                         _mm256_fnmadd_pd(c2v, dx, _mm256_loadu_pd(gx + s)));
+        _mm256_storeu_pd(gy + s,
+                         _mm256_fnmadd_pd(c2v, dy, _mm256_loadu_pd(gy + s)));
+        _mm256_storeu_pd(gz + s,
+                         _mm256_fnmadd_pd(c2v, dz, _mm256_loadu_pd(gz + s)));
+      }
+    }
+    if (j < se) {
+      const std::size_t s = nt + (j - sb);
+      const std::size_t rem = se - j;
+      const __m256i m = tail_mask(rem);
+      const __m256d md = _mm256_castsi256_pd(m);
+      const __m128i tj = _mm_maskload_epi32(
+          reinterpret_cast<const int*>(type + j), tail_mask32(rem));
+      __m256d dx = _mm256_sub_pd(tx, _mm256_maskload_pd(x + j, m));
+      __m256d dy = _mm256_sub_pd(ty, _mm256_maskload_pd(y + j, m));
+      __m256d dz = _mm256_sub_pd(tz, _mm256_maskload_pd(z + j, m));
+      if constexpr (Periodic) {
+        dx = vdw_wrap_v(dx, c);
+        dy = vdw_wrap_v(dy, c);
+        dz = vdw_wrap_v(dz, c);
+      }
+      __m256d r2 = _mm256_mul_pd(dx, dx);
+      r2 = _mm256_fmadd_pd(dy, dy, r2);
+      r2 = _mm256_fmadd_pd(dz, dz, r2);
+      r2 = _mm256_blendv_pd(c.one, r2, md);
+      const __m256d rm2 = _mm256_i32gather_pd(rrow, tj, 8);
+      const __m256d ev = _mm256_i32gather_pd(erow, tj, 8);
+      __m256d ef, c2v;
+      vdw_pair_v(r2, rm2, ev, c, md, ef, c2v);
+      acc.phi = _mm256_add_pd(acc.phi, ef);
+      _mm256_maskstore_pd(
+          phi + s, m, _mm256_add_pd(_mm256_maskload_pd(phi + s, m), ef));
+      if constexpr (WithGrad) {
+        acc.gx = _mm256_fmadd_pd(c2v, dx, acc.gx);
+        acc.gy = _mm256_fmadd_pd(c2v, dy, acc.gy);
+        acc.gz = _mm256_fmadd_pd(c2v, dz, acc.gz);
+        _mm256_maskstore_pd(
+            gx + s, m,
+            _mm256_fnmadd_pd(c2v, dx, _mm256_maskload_pd(gx + s, m)));
+        _mm256_maskstore_pd(
+            gy + s, m,
+            _mm256_fnmadd_pd(c2v, dy, _mm256_maskload_pd(gy + s, m)));
+        _mm256_maskstore_pd(
+            gz + s, m,
+            _mm256_fnmadd_pd(c2v, dz, _mm256_maskload_pd(gz + s, m)));
+      }
+    }
+    phi[i - tb] += hsum(acc.phi);
+    if constexpr (WithGrad) {
+      gx[i - tb] += hsum(acc.gx);
+      gy[i - tb] += hsum(acc.gy);
+      gz[i - tb] += hsum(acc.gz);
+    }
+  }
+}
+
+void avx2_p2p_vdw_symmetric(const double* x, const double* y, const double* z,
+                            const std::int32_t* type, std::size_t tb,
+                            std::size_t te, std::size_t sb, std::size_t se,
+                            double* phi, double* gx, double* gy, double* gz,
+                            const VdwParams& vp) {
+  const bool periodic = vp.period > 0.0;
+  if (gx != nullptr) {
+    if (periodic)
+      avx2_p2p_vdw_symmetric_impl<true, true>(x, y, z, type, tb, te, sb, se,
+                                              phi, gx, gy, gz, vp);
+    else
+      avx2_p2p_vdw_symmetric_impl<true, false>(x, y, z, type, tb, te, sb, se,
+                                               phi, gx, gy, gz, vp);
+  } else if (periodic) {
+    avx2_p2p_vdw_symmetric_impl<false, true>(x, y, z, type, tb, te, sb, se,
+                                             phi, gx, gy, gz, vp);
+  } else {
+    avx2_p2p_vdw_symmetric_impl<false, false>(x, y, z, type, tb, te, sb, se,
+                                              phi, gx, gy, gz, vp);
+  }
+}
+
 }  // namespace
 
 bool avx2_cpu_supported() {
@@ -493,7 +822,7 @@ const KernelBackend& avx2_backend() {
   static const KernelBackend backend{
       "avx2",   avx2_p2p, avx2_p2p_symmetric,  avx2_p2m,
       avx2_l2p, detail::shared_p2p2, detail::shared_p2m2,
-      avx2_kick, avx2_drift};
+      avx2_kick, avx2_drift, avx2_p2p_vdw, avx2_p2p_vdw_symmetric};
   return backend;
 }
 
@@ -504,7 +833,7 @@ bool avx2_cpu_supported() { return false; }
 const KernelBackend& avx2_backend() {
   static const KernelBackend backend{"avx2",  nullptr, nullptr, nullptr,
                                      nullptr, nullptr, nullptr,
-                                     nullptr, nullptr};
+                                     nullptr, nullptr, nullptr, nullptr};
   return backend;
 }
 

@@ -320,13 +320,184 @@ void portable_drift(const Vec3* vel, double dt, double* x, double* y,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Van der Waals (switched Lennard-Jones). Unlike the Coulomb lanes above,
+// these carry a BITWISE contract with the avx2 backend (see kernels.hpp):
+// source j lands in lane (j - sweep_start) % kW — exactly the avx2 register
+// lane — and the lane merge uses the avx2 hsum order (l0 + l2) + (l1 + l3),
+// not the Coulomb lane_sum order. Sub-register tails simply leave their
+// dead lanes untouched, which matches the avx2 masked +0.0 adds bit for bit
+// (accumulators can never hold -0.0, so x + 0.0 == x).
+// ---------------------------------------------------------------------------
+
+struct VdwAcc {
+  double phi[kW] = {};
+  double gx[kW] = {}, gy[kW] = {}, gz[kW] = {};
+};
+
+inline double vdw_lane_sum(const double* v) {
+  return (v[0] + v[2]) + (v[1] + v[3]);
+}
+
+template <bool WithGrad, bool Periodic>
+inline void vdw_accumulate_target(const double* x, const double* y,
+                                  const double* z, const std::int32_t* type,
+                                  double tx, double ty, double tz,
+                                  const double* rrow, const double* erow,
+                                  std::size_t sb, std::size_t se,
+                                  const VdwParams& vp, VdwAcc& acc) {
+  for (std::size_t j = sb; j < se; ++j) {
+    const std::size_t w = (j - sb) % kW;
+    double dx = tx - x[j], dy = ty - y[j], dz = tz - z[j];
+    if constexpr (Periodic) {
+      dx = detail::vdw_wrap(dx, vp.period, vp.inv_period);
+      dy = detail::vdw_wrap(dy, vp.period, vp.inv_period);
+      dz = detail::vdw_wrap(dz, vp.period, vp.inv_period);
+    }
+    const double r2 = std::fma(dz, dz, std::fma(dy, dy, dx * dx));
+    double e_ij, c2;
+    detail::vdw_pair(r2, rrow[type[j]], erow[type[j]], vp, e_ij, c2);
+    acc.phi[w] += e_ij;
+    if constexpr (WithGrad) {
+      acc.gx[w] = std::fma(c2, dx, acc.gx[w]);
+      acc.gy[w] = std::fma(c2, dy, acc.gy[w]);
+      acc.gz[w] = std::fma(c2, dz, acc.gz[w]);
+    }
+  }
+}
+
+template <bool WithGrad, bool Periodic>
+void portable_p2p_vdw_impl(const double* x, const double* y, const double* z,
+                           const std::int32_t* type, std::size_t tb,
+                           std::size_t te, std::size_t sb, std::size_t se,
+                           double* phi, Vec3* grad, const VdwParams& vp) {
+  const bool identical = tb == sb && te == se;
+  for (std::size_t i = tb; i < te; ++i) {
+    const std::size_t row = static_cast<std::size_t>(type[i]) * vp.ntypes;
+    const double* rrow = vp.rmin2 + row;
+    const double* erow = vp.eps + row;
+    VdwAcc acc;
+    if (identical) {
+      // Split around the self pair; sweep starts reset the lane phase, the
+      // same decomposition the avx2 backend uses.
+      vdw_accumulate_target<WithGrad, Periodic>(x, y, z, type, x[i], y[i],
+                                                z[i], rrow, erow, sb, i, vp,
+                                                acc);
+      vdw_accumulate_target<WithGrad, Periodic>(x, y, z, type, x[i], y[i],
+                                                z[i], rrow, erow, i + 1, se,
+                                                vp, acc);
+    } else {
+      vdw_accumulate_target<WithGrad, Periodic>(x, y, z, type, x[i], y[i],
+                                                z[i], rrow, erow, sb, se, vp,
+                                                acc);
+    }
+    phi[i - tb] += vdw_lane_sum(acc.phi);
+    if constexpr (WithGrad) {
+      grad[i - tb].x += vdw_lane_sum(acc.gx);
+      grad[i - tb].y += vdw_lane_sum(acc.gy);
+      grad[i - tb].z += vdw_lane_sum(acc.gz);
+    }
+  }
+}
+
+void portable_p2p_vdw(const double* x, const double* y, const double* z,
+                      const std::int32_t* type, std::size_t tb, std::size_t te,
+                      std::size_t sb, std::size_t se, double* phi, Vec3* grad,
+                      const VdwParams& vp) {
+  const bool periodic = vp.period > 0.0;
+  if (grad != nullptr) {
+    if (periodic)
+      portable_p2p_vdw_impl<true, true>(x, y, z, type, tb, te, sb, se, phi,
+                                        grad, vp);
+    else
+      portable_p2p_vdw_impl<true, false>(x, y, z, type, tb, te, sb, se, phi,
+                                         grad, vp);
+  } else if (periodic) {
+    portable_p2p_vdw_impl<false, true>(x, y, z, type, tb, te, sb, se, phi,
+                                       grad, vp);
+  } else {
+    portable_p2p_vdw_impl<false, false>(x, y, z, type, tb, te, sb, se, phi,
+                                        grad, vp);
+  }
+}
+
+template <bool WithGrad, bool Periodic>
+void portable_p2p_vdw_symmetric_impl(const double* x, const double* y,
+                                     const double* z,
+                                     const std::int32_t* type, std::size_t tb,
+                                     std::size_t te, std::size_t sb,
+                                     std::size_t se, double* phi, double* gx,
+                                     double* gy, double* gz,
+                                     const VdwParams& vp) {
+  const std::size_t nt = te - tb;
+  for (std::size_t i = tb; i < te; ++i) {
+    const std::size_t row = static_cast<std::size_t>(type[i]) * vp.ntypes;
+    const double* rrow = vp.rmin2 + row;
+    const double* erow = vp.eps + row;
+    const double tx = x[i], ty = y[i], tz = z[i];
+    VdwAcc acc;
+    for (std::size_t j = sb; j < se; ++j) {
+      const std::size_t w = (j - sb) % kW;
+      const std::size_t s = nt + (j - sb);
+      double dx = tx - x[j], dy = ty - y[j], dz = tz - z[j];
+      if constexpr (Periodic) {
+        dx = detail::vdw_wrap(dx, vp.period, vp.inv_period);
+        dy = detail::vdw_wrap(dy, vp.period, vp.inv_period);
+        dz = detail::vdw_wrap(dz, vp.period, vp.inv_period);
+      }
+      const double r2 = std::fma(dz, dz, std::fma(dy, dy, dx * dx));
+      double e_ij, c2;
+      detail::vdw_pair(r2, rrow[type[j]], erow[type[j]], vp, e_ij, c2);
+      acc.phi[w] += e_ij;
+      phi[s] += e_ij;  // E_ij is symmetric in i <-> j
+      if constexpr (WithGrad) {
+        acc.gx[w] = std::fma(c2, dx, acc.gx[w]);
+        acc.gy[w] = std::fma(c2, dy, acc.gy[w]);
+        acc.gz[w] = std::fma(c2, dz, acc.gz[w]);
+        gx[s] = std::fma(-c2, dx, gx[s]);
+        gy[s] = std::fma(-c2, dy, gy[s]);
+        gz[s] = std::fma(-c2, dz, gz[s]);
+      }
+    }
+    phi[i - tb] += vdw_lane_sum(acc.phi);
+    if constexpr (WithGrad) {
+      gx[i - tb] += vdw_lane_sum(acc.gx);
+      gy[i - tb] += vdw_lane_sum(acc.gy);
+      gz[i - tb] += vdw_lane_sum(acc.gz);
+    }
+  }
+}
+
+void portable_p2p_vdw_symmetric(const double* x, const double* y,
+                                const double* z, const std::int32_t* type,
+                                std::size_t tb, std::size_t te, std::size_t sb,
+                                std::size_t se, double* phi, double* gx,
+                                double* gy, double* gz, const VdwParams& vp) {
+  const bool periodic = vp.period > 0.0;
+  if (gx != nullptr) {
+    if (periodic)
+      portable_p2p_vdw_symmetric_impl<true, true>(x, y, z, type, tb, te, sb,
+                                                  se, phi, gx, gy, gz, vp);
+    else
+      portable_p2p_vdw_symmetric_impl<true, false>(x, y, z, type, tb, te, sb,
+                                                   se, phi, gx, gy, gz, vp);
+  } else if (periodic) {
+    portable_p2p_vdw_symmetric_impl<false, true>(x, y, z, type, tb, te, sb,
+                                                 se, phi, gx, gy, gz, vp);
+  } else {
+    portable_p2p_vdw_symmetric_impl<false, false>(x, y, z, type, tb, te, sb,
+                                                  se, phi, gx, gy, gz, vp);
+  }
+}
+
 }  // namespace
 
 const KernelBackend& portable_backend() {
   static const KernelBackend backend{
       "portable",        portable_p2p, portable_p2p_symmetric,
       portable_p2m,      portable_l2p, detail::shared_p2p2,
-      detail::shared_p2m2, portable_kick, portable_drift};
+      detail::shared_p2m2, portable_kick, portable_drift,
+      portable_p2p_vdw,  portable_p2p_vdw_symmetric};
   return backend;
 }
 

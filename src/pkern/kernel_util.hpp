@@ -8,6 +8,7 @@
 #include <cmath>
 #include <cstddef>
 
+#include "hfmm/pkern/kernels.hpp"
 #include "hfmm/util/vec3.hpp"
 
 namespace hfmm::pkern::detail {
@@ -156,6 +157,53 @@ inline void scalar_l2p_one(const double* sx, const double* sy,
     grad->y += gys;
     grad->z += gzs;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Van der Waals per-pair arithmetic. This sequence IS the bitwise contract
+// between the portable and avx2 backends: every operation below is either
+// correctly rounded (sub/mul/div/nearbyint) or an explicit FMA, and the
+// avx2 backend executes the identical sequence with vector intrinsics
+// (_mm256_fmadd_pd for std::fma, _mm256_round_pd-to-nearest for
+// std::nearbyint, blends for the ternaries — selects never contract).
+// The portable lane loops therefore reproduce the avx2 lanes exactly.
+// ---------------------------------------------------------------------------
+
+// Minimum-image wrap of one displacement component for a cubic box:
+// d -= period * nearbyint(d / period), with the division precomputed as a
+// multiply. nearbyint under the default rounding mode is round-half-even,
+// matching _MM_FROUND_TO_NEAREST_INT; fma(-period, n, d) matches fnmadd.
+inline double vdw_wrap(double d, double period, double inv_period) {
+  return std::fma(-period, std::nearbyint(d * inv_period), d);
+}
+
+// Energy E and gradient coefficient c2 = 2 dE/dr2 of one pair at squared
+// distance r2 with pair parameters rm2 = Rmin_ij^2, e = eps_ij. The target
+// accumulates phi += E and grad += c2 * (dx, dy, dz); the source side
+// negates c2 (exact). Pairs at or beyond the cutoff yield exactly +0.0 for
+// both outputs (the avx2 backend masks to +0.0 the same way).
+inline void vdw_pair(double r2, double rm2, double e, const VdwParams& vp,
+                     double& e_out, double& c2_out) {
+  const double inv_r2 = 1.0 / r2;
+  const double x2 = rm2 * inv_r2;
+  const double x6 = (x2 * x2) * x2;
+  const double x12 = x6 * x6;
+  const double energy = e * std::fma(-2.0, x6, x12);
+  const double g0 = -6.0 * ((e * (x12 - x6)) * inv_r2);
+  const double cmr = vp.cutoff2 - r2;
+  const double s = ((cmr * cmr) * std::fma(2.0, r2, vp.cm3o)) * vp.inv_denom;
+  const double ds = (cmr * (vp.cuton2 - r2)) * vp.inv_denom6;
+  const double energy_sw = energy * s;
+  const double g_sw = std::fma(g0, s, energy * ds);
+  const bool switched = r2 > vp.cuton2;
+  double ef = switched ? energy_sw : energy;
+  double gf = switched ? g_sw : g0;
+  if (!(r2 < vp.cutoff2)) {
+    ef = 0.0;
+    gf = 0.0;
+  }
+  e_out = ef;
+  c2_out = 2.0 * gf;
 }
 
 // ---------------------------------------------------------------------------

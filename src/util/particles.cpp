@@ -26,6 +26,7 @@ void ParticleSet::resize(std::size_t n) {
   y_.resize(n);
   z_.resize(n);
   q_.resize(n);
+  if (!type_.empty()) type_.resize(n, 0);
 }
 
 Box3 ParticleSet::bounds() const {
@@ -55,6 +56,11 @@ void ParticleSet::permute(std::span<const std::uint32_t> perm) {
   apply(y_);
   apply(z_);
   apply(q_);
+  if (!type_.empty()) {
+    std::vector<std::int32_t> out(type_.size());
+    for (std::size_t i = 0; i < type_.size(); ++i) out[i] = type_[perm[i]];
+    type_.swap(out);
+  }
 }
 
 double ParticleSet::total_charge() const {

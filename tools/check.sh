@@ -32,6 +32,11 @@ run_suite() {
   echo "== adaptive-refinement suite =="
   ctest --test-dir "$build_dir" --output-on-failure \
     -R 'RefinementTest|AdaptiveSolveTest'
+  # Short-range kernel suite (DESIGN.md §16): the vdW P2P backends, the
+  # far-chain suppression and the periodic minimum-image wrap.
+  echo "== van der Waals kernel suite =="
+  ctest --test-dir "$build_dir" --output-on-failure \
+    -R 'Vdw|vdw_test'
   # Clustered bench smoke (plain tree only — sanitizer trees build no
   # bench): the adaptive artifacts must carry pair counts and non-empty
   # occupancy for every config.
@@ -47,6 +52,13 @@ run_suite() {
     grep -q '"label": "plummer_adaptive"' "$build_dir/smoke_breakdown.json"
     grep -q '"pairs"' "$build_dir/smoke_breakdown.json"
     ! grep -q '"occupancy": \[\]' "$build_dir/smoke_breakdown.json"
+    # vdW bench smoke: --kernel retargets the sweep at the short-range
+    # kernel and every row records it.
+    echo "== vdW bench smoke =="
+    "$build_dir/bench/bench_scaling" --nmax=16000 --ndp=4000 --kernel=vdw \
+      --json="$build_dir/smoke_vdw.json" >/dev/null
+    grep -q '"kernel": "vdw"' "$build_dir/smoke_vdw.json"
+    grep -q '"near_pairs"' "$build_dir/smoke_vdw.json"
   fi
 }
 
