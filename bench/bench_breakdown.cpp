@@ -195,13 +195,16 @@ RunOutcome run(const char* label, const char* slug,
                  "%s\n    { \"label\": \"%s\", \"n\": %zu, \"k\": %zu, "
                  "\"depth\": %d, \"mode\": \"%s\", \"kernel\": \"%s\",\n"
                  "      \"dist\": \"%s\", \"hierarchy\": \"%s\", "
+                 "\"hierarchy_effective\": \"%s\", "
                  "\"sparse\": %s, \"adaptive\": %s, \"ncrit\": %d, "
                  "\"front_leaves\": %zu, \"active_boxes\": %zu, "
                  "\"workspace_bytes\": %zu,\n      \"occupancy\": [",
                  first ? "" : ",", slug, n, r.k, r.depth,
                  dp_mode ? "data_parallel" : "threads",
                  core::to_string(r.kernel), opts.dist.c_str(),
-                 core::to_string(cfg.hierarchy), r.sparse ? "true" : "false",
+                 core::to_string(cfg.hierarchy),
+                 core::to_string(r.hierarchy_effective),
+                 r.sparse ? "true" : "false",
                  r.adaptive ? "true" : "false", r.ncrit, r.front_leaves,
                  r.active_boxes, r.workspace_bytes);
     for (std::size_t l = 0; l < r.level_occupancy.size(); ++l)

@@ -187,6 +187,7 @@ int main(int argc, char** argv) {
       std::fprintf(json,
                    "%s\n    { \"n\": %zu, \"depth\": %d, "
                    "\"kernel\": \"%s\", "
+                   "\"hierarchy_effective\": \"%s\", "
                    "\"cold_seconds\": %.6f, \"warm_seconds\": %.6f, "
                    "\"step_seconds\": %.6f, \"dyn_steps\": %llu, "
                    "\"sparse\": %s, \"adaptive\": %s, \"ncrit\": %d, "
@@ -194,7 +195,9 @@ int main(int argc, char** argv) {
                    "\"active_boxes\": %zu, "
                    "\"workspace_bytes\": %zu, \"occupancy\": [",
                    first_row ? "" : ",", n, r.depth,
-                   core::to_string(r.kernel), secs, warm, step_seconds,
+                   core::to_string(r.kernel),
+                   core::to_string(r.hierarchy_effective), secs, warm,
+                   step_seconds,
                    static_cast<unsigned long long>(dyn_steps),
                    r.sparse ? "true" : "false",
                    r.adaptive ? "true" : "false", r.ncrit, r.front_leaves,

@@ -29,6 +29,10 @@
 #include "hfmm/util/particles.hpp"
 #include "hfmm/util/timer.hpp"
 
+namespace hfmm::service {
+class PlanCache;
+}  // namespace hfmm::service
+
 namespace hfmm::core {
 
 struct FmmResult {
@@ -51,6 +55,13 @@ struct FmmResult {
   /// True when the solve ran on the adaptive leaf-front executor
   /// (HierarchyMode::kAdaptive, DESIGN.md Section 15).
   bool adaptive = false;
+  /// The hierarchy mode the caller configured, verbatim.
+  HierarchyMode hierarchy_requested = HierarchyMode::kAuto;
+  /// The hierarchy mode actually in effect for this solve. Differs from
+  /// hierarchy_requested exactly when the solver degraded the request —
+  /// today that is kAdaptive -> kAuto for short-range kernels, which have
+  /// no adaptive leaf-front executor (see FmmSolver ctor).
+  HierarchyMode hierarchy_effective = HierarchyMode::kAuto;
   /// The ncrit the adaptive front was refined with (config.ncrit, or the
   /// cost-model selection when config.ncrit == 0). 0 on non-adaptive solves.
   int ncrit = 0;
@@ -87,9 +98,21 @@ struct SolveView {
   bool valid() const { return !phi.empty(); }
 };
 
+/// Depth the solver will use for `n` particles under `config` — the
+/// automatic-depth rule (Section 2.3 occupancy balance, the adaptive
+/// refinement cap, and the short-range cutoff-coverage cap), or the
+/// explicit config.depth. Free function so the service's admission cost
+/// model can price a request without instantiating a solver.
+int depth_for(const FmmConfig& config, std::size_t n);
+
 class FmmSolver {
  public:
   explicit FmmSolver(FmmConfig config);
+  /// Service-client form: plans and translation data resolve through the
+  /// shared `cache` instead of being built per solver, so N clients of the
+  /// same workload pay for one plan build (DESIGN.md Section 17). A null
+  /// cache behaves exactly like the single-argument constructor.
+  FmmSolver(FmmConfig config, std::shared_ptr<service::PlanCache> cache);
   ~FmmSolver();
   FmmSolver(const FmmSolver&) = delete;
   FmmSolver& operator=(const FmmSolver&) = delete;
@@ -104,6 +127,11 @@ class FmmSolver {
   FmmResult solve(const ParticleSet& particles, SolveView& view);
 
   const FmmConfig& config() const { return config_; }
+
+  /// The hierarchy mode the caller asked for, before any degradation;
+  /// config().hierarchy is the mode in effect (see
+  /// FmmResult::hierarchy_effective).
+  HierarchyMode hierarchy_requested() const { return hierarchy_requested_; }
 
   /// The precomputed translation matrices (shared across solve() calls);
   /// built lazily on first use.
@@ -130,6 +158,7 @@ class FmmSolver {
                             const tree::Hierarchy& hier, FmmResult result,
                             SolveView* view, bool sort_repaired);
   FmmConfig config_;
+  HierarchyMode hierarchy_requested_ = HierarchyMode::kAuto;
   std::unique_ptr<Impl> impl_;
 };
 

@@ -1,9 +1,8 @@
 #include "hfmm/core/config.hpp"
 
-#include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <stdexcept>
+
+#include "hfmm/util/env.hpp"
 
 namespace hfmm::core {
 
@@ -36,82 +35,41 @@ const char* to_string(HierarchyMode m) {
 }
 
 bool default_step_incremental() {
-  static const bool value = [] {
-    const char* env = std::getenv("HFMM_STEP_INCREMENTAL");
-    return env != nullptr && std::strcmp(env, "0") != 0 &&
-           std::strcmp(env, "") != 0;
-  }();
+  static const bool value = env::parse_bool("HFMM_STEP_INCREMENTAL", false);
   return value;
 }
 
 double default_step_mover_threshold() {
-  static const double value = [] {
-    const char* env = std::getenv("HFMM_STEP_MOVER_THRESHOLD");
-    if (env == nullptr || *env == '\0') return 0.10;
-    char* end = nullptr;
-    const double v = std::strtod(env, &end);
-    if (end == env || v < 0.0 || v > 1.0) {
-      std::fprintf(stderr,
-                   "hfmm: ignoring HFMM_STEP_MOVER_THRESHOLD=\"%s\" "
-                   "(want a fraction in [0, 1])\n",
-                   env);
-      return 0.10;
-    }
-    return v;
-  }();
+  static const double value =
+      env::parse_double("HFMM_STEP_MOVER_THRESHOLD", 0.10, 0.0, 1.0,
+                        "a fraction in [0, 1]");
   return value;
 }
 
 HierarchyMode default_hierarchy_mode() {
   static const HierarchyMode value = [] {
-    const char* env = std::getenv("HFMM_HIERARCHY");
-    if (env == nullptr || *env == '\0') return HierarchyMode::kAuto;
-    if (std::strcmp(env, "dense") == 0) return HierarchyMode::kDense;
-    if (std::strcmp(env, "sparse") == 0) return HierarchyMode::kSparse;
-    if (std::strcmp(env, "auto") == 0) return HierarchyMode::kAuto;
-    if (std::strcmp(env, "adaptive") == 0) return HierarchyMode::kAdaptive;
-    std::fprintf(stderr,
-                 "hfmm: ignoring HFMM_HIERARCHY=\"%s\" "
-                 "(want dense|sparse|auto|adaptive)\n",
-                 env);
-    return HierarchyMode::kAuto;
+    static constexpr const char* kChoices[] = {"dense", "sparse", "auto",
+                                               "adaptive"};
+    switch (env::parse_choice("HFMM_HIERARCHY", kChoices, 2)) {
+      case 0: return HierarchyMode::kDense;
+      case 1: return HierarchyMode::kSparse;
+      case 3: return HierarchyMode::kAdaptive;
+      default: return HierarchyMode::kAuto;
+    }
   }();
   return value;
 }
 
 int default_ncrit() {
-  static const int value = [] {
-    const char* env = std::getenv("HFMM_NCRIT");
-    if (env == nullptr || *env == '\0') return 0;
-    char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end == env || v < 0 || v > 100000) {
-      std::fprintf(stderr,
-                   "hfmm: ignoring HFMM_NCRIT=\"%s\" "
-                   "(want a non-negative split threshold; 0 = cost model)\n",
-                   env);
-      return 0;
-    }
-    return static_cast<int>(v);
-  }();
+  static const int value = static_cast<int>(
+      env::parse_int("HFMM_NCRIT", 0, 0, 100000,
+                     "a non-negative split threshold; 0 = cost model"));
   return value;
 }
 
 int default_adaptive_max_depth() {
-  static const int value = [] {
-    const char* env = std::getenv("HFMM_ADAPTIVE_MAX_DEPTH");
-    if (env == nullptr || *env == '\0') return 7;
-    char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end == env || v < 2 || v > 10) {
-      std::fprintf(stderr,
-                   "hfmm: ignoring HFMM_ADAPTIVE_MAX_DEPTH=\"%s\" "
-                   "(want a depth in [2, 10])\n",
-                   env);
-      return 7;
-    }
-    return static_cast<int>(v);
-  }();
+  static const int value = static_cast<int>(env::parse_int(
+      "HFMM_ADAPTIVE_MAX_DEPTH", 7, 2, 10, "a depth in [2, 10]"));
   return value;
 }
 

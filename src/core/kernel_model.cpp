@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdio>
-#include <cstdlib>
-#include <cstring>
+#include <limits>
 #include <stdexcept>
+
+#include "hfmm/util/env.hpp"
 
 namespace hfmm::core {
 
@@ -19,52 +19,32 @@ const char* to_string(KernelType t) {
 
 KernelType default_kernel_type() {
   static const KernelType value = [] {
-    const char* env = std::getenv("HFMM_KERNEL");
-    if (env == nullptr || *env == '\0') return KernelType::kLaplace3d;
-    if (std::strcmp(env, "laplace") == 0) return KernelType::kLaplace3d;
-    if (std::strcmp(env, "vdw") == 0) return KernelType::kVanDerWaals;
-    std::fprintf(stderr,
-                 "hfmm: ignoring HFMM_KERNEL=\"%s\" (want laplace|vdw)\n",
-                 env);
-    return KernelType::kLaplace3d;
+    static constexpr const char* kChoices[] = {"laplace", "vdw"};
+    return env::parse_choice("HFMM_KERNEL", kChoices, 0) == 1
+               ? KernelType::kVanDerWaals
+               : KernelType::kLaplace3d;
   }();
   return value;
 }
 
-namespace {
-
-double vdw_radius_env(const char* name, double fallback) {
-  const char* env = std::getenv(name);
-  if (env == nullptr || *env == '\0') return fallback;
-  char* end = nullptr;
-  const double v = std::strtod(env, &end);
-  if (end == env || !(v >= 0.0) || !std::isfinite(v)) {
-    std::fprintf(stderr,
-                 "hfmm: ignoring %s=\"%s\" (want a non-negative distance)\n",
-                 name, env);
-    return fallback;
-  }
-  return v;
-}
-
-}  // namespace
-
 double default_vdw_cuton() {
-  static const double value = vdw_radius_env("HFMM_VDW_CUTON", 0.04);
+  static const double value =
+      env::parse_double("HFMM_VDW_CUTON", 0.04, 0.0,
+                        std::numeric_limits<double>::max(),
+                        "a non-negative distance");
   return value;
 }
 
 double default_vdw_cutoff() {
-  static const double value = vdw_radius_env("HFMM_VDW_CUTOFF", 0.06);
+  static const double value =
+      env::parse_double("HFMM_VDW_CUTOFF", 0.06, 0.0,
+                        std::numeric_limits<double>::max(),
+                        "a non-negative distance");
   return value;
 }
 
 bool default_vdw_periodic() {
-  static const bool value = [] {
-    const char* env = std::getenv("HFMM_VDW_PERIODIC");
-    return env != nullptr && std::strcmp(env, "0") != 0 &&
-           std::strcmp(env, "") != 0;
-  }();
+  static const bool value = env::parse_bool("HFMM_VDW_PERIODIC", false);
   return value;
 }
 

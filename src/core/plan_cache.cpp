@@ -1,0 +1,140 @@
+#include "hfmm/service/plan_cache.hpp"
+
+#include <bit>
+#include <cstdint>
+
+#include "hfmm/service/lru.hpp"
+#include "solver_internal.hpp"
+
+namespace hfmm::service {
+
+namespace {
+
+using core::internal::FmmPlan;
+using core::internal::TranslationData;
+
+// Everything TranslationData::build reads from the config: the quadrature
+// rule identity (K + truncation + sphere ratios), the separation, and
+// whether the supernode matrices exist. Doubles are keyed by bit pattern —
+// configs are constructed from the same literals, not computed.
+struct TransKey {
+  std::size_t k = 0;
+  int truncation = 0;
+  std::uint64_t outer_bits = 0;
+  std::uint64_t inner_bits = 0;
+  int separation = 0;
+  bool supernodes = false;
+  bool operator==(const TransKey&) const = default;
+};
+
+TransKey trans_key(const core::FmmConfig& config) {
+  TransKey key;
+  key.k = config.params.k();
+  key.truncation = config.params.truncation;
+  key.outer_bits = std::bit_cast<std::uint64_t>(config.params.outer_ratio);
+  key.inner_bits = std::bit_cast<std::uint64_t>(config.params.inner_ratio);
+  key.separation = config.separation;
+  key.supernodes = config.supernodes;
+  return key;
+}
+
+struct TransKeyHash {
+  std::size_t operator()(const TransKey& key) const {
+    std::size_t h = key.k;
+    h = hash_combine(h, static_cast<std::size_t>(key.truncation));
+    h = hash_combine(h, static_cast<std::size_t>(key.outer_bits));
+    h = hash_combine(h, static_cast<std::size_t>(key.inner_bits));
+    h = hash_combine(h, static_cast<std::size_t>(key.separation));
+    h = hash_combine(h, static_cast<std::size_t>(key.supernodes));
+    return h;
+  }
+};
+
+// Plan identity: the translation config it builds on, plus the kernel
+// family, the depth, and the configured hierarchy mode (the service keys
+// workloads by hierarchy so dense/sparse/adaptive tenants get distinct
+// entries even though today's plan content does not depend on the mode).
+struct PlanKey {
+  TransKey trans;
+  int kernel = 0;
+  int depth = 0;
+  int hierarchy = 0;
+  bool operator==(const PlanKey&) const = default;
+};
+
+PlanKey plan_key(const core::FmmConfig& config, int depth) {
+  PlanKey key;
+  key.trans = trans_key(config);
+  key.kernel = static_cast<int>(config.kernel.type);
+  key.depth = depth;
+  key.hierarchy = static_cast<int>(config.hierarchy);
+  return key;
+}
+
+struct PlanKeyHash {
+  std::size_t operator()(const PlanKey& key) const {
+    std::size_t h = TransKeyHash{}(key.trans);
+    h = hash_combine(h, static_cast<std::size_t>(key.kernel));
+    h = hash_combine(h, static_cast<std::size_t>(key.depth));
+    h = hash_combine(h, static_cast<std::size_t>(key.hierarchy));
+    return h;
+  }
+};
+
+}  // namespace
+
+struct PlanCache::Impl {
+  // Translation data is never evicted: there is one entry per quadrature
+  // configuration and the plans alias it by shared_ptr anyway. A huge
+  // capacity turns the LRU into a plain concurrent map with hit counters.
+  LruCache<TransKey, const TranslationData, TransKeyHash> trans;
+  LruCache<PlanKey, const FmmPlan, PlanKeyHash> plans;
+
+  explicit Impl(std::size_t capacity)
+      : trans(~std::size_t{0}), plans(capacity) {}
+};
+
+PlanCache::PlanCache(std::size_t capacity)
+    : impl_(std::make_unique<Impl>(capacity)) {}
+
+PlanCache::~PlanCache() = default;
+
+std::shared_ptr<const TranslationData> PlanCache::translations(
+    const core::FmmConfig& config, bool* hit) {
+  auto [value, was_hit] = impl_->trans.get_or_build(
+      trans_key(config), [&] { return TranslationData::build(config); });
+  if (hit != nullptr) *hit = was_hit;
+  return value;
+}
+
+std::shared_ptr<const FmmPlan> PlanCache::plan(const core::FmmConfig& config,
+                                               int depth, bool* hit) {
+  auto [value, was_hit] =
+      impl_->plans.get_or_build(plan_key(config, depth), [&] {
+        // Short-range kernels have no translation machinery; their plans
+        // carry only the near-field interaction lists.
+        std::shared_ptr<const TranslationData> trans;
+        if (config.kernel.far_field_capable()) trans = translations(config);
+        return FmmPlan::build(std::move(trans), config, depth);
+      });
+  if (hit != nullptr) *hit = was_hit;
+  return value;
+}
+
+PlanCacheStats PlanCache::stats() const {
+  const LruStats p = impl_->plans.stats();
+  const LruStats t = impl_->trans.stats();
+  PlanCacheStats s;
+  s.plan_hits = p.hits;
+  s.plan_misses = p.misses;
+  s.plan_evictions = p.evictions;
+  s.trans_hits = t.hits;
+  s.trans_misses = t.misses;
+  return s;
+}
+
+std::size_t PlanCache::size() const { return impl_->plans.size(); }
+
+std::size_t PlanCache::capacity() const { return impl_->plans.capacity(); }
+
+}  // namespace hfmm::service

@@ -14,6 +14,7 @@
 #include "hfmm/core/near_field.hpp"
 #include "hfmm/dp/multigrid.hpp"
 #include "hfmm/dp/sort.hpp"
+#include "hfmm/service/plan_cache.hpp"
 #include "hfmm/tree/interaction_lists.hpp"
 #include "solver_internal.hpp"
 
@@ -101,15 +102,37 @@ std::shared_ptr<const FmmPlan> FmmPlan::build(
 }  // namespace internal
 
 const TranslationData& FmmSolver::Impl::translation_data(
-    const FmmConfig& config) {
-  if (!trans) trans = TranslationData::build(config);
+    const FmmConfig& config, bool* built) {
+  if (built != nullptr) *built = false;
+  if (!trans) {
+    if (cache) {
+      bool hit = false;
+      trans = cache->translations(config, &hit);
+      if (built != nullptr) *built = !hit;
+    } else {
+      trans = TranslationData::build(config);
+      if (built != nullptr) *built = true;
+    }
+  }
   return *trans;
 }
 
 const FmmPlan& FmmSolver::Impl::plan_for(const FmmConfig& config, int depth,
                                          PhaseBreakdown& breakdown) {
-  if (!plan || plan->depth != depth || plan->kernel != config.kernel.type) {
-    ScopedPhaseTimer timer(breakdown["plan"]);
+  if (plan && plan->depth == depth && plan->kernel == config.kernel.type)
+    return *plan;
+  ScopedPhaseTimer timer(breakdown["plan"]);
+  if (cache) {
+    bool hit = false;
+    plan = cache->plan(config, depth, &hit);
+    // A cache hit is a reuse, not a build: warm-path accounting
+    // (plan_reused, zero plan allocs) holds from this client's very first
+    // solve when another client already built the plan.
+    if (hit)
+      breakdown["plan"].plan_reuse += 1;
+    else
+      breakdown["plan"].allocs += 1;
+  } else {
     plan = FmmPlan::build(trans, config, depth);
     breakdown["plan"].allocs += 1;
   }
@@ -117,7 +140,12 @@ const FmmPlan& FmmSolver::Impl::plan_for(const FmmConfig& config, int depth,
 }
 
 FmmSolver::FmmSolver(FmmConfig config)
+    : FmmSolver(std::move(config), nullptr) {}
+
+FmmSolver::FmmSolver(FmmConfig config,
+                     std::shared_ptr<service::PlanCache> cache)
     : config_(std::move(config)), impl_(std::make_unique<Impl>()) {
+  impl_->cache = std::move(cache);
   // Softening alias reconciliation: the legacy FmmConfig::softening forwards
   // into the Laplace KernelSpec when the spec leaves it at 0, and the spec
   // wins otherwise; afterwards the two fields agree, so pre-KernelModel code
@@ -126,6 +154,7 @@ FmmSolver::FmmSolver(FmmConfig config)
     config_.kernel.softening = config_.softening;
   config_.softening = config_.kernel.softening;
   config_.validate();
+  hierarchy_requested_ = config_.hierarchy;
   if (!config_.kernel.far_field_capable()) {
     // Short-range kernels run on the uniform-leaf executors; the adaptive
     // leaf front has no U-list notion of a cutoff sphere, so degrade it to
@@ -155,7 +184,7 @@ const anderson::TranslationSet& FmmSolver::translations() {
   return *impl_->translation_data(config_).tset;
 }
 
-int FmmSolver::depth_for(std::size_t n) const {
+int depth_for(const FmmConfig& config_, std::size_t n) {
   if (config_.depth >= 0) return config_.depth;
   if (config_.hierarchy == HierarchyMode::kAdaptive &&
       config_.mode != ExecutionMode::kDataParallel) {
@@ -192,6 +221,10 @@ int FmmSolver::depth_for(std::size_t n) const {
     h = std::max(h, config_.kernel.vdw_periodic ? 3 : 2);
   }
   return h;
+}
+
+int FmmSolver::depth_for(std::size_t n) const {
+  return core::depth_for(config_, n);
 }
 
 bool FmmSolver::plan_ready(std::size_t n) const {
@@ -728,15 +761,17 @@ FmmResult FmmSolver::solve_impl_(const ParticleSet& particles,
   FmmResult result;
   result.k = config_.params.k();
   result.kernel = config_.kernel.type;
+  result.hierarchy_requested = hierarchy_requested_;
+  result.hierarchy_effective = config_.hierarchy;
   // Cold-path construction, charged to the solve that triggers it: the
   // translation set ("precompute", config-wide) and the per-depth plan
   // ("plan"). Warm solves reuse both and report zero here. Short-range
   // kernels have no translation machinery at all; the phase stays visible
   // with zeros.
   if (far_capable) {
-    const bool cold_trans = impl_->trans == nullptr;
-    impl_->translation_data(config_);
-    if (cold_trans) {
+    bool built = false;
+    impl_->translation_data(config_, &built);
+    if (built) {
       result.breakdown["precompute"].seconds = impl_->trans->build_seconds;
       result.breakdown["precompute"].allocs += 1;
     } else {

@@ -383,6 +383,9 @@ inline void publish_view(const SolveWorkspace& ws, const FmmConfig& config,
 namespace hfmm::core {
 
 struct FmmSolver::Impl {
+  // Shared plan cache when this solver is a service client (null for a
+  // solitary solver, which keeps the private slots below as its "cache").
+  std::shared_ptr<service::PlanCache> cache;
   std::shared_ptr<const internal::TranslationData> trans;
   std::shared_ptr<const internal::FmmPlan> plan;
   internal::SolveWorkspace ws;
@@ -400,9 +403,13 @@ struct FmmSolver::Impl {
   NearKernel near;
 
   // Builds (or reuses) the translation data; charged to "precompute".
-  const internal::TranslationData& translation_data(const FmmConfig& config);
+  // `built` (optional) reports whether a fresh build happened — false on
+  // reuse of the private slot AND on a shared-cache hit.
+  const internal::TranslationData& translation_data(const FmmConfig& config,
+                                                    bool* built = nullptr);
   // Builds (or reuses) the plan for `depth`; build time lands in
-  // `result.breakdown["plan"]` of the solve that triggered it.
+  // `result.breakdown["plan"]` of the solve that triggered it. With a
+  // shared cache, a cache hit charges plan_reuse instead of allocs.
   const internal::FmmPlan& plan_for(const FmmConfig& config, int depth,
                                     PhaseBreakdown& breakdown);
 };

@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <bit>
 #include <cmath>
+#include <memory>
 #include <stdexcept>
 
 #include "hfmm/blas/blas.hpp"
 #include "hfmm/pkern/kernels.hpp"
+#include "hfmm/service/lru.hpp"
 #include "hfmm/util/rng.hpp"
 
 namespace hfmm::d2 {
@@ -150,7 +153,11 @@ void sort_particles(const ParticleSet2& p, const Quadtree& tree, Boxed2& out,
 
 }  // namespace
 
-struct FmmSolver2::Impl {
+// Immutable translation plan for one (k, truncation, radius_ratio,
+// separation, supernodes) configuration — the 2-D analogue of the 3-D
+// FmmPlan. Shared by every FmmSolver2 with the same configuration through
+// a process-wide LRU cache, so pooled service clients pay one build.
+struct Plan2 {
   CircleRule rule;
   std::size_t kp = 0;
   std::array<std::vector<double>, 4> t1, t3;
@@ -158,7 +165,48 @@ struct FmmSolver2::Impl {
   std::array<std::vector<SupernodeEntry2>, 4> sn_entries;
   std::array<std::vector<std::vector<double>>, 4> sn_matrices;
   std::array<std::vector<Offset2>, 4> interactive;
-  bool built = false;
+
+  static std::shared_ptr<const Plan2> build(const Fmm2Config& cfg);
+  static std::shared_ptr<const Plan2> get(const Fmm2Config& cfg);
+};
+
+namespace {
+
+struct Plan2Key {
+  std::size_t k = 0;
+  int truncation = 0;
+  std::uint64_t ratio_bits = 0;
+  int separation = 0;
+  bool supernodes = false;
+  bool operator==(const Plan2Key&) const = default;
+};
+
+struct Plan2KeyHash {
+  std::size_t operator()(const Plan2Key& key) const {
+    std::size_t h = key.k;
+    h = service::hash_combine(h, static_cast<std::size_t>(key.truncation));
+    h = service::hash_combine(h, static_cast<std::size_t>(key.ratio_bits));
+    h = service::hash_combine(h, static_cast<std::size_t>(key.separation));
+    h = service::hash_combine(h, static_cast<std::size_t>(key.supernodes));
+    return h;
+  }
+};
+
+}  // namespace
+
+std::shared_ptr<const Plan2> Plan2::get(const Fmm2Config& cfg) {
+  static service::LruCache<Plan2Key, const Plan2, Plan2KeyHash> cache(16);
+  Plan2Key key;
+  key.k = cfg.k;
+  key.truncation = cfg.truncation;
+  key.ratio_bits = std::bit_cast<std::uint64_t>(cfg.radius_ratio);
+  key.separation = cfg.separation;
+  key.supernodes = cfg.supernodes;
+  return cache.get_or_build(key, [&] { return Plan2::build(cfg); }).first;
+}
+
+struct FmmSolver2::Impl {
+  std::shared_ptr<const Plan2> plan;
 
   // Pool selected once at construction (the old code built a throwaway
   // hardware-sized pool inside every solve); sequential mode owns a
@@ -174,11 +222,21 @@ struct FmmSolver2::Impl {
   std::vector<std::vector<double>> far, local;
   std::vector<double> phi_sorted, phi_near;
   std::vector<Point2> grad_sorted, grad_near;
+};
 
-  void build(const Fmm2Config& cfg) {
-    if (built) return;
+std::shared_ptr<const Plan2> Plan2::build(const Fmm2Config& cfg) {
+  auto out = std::make_shared<Plan2>();
+  Plan2& plan = *out;
+  CircleRule& rule = plan.rule;
+  auto& t1 = plan.t1;
+  auto& t3 = plan.t3;
+  auto& t2 = plan.t2;
+  auto& sn_entries = plan.sn_entries;
+  auto& sn_matrices = plan.sn_matrices;
+  auto& interactive = plan.interactive;
+  {
     rule = circle_rule(cfg.k);
-    kp = cfg.k + 1;
+    plan.kp = cfg.k + 1;
     const double a_child_out = cfg.radius_ratio;
     const double a_child_in = cfg.radius_ratio;
     const double a_parent_out = 2.0 * cfg.radius_ratio;
@@ -214,9 +272,9 @@ struct FmmSolver2::Impl {
         }
       }
     }
-    built = true;
   }
-};
+  return out;
+}
 
 FmmSolver2::FmmSolver2(Fmm2Config config)
     : config_(config), impl_(std::make_unique<Impl>()) {
@@ -243,12 +301,13 @@ int FmmSolver2::depth_for(std::size_t n) const {
 }
 
 Fmm2Result FmmSolver2::solve(const ParticleSet2& particles) {
-  impl_->build(config_);
+  if (!impl_->plan) impl_->plan = Plan2::get(config_);
+  const Plan2& plan = *impl_->plan;
   const std::size_t n = particles.size();
   Fmm2Result result;
   if (n == 0) return result;
   const std::size_t k = config_.k;
-  const std::size_t kp = impl_->kp;
+  const std::size_t kp = plan.kp;
   const int h = depth_for(n);
   result.depth = h;
 
@@ -332,8 +391,8 @@ Fmm2Result FmmSolver2::solve(const ParticleSet2& particles) {
           spx.resize(k);
           spy.resize(k);
           for (std::size_t i = 0; i < k; ++i) {
-            spx[i] = c.x + a * impl_->rule.points[i].x;
-            spy[i] = c.y + a * impl_->rule.points[i].y;
+            spx[i] = c.x + a * plan.rule.points[i].x;
+            spy[i] = c.y + a * plan.rule.points[i].y;
           }
           pkern::active_kernel().p2m2(spx.data(), spy.data(), k,
                                       p.x.data() + b, p.y.data() + b,
@@ -355,7 +414,7 @@ Fmm2Result FmmSolver2::solve(const ParticleSet2& particles) {
             double* dst = far[l].data() + f * kp;
             for (int q = 0; q < 4; ++q) {
               const BoxCoord2 cc = Quadtree::child_of(pc, q);
-              blas::gemv(impl_->t1[q].data(), kp,
+              blas::gemv(plan.t1[q].data(), kp,
                          far[l + 1].data() + tree.flat_index(l + 1, cc) * kp,
                          dst, kp, kp, true);
             }
@@ -377,7 +436,7 @@ Fmm2Result FmmSolver2::solve(const ParticleSet2& particles) {
             for (std::size_t f = lo; f < hi; ++f) {
               const BoxCoord2 c = tree.coord_of(l, f);
               blas::gemv(
-                  impl_->t3[Quadtree::quadrant_of(c)].data(), kp,
+                  plan.t3[Quadtree::quadrant_of(c)].data(), kp,
                   local[l - 1].data() +
                       tree.flat_index(l - 1, Quadtree::parent_of(c)) * kp,
                   local[l].data() + f * kp, kp, kp, true);
@@ -396,26 +455,26 @@ Fmm2Result FmmSolver2::solve(const ParticleSet2& particles) {
             const int quad = Quadtree::quadrant_of(c);
             double* dst = local[l].data() + f * kp;
             if (!config_.supernodes) {
-              for (const Offset2& o : impl_->interactive[quad]) {
+              for (const Offset2& o : plan.interactive[quad]) {
                 const BoxCoord2 s{c.ix + o.dx, c.iy + o.dy};
                 if (s.ix < 0 || s.ix >= nl || s.iy < 0 || s.iy >= nl)
                   continue;
                 blas::gemv(
-                    impl_->t2[offset_square_index(o, config_.separation)]
+                    plan.t2[offset_square_index(o, config_.separation)]
                         .data(),
                     kp, far[l].data() + tree.flat_index(l, s) * kp, dst, kp,
                     kp, true);
               }
             } else {
               const BoxCoord2 pc = Quadtree::parent_of(c);
-              const auto& entries = impl_->sn_entries[quad];
+              const auto& entries = plan.sn_entries[quad];
               for (std::size_t e = 0; e < entries.size(); ++e) {
                 if (entries[e].source_level_up == 0) {
                   const BoxCoord2 s{c.ix + entries[e].offset.dx,
                                     c.iy + entries[e].offset.dy};
                   if (s.ix < 0 || s.ix >= nl || s.iy < 0 || s.iy >= nl)
                     continue;
-                  blas::gemv(impl_->t2[offset_square_index(entries[e].offset,
+                  blas::gemv(plan.t2[offset_square_index(entries[e].offset,
                                                            config_.separation)]
                                  .data(),
                              kp, far[l].data() + tree.flat_index(l, s) * kp,
@@ -426,7 +485,7 @@ Fmm2Result FmmSolver2::solve(const ParticleSet2& particles) {
                   if (s.ix < 0 || s.ix >= npar || s.iy < 0 || s.iy >= npar)
                     continue;
                   blas::gemv(
-                      impl_->sn_matrices[quad][e].data(), kp,
+                      plan.sn_matrices[quad][e].data(), kp,
                       far[l - 1].data() + tree.flat_index(l - 1, s) * kp, dst,
                       kp, kp, true);
                 }
@@ -454,10 +513,10 @@ Fmm2Result FmmSolver2::solve(const ParticleSet2& particles) {
           for (std::uint32_t j = b; j < e; ++j) {
             const Point2 x{p.x[j], p.y[j]};
             phi[j] +=
-                evaluate_inner(impl_->rule, config_.truncation, a, c, gv, x);
+                evaluate_inner(plan.rule, config_.truncation, a, c, gv, x);
             if (config_.with_gradient) {
               const Point2 gr = evaluate_inner_gradient(
-                  impl_->rule, config_.truncation, a, c, gv, x);
+                  plan.rule, config_.truncation, a, c, gv, x);
               grad[j].x += gr.x;
               grad[j].y += gr.y;
             }

@@ -5,9 +5,8 @@
 #include "hfmm/pkern/kernels.hpp"
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 
+#include "hfmm/util/env.hpp"
 #include "kernel_util.hpp"
 
 namespace hfmm::pkern {
@@ -35,20 +34,16 @@ const KernelBackend& kernel_backend(KernelKind kind) {
 namespace {
 
 KernelKind initial_kind() {
-  const char* env = std::getenv("HFMM_PKERN_KERNEL");
-  if (env != nullptr && std::strcmp(env, "auto") != 0 && env[0] != '\0') {
-    if (std::strcmp(env, "portable") == 0) return KernelKind::kPortable;
-    if (std::strcmp(env, "avx2") == 0) {
+  static constexpr const char* kChoices[] = {"auto", "portable", "avx2"};
+  switch (env::parse_choice("HFMM_PKERN_KERNEL", kChoices, 0)) {
+    case 1: return KernelKind::kPortable;
+    case 2:
       if (kernel_supported(KernelKind::kAvx2)) return KernelKind::kAvx2;
       std::fprintf(stderr,
                    "hfmm: HFMM_PKERN_KERNEL=avx2 but this CPU lacks AVX2/FMA; "
                    "using portable\n");
       return KernelKind::kPortable;
-    }
-    std::fprintf(stderr,
-                 "hfmm: unknown HFMM_PKERN_KERNEL=\"%s\" (want auto, portable "
-                 "or avx2); using auto\n",
-                 env);
+    default: break;
   }
   return kernel_supported(KernelKind::kAvx2) ? KernelKind::kAvx2
                                              : KernelKind::kPortable;

@@ -1,0 +1,529 @@
+// Solver-as-a-service (DESIGN.md Section 17): the LRU plan cache, the
+// SolverService scheduler, and the C-linkage facade.
+//
+// Covers:
+//   * LruCache semantics — hit/miss/eviction counters, LRU order, and the
+//     refcount guarantee that eviction never invalidates an in-flight value,
+//   * PlanCache sharing — one build per (config, depth), translation data
+//     shared across depths, eviction accounting,
+//   * service-vs-solo bitwise identity for every hierarchy mode and kernel,
+//     solo and inside randomized mixed batches,
+//   * warm-path guarantees — cached-plan solves report plan_reused with
+//     zero workspace heap growth, pooled clients are reused,
+//   * admission rules — data-parallel requests rejected atomically,
+//   * the C API — round trip against the C++ solver, versioned-struct
+//     validation, and error-code mapping.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hfmm/anderson/params.hpp"
+#include "hfmm/core/solver.hpp"
+#include "hfmm/hfmm_c.h"
+#include "hfmm/service/lru.hpp"
+#include "hfmm/service/plan_cache.hpp"
+#include "hfmm/service/service.hpp"
+#include "hfmm/util/particles.hpp"
+
+namespace hfmm {
+namespace {
+
+bool bitwise_equal(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+bool bitwise_equal(const std::vector<Vec3>& a, const std::vector<Vec3>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(Vec3)) == 0);
+}
+
+// --- LruCache ------------------------------------------------------------
+
+TEST(LruCacheTest, CountsHitsMissesAndEvictions) {
+  service::LruCache<int, int> cache(2);
+  auto [a, hit_a] = cache.get_or_build(1, [] { return std::make_shared<int>(10); });
+  EXPECT_FALSE(hit_a);
+  auto [b, hit_b] = cache.get_or_build(1, [] { return std::make_shared<int>(99); });
+  EXPECT_TRUE(hit_b);
+  EXPECT_EQ(*b, 10);  // the factory must not run on a hit
+  cache.get_or_build(2, [] { return std::make_shared<int>(20); });
+  cache.get_or_build(3, [] { return std::make_shared<int>(30); });  // evicts 1
+  EXPECT_EQ(cache.size(), 2u);
+  const service::LruStats s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 3u);
+  EXPECT_EQ(s.evictions, 1u);
+  // Key 1 was the least recently used entry; re-requesting it is a miss.
+  auto [a2, hit_a2] =
+      cache.get_or_build(1, [] { return std::make_shared<int>(11); });
+  EXPECT_FALSE(hit_a2);
+  EXPECT_EQ(*a2, 11);
+}
+
+TEST(LruCacheTest, RecentUseProtectsFromEviction) {
+  service::LruCache<int, int> cache(2);
+  cache.get_or_build(1, [] { return std::make_shared<int>(1); });
+  cache.get_or_build(2, [] { return std::make_shared<int>(2); });
+  cache.get_or_build(1, [] { return std::make_shared<int>(0); });  // touch 1
+  cache.get_or_build(3, [] { return std::make_shared<int>(3); });  // evicts 2
+  auto [v1, hit1] = cache.get_or_build(1, [] { return std::make_shared<int>(0); });
+  EXPECT_TRUE(hit1);
+  auto [v2, hit2] = cache.get_or_build(2, [] { return std::make_shared<int>(9); });
+  EXPECT_FALSE(hit2);
+}
+
+TEST(LruCacheTest, EvictionKeepsInFlightValueAlive) {
+  service::LruCache<int, std::string> cache(1);
+  auto [held, hit] =
+      cache.get_or_build(1, [] { return std::make_shared<std::string>("x"); });
+  std::weak_ptr<std::string> watch = held;
+  cache.get_or_build(2, [] { return std::make_shared<std::string>("y"); });
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  // The cache dropped its reference, but the in-flight holder keeps the
+  // value alive and intact.
+  ASSERT_FALSE(watch.expired());
+  EXPECT_EQ(*held, "x");
+  held.reset();
+  EXPECT_TRUE(watch.expired());
+}
+
+// --- PlanCache -----------------------------------------------------------
+
+TEST(PlanCacheTest, SamePlanKeyHitsDifferentDepthMisses) {
+  service::PlanCache cache(8);
+  core::FmmConfig cfg;
+  bool hit = false;
+  auto p3a = cache.plan(cfg, 3, &hit);
+  EXPECT_FALSE(hit);
+  auto p3b = cache.plan(cfg, 3, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(p3a.get(), p3b.get());  // one immutable plan, shared
+  auto p4 = cache.plan(cfg, 4, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_NE(p3a.get(), p4.get());
+  const service::PlanCacheStats s = cache.stats();
+  EXPECT_EQ(s.plan_hits, 1u);
+  EXPECT_EQ(s.plan_misses, 2u);
+  // Both depths share one translation set: built once, hit once.
+  EXPECT_EQ(s.trans_misses, 1u);
+  EXPECT_GE(s.trans_hits, 1u);
+}
+
+TEST(PlanCacheTest, CapacityOneEvictsButInFlightPlanSurvives) {
+  service::PlanCache cache(1);
+  core::FmmConfig cfg;
+  bool hit = false;
+  auto pinned = cache.plan(cfg, 3, &hit);
+  core::FmmConfig other;
+  other.supernodes = true;
+  cache.plan(other, 3, &hit);  // capacity 1: evicts the depth-3 base plan
+  EXPECT_EQ(cache.stats().plan_evictions, 1u);
+  // The pinned lease still works, and re-requesting the evicted key is a
+  // fresh (but equivalent) build.
+  ASSERT_NE(pinned, nullptr);
+  auto rebuilt = cache.plan(cfg, 3, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_NE(pinned.get(), rebuilt.get());
+}
+
+// --- SolverService: bitwise identity to solo solves ----------------------
+
+struct ModeCase {
+  core::HierarchyMode hierarchy;
+  bool vdw;
+  const char* name;
+};
+
+core::FmmConfig case_config(const ModeCase& c) {
+  core::FmmConfig cfg;
+  cfg.with_gradient = true;
+  cfg.hierarchy = c.hierarchy;
+  if (c.vdw) {
+    cfg.kernel.type = core::KernelType::kVanDerWaals;
+    cfg.kernel.vdw_rmin = {0.11, 0.14};
+    cfg.kernel.vdw_epsilon = {1.0, 0.55};
+    cfg.kernel.vdw_cuton = 0.16;
+    cfg.kernel.vdw_cutoff = 0.22;
+  }
+  return cfg;
+}
+
+ParticleSet case_particles(const ModeCase& c, std::uint64_t seed) {
+  // Clustered inputs for the sparse executor (which exists to exploit
+  // them), uniform otherwise; vdW solves carry per-particle types.
+  ParticleSet p = c.hierarchy == core::HierarchyMode::kSparse
+                      ? make_two_clusters(700, Box3{}, seed)
+                      : make_uniform(700, Box3{}, seed);
+  if (c.vdw) {
+    p.ensure_types();
+    for (std::size_t i = 0; i < p.size(); ++i)
+      p.set_type(i, static_cast<std::int32_t>(i % 2));
+  }
+  return p;
+}
+
+const ModeCase kModeCases[] = {
+    {core::HierarchyMode::kDense, false, "dense_laplace"},
+    {core::HierarchyMode::kSparse, false, "sparse_laplace"},
+    {core::HierarchyMode::kAdaptive, false, "adaptive_laplace"},
+    {core::HierarchyMode::kDense, true, "dense_vdw"},
+    {core::HierarchyMode::kSparse, true, "sparse_vdw"},
+    {core::HierarchyMode::kAdaptive, true, "adaptive_vdw"},
+};
+
+TEST(ServiceTest, BitwiseIdenticalToSoloAcrossModesAndKernels) {
+  service::SolverService svc;
+  for (const ModeCase& c : kModeCases) {
+    SCOPED_TRACE(c.name);
+    const core::FmmConfig cfg = case_config(c);
+    const ParticleSet p = case_particles(c, 91);
+    core::FmmSolver solo(cfg);
+    const core::FmmResult ref = solo.solve(p);
+    const service::SolveOutcome out = svc.solve(cfg, p);
+    EXPECT_TRUE(bitwise_equal(ref.phi, out.result.phi));
+    EXPECT_TRUE(bitwise_equal(ref.grad, out.result.grad));
+    EXPECT_EQ(ref.depth, out.result.depth);
+    EXPECT_EQ(ref.hierarchy_effective, out.result.hierarchy_effective);
+    // The degradation surface must flow through the service untouched:
+    // adaptive + short-range kernel runs as auto and says so.
+    if (c.vdw && c.hierarchy == core::HierarchyMode::kAdaptive) {
+      EXPECT_EQ(out.result.hierarchy_requested,
+                core::HierarchyMode::kAdaptive);
+      EXPECT_EQ(out.result.hierarchy_effective, core::HierarchyMode::kAuto);
+    }
+  }
+}
+
+TEST(ServiceTest, MixedBatchMatchesSoloSolves) {
+  service::SolverService svc;
+  std::vector<core::FmmConfig> configs;
+  std::vector<ParticleSet> particles;
+  for (const ModeCase& c : kModeCases) {
+    configs.push_back(case_config(c));
+    particles.push_back(case_particles(c, 123));
+  }
+  std::vector<service::SolveRequest> batch(configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i)
+    batch[i] = {configs[i], &particles[i]};
+  const std::vector<service::SolveOutcome> outcomes = svc.solve_batch(batch);
+  ASSERT_EQ(outcomes.size(), configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    SCOPED_TRACE(kModeCases[i].name);
+    core::FmmSolver solo(configs[i]);
+    const core::FmmResult ref = solo.solve(particles[i]);
+    EXPECT_TRUE(bitwise_equal(ref.phi, outcomes[i].result.phi));
+    EXPECT_TRUE(bitwise_equal(ref.grad, outcomes[i].result.grad));
+    EXPECT_GE(outcomes[i].queue_seconds, 0.0);
+    EXPECT_GT(outcomes[i].modeled_cost, 0.0);
+  }
+}
+
+// Randomized stress: repeated mixed batches with duplicate configurations,
+// exercising pool reuse and concurrent cache access. Run under TSan by the
+// `service` lane of tools/check.sh. Determinism across the two rounds is
+// the assertion: identical inputs must produce identical bits regardless
+// of which pooled client or cached plan served them.
+TEST(ServiceTest, RepeatedRandomizedBatchesAreDeterministic) {
+  service::SolverService svc;
+  std::vector<core::FmmConfig> configs;
+  std::vector<ParticleSet> particles;
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    for (const ModeCase& c : {kModeCases[0], kModeCases[1], kModeCases[3]}) {
+      configs.push_back(case_config(c));
+      particles.push_back(case_particles(c, 500 + seed));
+    }
+  }
+  std::vector<service::SolveRequest> batch(configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i)
+    batch[i] = {configs[i], &particles[i]};
+  const auto round1 = svc.solve_batch(batch);
+  const auto round2 = svc.solve_batch(batch);
+  ASSERT_EQ(round1.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_TRUE(bitwise_equal(round1[i].result.phi, round2[i].result.phi));
+    EXPECT_TRUE(bitwise_equal(round1[i].result.grad, round2[i].result.grad));
+  }
+  // Round 2 found every client warm in the pool.
+  for (const service::SolveOutcome& o : round2) EXPECT_TRUE(o.client_reused);
+  const service::ServiceStats s = svc.stats();
+  EXPECT_EQ(s.solves, 2 * batch.size());
+  EXPECT_EQ(s.batches, 2u);
+  EXPECT_GE(s.clients_reused, batch.size());
+}
+
+// --- SolverService: warm-path and admission guarantees -------------------
+
+TEST(ServiceTest, WarmSolveReusesPlanAndGrowsNoWorkspace) {
+  service::SolverService svc;
+  core::FmmConfig cfg;
+  cfg.depth = 3;
+  const ParticleSet p = make_uniform(1200, Box3{}, 7);
+  const service::SolveOutcome cold = svc.solve(cfg, p);
+  EXPECT_FALSE(cold.client_reused);
+  EXPECT_GT(cold.result.workspace_allocs, 0u);
+  const service::SolveOutcome warm = svc.solve(cfg, p);
+  EXPECT_TRUE(warm.client_reused);
+  EXPECT_TRUE(warm.result.plan_reused);
+  EXPECT_EQ(warm.result.workspace_allocs, 0u);
+  EXPECT_TRUE(bitwise_equal(cold.result.phi, warm.result.phi));
+}
+
+// Two clients of one workload pay for one plan build: the second client's
+// FIRST solve already reports plan_reused (the cache served it).
+TEST(ServiceTest, SecondClientOfSameWorkloadReusesCachedPlan) {
+  service::SolverService svc;
+  core::FmmConfig cfg;
+  cfg.depth = 3;
+  const ParticleSet p = make_uniform(900, Box3{}, 21);
+  std::vector<service::SolveRequest> batch = {{cfg, &p}, {cfg, &p}};
+  const auto outcomes = svc.solve_batch(batch);
+  const service::ServiceStats s = svc.stats();
+  EXPECT_EQ(s.plan_cache.plan_misses, 1u);
+  EXPECT_GE(s.plan_cache.plan_hits, 1u);
+  EXPECT_EQ(s.clients_created, 2u);
+  EXPECT_TRUE(bitwise_equal(outcomes[0].result.phi, outcomes[1].result.phi));
+}
+
+TEST(ServiceTest, DataParallelRequestsAreRejected) {
+  service::SolverService svc;
+  core::FmmConfig cfg;
+  cfg.mode = core::ExecutionMode::kDataParallel;
+  const ParticleSet p = make_uniform(100, Box3{}, 3);
+  EXPECT_THROW(svc.solve(cfg, p), std::invalid_argument);
+  const service::ServiceStats s = svc.stats();
+  EXPECT_EQ(s.solves, 0u);  // rejected before any work
+}
+
+TEST(ServiceTest, ModeledCostGrowsWithNAndK) {
+  core::FmmConfig cfg;
+  EXPECT_GT(service::modeled_cost(cfg, 10000),
+            service::modeled_cost(cfg, 1000));
+  core::FmmConfig big = cfg;
+  big.params = anderson::params_d14_k72();
+  EXPECT_GT(service::modeled_cost(big, 1000),
+            service::modeled_cost(cfg, 1000));
+}
+
+// --- C API ---------------------------------------------------------------
+
+struct CApiFixture {
+  std::vector<double> x, y, z, q, phi;
+  explicit CApiFixture(const ParticleSet& p)
+      : x(p.size()), y(p.size()), z(p.size()), q(p.size()), phi(p.size()) {
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      x[i] = p.position(i).x;
+      y[i] = p.position(i).y;
+      z[i] = p.position(i).z;
+      q[i] = p.charge(i);
+    }
+  }
+  hfmm_request request(const hfmm_plan* plan) {
+    hfmm_request req{};
+    req.plan = plan;
+    req.n = x.size();
+    req.x = x.data();
+    req.y = y.data();
+    req.z = z.data();
+    req.q = q.data();
+    req.phi = phi.data();
+    return req;
+  }
+};
+
+TEST(CApiTest, RoundTripMatchesCxxSolverBitwise) {
+  const ParticleSet p = make_uniform(600, Box3{}, 31);
+  core::FmmConfig ref_cfg;
+  ref_cfg.mode = core::ExecutionMode::kSequential;
+  core::FmmSolver solo(ref_cfg);
+  const core::FmmResult ref = solo.solve(p);
+
+  hfmm_context* ctx = nullptr;
+  ASSERT_EQ(hfmm_context_create(&ctx), HFMM_OK);
+  hfmm_config cfg;
+  hfmm_config_init(&cfg);
+  hfmm_plan* plan = nullptr;
+  ASSERT_EQ(hfmm_plan_create(ctx, &cfg, p.size(), &plan), HFMM_OK);
+
+  CApiFixture fix(p);
+  hfmm_request req = fix.request(plan);
+  hfmm_solve_info info{};
+  info.struct_size = sizeof(info);
+  ASSERT_EQ(hfmm_solve(ctx, &req, &info), HFMM_OK);
+  EXPECT_TRUE(bitwise_equal(ref.phi, fix.phi));
+  EXPECT_EQ(info.depth, ref.depth);
+  // hfmm_plan_create pinned the plan, so even the FIRST solve through the
+  // context is plan-construction free.
+  EXPECT_NE(info.plan_reused, 0);
+  EXPECT_GE(info.queue_seconds, 0.0);
+
+  // Warm solve: no workspace growth, same bits.
+  hfmm_solve_info warm{};
+  warm.struct_size = sizeof(warm);
+  ASSERT_EQ(hfmm_solve(ctx, &req, &warm), HFMM_OK);
+  EXPECT_NE(warm.plan_reused, 0);
+  EXPECT_EQ(warm.workspace_allocs, 0u);
+  EXPECT_TRUE(bitwise_equal(ref.phi, fix.phi));
+
+  hfmm_context_stats stats{};
+  stats.struct_size = sizeof(stats);
+  ASSERT_EQ(hfmm_context_stats_query(ctx, &stats), HFMM_OK);
+  EXPECT_EQ(stats.solves, 2u);
+  EXPECT_EQ(stats.clients_created, 1u);
+  EXPECT_EQ(stats.clients_reused, 1u);
+
+  hfmm_plan_destroy(plan);
+  hfmm_context_destroy(ctx);
+}
+
+TEST(CApiTest, VdwSolveWithTypesAndGradient) {
+  const std::size_t n = 500;
+  ParticleSet p = make_uniform(n, Box3{}, 47);
+  std::vector<std::int32_t> types(n);
+  p.ensure_types();
+  for (std::size_t i = 0; i < n; ++i) {
+    types[i] = static_cast<std::int32_t>(i % 2);
+    p.set_type(i, types[i]);
+  }
+  core::FmmConfig ref_cfg;
+  ref_cfg.with_gradient = true;
+  ref_cfg.kernel.type = core::KernelType::kVanDerWaals;
+  ref_cfg.kernel.vdw_rmin = {0.11, 0.14};
+  ref_cfg.kernel.vdw_epsilon = {1.0, 0.55};
+  ref_cfg.kernel.vdw_cuton = 0.16;
+  ref_cfg.kernel.vdw_cutoff = 0.22;
+  core::FmmSolver solo(ref_cfg);
+  const core::FmmResult ref = solo.solve(p);
+
+  hfmm_context* ctx = nullptr;
+  ASSERT_EQ(hfmm_context_create(&ctx), HFMM_OK);
+  hfmm_config cfg;
+  hfmm_config_init(&cfg);
+  cfg.kernel = HFMM_KERNEL_VDW;
+  cfg.with_gradient = 1;
+  cfg.hierarchy = HFMM_HIERARCHY_ADAPTIVE;  // degrades: vdW has no adaptive
+  const double rmin[2] = {0.11, 0.14};
+  const double eps[2] = {1.0, 0.55};
+  cfg.vdw_ntypes = 2;
+  cfg.vdw_rmin = rmin;
+  cfg.vdw_epsilon = eps;
+  cfg.vdw_cuton = 0.16;
+  cfg.vdw_cutoff = 0.22;
+  hfmm_plan* plan = nullptr;
+  ASSERT_EQ(hfmm_plan_create(ctx, &cfg, n, &plan), HFMM_OK);
+
+  CApiFixture fix(p);
+  std::vector<double> gx(n), gy(n), gz(n);
+  hfmm_request req = fix.request(plan);
+  req.type = types.data();
+  req.gx = gx.data();
+  req.gy = gy.data();
+  req.gz = gz.data();
+  hfmm_solve_info info{};
+  info.struct_size = sizeof(info);
+  ASSERT_EQ(hfmm_solve(ctx, &req, &info), HFMM_OK);
+  EXPECT_EQ(info.hierarchy_effective, HFMM_HIERARCHY_AUTO);
+  EXPECT_TRUE(bitwise_equal(ref.phi, fix.phi));
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(ref.grad[i].x, gx[i]);
+    EXPECT_EQ(ref.grad[i].y, gy[i]);
+    EXPECT_EQ(ref.grad[i].z, gz[i]);
+  }
+  hfmm_plan_destroy(plan);
+  hfmm_context_destroy(ctx);
+}
+
+TEST(CApiTest, BatchSolveFillsEveryRequest) {
+  const ParticleSet a = make_uniform(400, Box3{}, 5);
+  const ParticleSet b = make_uniform(300, Box3{}, 6);
+  hfmm_context* ctx = nullptr;
+  ASSERT_EQ(hfmm_context_create(&ctx), HFMM_OK);
+  hfmm_config cfg;
+  hfmm_config_init(&cfg);
+  hfmm_plan* plan = nullptr;
+  ASSERT_EQ(hfmm_plan_create(ctx, &cfg, 400, &plan), HFMM_OK);
+  CApiFixture fa(a), fb(b);
+  hfmm_request reqs[2] = {fa.request(plan), fb.request(plan)};
+  hfmm_solve_info infos[2] = {};
+  infos[0].struct_size = infos[1].struct_size = sizeof(hfmm_solve_info);
+  ASSERT_EQ(hfmm_solve_batch(ctx, reqs, 2, infos), HFMM_OK);
+  core::FmmConfig ref_cfg;
+  core::FmmSolver s1(ref_cfg), s2(ref_cfg);
+  EXPECT_TRUE(bitwise_equal(s1.solve(a).phi, fa.phi));
+  EXPECT_TRUE(bitwise_equal(s2.solve(b).phi, fb.phi));
+  hfmm_context_stats stats{};
+  stats.struct_size = sizeof(stats);
+  ASSERT_EQ(hfmm_context_stats_query(ctx, &stats), HFMM_OK);
+  EXPECT_EQ(stats.solves, 2u);
+  EXPECT_EQ(stats.batches, 1u);
+  hfmm_plan_destroy(plan);
+  hfmm_context_destroy(ctx);
+}
+
+TEST(CApiTest, ErrorMappingAndVersioning) {
+  EXPECT_EQ(hfmm_abi_version(), HFMM_ABI_VERSION);
+  EXPECT_STREQ(hfmm_version(), "1.0.0");
+  EXPECT_STREQ(hfmm_status_string(HFMM_OK), "ok");
+  EXPECT_STREQ(hfmm_status_string(HFMM_ERROR_UNSUPPORTED), "unsupported");
+
+  EXPECT_EQ(hfmm_context_create(nullptr), HFMM_ERROR_INVALID_ARGUMENT);
+  hfmm_context* ctx = nullptr;
+  ASSERT_EQ(hfmm_context_create(&ctx), HFMM_OK);
+
+  hfmm_config cfg;
+  hfmm_config_init(&cfg);
+  hfmm_plan* plan = nullptr;
+
+  cfg.order = 7;  // no quadrature rule for this order
+  EXPECT_EQ(hfmm_plan_create(ctx, &cfg, 100, &plan), HFMM_ERROR_UNSUPPORTED);
+  EXPECT_EQ(plan, nullptr);  // out-param untouched on failure
+
+  hfmm_config_init(&cfg);
+  cfg.struct_size = 12;  // wrong ABI size
+  EXPECT_EQ(hfmm_plan_create(ctx, &cfg, 100, &plan),
+            HFMM_ERROR_INVALID_ARGUMENT);
+
+  hfmm_config_init(&cfg);
+  cfg.kernel = HFMM_KERNEL_VDW;  // vdW without the parameter arrays
+  EXPECT_EQ(hfmm_plan_create(ctx, &cfg, 100, &plan),
+            HFMM_ERROR_INVALID_ARGUMENT);
+
+  // Bad vdW spec caught by config validation behind the boundary.
+  hfmm_config_init(&cfg);
+  cfg.kernel = HFMM_KERNEL_VDW;
+  const double rmin[1] = {0.1};
+  const double eps[1] = {1.0};
+  cfg.vdw_ntypes = 1;
+  cfg.vdw_rmin = rmin;
+  cfg.vdw_epsilon = eps;
+  cfg.vdw_cuton = 0.3;
+  cfg.vdw_cutoff = 0.2;  // cuton >= cutoff
+  EXPECT_EQ(hfmm_plan_create(ctx, &cfg, 100, &plan),
+            HFMM_ERROR_INVALID_ARGUMENT);
+
+  // Request validation: missing output buffer.
+  hfmm_config_init(&cfg);
+  ASSERT_EQ(hfmm_plan_create(ctx, &cfg, 10, &plan), HFMM_OK);
+  double xyzq[10] = {0};
+  hfmm_request req{};
+  req.plan = plan;
+  req.n = 10;
+  req.x = xyzq;
+  req.y = xyzq;
+  req.z = xyzq;
+  req.q = xyzq;
+  req.phi = nullptr;
+  EXPECT_EQ(hfmm_solve(ctx, &req, nullptr), HFMM_ERROR_INVALID_ARGUMENT);
+
+  hfmm_plan_destroy(plan);
+  hfmm_context_destroy(ctx);
+}
+
+}  // namespace
+}  // namespace hfmm

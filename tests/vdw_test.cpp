@@ -482,10 +482,29 @@ TEST(VdwSolveTest, AdaptiveHierarchyDegradesToAuto) {
   cfg.hierarchy = core::HierarchyMode::kAdaptive;
   core::FmmSolver solver(cfg);
   EXPECT_EQ(solver.config().hierarchy, core::HierarchyMode::kAuto);
+  EXPECT_EQ(solver.hierarchy_requested(), core::HierarchyMode::kAdaptive);
   std::vector<std::int32_t> type;
   const ParticleSet ps = typed_uniform(200, 3, type, 2);
   const core::FmmResult r = solver.solve(ps);
   EXPECT_FALSE(r.adaptive);
+  // The degradation is surfaced, not silent: the result records both the
+  // request and the mode actually in effect.
+  EXPECT_EQ(r.hierarchy_requested, core::HierarchyMode::kAdaptive);
+  EXPECT_EQ(r.hierarchy_effective, core::HierarchyMode::kAuto);
+}
+
+// A far-field-capable kernel keeps the requested mode: requested ==
+// effective on the Laplace path.
+TEST(VdwSolveTest, LaplaceAdaptiveRequestStaysAdaptive) {
+  core::FmmConfig cfg;
+  cfg.hierarchy = core::HierarchyMode::kAdaptive;
+  core::FmmSolver solver(cfg);
+  EXPECT_EQ(solver.hierarchy_requested(), core::HierarchyMode::kAdaptive);
+  const ParticleSet ps = make_uniform(200, Box3{}, 5);
+  const core::FmmResult r = solver.solve(ps);
+  EXPECT_EQ(r.hierarchy_requested, core::HierarchyMode::kAdaptive);
+  EXPECT_EQ(r.hierarchy_effective, core::HierarchyMode::kAdaptive);
+  EXPECT_TRUE(r.adaptive);
 }
 
 // The deprecated FmmConfig::softening must forward into the Laplace

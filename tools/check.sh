@@ -4,15 +4,18 @@
 # (HFMM_SANITIZE=thread — the concurrent phase-graph scheduler is the main
 # subject). Run from the repository root:
 #   tools/check.sh [jobs] [lane]
-# `lane` selects which suites run (default all): plain | asan | tsan | all —
-# CI runs the lanes as separate matrix jobs.
+# `lane` selects which suites run (default all): plain | asan | tsan |
+# service | all — CI runs the lanes as separate matrix jobs. The `service`
+# lane is the focused fast path for the solver-service stack: the service/
+# C-API suites plain AND under TSan (the multi-tenant scheduler is the main
+# data-race subject), plus the bench_service smoke gate.
 set -euo pipefail
 
 jobs="${1:-$(nproc)}"
 lane="${2:-all}"
 case "$lane" in
-  all|plain|asan|tsan) ;;
-  *) echo "unknown lane '$lane' (plain|asan|tsan|all)" >&2; exit 2 ;;
+  all|plain|asan|tsan|service) ;;
+  *) echo "unknown lane '$lane' (plain|asan|tsan|service|all)" >&2; exit 2 ;;
 esac
 root="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$root"
@@ -37,6 +40,10 @@ run_suite() {
   echo "== van der Waals kernel suite =="
   ctest --test-dir "$build_dir" --output-on-failure \
     -R 'Vdw|vdw_test'
+  # Solver-service suite (DESIGN.md §17): plan cache, batch scheduler and
+  # the C facade on their own row.
+  echo "== solver service suite =="
+  run_service_tests "$build_dir"
   # Clustered bench smoke (plain tree only — sanitizer trees build no
   # bench): the adaptive artifacts must carry pair counts and non-empty
   # occupancy for every config.
@@ -59,8 +66,54 @@ run_suite() {
       --json="$build_dir/smoke_vdw.json" >/dev/null
     grep -q '"kernel": "vdw"' "$build_dir/smoke_vdw.json"
     grep -q '"near_pairs"' "$build_dir/smoke_vdw.json"
+    service_bench_smoke "$build_dir"
   fi
 }
+
+run_service_tests() {
+  local build_dir="$1"
+  ctest --test-dir "$build_dir" --output-on-failure \
+    -R 'ServiceTest|CApiTest|LruCacheTest|PlanCacheTest|service_client'
+}
+
+# bench_service --smoke gates the warm-path contract (cached plans, zero
+# workspace growth, one plan build per workload) with a non-zero exit; the
+# greps pin the JSON artifact shape CI consumes.
+service_bench_smoke() {
+  local build_dir="$1"
+  if [[ -x "$build_dir/bench/bench_service" ]]; then
+    echo "== service bench smoke =="
+    "$build_dir/bench/bench_service" --smoke \
+      --json="$build_dir/smoke_service.json" >/dev/null
+    grep -q '"bench": "bench_service"' "$build_dir/smoke_service.json"
+    grep -q '"warm_zero_alloc": true' "$build_dir/smoke_service.json"
+    grep -q '"hierarchy_effective"' "$build_dir/smoke_service.json"
+  fi
+}
+
+# The focused service lane: service/C-API suites on the plain tree, the
+# bench smoke gate, then the same suites under TSan.
+run_service_lane() {
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$jobs"
+  echo "== service suite: plain =="
+  run_service_tests build
+  service_bench_smoke build
+  echo "== service suite: TSan =="
+  export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
+  cmake -B build-tsan -S . \
+    -DHFMM_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DHFMM_BUILD_BENCH=OFF -DHFMM_BUILD_EXAMPLES=ON >/dev/null
+  cmake --build build-tsan -j "$jobs"
+  run_service_tests build-tsan
+}
+
+if [[ "$lane" == service ]]; then
+  run_service_lane
+  echo "== service lane passed =="
+  exit 0
+fi
 
 if [[ "$lane" == all || "$lane" == plain ]]; then
   echo "== tier-1: plain build =="
