@@ -14,6 +14,13 @@ enum class ExecutionMode {
   kSequential,    ///< single thread — the oracle
   kThreads,       ///< shared-memory parallel over boxes
   kDataParallel,  ///< simulated CM-style VU machine with counted comm
+  kDistributed,   ///< owner-computes in-process ranks with LET exchange (§18)
+};
+
+/// Leaf-run weighting of the distributed partitioner (DESIGN.md §18).
+enum class DistPartitioner {
+  kCost,    ///< cost-model split: near-field pairs + bodies per leaf
+  kBodies,  ///< equal-bodies split (ORB-flavoured, along the same curve)
 };
 
 /// How translations are applied (paper Section 3.3.3):
@@ -34,6 +41,7 @@ enum class HierarchyMode {
 const char* to_string(ExecutionMode m);
 const char* to_string(AggregationMode m);
 const char* to_string(HierarchyMode m);
+const char* to_string(DistPartitioner m);
 
 /// Environment-backed defaults for FmmConfig's incremental-stepping knobs:
 /// HFMM_STEP_INCREMENTAL=0|1 (default 0) and HFMM_STEP_MOVER_THRESHOLD
@@ -48,6 +56,12 @@ double default_step_mover_threshold();
 HierarchyMode default_hierarchy_mode();
 int default_ncrit();
 int default_adaptive_max_depth();
+
+/// Environment-backed defaults for the distributed executor (DESIGN.md §18):
+/// HFMM_DIST_RANKS (default 4, in [1, 64]) and
+/// HFMM_DIST_PARTITIONER=cost|bodies (default cost). Read once on first use.
+int default_dist_ranks();
+DistPartitioner default_dist_partitioner();
 
 struct FmmConfig {
   anderson::Params params = anderson::params_d5_k12();
@@ -110,6 +124,13 @@ struct FmmConfig {
   dp::MachineConfig machine{2, 2, 2};
   dp::HaloStrategy halo = dp::HaloStrategy::kGhostSections;
   dp::EmbedMethod embed = dp::EmbedMethod::kLocalCopy;
+
+  // Distributed execution knobs (ExecutionMode::kDistributed, DESIGN.md
+  // §18; ignored in the other modes). `dist_ranks` is the REQUESTED rank
+  // count — the effective count is clamped so every rank owns at least one
+  // active leaf, and FmmResult::dist_ranks reports what actually ran.
+  int dist_ranks = default_dist_ranks();
+  DistPartitioner dist_partitioner = default_dist_partitioner();
 
   void validate() const;
 };

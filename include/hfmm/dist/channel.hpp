@@ -1,0 +1,90 @@
+#pragma once
+// In-process message fabric for the owner-computes distributed executor
+// (DESIGN.md Section 18).
+//
+// The exchange is MPI-shaped on purpose: every transfer is an explicit
+// (source, destination, tag, payload) message, senders never block, and a
+// receive blocks until the matching send has been posted. Ranks share no
+// mutable solver state — the fabric's per-pair mailboxes are the only
+// synchronization between rank phase graphs, so a real transport (MPI
+// point-to-point) can replace Fabric without touching the executor.
+//
+// Tags encode (level, kind) so a protocol error — a rank popping a message
+// out of schedule — fails loudly instead of silently mixing payloads. With
+// the deterministic per-(src,dst) send/recv schedule built by the LET plan
+// the tag check never fires on a correct build; it exists to catch schedule
+// bugs during development.
+
+#include <cstddef>
+#include <cstdint>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace hfmm::dist {
+
+/// Payload classification carried in the low tag bits.
+enum class MsgKind : int {
+  kFar = 0,    ///< far-expansion vectors (K doubles per box)
+  kLocal = 1,  ///< local-expansion vectors (K doubles per box)
+  kBodies = 2, ///< ghost bodies for the near field (x,y,z,q [,type])
+};
+
+/// Tag for a message of `kind` attached to tree level `level`.
+constexpr int make_tag(MsgKind kind, int level) {
+  return level * 4 + static_cast<int>(kind);
+}
+
+/// Per-rank traffic counters. `sent` fields are written only by the owning
+/// rank's thread while sending, `recv` fields only while receiving, so the
+/// stats need no atomics.
+struct ChannelStats {
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_recv = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_recv = 0;
+};
+
+/// All-to-all mailbox fabric for R in-process ranks. One FIFO queue per
+/// ordered (src, dst) pair; send() is buffered and never blocks, recv()
+/// blocks until the head message of (src → dst) arrives and then checks its
+/// tag against the expected one.
+class Fabric {
+ public:
+  explicit Fabric(int ranks);
+
+  int ranks() const { return ranks_; }
+
+  /// Post `payload` from rank `from` to rank `to`. Never blocks.
+  void send(int from, int to, int tag, std::vector<std::byte> payload);
+
+  /// Pop the next message sent from `from` to rank `to`. Blocks until one
+  /// is available; throws std::logic_error if its tag is not `expect_tag`
+  /// (a send/recv schedule mismatch — a protocol bug, not a data error).
+  std::vector<std::byte> recv(int to, int from, int expect_tag);
+
+  const ChannelStats& stats(int rank) const { return stats_[rank]; }
+
+ private:
+  struct Message {
+    int tag = 0;
+    std::vector<std::byte> payload;
+  };
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Message> queue;
+  };
+  Mailbox& box(int from, int to) {
+    return *boxes_[static_cast<std::size_t>(from) *
+                       static_cast<std::size_t>(ranks_) +
+                   static_cast<std::size_t>(to)];
+  }
+
+  int ranks_;
+  std::vector<std::unique_ptr<Mailbox>> boxes_;
+  std::vector<ChannelStats> stats_;
+};
+
+}  // namespace hfmm::dist

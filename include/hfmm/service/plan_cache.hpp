@@ -31,10 +31,18 @@ namespace hfmm::service {
 struct PlanCacheStats {
   std::uint64_t plan_hits = 0;
   std::uint64_t plan_misses = 0;
-  std::uint64_t plan_evictions = 0;
+  std::uint64_t plan_evictions = 0;    ///< capacity- or budget-driven
+  std::uint64_t plan_expirations = 0;  ///< TTL-driven
   std::uint64_t trans_hits = 0;
   std::uint64_t trans_misses = 0;
 };
+
+/// Environment-backed defaults for the plan LRU's resource bounds:
+/// HFMM_PLAN_CACHE_BUDGET (bytes of resident plan memory, 0 = unbounded —
+/// the default) and HFMM_PLAN_CACHE_TTL_MS (idle-entry time to live in
+/// milliseconds, 0 = never expires — the default). Read once on first use.
+std::size_t default_plan_cache_budget();
+std::size_t default_plan_cache_ttl_ms();
 
 class PlanCache {
  public:
@@ -42,7 +50,13 @@ class PlanCache {
 
   /// `capacity` bounds the number of resident plans (LRU); translation
   /// data is kept unbounded (one entry per quadrature configuration).
-  explicit PlanCache(std::size_t capacity = kDefaultCapacity);
+  /// `budget_bytes` additionally bounds the summed FmmPlan::memory_bytes()
+  /// of resident plans (0 = unbounded; the most recently used plan always
+  /// stays even when it alone exceeds the budget), and `ttl_ms` expires
+  /// plans idle longer than this (0 = never).
+  explicit PlanCache(std::size_t capacity = kDefaultCapacity,
+                     std::size_t budget_bytes = default_plan_cache_budget(),
+                     std::size_t ttl_ms = default_plan_cache_ttl_ms());
   ~PlanCache();
   PlanCache(const PlanCache&) = delete;
   PlanCache& operator=(const PlanCache&) = delete;
@@ -60,8 +74,10 @@ class PlanCache {
       const core::FmmConfig& config, int depth, bool* hit = nullptr);
 
   PlanCacheStats stats() const;
-  std::size_t size() const;      ///< resident plan count
-  std::size_t capacity() const;  ///< plan LRU capacity
+  std::size_t size() const;            ///< resident plan count
+  std::size_t capacity() const;        ///< plan LRU capacity
+  std::size_t budget_bytes() const;    ///< plan memory budget (0 = unbounded)
+  std::size_t resident_bytes() const;  ///< summed resident plan weights
 
  private:
   struct Impl;

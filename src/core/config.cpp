@@ -11,6 +11,15 @@ const char* to_string(ExecutionMode m) {
     case ExecutionMode::kSequential: return "seq";
     case ExecutionMode::kThreads: return "threads";
     case ExecutionMode::kDataParallel: return "dp";
+    case ExecutionMode::kDistributed: return "dist";
+  }
+  return "?";
+}
+
+const char* to_string(DistPartitioner m) {
+  switch (m) {
+    case DistPartitioner::kCost: return "cost";
+    case DistPartitioner::kBodies: return "bodies";
   }
   return "?";
 }
@@ -73,6 +82,23 @@ int default_adaptive_max_depth() {
   return value;
 }
 
+int default_dist_ranks() {
+  static const int value = static_cast<int>(
+      env::parse_int("HFMM_DIST_RANKS", 4, 1, 64, "a rank count in [1, 64]"));
+  return value;
+}
+
+DistPartitioner default_dist_partitioner() {
+  static const DistPartitioner value = [] {
+    static constexpr const char* kChoices[] = {"cost", "bodies"};
+    switch (env::parse_choice("HFMM_DIST_PARTITIONER", kChoices, 0)) {
+      case 1: return DistPartitioner::kBodies;
+      default: return DistPartitioner::kCost;
+    }
+  }();
+  return value;
+}
+
 void FmmConfig::validate() const {
   params.validate();
   kernel.validate();
@@ -97,6 +123,8 @@ void FmmConfig::validate() const {
         "FmmConfig: adaptive_max_depth must be in [2, 10]");
   if (mode == ExecutionMode::kDataParallel && !machine.valid())
     throw std::invalid_argument("FmmConfig: invalid VU grid");
+  if (dist_ranks < 1 || dist_ranks > 64)
+    throw std::invalid_argument("FmmConfig: dist_ranks must be in [1, 64]");
   if (supernodes && separation != 2)
     throw std::invalid_argument(
         "FmmConfig: supernodes are defined for separation 2 (paper "

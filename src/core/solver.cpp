@@ -155,6 +155,16 @@ FmmSolver::FmmSolver(FmmConfig config,
   config_.softening = config_.kernel.softening;
   config_.validate();
   hierarchy_requested_ = config_.hierarchy;
+  if (config_.mode == ExecutionMode::kDistributed) {
+    // Owner-computes execution (DESIGN.md Section 18) runs on the sparse
+    // active-box machinery — ownership and the LET are defined over the
+    // active level sets — and requires the non-symmetric near field so every
+    // target's contributions accumulate on the owning rank in the fixed
+    // offset order (the bitwise-identity requirement; the symmetric half
+    // list would write both sides of a pair, which crosses rank boundaries).
+    config_.hierarchy = HierarchyMode::kSparse;
+    config_.near_symmetry = false;
+  }
   if (!config_.kernel.far_field_capable()) {
     // Short-range kernels run on the uniform-leaf executors; the adaptive
     // leaf front has no U-list notion of a cutoff sphere, so degrade it to
@@ -899,6 +909,9 @@ FmmResult FmmSolver::solve_impl_(const ParticleSet& particles,
       if (ws.occupied.capacity() != cap_before)
         ws.allocs.fetch_add(1, std::memory_order_relaxed);
     }
+    if (config_.mode == ExecutionMode::kDistributed)
+      return solve_dist_(particles, hier, std::move(result), view,
+                         sort_repaired);
     if (config_.hierarchy == HierarchyMode::kAdaptive)
       return solve_adaptive_(particles, hier, std::move(result), view,
                              sort_repaired);

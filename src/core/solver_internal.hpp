@@ -140,6 +140,19 @@ struct FmmPlan {
                      : std::span<const tree::Offset>(near_offsets);
   }
 
+  /// Heap footprint of the plan-owned structures (supernode gather plans +
+  /// interaction lists; the shared TranslationData is counted by its own
+  /// cache slot, not per plan). The plan cache's memory budget charges this.
+  std::size_t memory_bytes() const {
+    std::size_t b = sizeof(FmmPlan);
+    for (const SupernodeLevelPlan& lp : supernode_plans)
+      for (const auto& oct : lp.per_octant)
+        b += oct.capacity() * sizeof(SupernodePlanEntry);
+    b += near_offsets.capacity() * sizeof(tree::Offset);
+    b += near_half_offsets.capacity() * sizeof(tree::Offset);
+    return b;
+  }
+
   static std::shared_ptr<const FmmPlan> build(
       std::shared_ptr<const TranslationData> trans, const FmmConfig& config,
       int depth);
@@ -365,6 +378,21 @@ struct SolveWorkspace {
   }
 };
 
+// Derives/revalidates the sparse active level sets (ws.active) and the
+// per-active-leaf cost model (ws.leaf_cost / ws.near_cost) from the sort
+// output in ws.boxed/ws.occupied — the "active" phase, shared by the sparse
+// and distributed executors. Reads the step-cache transients to pick
+// between full rebuild, diff-driven patch, and reuse. `periodic` selects
+// wrapped neighbour counting (periodic vdW). Defined in solver_sparse.cpp.
+void update_active_costs(const FmmConfig& config, const FmmPlan& plan,
+                         const tree::Hierarchy& hier, bool periodic,
+                         SolveWorkspace& ws, PhaseBreakdown& breakdown);
+
+// Distributed-executor state (partition, LET plan, per-rank workspaces);
+// defined in solver_dist.cpp and owned via shared_ptr so Impl's destructor
+// needs no complete type here.
+struct DistState;
+
 // Fills a SolveView from the workspace's sorted buffers; no-op when the
 // caller did not request streaming. Shared by the dense and sparse
 // executors (the DP executor does not stream).
@@ -401,6 +429,9 @@ struct FmmSolver::Impl {
   // each solve, since the workspace buffer can reallocate on growth).
   internal::VdwTables vdw;
   NearKernel near;
+  // Distributed-executor state (ExecutionMode::kDistributed): the per-rank
+  // workspaces persist here so warm distributed solves reuse their buffers.
+  std::shared_ptr<internal::DistState> dist;
 
   // Builds (or reuses) the translation data; charged to "precompute".
   // `built` (optional) reports whether a fresh build happened — false on

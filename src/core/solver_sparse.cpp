@@ -44,70 +44,118 @@ using internal::FmmPlan;
 using internal::SolveWorkspace;
 using internal::downward_chunk;
 using internal::interactive_chunk;
+using internal::l2p_chunk;
+using internal::p2m_chunk;
 using internal::particles_in;
 using internal::supernode_chunk;
 using internal::upward_chunk;
 
-// P2M over active leaves [lo, hi): every active leaf is non-empty by
-// construction, writing its outer approximation at its ACTIVE row.
-void p2m_chunk(ActiveContext& ctx, std::size_t lo, std::size_t hi,
-               PhaseStats& stats) {
-  const int h = ctx.hier.depth();
-  const std::size_t k = ctx.config.params.k();
-  const double a = ctx.config.params.outer_ratio * ctx.hier.side_at(h);
-  const dp::BoxedParticles& boxed = ctx.ws.boxed;
-  const ParticleSet& p = boxed.sorted;
-  const tree::LevelActiveSet& leaves = ctx.act.levels[h];
-  std::uint64_t local_flops = 0;
-  for (std::size_t ai = lo; ai < hi; ++ai) {
-    const std::size_t f = leaves.boxes[ai];
-    const std::uint32_t rank = boxed.flat_to_rank[f];
-    const std::uint32_t b = boxed.box_begin[rank];
-    const std::uint32_t e = boxed.box_begin[rank + 1];
-    const tree::BoxCoord c = ctx.hier.coord_of(h, f);
-    anderson::p2m(ctx.config.params, a, ctx.hier.center(h, c),
-                  p.x().subspan(b, e - b), p.y().subspan(b, e - b),
-                  p.z().subspan(b, e - b), p.q().subspan(b, e - b),
-                  {ctx.ws.far[h].data() + ai * k, k});
-    local_flops += anderson::p2m_flops(k, e - b);
-  }
-  stats.flops += local_flops;
-}
-
-void l2p_chunk(ActiveContext& ctx, std::size_t lo, std::size_t hi,
-               PhaseStats& stats) {
-  const int h = ctx.hier.depth();
-  const std::size_t k = ctx.config.params.k();
-  const double a = ctx.config.params.inner_ratio * ctx.hier.side_at(h);
-  const dp::BoxedParticles& boxed = ctx.ws.boxed;
-  const ParticleSet& p = boxed.sorted;
-  const tree::LevelActiveSet& leaves = ctx.act.levels[h];
-  const std::span<double> phi{ctx.ws.phi_sorted};
-  const std::span<Vec3> grad{ctx.ws.grad_sorted};
-  std::uint64_t local_flops = 0;
-  for (std::size_t ai = lo; ai < hi; ++ai) {
-    const std::size_t f = leaves.boxes[ai];
-    const std::uint32_t rank = boxed.flat_to_rank[f];
-    const std::uint32_t b = boxed.box_begin[rank];
-    const std::uint32_t e = boxed.box_begin[rank + 1];
-    const tree::BoxCoord c = ctx.hier.coord_of(h, f);
-    const std::span<const double> g{ctx.ws.local[h].data() + ai * k, k};
-    if (grad.empty()) {
-      anderson::l2p(ctx.config.params, a, ctx.hier.center(h, c), g,
-                    p.x().subspan(b, e - b), p.y().subspan(b, e - b),
-                    p.z().subspan(b, e - b), phi.subspan(b, e - b));
-    } else {
-      anderson::l2p_gradient(ctx.config.params, a, ctx.hier.center(h, c), g,
-                             p.x().subspan(b, e - b), p.y().subspan(b, e - b),
-                             p.z().subspan(b, e - b), phi.subspan(b, e - b),
-                             grad.subspan(b, e - b));
-    }
-    local_flops += anderson::l2p_flops(k, e - b, ctx.config.params.truncation);
-  }
-  stats.flops += local_flops;
-}
-
 }  // namespace
+
+// Derives the active level sets and the per-leaf cost model (the "active"
+// phase), shared by the sparse and distributed executors: particle counts
+// weight the leaf stages, near-field pair counts weight the near-field
+// chunks (and the distributed partitioner). Both reuse workspace buffers —
+// a warm solve grows nothing here. On an incremental step
+// (ws.step.cur_incremental) the sort diff drives what gets rebuilt: nothing
+// when no box changed occupancy, only the affected cost entries when counts
+// changed without any empty <-> non-empty flip, and everything otherwise.
+void internal::update_active_costs(const FmmConfig& config,
+                                   const internal::FmmPlan& plan,
+                                   const tree::Hierarchy& hier, bool periodic,
+                                   internal::SolveWorkspace& ws,
+                                   PhaseBreakdown& breakdown) {
+  const int h = hier.depth();
+  const std::span<const tree::Offset> offsets =
+      plan.near_list(config.near_symmetry);
+  ScopedPhaseTimer timer(breakdown["active"]);
+  const bool structures_ok =
+      ws.step.cur_incremental && !ws.step.cur_emptiness_changed;
+  if (structures_ok && ws.step.active_valid) {
+    // No box flipped empty <-> non-empty: the active level sets (and the
+    // dense->active maps) from the previous step are still exact.
+    breakdown["active"].plan_reuse += 1;
+  } else {
+    const std::size_t cap_before = ws.active.capacity_bytes();
+    tree::build_active_levels(hier, ws.occupied, ws.active);
+    if (ws.active.capacity_bytes() != cap_before)
+      ws.allocs.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  const tree::LevelActiveSet& leaves = ws.active.levels[h];
+  const std::size_t nl = leaves.count();
+  const std::int32_t nside = hier.boxes_per_side(h);
+  // Cost entries for one active leaf (leaf = its particle count, near =
+  // its near-field pair count) — the full build and the per-step patch
+  // apply the identical formula.
+  const auto cost_at = [&](std::size_t ai) {
+    const std::size_t f = leaves.boxes[ai];
+    const tree::BoxCoord c = hier.coord_of(h, f);
+    const std::uint64_t t = particles_in(ws.boxed, f);
+    ws.leaf_cost[ai] = t;
+    std::uint64_t pairs = t * (t > 0 ? t - 1 : 0);
+    for (const tree::Offset& o : offsets) {
+      if (o == tree::Offset{0, 0, 0}) continue;
+      tree::BoxCoord nb{c.ix + o.dx, c.iy + o.dy, c.iz + o.dz};
+      if (periodic) {
+        nb.ix = (nb.ix + nside) % nside;
+        nb.iy = (nb.iy + nside) % nside;
+        nb.iz = (nb.iz + nside) % nside;
+      } else if (nb.ix < 0 || nb.ix >= nside || nb.iy < 0 ||
+                 nb.iy >= nside || nb.iz < 0 || nb.iz >= nside) {
+        continue;
+      }
+      pairs += t * particles_in(ws.boxed, hier.flat_index(h, nb));
+    }
+    ws.near_cost[ai] = pairs;
+  };
+  if (structures_ok && ws.step.cost_valid) {
+    if (!ws.step.cur_counts_changed) {
+      // Count-preserving membership swaps don't move any cost entry.
+      breakdown["active"].plan_reuse += 1;
+    } else {
+      // A changed count at leaf g dirties g's own entries plus every
+      // leaf f whose near list reaches g (f + o == g for an offset o in
+      // the list — with the symmetric half list each pair is costed once,
+      // on the side that owns it, so the inverse offsets cover exactly
+      // the dependent entries).
+      ws.cost_patch.clear();
+      const tree::LevelActiveSet& la = ws.active.levels[h];
+      const auto push_flat = [&](tree::BoxCoord c) {
+        if (periodic) {
+          c.ix = (c.ix + nside) % nside;
+          c.iy = (c.iy + nside) % nside;
+          c.iz = (c.iz + nside) % nside;
+        } else if (c.ix < 0 || c.ix >= nside || c.iy < 0 || c.iy >= nside ||
+                   c.iz < 0 || c.iz >= nside) {
+          return;
+        }
+        const std::int32_t ai =
+            la.dense_to_active[hier.flat_index(h, c)];
+        if (ai >= 0) ws.cost_patch.push_back(static_cast<std::uint32_t>(ai));
+      };
+      for (const std::uint32_t r : ws.sort_scratch.changed_ranks) {
+        const tree::BoxCoord c =
+            hier.coord_of(h, ws.boxed.rank_to_flat[r]);
+        push_flat(c);
+        for (const tree::Offset& o : offsets) {
+          if (o == tree::Offset{0, 0, 0}) continue;
+          push_flat({c.ix - o.dx, c.iy - o.dy, c.iz - o.dz});
+        }
+      }
+      std::sort(ws.cost_patch.begin(), ws.cost_patch.end());
+      ws.cost_patch.erase(
+          std::unique(ws.cost_patch.begin(), ws.cost_patch.end()),
+          ws.cost_patch.end());
+      for (const std::uint32_t ai : ws.cost_patch) cost_at(ai);
+      breakdown["active"].chunks_rebuilt += ws.cost_patch.size();
+    }
+  } else {
+    internal::grow(ws.leaf_cost, nl, ws.allocs);
+    internal::grow(ws.near_cost, nl, ws.allocs);
+    for (std::size_t ai = 0; ai < nl; ++ai) cost_at(ai);
+  }
+}
 
 // solve() has already run the coordinate sort (charged to "sort"), filled
 // ws.occupied with the non-empty leaf flats, and decided for this executor.
@@ -128,105 +176,15 @@ FmmResult FmmSolver::solve_sparse_(const ParticleSet& particles,
   const std::size_t W = pool.size();
 
   // Derive the active level sets and the per-leaf cost model ("active"
-  // phase): particle counts weight the leaf stages, near-field pair counts
-  // weight the near-field chunks. Both reuse workspace buffers — a warm
-  // solve grows nothing here, and an incremental step revalidates instead
-  // of rebuilding.
+  // phase) — shared with the distributed executor, see update_active_costs.
   const std::span<const tree::Offset> offsets =
       plan.near_list(config_.near_symmetry);
   const bool far_capable = config_.kernel.far_field_capable();
   // Periodic short-range solves wrap box neighbours instead of clipping
   // them, so the cost model must count the wrapped pairs it will evaluate.
   const bool periodic = impl_->near.vdw.period > 0.0;
-  {
-    ScopedPhaseTimer timer(result.breakdown["active"]);
-    const bool structures_ok =
-        ws.step.cur_incremental && !ws.step.cur_emptiness_changed;
-    if (structures_ok && ws.step.active_valid) {
-      // No box flipped empty <-> non-empty: the active level sets (and the
-      // dense->active maps) from the previous step are still exact.
-      result.breakdown["active"].plan_reuse += 1;
-    } else {
-      const std::size_t cap_before = ws.active.capacity_bytes();
-      tree::build_active_levels(hier, ws.occupied, ws.active);
-      if (ws.active.capacity_bytes() != cap_before)
-        ws.allocs.fetch_add(1, std::memory_order_relaxed);
-    }
-
-    const tree::LevelActiveSet& leaves = ws.active.levels[h];
-    const std::size_t nl = leaves.count();
-    const std::int32_t nside = hier.boxes_per_side(h);
-    // Cost entries for one active leaf (leaf = its particle count, near =
-    // its near-field pair count) — the full build and the per-step patch
-    // apply the identical formula.
-    const auto cost_at = [&](std::size_t ai) {
-      const std::size_t f = leaves.boxes[ai];
-      const tree::BoxCoord c = hier.coord_of(h, f);
-      const std::uint64_t t = particles_in(ws.boxed, f);
-      ws.leaf_cost[ai] = t;
-      std::uint64_t pairs = t * (t > 0 ? t - 1 : 0);
-      for (const tree::Offset& o : offsets) {
-        if (o == tree::Offset{0, 0, 0}) continue;
-        tree::BoxCoord nb{c.ix + o.dx, c.iy + o.dy, c.iz + o.dz};
-        if (periodic) {
-          nb.ix = (nb.ix + nside) % nside;
-          nb.iy = (nb.iy + nside) % nside;
-          nb.iz = (nb.iz + nside) % nside;
-        } else if (nb.ix < 0 || nb.ix >= nside || nb.iy < 0 ||
-                   nb.iy >= nside || nb.iz < 0 || nb.iz >= nside) {
-          continue;
-        }
-        pairs += t * particles_in(ws.boxed, hier.flat_index(h, nb));
-      }
-      ws.near_cost[ai] = pairs;
-    };
-    if (structures_ok && ws.step.cost_valid) {
-      if (!ws.step.cur_counts_changed) {
-        // Count-preserving membership swaps don't move any cost entry.
-        result.breakdown["active"].plan_reuse += 1;
-      } else {
-        // A changed count at leaf g dirties g's own entries plus every
-        // leaf f whose near list reaches g (f + o == g for an offset o in
-        // the list — with the symmetric half list each pair is costed once,
-        // on the side that owns it, so the inverse offsets cover exactly
-        // the dependent entries).
-        ws.cost_patch.clear();
-        const tree::LevelActiveSet& la = ws.active.levels[h];
-        const auto push_flat = [&](tree::BoxCoord c) {
-          if (periodic) {
-            c.ix = (c.ix + nside) % nside;
-            c.iy = (c.iy + nside) % nside;
-            c.iz = (c.iz + nside) % nside;
-          } else if (c.ix < 0 || c.ix >= nside || c.iy < 0 || c.iy >= nside ||
-                     c.iz < 0 || c.iz >= nside) {
-            return;
-          }
-          const std::int32_t ai =
-              la.dense_to_active[hier.flat_index(h, c)];
-          if (ai >= 0) ws.cost_patch.push_back(static_cast<std::uint32_t>(ai));
-        };
-        for (const std::uint32_t r : ws.sort_scratch.changed_ranks) {
-          const tree::BoxCoord c =
-              hier.coord_of(h, ws.boxed.rank_to_flat[r]);
-          push_flat(c);
-          for (const tree::Offset& o : offsets) {
-            if (o == tree::Offset{0, 0, 0}) continue;
-            push_flat({c.ix - o.dx, c.iy - o.dy, c.iz - o.dz});
-          }
-        }
-        std::sort(ws.cost_patch.begin(), ws.cost_patch.end());
-        ws.cost_patch.erase(
-            std::unique(ws.cost_patch.begin(), ws.cost_patch.end()),
-            ws.cost_patch.end());
-        for (const std::uint32_t ai : ws.cost_patch) cost_at(ai);
-        result.breakdown["active"].chunks_rebuilt += ws.cost_patch.size();
-      }
-    } else {
-      internal::grow(ws.leaf_cost, nl, ws.allocs);
-      internal::grow(ws.near_cost, nl, ws.allocs);
-      for (std::size_t ai = 0; ai < nl; ++ai) cost_at(ai);
-    }
-  }
+  internal::update_active_costs(config_, plan, hier, periodic, ws,
+                                result.breakdown);
   const tree::ActiveLevels& act = ws.active;
   result.sparse = true;
   result.active_boxes = act.total_active();

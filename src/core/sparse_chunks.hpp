@@ -45,6 +45,69 @@ inline std::uint64_t particles_in(const dp::BoxedParticles& boxed,
   return boxed.box_begin[r + 1] - boxed.box_begin[r];
 }
 
+// P2M over active leaves [lo, hi): every active leaf is non-empty by
+// construction, writing its outer approximation at its ACTIVE row. Shared
+// by the sparse and distributed executors — the distributed ranks pass a
+// context whose workspace holds a rank-local particle view and pruned
+// level sets, and the arithmetic is identical because every lookup goes
+// through the context's own boxed/active maps.
+inline void p2m_chunk(ActiveContext& ctx, std::size_t lo, std::size_t hi,
+                      PhaseStats& stats) {
+  const int h = ctx.hier.depth();
+  const std::size_t k = ctx.config.params.k();
+  const double a = ctx.config.params.outer_ratio * ctx.hier.side_at(h);
+  const dp::BoxedParticles& boxed = ctx.ws.boxed;
+  const ParticleSet& p = boxed.sorted;
+  const tree::LevelActiveSet& leaves = ctx.act.levels[h];
+  std::uint64_t local_flops = 0;
+  for (std::size_t ai = lo; ai < hi; ++ai) {
+    const std::size_t f = leaves.boxes[ai];
+    const std::uint32_t rank = boxed.flat_to_rank[f];
+    const std::uint32_t b = boxed.box_begin[rank];
+    const std::uint32_t e = boxed.box_begin[rank + 1];
+    const tree::BoxCoord c = ctx.hier.coord_of(h, f);
+    anderson::p2m(ctx.config.params, a, ctx.hier.center(h, c),
+                  p.x().subspan(b, e - b), p.y().subspan(b, e - b),
+                  p.z().subspan(b, e - b), p.q().subspan(b, e - b),
+                  {ctx.ws.far[h].data() + ai * k, k});
+    local_flops += anderson::p2m_flops(k, e - b);
+  }
+  stats.flops += local_flops;
+}
+
+inline void l2p_chunk(ActiveContext& ctx, std::size_t lo, std::size_t hi,
+                      PhaseStats& stats) {
+  const int h = ctx.hier.depth();
+  const std::size_t k = ctx.config.params.k();
+  const double a = ctx.config.params.inner_ratio * ctx.hier.side_at(h);
+  const dp::BoxedParticles& boxed = ctx.ws.boxed;
+  const ParticleSet& p = boxed.sorted;
+  const tree::LevelActiveSet& leaves = ctx.act.levels[h];
+  const std::span<double> phi{ctx.ws.phi_sorted};
+  const std::span<Vec3> grad{ctx.ws.grad_sorted};
+  std::uint64_t local_flops = 0;
+  for (std::size_t ai = lo; ai < hi; ++ai) {
+    const std::size_t f = leaves.boxes[ai];
+    const std::uint32_t rank = boxed.flat_to_rank[f];
+    const std::uint32_t b = boxed.box_begin[rank];
+    const std::uint32_t e = boxed.box_begin[rank + 1];
+    const tree::BoxCoord c = ctx.hier.coord_of(h, f);
+    const std::span<const double> g{ctx.ws.local[h].data() + ai * k, k};
+    if (grad.empty()) {
+      anderson::l2p(ctx.config.params, a, ctx.hier.center(h, c), g,
+                    p.x().subspan(b, e - b), p.y().subspan(b, e - b),
+                    p.z().subspan(b, e - b), phi.subspan(b, e - b));
+    } else {
+      anderson::l2p_gradient(ctx.config.params, a, ctx.hier.center(h, c), g,
+                             p.x().subspan(b, e - b), p.y().subspan(b, e - b),
+                             p.z().subspan(b, e - b), phi.subspan(b, e - b),
+                             grad.subspan(b, e - b));
+    }
+    local_flops += anderson::l2p_flops(k, e - b, ctx.config.params.truncation);
+  }
+  stats.flops += local_flops;
+}
+
 // Upward T1 over active PARENTS [lo, hi) of level l: each parent gathers
 // its active children (octant order 0..7 — the dense accumulation order)
 // through the dense->active map of level l + 1. Children absent from the

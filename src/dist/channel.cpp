@@ -1,0 +1,52 @@
+#include "hfmm/dist/channel.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace hfmm::dist {
+
+Fabric::Fabric(int ranks) : ranks_(ranks) {
+  if (ranks < 1) throw std::invalid_argument("Fabric: ranks must be >= 1");
+  boxes_.resize(static_cast<std::size_t>(ranks) *
+                static_cast<std::size_t>(ranks));
+  for (auto& b : boxes_) b = std::make_unique<Mailbox>();
+  stats_.resize(static_cast<std::size_t>(ranks));
+}
+
+void Fabric::send(int from, int to, int tag, std::vector<std::byte> payload) {
+  auto& st = stats_[static_cast<std::size_t>(from)];
+  st.bytes_sent += payload.size();
+  st.messages_sent += 1;
+  Mailbox& mb = box(from, to);
+  {
+    std::lock_guard<std::mutex> lock(mb.mu);
+    mb.queue.push_back(Message{tag, std::move(payload)});
+  }
+  mb.cv.notify_one();
+}
+
+std::vector<std::byte> Fabric::recv(int to, int from, int expect_tag) {
+  Mailbox& mb = box(from, to);
+  Message msg;
+  {
+    std::unique_lock<std::mutex> lock(mb.mu);
+    mb.cv.wait(lock, [&] { return !mb.queue.empty(); });
+    msg = std::move(mb.queue.front());
+    mb.queue.pop_front();
+  }
+  if (msg.tag != expect_tag) {
+    throw std::logic_error(
+        "Fabric::recv: tag mismatch on " + std::to_string(from) + " -> " +
+        std::to_string(to) + ": expected " + std::to_string(expect_tag) +
+        ", got " + std::to_string(msg.tag) +
+        " (send/recv schedule out of order)");
+  }
+  auto& st = stats_[static_cast<std::size_t>(to)];
+  st.bytes_recv += msg.payload.size();
+  st.messages_recv += 1;
+  return std::move(msg.payload);
+}
+
+}  // namespace hfmm::dist

@@ -1,0 +1,51 @@
+#include "hfmm/tree/ownership.hpp"
+
+#include <cassert>
+#include <cstddef>
+
+namespace hfmm::tree {
+
+void build_ownership(const Hierarchy& hier, const ActiveLevels& act,
+                     std::span<const std::uint32_t> leaf_begin,
+                     OwnershipLevels& out) {
+  const int h = act.depth;
+  const int ranks = static_cast<int>(leaf_begin.size()) - 1;
+  assert(h >= 0 && ranks >= 1);
+  out.depth = h;
+  out.ranks = ranks;
+  out.owner.resize(static_cast<std::size_t>(h) + 1);
+
+  // Leaves: rank r owns the contiguous active-index run
+  // [leaf_begin[r], leaf_begin[r+1]).
+  auto& leaf_owner = out.owner[static_cast<std::size_t>(h)];
+  leaf_owner.assign(act.levels[static_cast<std::size_t>(h)].count(), 0);
+  assert(leaf_begin[static_cast<std::size_t>(ranks)] == leaf_owner.size());
+  for (int r = 0; r < ranks; ++r)
+    for (std::uint32_t ai = leaf_begin[static_cast<std::size_t>(r)];
+         ai < leaf_begin[static_cast<std::size_t>(r) + 1]; ++ai)
+      leaf_owner[ai] = r;
+
+  // Internal levels, bottom-up: owner = owner of the first active child in
+  // octant order 0..7 (equivalently the lowest active child flat index).
+  for (int l = h - 1; l >= 0; --l) {
+    const LevelActiveSet& cur = act.levels[static_cast<std::size_t>(l)];
+    const LevelActiveSet& fine = act.levels[static_cast<std::size_t>(l) + 1];
+    const auto& fine_owner = out.owner[static_cast<std::size_t>(l) + 1];
+    auto& own = out.owner[static_cast<std::size_t>(l)];
+    own.assign(cur.count(), 0);
+    for (std::size_t ai = 0; ai < cur.count(); ++ai) {
+      const BoxCoord c = hier.coord_of(l, cur.boxes[ai]);
+      std::int32_t got = -1;
+      for (int o = 0; o < 8 && got < 0; ++o) {
+        const std::size_t cf =
+            hier.flat_index(l + 1, Hierarchy::child_of(c, o));
+        const std::int32_t ca = fine.dense_to_active[cf];
+        if (ca >= 0) got = fine_owner[static_cast<std::size_t>(ca)];
+      }
+      assert(got >= 0 && "active box with no active child");
+      own[ai] = got;
+    }
+  }
+}
+
+}  // namespace hfmm::tree

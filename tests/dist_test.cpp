@@ -1,0 +1,370 @@
+// Owner-computes distributed execution (DESIGN.md Section 18): the channel
+// fabric, the geometric partitioner, subtree ownership, LET construction,
+// and the acceptance bar — an R-rank ExecutionMode::kDistributed solve is
+// BITWISE identical to the single-rank sequential sparse executor (with the
+// non-symmetric near field the distributed mode forces), for Laplace and
+// van der Waals, uniform and clustered inputs, warm and incremental-step
+// solves, across every hierarchy request. The measured fabric traffic must
+// equal the LET plan's modeled bytes exactly — the pack loops realize the
+// model.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "hfmm/core/solver.hpp"
+#include "hfmm/dist/channel.hpp"
+#include "hfmm/dist/let.hpp"
+#include "hfmm/dist/partition.hpp"
+#include "hfmm/tree/active_set.hpp"
+#include "hfmm/tree/ownership.hpp"
+#include "hfmm/util/particles.hpp"
+
+namespace hfmm {
+namespace {
+
+// ----------------------------------------------------------------- channel
+
+TEST(ChannelTest, FifoPerPairAndStats) {
+  dist::Fabric fabric(2);
+  fabric.send(0, 1, dist::make_tag(dist::MsgKind::kFar, 3),
+              std::vector<std::byte>{std::byte{1}, std::byte{2}});
+  fabric.send(0, 1, dist::make_tag(dist::MsgKind::kLocal, 2),
+              std::vector<std::byte>{std::byte{7}});
+  const auto a = fabric.recv(1, 0, dist::make_tag(dist::MsgKind::kFar, 3));
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a[1], std::byte{2});
+  const auto b = fabric.recv(1, 0, dist::make_tag(dist::MsgKind::kLocal, 2));
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(fabric.stats(0).bytes_sent, 3u);
+  EXPECT_EQ(fabric.stats(0).messages_sent, 2u);
+  EXPECT_EQ(fabric.stats(1).bytes_recv, 3u);
+  EXPECT_EQ(fabric.stats(1).messages_recv, 2u);
+}
+
+TEST(ChannelTest, TagMismatchThrows) {
+  dist::Fabric fabric(2);
+  fabric.send(1, 0, dist::make_tag(dist::MsgKind::kBodies, 4), {});
+  EXPECT_THROW(fabric.recv(0, 1, dist::make_tag(dist::MsgKind::kFar, 4)),
+               std::logic_error);
+}
+
+// --------------------------------------------------------------- partition
+
+TEST(PartitionTest, BodiesSplitBalancesParticleCounts) {
+  const std::vector<std::uint64_t> leaf_cost{10, 10, 10, 10};
+  const std::vector<std::uint64_t> near_cost{0, 1000, 0, 0};
+  const std::vector<std::uint32_t> leaf_count{10, 10, 10, 10};
+  const dist::Partition p = dist::partition_leaves(
+      dist::Partitioner::kBodies, 2, leaf_cost, near_cost, leaf_count);
+  ASSERT_EQ(p.ranks, 2);
+  EXPECT_EQ(p.leaf_begin, (std::vector<std::uint32_t>{0, 2, 4}));
+  EXPECT_EQ(p.body_begin, (std::vector<std::uint32_t>{0, 20, 40}));
+  EXPECT_DOUBLE_EQ(p.cost_imbalance, 1.0);
+}
+
+TEST(PartitionTest, CostSplitFollowsNearCost) {
+  // One hot leaf: the cost split isolates it; the body split would not.
+  const std::vector<std::uint64_t> leaf_cost{1, 1, 1, 1};
+  const std::vector<std::uint64_t> near_cost{900, 0, 0, 0};
+  const std::vector<std::uint32_t> leaf_count{5, 5, 5, 5};
+  const dist::Partition p = dist::partition_leaves(
+      dist::Partitioner::kCost, 2, leaf_cost, near_cost, leaf_count);
+  ASSERT_EQ(p.ranks, 2);
+  EXPECT_EQ(p.leaf_begin[1], 1u);  // the hot leaf alone on rank 0
+  EXPECT_EQ(p.body_begin[1], 5u);
+}
+
+TEST(PartitionTest, RankCountClampsToLeafCount) {
+  const std::vector<std::uint64_t> leaf_cost{3, 3};
+  const std::vector<std::uint64_t> near_cost{0, 0};
+  const std::vector<std::uint32_t> leaf_count{3, 3};
+  const dist::Partition p = dist::partition_leaves(
+      dist::Partitioner::kCost, 8, leaf_cost, near_cost, leaf_count);
+  EXPECT_EQ(p.ranks, 2);
+  EXPECT_EQ(p.leaf_begin.size(), 3u);
+}
+
+// --------------------------------------------------------------- ownership
+
+TEST(OwnershipTest, ParentFollowsFirstActiveChild) {
+  const tree::Hierarchy hier(Box3{}, 3);
+  std::vector<std::uint32_t> occupied;
+  for (std::uint32_t f = 0; f < 512; f += 19) occupied.push_back(f);
+  tree::ActiveLevels act;
+  tree::build_active_levels(hier, occupied, act);
+  const std::size_t nl = act.levels[3].count();
+  // Three contiguous runs.
+  const std::vector<std::uint32_t> leaf_begin{
+      0, static_cast<std::uint32_t>(nl / 3),
+      static_cast<std::uint32_t>(2 * nl / 3), static_cast<std::uint32_t>(nl)};
+  tree::OwnershipLevels own;
+  tree::build_ownership(hier, act, leaf_begin, own);
+  ASSERT_EQ(own.depth, 3);
+  ASSERT_EQ(own.ranks, 3);
+  for (int l = 0; l <= 3; ++l)
+    ASSERT_EQ(own.owner[l].size(), act.levels[l].count());
+  // The LEAF level is monotone by construction (contiguous runs); internal
+  // levels need not be (see ownership.hpp).
+  for (std::size_t ai = 1; ai < own.owner[3].size(); ++ai)
+    EXPECT_LE(own.owner[3][ai - 1], own.owner[3][ai]);
+  for (int l = 0; l < 3; ++l) {
+    for (std::size_t ai = 0; ai < act.levels[l].count(); ++ai) {
+      const tree::BoxCoord c = hier.coord_of(l, act.levels[l].boxes[ai]);
+      std::int32_t first_child_owner = -1;
+      for (int o = 0; o < 8 && first_child_owner < 0; ++o) {
+        const std::int32_t ca = act.levels[l + 1].dense_to_active[
+            hier.flat_index(l + 1, tree::Hierarchy::child_of(c, o))];
+        if (ca >= 0) first_child_owner = own.at(l + 1, ca);
+      }
+      EXPECT_EQ(own.at(l, static_cast<std::int32_t>(ai)), first_child_owner);
+    }
+  }
+}
+
+// --------------------------------------------------------------------- LET
+
+TEST(LetTest, MarksCompileToMessagesWithExactByteModel) {
+  const tree::Hierarchy hier(Box3{}, 2);
+  // Two occupied leaves at opposite corners; rank 0 owns the first, rank 1
+  // the second.
+  const std::vector<std::uint32_t> occupied{0, 63};
+  tree::ActiveLevels act;
+  tree::build_active_levels(hier, occupied, act);
+  const std::vector<std::uint32_t> leaf_begin{0, 1, 2};
+  tree::OwnershipLevels own;
+  tree::build_ownership(hier, act, leaf_begin, own);
+  dist::LetBuilder builder(act, own);
+  builder.need_far(0, 2, 0);  // own box: ignored
+  builder.need_far(0, 2, 1);  // remote far cell
+  builder.need_bodies(1, 0);  // remote bodies
+  const std::vector<std::uint32_t> leaf_count{4, 3};
+  const dist::LetGeometry geo{12, true, false};
+  const dist::LetPlan plan = builder.finalize(geo, leaf_count);
+
+  ASSERT_EQ(plan.ranks, 2);
+  ASSERT_EQ(plan.cells.size(), 1u);
+  const dist::CellMsg& cm = plan.cells[0];
+  EXPECT_EQ(cm.src, 1);
+  EXPECT_EQ(cm.dst, 0);
+  EXPECT_EQ(cm.level, 2);
+  EXPECT_EQ(cm.kind, dist::MsgKind::kFar);
+  EXPECT_EQ(cm.bytes, 12u * sizeof(double));
+  ASSERT_EQ(plan.bodies.size(), 1u);
+  const dist::BodyMsg& bm = plan.bodies[0];
+  EXPECT_EQ(bm.src, 0);
+  EXPECT_EQ(bm.dst, 1);
+  EXPECT_EQ(bm.bodies, 4u);
+  EXPECT_EQ(bm.bytes, 4u * 4u * sizeof(double));
+  EXPECT_EQ(plan.modeled_bytes_total, cm.bytes + bm.bytes);
+  // Rank 0's leaf level: its own leaf first, then nothing (the far halo box
+  // 63 joins level 2's halo); owned prefix is 1.
+  EXPECT_EQ(plan.rank[0].owned[2], 1u);
+  EXPECT_EQ(plan.rank[0].act.levels[2].count(), 2u);
+  EXPECT_EQ(plan.rank[1].ghost_leaves, (std::vector<std::uint32_t>{0}));
+  EXPECT_EQ(plan.rank[1].let_bodies, 4u);
+  EXPECT_EQ(plan.rank[0].let_cells, 1u);
+}
+
+// ----------------------------------------------- bitwise equivalence suite
+
+// The single-rank reference the acceptance criteria name: the sequential
+// sparse executor with the non-symmetric near field (exactly what the
+// distributed constructor forces).
+core::FmmConfig reference_of(core::FmmConfig cfg) {
+  cfg.mode = core::ExecutionMode::kSequential;
+  cfg.hierarchy = core::HierarchyMode::kSparse;
+  cfg.near_symmetry = false;
+  return cfg;
+}
+
+void expect_bitwise_equal(const core::FmmResult& ref,
+                          const core::FmmResult& got) {
+  ASSERT_EQ(ref.phi.size(), got.phi.size());
+  if (!ref.phi.empty())
+    EXPECT_EQ(std::memcmp(ref.phi.data(), got.phi.data(),
+                          ref.phi.size() * sizeof(double)),
+              0);
+  ASSERT_EQ(ref.grad.size(), got.grad.size());
+  if (!ref.grad.empty())
+    EXPECT_EQ(std::memcmp(ref.grad.data(), got.grad.data(),
+                          ref.grad.size() * sizeof(Vec3)),
+              0);
+}
+
+// Measured fabric traffic vs the LET plan's byte model: exact equality, and
+// conservation (every byte sent is received).
+void expect_traffic_matches_model(const core::FmmResult& r) {
+  std::uint64_t sent = 0, recv = 0;
+  for (const core::DistRankStats& s : r.dist) {
+    sent += s.bytes_sent;
+    recv += s.bytes_recv;
+  }
+  EXPECT_EQ(sent, recv);
+  EXPECT_EQ(recv, r.dist_modeled_bytes);
+  EXPECT_GE(r.dist_cost_imbalance, r.dist_ranks > 0 ? 1.0 : 0.0);
+}
+
+void expect_dist_matches_reference(const core::FmmConfig& base,
+                                   const ParticleSet& ps, int ranks) {
+  core::FmmSolver ref_solver(reference_of(base));
+  const core::FmmResult ref = ref_solver.solve(ps);
+
+  core::FmmConfig dcfg = base;
+  dcfg.mode = core::ExecutionMode::kDistributed;
+  dcfg.dist_ranks = ranks;
+  core::FmmSolver dist_solver(dcfg);
+  const core::FmmResult got = dist_solver.solve(ps);
+
+  ASSERT_GT(got.dist_ranks, 0);
+  EXPECT_LE(got.dist_ranks, ranks);
+  ASSERT_EQ(got.dist.size(), static_cast<std::size_t>(got.dist_ranks));
+  expect_bitwise_equal(ref, got);
+  expect_traffic_matches_model(got);
+
+  // Warm solve: same input again on the same solver (reused per-rank
+  // workspaces and LET rebuild) must reproduce the same bits.
+  const core::FmmResult warm = dist_solver.solve(ps);
+  expect_bitwise_equal(ref, warm);
+  expect_traffic_matches_model(warm);
+}
+
+TEST(DistSolveTest, LaplaceUniformMatchesReferenceAcrossRanks) {
+  const ParticleSet ps = make_uniform(2000, Box3{}, 101);
+  core::FmmConfig cfg;
+  for (const int r : {1, 2, 4, 8}) expect_dist_matches_reference(cfg, ps, r);
+}
+
+TEST(DistSolveTest, LaplaceClusteredMatchesReferenceAcrossRanks) {
+  const ParticleSet ps = make_two_clusters(2400, Box3{}, 102);
+  core::FmmConfig cfg;
+  for (const int r : {1, 2, 4, 8}) expect_dist_matches_reference(cfg, ps, r);
+}
+
+TEST(DistSolveTest, LaplacePlummerWithGradientAndSupernodes) {
+  const ParticleSet ps = make_plummer(2200, Box3{}, 103);
+  core::FmmConfig cfg;
+  cfg.with_gradient = true;
+  cfg.supernodes = true;
+  for (const int r : {2, 4, 8}) expect_dist_matches_reference(cfg, ps, r);
+}
+
+TEST(DistSolveTest, EveryHierarchyRequestRunsTheSparseExecutor) {
+  const ParticleSet ps = make_plummer(1800, Box3{}, 104);
+  for (const core::HierarchyMode hm :
+       {core::HierarchyMode::kDense, core::HierarchyMode::kSparse,
+        core::HierarchyMode::kAuto, core::HierarchyMode::kAdaptive}) {
+    core::FmmConfig cfg;
+    cfg.hierarchy = hm;
+    cfg.mode = core::ExecutionMode::kDistributed;
+    cfg.dist_ranks = 4;
+    core::FmmSolver solver(cfg);
+    EXPECT_EQ(solver.hierarchy_requested(), hm);
+    EXPECT_EQ(solver.config().hierarchy, core::HierarchyMode::kSparse);
+    const core::FmmResult got = solver.solve(ps);
+    EXPECT_TRUE(got.sparse);
+    core::FmmConfig base;
+    base.hierarchy = hm;  // reference_of() forces sparse identically
+    core::FmmSolver ref_solver(reference_of(base));
+    expect_bitwise_equal(ref_solver.solve(ps), got);
+  }
+}
+
+TEST(DistSolveTest, BodiesPartitionerAlsoBitwise) {
+  const ParticleSet ps = make_two_clusters(2000, Box3{}, 105);
+  core::FmmConfig cfg;
+  cfg.dist_partitioner = core::DistPartitioner::kBodies;
+  expect_dist_matches_reference(cfg, ps, 4);
+}
+
+core::FmmConfig vdw_base(bool periodic) {
+  core::FmmConfig cfg;
+  cfg.with_gradient = true;
+  cfg.kernel.type = core::KernelType::kVanDerWaals;
+  cfg.kernel.vdw_rmin = {0.11, 0.14};
+  cfg.kernel.vdw_epsilon = {1.0, 0.55};
+  cfg.kernel.vdw_cuton = 0.16;
+  cfg.kernel.vdw_cutoff = 0.22;
+  cfg.kernel.vdw_periodic = periodic;
+  return cfg;
+}
+
+ParticleSet typed_particles(ParticleSet ps) {
+  for (std::size_t i = 0; i < ps.size(); ++i)
+    ps.set_type(i, static_cast<std::int32_t>(i % 2));
+  return ps;
+}
+
+TEST(DistSolveTest, VdwUniformMatchesReferenceAcrossRanks) {
+  const ParticleSet ps = typed_particles(make_uniform(1500, Box3{}, 106));
+  const core::FmmConfig cfg = vdw_base(false);
+  for (const int r : {1, 2, 4, 8}) expect_dist_matches_reference(cfg, ps, r);
+}
+
+TEST(DistSolveTest, VdwClusteredPeriodicMatchesReference) {
+  // Clustered near a box corner so ghost-leaf exchange crosses the periodic
+  // wrap (the near-field walk's minimum-image neighbourhood).
+  const ParticleSet ps = typed_particles(
+      make_uniform(1200, Box3{{0.02, 0.02, 0.02}, {0.45, 0.45, 0.45}}, 107));
+  const core::FmmConfig cfg = vdw_base(true);
+  for (const int r : {2, 4}) expect_dist_matches_reference(cfg, ps, r);
+}
+
+TEST(DistSolveTest, IncrementalSteppingStaysBitwise) {
+  // Both solvers pin the root cube on the first solve and step the same
+  // trajectory; every step must agree bit for bit.
+  ParticleSet ps = make_uniform(1600, Box3{}, 108);
+  core::FmmConfig base;
+  base.step_incremental = true;
+
+  core::FmmSolver ref_solver(reference_of(base));
+  core::FmmConfig dcfg = base;
+  dcfg.mode = core::ExecutionMode::kDistributed;
+  dcfg.dist_ranks = 4;
+  core::FmmSolver dist_solver(dcfg);
+
+  for (int step = 0; step < 3; ++step) {
+    const core::FmmResult ref = ref_solver.solve(ps);
+    const core::FmmResult got = dist_solver.solve(ps);
+    expect_bitwise_equal(ref, got);
+    expect_traffic_matches_model(got);
+    // Drift every particle toward the domain centre (stays inside the
+    // pinned cube; some cross leaf boundaries, exercising the repair path).
+    for (std::size_t i = 0; i < ps.size(); ++i) {
+      Vec3 p = ps.position(i);
+      p.x += (0.5 - p.x) * 0.04;
+      p.y += (0.5 - p.y) * 0.04;
+      p.z += (0.5 - p.z) * 0.04;
+      ps.set(i, p, ps.q()[i]);
+    }
+  }
+}
+
+TEST(DistSolveTest, RankCountersTileTheProblem) {
+  const ParticleSet ps = make_uniform(2000, Box3{}, 109);
+  core::FmmConfig cfg;
+  cfg.mode = core::ExecutionMode::kDistributed;
+  cfg.dist_ranks = 4;
+  core::FmmSolver solver(cfg);
+  const core::FmmResult r = solver.solve(ps);
+  ASSERT_EQ(r.dist.size(), static_cast<std::size_t>(r.dist_ranks));
+  std::size_t bodies = 0, leaves = 0;
+  for (const core::DistRankStats& s : r.dist) {
+    EXPECT_GT(s.owned_leaves, 0u);
+    bodies += s.owned_bodies;
+    leaves += s.owned_leaves;
+  }
+  EXPECT_EQ(bodies, ps.size());
+  // The owned runs tile the ACTIVE leaves (<= the dense leaf grid).
+  EXPECT_LE(leaves, r.leaf_boxes);
+  // The "let" phase surfaces the aggregate traffic counters.
+  const auto it = r.breakdown.phases().find("let");
+  ASSERT_NE(it, r.breakdown.phases().end());
+  EXPECT_EQ(it->second.bytes_recv, r.dist_modeled_bytes);
+}
+
+}  // namespace
+}  // namespace hfmm

@@ -16,9 +16,11 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "hfmm/anderson/params.hpp"
@@ -94,6 +96,53 @@ TEST(LruCacheTest, EvictionKeepsInFlightValueAlive) {
   EXPECT_TRUE(watch.expired());
 }
 
+TEST(LruCacheTest, ByteBudgetEvictsFromLruEndButKeepsMru) {
+  // Capacity is ample; the 100-byte budget is the binding constraint. Each
+  // entry weighs 60 bytes, so at most one fits — yet the MRU entry must
+  // always stay resident, even the first time it alone busts the budget.
+  service::LruCache<int, int> cache(8, /*budget_bytes=*/100);
+  auto weigh = [](const int&) { return std::size_t{60}; };
+  cache.get_or_build(1, [] { return std::make_shared<int>(1); }, weigh);
+  EXPECT_EQ(cache.resident_bytes(), 60u);
+  cache.get_or_build(2, [] { return std::make_shared<int>(2); }, weigh);
+  EXPECT_EQ(cache.size(), 1u);  // 120 > 100: key 1 evicted, key 2 kept
+  EXPECT_EQ(cache.resident_bytes(), 60u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  auto [v2, hit2] =
+      cache.get_or_build(2, [] { return std::make_shared<int>(9); }, weigh);
+  EXPECT_TRUE(hit2);
+  // A single entry heavier than the whole budget still caches.
+  cache.get_or_build(
+      3, [] { return std::make_shared<int>(3); },
+      [](const int&) { return std::size_t{500}; });
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.resident_bytes(), 500u);
+  auto [v3, hit3] = cache.get_or_build(
+      3, [] { return std::make_shared<int>(0); },
+      [](const int&) { return std::size_t{500}; });
+  EXPECT_TRUE(hit3);
+}
+
+TEST(LruCacheTest, TtlExpiresIdleEntriesAndHitsRefresh) {
+  using namespace std::chrono_literals;
+  service::LruCache<int, int> cache(8, 0, /*ttl=*/1ms);
+  cache.get_or_build(1, [] { return std::make_shared<int>(1); });
+  std::this_thread::sleep_for(5ms);
+  // Lazy purge: the expired entry is dropped before this lookup, which
+  // therefore misses and rebuilds.
+  auto [v, hit] = cache.get_or_build(1, [] { return std::make_shared<int>(2); });
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(*v, 2);
+  const service::LruStats s = cache.stats();
+  EXPECT_EQ(s.expirations, 1u);
+  EXPECT_EQ(s.evictions, 0u);  // TTL removals are counted separately
+  // purge() trims without a lookup.
+  std::this_thread::sleep_for(5ms);
+  cache.purge();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().expirations, 2u);
+}
+
 // --- PlanCache -----------------------------------------------------------
 
 TEST(PlanCacheTest, SamePlanKeyHitsDifferentDepthMisses) {
@@ -131,6 +180,53 @@ TEST(PlanCacheTest, CapacityOneEvictsButInFlightPlanSurvives) {
   auto rebuilt = cache.plan(cfg, 3, &hit);
   EXPECT_FALSE(hit);
   EXPECT_NE(pinned.get(), rebuilt.get());
+}
+
+TEST(PlanCacheTest, MemoryBudgetEvictsColdPlans) {
+  // First learn what one plan actually weighs, then set a budget that fits
+  // exactly one: inserting a second distinct plan must evict the first.
+  service::PlanCache probe(8);
+  core::FmmConfig cfg;
+  probe.plan(cfg, 3);
+  const std::size_t one_plan = probe.resident_bytes();
+  ASSERT_GT(one_plan, 0u);
+
+  service::PlanCache cache(8, /*budget_bytes=*/one_plan + one_plan / 2);
+  EXPECT_EQ(cache.budget_bytes(), one_plan + one_plan / 2);
+  bool hit = false;
+  cache.plan(cfg, 3, &hit);
+  auto p4 = cache.plan(cfg, 4, &hit);  // deeper plan weighs at least as much
+  EXPECT_GE(cache.stats().plan_evictions, 1u);
+  EXPECT_LE(cache.size(), cache.capacity());
+  // Whatever was evicted, the budget holds (single-entry overshoot aside).
+  if (cache.size() > 1) {
+    EXPECT_LE(cache.resident_bytes(), cache.budget_bytes());
+  }
+  // The surviving MRU plan still hits.
+  auto p4b = cache.plan(cfg, 4, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(p4.get(), p4b.get());
+  // Default construction stays unbounded: both plans resident.
+  service::PlanCache unbounded(8);
+  unbounded.plan(cfg, 3);
+  unbounded.plan(cfg, 4);
+  EXPECT_EQ(unbounded.size(), 2u);
+  EXPECT_EQ(unbounded.stats().plan_evictions, 0u);
+}
+
+TEST(PlanCacheTest, TtlExpiresIdlePlans) {
+  using namespace std::chrono_literals;
+  service::PlanCache cache(8, 0, /*ttl_ms=*/1);
+  core::FmmConfig cfg;
+  bool hit = false;
+  cache.plan(cfg, 3, &hit);
+  EXPECT_EQ(cache.size(), 1u);
+  std::this_thread::sleep_for(5ms);
+  cache.plan(cfg, 3, &hit);  // expired: rebuilt, not served
+  EXPECT_FALSE(hit);
+  const service::PlanCacheStats s = cache.stats();
+  EXPECT_GE(s.plan_expirations, 1u);
+  EXPECT_EQ(s.plan_evictions, 0u);
 }
 
 // --- SolverService: bitwise identity to solo solves ----------------------

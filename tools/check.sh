@@ -5,17 +5,20 @@
 # subject). Run from the repository root:
 #   tools/check.sh [jobs] [lane]
 # `lane` selects which suites run (default all): plain | asan | tsan |
-# service | all — CI runs the lanes as separate matrix jobs. The `service`
-# lane is the focused fast path for the solver-service stack: the service/
-# C-API suites plain AND under TSan (the multi-tenant scheduler is the main
-# data-race subject), plus the bench_service smoke gate.
+# service | dist | all — CI runs the lanes as separate matrix jobs. The
+# `service` lane is the focused fast path for the solver-service stack: the
+# service/C-API suites plain AND under TSan (the multi-tenant scheduler is
+# the main data-race subject), plus the bench_service smoke gate. The
+# `dist` lane does the same for the owner-computes distributed executor
+# (DESIGN.md §18): the dist suites plain AND under TSan (one thread per
+# rank over the message fabric), plus the bench_distributed gates.
 set -euo pipefail
 
 jobs="${1:-$(nproc)}"
 lane="${2:-all}"
 case "$lane" in
-  all|plain|asan|tsan|service) ;;
-  *) echo "unknown lane '$lane' (plain|asan|tsan|service|all)" >&2; exit 2 ;;
+  all|plain|asan|tsan|service|dist) ;;
+  *) echo "unknown lane '$lane' (plain|asan|tsan|service|dist|all)" >&2; exit 2 ;;
 esac
 root="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$root"
@@ -44,6 +47,11 @@ run_suite() {
   # the C facade on their own row.
   echo "== solver service suite =="
   run_service_tests "$build_dir"
+  # Distributed executor suite (DESIGN.md §18): partition, LET exchange,
+  # owner-computes graphs and the bitwise R-rank equivalence on their own
+  # row.
+  echo "== distributed executor suite =="
+  run_dist_tests "$build_dir"
   # Clustered bench smoke (plain tree only — sanitizer trees build no
   # bench): the adaptive artifacts must carry pair counts and non-empty
   # occupancy for every config.
@@ -67,6 +75,7 @@ run_suite() {
     grep -q '"kernel": "vdw"' "$build_dir/smoke_vdw.json"
     grep -q '"near_pairs"' "$build_dir/smoke_vdw.json"
     service_bench_smoke "$build_dir"
+    dist_bench_smoke "$build_dir"
   fi
 }
 
@@ -74,6 +83,29 @@ run_service_tests() {
   local build_dir="$1"
   ctest --test-dir "$build_dir" --output-on-failure \
     -R 'ServiceTest|CApiTest|LruCacheTest|PlanCacheTest|service_client'
+}
+
+run_dist_tests() {
+  local build_dir="$1"
+  ctest --test-dir "$build_dir" --output-on-failure \
+    -R 'ChannelTest|PartitionTest|OwnershipTest|LetTest|DistSolveTest'
+}
+
+# bench_distributed gates the distributed executor's contract — R-rank
+# results bitwise-equal the single-rank reference, measured fabric bytes
+# equal the LET byte model exactly, and the DP simulator's off-VU traffic
+# brackets the exchange volume — with a non-zero exit; the greps pin the
+# JSON artifact shape CI consumes.
+dist_bench_smoke() {
+  local build_dir="$1"
+  if [[ -x "$build_dir/bench/bench_distributed" ]]; then
+    echo "== distributed bench smoke =="
+    "$build_dir/bench/bench_distributed" --smoke \
+      --json="$build_dir/smoke_distributed.json" >/dev/null
+    grep -q '"bench": "bench_distributed"' "$build_dir/smoke_distributed.json"
+    grep -q '"gates_passed": true' "$build_dir/smoke_distributed.json"
+    grep -q '"per_rank"' "$build_dir/smoke_distributed.json"
+  fi
 }
 
 # bench_service --smoke gates the warm-path contract (cached plans, zero
@@ -109,9 +141,33 @@ run_service_lane() {
   run_service_tests build-tsan
 }
 
+# The focused dist lane: dist suites on the plain tree, the bench gates,
+# then the same suites under TSan (per-rank graph threads + fabric).
+run_dist_lane() {
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$jobs"
+  echo "== distributed suite: plain =="
+  run_dist_tests build
+  dist_bench_smoke build
+  echo "== distributed suite: TSan =="
+  export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
+  cmake -B build-tsan -S . \
+    -DHFMM_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DHFMM_BUILD_BENCH=OFF -DHFMM_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build build-tsan -j "$jobs"
+  run_dist_tests build-tsan
+}
+
 if [[ "$lane" == service ]]; then
   run_service_lane
   echo "== service lane passed =="
+  exit 0
+fi
+
+if [[ "$lane" == dist ]]; then
+  run_dist_lane
+  echo "== dist lane passed =="
   exit 0
 fi
 
